@@ -1,0 +1,156 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! scheduling policies in the Theorem 1 simulator, LLU spin budgets, and
+//! deadlock victim policies.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::{DiskConfig, SimDisk};
+use tpd_core::des::{p_performance, random_menu, Coupling, Fcfs, Vats, YoungestFirst};
+use tpd_core::{LockManager, LockManagerConfig, LockMode, ObjectId, Policy, TxnToken, VictimPolicy};
+use tpd_storage::{BufferPool, MutexPolicy, PageId, PoolConfig};
+
+/// DES p-performance per scheduler: quantifies the VATS advantage (and its
+/// compute cost) per simulated menu.
+fn des_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/des_p2");
+    let menu = random_menu(60, 3.0, 2.0, 5);
+    group.bench_function("vats", |b| {
+        b.iter(|| {
+            black_box(p_performance(
+                &menu,
+                |_| Vats,
+                2.0,
+                1.0,
+                20,
+                1,
+                Coupling::PerPosition,
+            ))
+        })
+    });
+    group.bench_function("fcfs", |b| {
+        b.iter(|| {
+            black_box(p_performance(
+                &menu,
+                |_| Fcfs,
+                2.0,
+                1.0,
+                20,
+                1,
+                Coupling::PerPosition,
+            ))
+        })
+    });
+    group.bench_function("youngest", |b| {
+        b.iter(|| {
+            black_box(p_performance(
+                &menu,
+                |_| YoungestFirst,
+                2.0,
+                1.0,
+                20,
+                1,
+                Coupling::PerPosition,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// LLU spin-budget sweep on a pool with a deliberately held mutex pattern:
+/// cost of the try-lock-then-defer path vs full blocking.
+fn llu_spin_budgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/llu_budget");
+    for (name, policy) in [
+        ("blocking", MutexPolicy::Blocking),
+        (
+            "llu_2us",
+            MutexPolicy::Llu {
+                spin_budget: Duration::from_micros(2),
+            },
+        ),
+        (
+            "llu_10us",
+            MutexPolicy::Llu {
+                spin_budget: Duration::from_micros(10),
+            },
+        ),
+        (
+            "llu_50us",
+            MutexPolicy::Llu {
+                spin_budget: Duration::from_micros(50),
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let disk = std::sync::Arc::new(SimDisk::new(DiskConfig {
+                service: ServiceTime::Fixed(0),
+                ns_per_byte: 0.0,
+                seed: 1,
+            }));
+            let p = BufferPool::new(
+                PoolConfig {
+                    frames: 128,
+                    mutex_policy: policy,
+                    access_work: 8,
+                    writeback_under_mutex: false,
+                    ..Default::default()
+                },
+                disk,
+                None,
+            );
+            for k in 0..128u64 {
+                p.access(PageId(k), false);
+            }
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 53) % 128; // mostly old-hits -> make-young path
+                black_box(p.access(PageId(k), false))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Victim-policy ablation: acquire cost when a block-time cycle check runs
+/// under each victim policy (no cycle present; measures the check itself).
+fn victim_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/victim_policy");
+    for (name, victim) in [
+        ("youngest", VictimPolicy::Youngest),
+        ("oldest", VictimPolicy::Oldest),
+        ("requester", VictimPolicy::Requester),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &victim, |b, &victim| {
+            let mgr = LockManager::new(LockManagerConfig {
+                policy: Policy::Vats,
+                victim,
+                wait_timeout: Some(Duration::from_secs(10)),
+                rng_seed: 1,
+            });
+            // Seed some held locks so acquires scan non-trivial state.
+            for i in 0..16u64 {
+                mgr.acquire(TxnToken::new(1000 + i, 1), ObjectId::new(1, i), LockMode::S)
+                    .expect("seed");
+            }
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                let txn = TxnToken::new(id, id);
+                mgr.acquire(txn, ObjectId::new(1, id % 16), LockMode::S)
+                    .expect("compatible");
+                mgr.release_all(txn.id);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(25);
+    targets = des_schedulers, llu_spin_budgets, victim_policies
+}
+criterion_main!(benches);

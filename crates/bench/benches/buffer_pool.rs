@@ -1,0 +1,111 @@
+//! Microbenchmarks of the buffer pool: hit paths, make-young, miss+evict,
+//! and the LLU vs blocking mutex policies.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::{DiskConfig, SimDisk};
+use tpd_storage::{BufferPool, MutexPolicy, PageId, PoolConfig};
+
+fn instant_disk() -> Arc<SimDisk> {
+    Arc::new(SimDisk::new(DiskConfig {
+        service: ServiceTime::Fixed(0),
+        ns_per_byte: 0.0,
+        seed: 1,
+    }))
+}
+
+fn pool(frames: usize, policy: MutexPolicy) -> BufferPool {
+    BufferPool::new(
+        PoolConfig {
+            frames,
+            mutex_policy: policy,
+            access_work: 16,
+            writeback_under_mutex: false,
+            ..Default::default()
+        },
+        instant_disk(),
+        None,
+    )
+}
+
+fn young_hit(c: &mut Criterion) {
+    c.bench_function("pool/young_hit", |b| {
+        let p = pool(256, MutexPolicy::Blocking);
+        // Access everything twice so hot pages are young.
+        for round in 0..2 {
+            for k in 0..128u64 {
+                p.access(PageId(k), false);
+            }
+            let _ = round;
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 32; // hottest pages: long since young
+            black_box(p.access(PageId(k), false))
+        });
+    });
+}
+
+fn old_hit_make_young(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/old_hit");
+    for (name, policy) in [
+        ("blocking", MutexPolicy::Blocking),
+        (
+            "llu",
+            MutexPolicy::Llu {
+                spin_budget: Duration::from_micros(10),
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let p = pool(256, policy);
+            for k in 0..256u64 {
+                p.access(PageId(k), false);
+            }
+            // Cycle across the whole set: most re-accesses hit old pages
+            // and trigger the make-young path.
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 97) % 256;
+                black_box(p.access(PageId(k), false))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn miss_with_eviction(c: &mut Criterion) {
+    c.bench_function("pool/miss_evict", |b| {
+        let p = pool(64, MutexPolicy::Blocking);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1; // always a fresh page: miss + eviction once warm
+            black_box(p.access(PageId(k), false))
+        });
+    });
+}
+
+fn dirty_write_hit(c: &mut Criterion) {
+    c.bench_function("pool/dirty_write_hit", |b| {
+        let p = pool(128, MutexPolicy::Blocking);
+        for k in 0..64u64 {
+            p.access(PageId(k), false);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 64;
+            black_box(p.access(PageId(k), true))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = young_hit, old_hit_make_young, miss_with_eviction, dirty_write_hit
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the lock manager under each scheduling policy:
+//! uncontended acquire/release, fast paths, grant-pass scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tpd_core::{LockManager, LockMode, ObjectId, Policy, TxnToken};
+
+fn uncontended_acquire_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock/uncontended_x");
+    for policy in [Policy::Fcfs, Policy::Vats, Policy::Random] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                let mgr = LockManager::with_policy(policy);
+                let mut id = 0u64;
+                b.iter(|| {
+                    id += 1;
+                    let txn = TxnToken::new(id, id);
+                    mgr.acquire(txn, ObjectId::new(1, id % 64), LockMode::X)
+                        .expect("grant");
+                    mgr.release_all(txn.id);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn reentrant_acquire(c: &mut Criterion) {
+    c.bench_function("lock/already_held_fast_path", |b| {
+        let mgr = LockManager::with_policy(Policy::Vats);
+        let txn = TxnToken::new(1, 1);
+        mgr.acquire(txn, ObjectId::new(1, 1), LockMode::X)
+            .expect("grant");
+        b.iter(|| {
+            mgr.acquire(txn, ObjectId::new(1, 1), LockMode::S)
+                .expect("covered");
+        });
+    });
+}
+
+fn shared_grant_scan(c: &mut Criterion) {
+    // Compatibility-scan cost of granting an S lock against N existing
+    // S holders on the same object.
+    let mut group = c.benchmark_group("lock/s_pileup");
+    for &holders in &[1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(holders),
+            &holders,
+            |b, &holders| {
+                let mgr = LockManager::with_policy(Policy::Vats);
+                let obj = ObjectId::new(1, 1);
+                for i in 0..holders {
+                    mgr.acquire(TxnToken::new(i as u64 + 1000, 1), obj, LockMode::S)
+                        .expect("seed holder");
+                }
+                let mut id = 0u64;
+                b.iter(|| {
+                    id += 1;
+                    let txn = TxnToken::new(id, id);
+                    mgr.acquire(txn, obj, LockMode::S).expect("compatible");
+                    mgr.release_all(txn.id);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn intent_lock_scan(c: &mut Criterion) {
+    // Table-level IS against a wide granted set (every statement's first
+    // lock in the engine).
+    let mut group = c.benchmark_group("lock/table_is");
+    for &holders in &[2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(holders), &holders, |b, &holders| {
+            let mgr = LockManager::with_policy(Policy::Fcfs);
+            let obj = ObjectId::new(0, 0);
+            for i in 0..holders {
+                mgr.acquire(TxnToken::new(i as u64 + 500, 1), obj, LockMode::IS)
+                    .expect("holder");
+            }
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                let txn = TxnToken::new(id, id);
+                mgr.acquire(txn, obj, LockMode::IX).expect("compatible");
+                mgr.release_all(txn.id);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = uncontended_acquire_release, reentrant_acquire, shared_grant_scan, intent_lock_scan
+}
+criterion_main!(benches);

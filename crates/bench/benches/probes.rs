@@ -1,0 +1,91 @@
+//! Microbenchmarks of TProfiler's probe costs — the numbers behind the
+//! "disabled probe is one atomic load" claim and the Fig. 5 overhead story.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use tpd_profiler::{CallGraphBuilder, ProbeCost, Profiler};
+
+fn setup(cost: ProbeCost, enabled: bool, collecting: bool) -> (Profiler, tpd_profiler::FuncId) {
+    let mut b = CallGraphBuilder::new();
+    let root = b.register("root", None);
+    let f = b.register("f", Some(root));
+    let mut p = Profiler::new(b.build());
+    p.set_cost(cost);
+    p.set_collecting(collecting);
+    if enabled {
+        p.enable_only(&[root, f]);
+    }
+    (p, f)
+}
+
+fn disabled_probe(c: &mut Criterion) {
+    c.bench_function("probe/disabled", |b| {
+        let (p, f) = setup(ProbeCost::Cheap, false, false);
+        b.iter(|| black_box(p.probe(f)));
+    });
+}
+
+fn enabled_probe_outside_txn(c: &mut Criterion) {
+    c.bench_function("probe/enabled_no_txn", |b| {
+        let (p, f) = setup(ProbeCost::Cheap, true, true);
+        b.iter(|| black_box(p.probe(f)));
+    });
+}
+
+fn enabled_probe_recording(c: &mut Criterion) {
+    c.bench_function("probe/enabled_recording", |b| {
+        let (p, f) = setup(ProbeCost::Cheap, true, true);
+        b.iter_batched(
+            || p.begin_txn(0),
+            |guard| {
+                for _ in 0..16 {
+                    black_box(p.probe(f));
+                }
+                drop(guard);
+                p.drain_traces()
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn heavy_probe_recording(c: &mut Criterion) {
+    c.bench_function("probe/heavy_recording", |b| {
+        let (p, f) = setup(ProbeCost::Heavy { work_units: 400 }, true, true);
+        b.iter_batched(
+            || p.begin_txn(0),
+            |guard| {
+                for _ in 0..16 {
+                    black_box(p.probe(f));
+                }
+                drop(guard);
+                p.drain_traces()
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn add_event_cost(c: &mut Criterion) {
+    c.bench_function("probe/add_event", |b| {
+        let (p, f) = setup(ProbeCost::Cheap, true, true);
+        b.iter_batched(
+            || p.begin_txn(0),
+            |guard| {
+                for i in 0..16u64 {
+                    p.add_event(f, i, 100);
+                }
+                drop(guard);
+                p.drain_traces()
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = disabled_probe, enabled_probe_outside_txn, enabled_probe_recording, heavy_probe_recording, add_event_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of the statistics kernels used on every hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tpd_common::stats::{lp_norm, percentile, Covariance, OnlineStats, SampleSummary};
+
+fn online_stats_push(c: &mut Criterion) {
+    c.bench_function("stats/welford_push_1k", |b| {
+        let xs: Vec<f64> = (0..1000).map(|i| (i * 37 % 101) as f64).collect();
+        b.iter(|| {
+            let mut s = OnlineStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            black_box(s.variance())
+        });
+    });
+}
+
+fn covariance_push(c: &mut Criterion) {
+    c.bench_function("stats/covariance_push_1k", |b| {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        b.iter(|| {
+            let mut cv = Covariance::new();
+            for &x in &xs {
+                cv.push(x, x * 2.0 + 1.0);
+            }
+            black_box(cv.correlation())
+        });
+    });
+}
+
+fn summary_and_percentiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats/summary");
+    for &n in &[1_000usize, 10_000] {
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1_000_003) as f64)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| black_box(SampleSummary::from_sample(xs)));
+        });
+    }
+    group.finish();
+    c.bench_function("stats/percentile_10k", |b| {
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 48271) % 65_537) as f64)
+            .collect();
+        b.iter(|| black_box(percentile(&xs, 99.0)));
+    });
+}
+
+fn lp_norms(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..10_000).map(|i| (i % 977) as f64 + 1.0).collect();
+    let mut group = c.benchmark_group("stats/lp_norm_10k");
+    for &p in &[1.0f64, 2.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(lp_norm(&xs, p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = online_stats_push, covariance_push, summary_and_percentiles, lp_norms
+}
+criterion_main!(benches);

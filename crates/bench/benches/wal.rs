@@ -1,0 +1,98 @@
+//! Microbenchmarks of the logging substrates: InnoDB-style flush policies
+//! and the Postgres WALWriteLock path across block sizes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::{DiskConfig, SimDisk};
+use tpd_wal::{FlushPolicy, RedoLog, RedoLogConfig, WalWriter, WalWriterConfig};
+
+fn instant_disk(seed: u64) -> Arc<SimDisk> {
+    Arc::new(SimDisk::new(DiskConfig {
+        service: ServiceTime::Fixed(0),
+        ns_per_byte: 0.0,
+        seed,
+    }))
+}
+
+fn redo_append(c: &mut Criterion) {
+    c.bench_function("wal/redo_append", |b| {
+        let log = RedoLog::new(RedoLogConfig::default(), instant_disk(1), None);
+        b.iter(|| black_box(log.append(256)));
+    });
+}
+
+fn redo_commit_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/redo_commit");
+    for (name, policy) in [
+        ("eager", FlushPolicy::Eager),
+        ("lazy_flush", FlushPolicy::LazyFlush),
+        ("lazy_write", FlushPolicy::LazyWrite),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let log = RedoLog::new(
+                RedoLogConfig {
+                    policy,
+                    flush_interval: Duration::from_millis(50),
+                },
+                instant_disk(2),
+                None,
+            );
+            b.iter(|| {
+                let lsn = log.append(256);
+                black_box(log.commit(lsn))
+            });
+            log.shutdown();
+        });
+    }
+    group.finish();
+}
+
+fn pg_commit_block_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/pg_commit_block");
+    for &block in &[4096u64, 8192, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            let w = WalWriter::new(
+                WalWriterConfig {
+                    sets: 1,
+                    block_size: block,
+                    per_block_overhead: Duration::ZERO,
+                },
+                vec![instant_disk(3)],
+                None,
+            );
+            b.iter(|| black_box(w.commit(10_000)));
+        });
+    }
+    group.finish();
+}
+
+fn pg_parallel_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/pg_commit_sets");
+    for &sets in &[1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(sets), &sets, |b, &sets| {
+            let disks = (0..sets).map(|i| instant_disk(10 + i as u64)).collect();
+            let w = WalWriter::new(
+                WalWriterConfig {
+                    sets,
+                    block_size: 8192,
+                    per_block_overhead: Duration::ZERO,
+                },
+                disks,
+                None,
+            );
+            b.iter(|| black_box(w.commit(4_000)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = redo_append, redo_commit_policies, pg_commit_block_sizes, pg_parallel_sets
+}
+criterion_main!(benches);

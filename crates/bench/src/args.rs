@@ -1,0 +1,146 @@
+//! Minimal shared CLI for the experiment binaries.
+
+use std::time::Duration;
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Shrink everything for a fast smoke run.
+    pub quick: bool,
+    /// Measurement window per configuration.
+    pub secs: f64,
+    /// Open-loop arrival rate, transactions per second (`None` = the
+    /// experiment's own default).
+    pub rate: Option<f64>,
+    /// Client threads (`None` = the experiment's own default).
+    pub clients: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            quick: false,
+            secs: 10.0,
+            rate: None,
+            clients: None,
+            seed: 42,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (exposed for tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = items.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<f64, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("{name}: {e}"))
+            };
+            match flag.as_str() {
+                "--quick" => {
+                    args.quick = true;
+                    args.secs = args.secs.min(3.0);
+                }
+                "--secs" => args.secs = take("--secs")?,
+                "--rate" => args.rate = Some(take("--rate")?),
+                "--clients" => args.clients = Some(take("--clients")? as usize),
+                "--seed" => args.seed = take("--seed")? as u64,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--quick] [--secs N] [--rate TPS] [--clients N] [--seed N]"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if args.clients == Some(0) || args.rate.is_some_and(|r| r <= 0.0) || args.secs <= 0.0
+        {
+            return Err("values must be positive".to_string());
+        }
+        Ok(args)
+    }
+
+    /// Parse the process arguments; prints usage and exits on error.
+    pub fn parse() -> Args {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The arrival rate, or the experiment's default (halved in quick mode
+    /// alongside the halved data scale, keeping contention comparable).
+    pub fn rate_or(&self, default: f64) -> f64 {
+        self.rate
+            .unwrap_or(if self.quick { default / 2.0 } else { default })
+    }
+
+    /// The client-thread count, or the experiment's default.
+    pub fn clients_or(&self, default: usize) -> usize {
+        self.clients
+            .unwrap_or(if self.quick { default / 2 } else { default })
+    }
+
+    /// The measurement window as a [`Duration`].
+    pub fn duration(&self) -> Duration {
+        Duration::from_secs_f64(self.secs)
+    }
+
+    /// Warmup: a fraction of the window, capped at 2 s.
+    pub fn warmup(&self) -> Duration {
+        Duration::from_secs_f64((self.secs * 0.25).min(2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, String> {
+        Args::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).expect("empty ok");
+        assert!(!a.quick);
+        assert_eq!(a.rate_or(250.0), 250.0);
+        assert_eq!(a.clients_or(300), 300);
+    }
+
+    #[test]
+    fn quick_halves_experiment_defaults() {
+        let a = parse(&["--quick"]).expect("parse");
+        assert_eq!(a.rate_or(250.0), 125.0);
+        assert_eq!(a.clients_or(300), 150);
+    }
+
+    #[test]
+    fn flags_apply() {
+        let a = parse(&["--quick", "--rate", "500", "--clients", "8", "--seed", "7"])
+            .expect("parse");
+        assert!(a.quick);
+        assert!(a.secs <= 3.0);
+        assert_eq!(a.rate_or(250.0), 500.0, "explicit rate wins over quick");
+        assert_eq!(a.clients_or(300), 8);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--rate"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--rate", "0"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

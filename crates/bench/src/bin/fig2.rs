@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig2 (see crates/bench/src/experiments/fig2.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::fig2::run(&args);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig3 (see crates/bench/src/experiments/fig3.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::fig3::run(&args);
+}

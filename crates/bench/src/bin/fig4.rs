@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig4 (see crates/bench/src/experiments/fig4.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::fig4::run(&args);
+}

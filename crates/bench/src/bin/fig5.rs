@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig5 (see crates/bench/src/experiments/fig5.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::fig5::run(&args);
+}

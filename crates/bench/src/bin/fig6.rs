@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig6 (see crates/bench/src/experiments/fig6.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::fig6::run(&args);
+}

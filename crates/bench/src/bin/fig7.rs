@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig7 (see crates/bench/src/experiments/fig7.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::fig7::run(&args);
+}

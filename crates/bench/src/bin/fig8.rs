@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig8 (see crates/bench/src/experiments/fig8.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::fig8::run(&args);
+}

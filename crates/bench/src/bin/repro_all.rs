@@ -1,0 +1,21 @@
+//! Run every experiment in sequence: all tables, all figures, and the
+//! Theorem 1 validation. Pass --quick for a fast smoke pass.
+use tpd_bench::experiments as ex;
+
+fn main() {
+    let args = tpd_bench::Args::parse();
+    let t0 = std::time::Instant::now();
+    ex::fig6::run(&args); // baseline unpredictability first, like the paper
+    ex::table1::run(&args);
+    ex::table2::run(&args);
+    ex::fig2::run(&args);
+    ex::table4::run(&args);
+    ex::fig3::run(&args);
+    ex::fig4::run(&args);
+    ex::table3::run(&args);
+    ex::fig5::run(&args);
+    ex::fig7::run(&args);
+    ex::fig8::run(&args);
+    ex::theorem1::run(&args);
+    eprintln!("repro_all finished in {:.1} s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's table1 (see crates/bench/src/experiments/table1.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::table1::run(&args);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's table2 (see crates/bench/src/experiments/table2.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::table2::run(&args);
+}

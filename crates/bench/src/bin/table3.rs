@@ -1,0 +1,5 @@
+//! Regenerate the paper's table3 (see crates/bench/src/experiments/table3.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::table3::run(&args);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's table4 (see crates/bench/src/experiments/table4.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::table4::run(&args);
+}

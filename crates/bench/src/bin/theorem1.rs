@@ -1,0 +1,5 @@
+//! Regenerate the paper's theorem1 (see crates/bench/src/experiments/theorem1.rs).
+fn main() {
+    let args = tpd_bench::Args::parse();
+    tpd_bench::experiments::theorem1::run(&args);
+}

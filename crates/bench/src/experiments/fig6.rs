@@ -1,0 +1,80 @@
+//! Figure 6 (Appendix C.1): out-of-the-box unpredictability of all three
+//! engines on TPC-C.
+//!
+//! The paper: standard deviation ≈ 2x the mean (1.7x MySQL, 1.9x Postgres,
+//! 3.3x VoltDB) and p99 ≈ an order of magnitude above the mean (7.5x,
+//! 11.0x, 6.1x).
+
+use std::time::Duration;
+
+use tpd_common::table::{f2, TextTable};
+use tpd_engine::{Engine, Policy};
+use tpd_voltsim::{VoltConfig, VoltSim};
+use tpd_workloads::TpcC;
+
+use crate::harness::{run_voltdb, run_workload, RunConfig, RunResult};
+use crate::{presets, Args};
+
+/// The three out-of-the-box configurations.
+pub fn results(args: &Args) -> Vec<(&'static str, RunResult)> {
+    let mut out = Vec::new();
+
+    let engine = Engine::new(presets::mysql_inmemory(Policy::Fcfs, args.seed));
+    let w = TpcC::install(&engine, if args.quick { 1 } else { 2 });
+    out.push((
+        "MySQL",
+        run_workload(&engine, &w, &RunConfig::from_args(args, 220.0, 300)),
+    ));
+
+    let engine = Engine::new(presets::postgres(args.seed));
+    let w = TpcC::install(&engine, presets::pg_warehouses(args.quick));
+    out.push((
+        "Postgres",
+        run_workload(&engine, &w, &RunConfig::from_args(args, presets::PG_RATE, 400)),
+    ));
+
+    let sim = VoltSim::new(VoltConfig {
+        partitions: 8,
+        workers: 2, // VoltDB's default worker count
+        base_work: 256,
+    });
+    out.push((
+        "VoltDB",
+        run_voltdb(
+            &sim,
+            &RunConfig::from_args(args, 1500.0, 200),
+            8,
+            Duration::from_micros(400),
+        ),
+    ));
+    sim.shutdown();
+    out
+}
+
+/// Regenerate Figure 6.
+pub fn run(args: &Args) {
+    println!("== Figure 6: out-of-the-box mean / std-dev / p99 (TPC-C) ==");
+    let mut t = TextTable::new([
+        "engine",
+        "mean (ms)",
+        "std dev (ms)",
+        "p99 (ms)",
+        "std/mean",
+        "p99/mean",
+    ]);
+    for (name, r) in results(args) {
+        t.row([
+            name.to_string(),
+            f2(r.summary.mean_ms),
+            f2(r.summary.std_dev_ms),
+            f2(r.summary.p99_ms),
+            f2(r.summary.std_dev_ms / r.summary.mean_ms),
+            f2(r.summary.p99_ms / r.summary.mean_ms),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: std/mean 1.7x (MySQL), 1.9x (Postgres), 3.3x (VoltDB); \
+         p99/mean 7.5x, 11.0x, 6.1x\n"
+    );
+}

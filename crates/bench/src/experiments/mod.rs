@@ -1,0 +1,16 @@
+//! One module per paper artifact. Each exposes `run(&Args)` that prints the
+//! regenerated table/figure; the `src/bin/*` binaries and `repro_all` are
+//! thin wrappers.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod theorem1;

@@ -1,0 +1,37 @@
+//! Table 2: TProfiler's key sources of variance in Postgres.
+//!
+//! The paper: `LWLockAcquireOrWait` (the WALWriteLock) alone accounts for
+//! 76.8% of overall latency variance; `ReleasePredicateLocks` is a distant
+//! second at 6%.
+
+use tpd_engine::Engine;
+use tpd_workloads::TpcC;
+
+use crate::experiments::table1::profile_config;
+use crate::harness::RunConfig;
+use crate::{presets, Args};
+
+/// Regenerate Table 2.
+pub fn run(args: &Args) {
+    println!("== Table 2: key sources of variance in Postgres (TProfiler) ==");
+    let engine = Engine::new(presets::postgres(args.seed));
+    let w = TpcC::install(&engine, presets::pg_warehouses(args.quick));
+    let cfg = RunConfig::from_args(args, presets::PG_RATE, 400);
+    let (outcome, report) = profile_config(&engine, &w, &cfg);
+    println!(
+        "refinement runs: {} (naive: {})",
+        outcome.runs,
+        tpd_profiler::naive_run_count(engine.profiler().graph())
+    );
+    println!("{}", report.render(engine.profiler().graph(), 8));
+    if let Some(s) = engine.pg_wal_stats() {
+        println!(
+            "wal: {} commits, {} flushes, {} group commits, lock wait total {:.1} ms",
+            s.commits,
+            s.flushes,
+            s.group_commits,
+            s.lock_wait_ns as f64 / 1e6
+        );
+    }
+    println!("paper: LWLockAcquireOrWait 76.8%, ReleasePredicateLocks 6%\n");
+}

@@ -1,0 +1,173 @@
+//! Table 3: impact of modifying each function TProfiler identified.
+//!
+//! Five rows, as in the paper:
+//!
+//! | system  | finding                | modification            | paper ratios (var/p99/mean) |
+//! |---------|------------------------|-------------------------|-----------------------------|
+//! | MySQL   | os_event_wait          | FCFS → VATS             | 5.6x / 2.0x / 6.3x          |
+//! | MySQL   | buf_pool_mutex_enter   | mutex → LLU spin lock   | 1.6x / 1.4x / 1.1x          |
+//! | MySQL   | fil_flush              | flush-policy tuning     | 1.4x / 1.2x / 1.2x          |
+//! | Postgres| LWLockAcquireOrWait    | parallel logging        | 1.8x / 1.3x / 2.4x          |
+//! | VoltDB  | waiting in queue       | more worker threads     | 2.6x / 1.4x / 5.7x          |
+
+use std::time::Duration;
+
+use tpd_common::table::{ratio, TextTable};
+use tpd_engine::{Engine, EngineConfig, Policy};
+use tpd_voltsim::{VoltConfig, VoltSim};
+use tpd_wal::FlushPolicy;
+use tpd_workloads::TpcC;
+
+use crate::harness::{run_voltdb, run_workload, RunConfig, RunResult};
+use crate::{presets, Args};
+
+fn run_mysql(cfg: EngineConfig, args: &Args, rate: f64, pressured: bool) -> RunResult {
+    let engine = Engine::new(cfg);
+    let run_cfg = RunConfig::from_args(args, rate, 300);
+    if pressured {
+        let w = presets::install_tpcc_pressured(&engine, args.quick);
+        run_workload(&engine, &w, &run_cfg)
+    } else {
+        let w = TpcC::install(&engine, if args.quick { 1 } else { 2 });
+        run_workload(&engine, &w, &run_cfg)
+    }
+}
+
+fn run_pg(cfg: EngineConfig, args: &Args) -> RunResult {
+    let engine = Engine::new(cfg);
+    let w = TpcC::install(&engine, presets::pg_warehouses(args.quick));
+    run_workload(&engine, &w, &RunConfig::from_args(args, presets::PG_RATE, 400))
+}
+
+fn run_volt(workers: usize, args: &Args) -> RunResult {
+    let sim = VoltSim::new(VoltConfig {
+        partitions: 8,
+        workers,
+        base_work: 256,
+    });
+    let r = run_voltdb(
+        &sim,
+        &RunConfig::from_args(args, 1500.0, 200),
+        8,
+        Duration::from_micros(400),
+    );
+    sim.shutdown();
+    r
+}
+
+/// One row of Table 3: original vs modified.
+pub struct Table3Row {
+    /// System column.
+    pub system: &'static str,
+    /// Identified function.
+    pub function: &'static str,
+    /// Modification applied.
+    pub modification: &'static str,
+    /// Baseline run.
+    pub original: RunResult,
+    /// Modified run.
+    pub modified: RunResult,
+}
+
+/// Compute all five rows.
+pub fn rows(args: &Args) -> Vec<Table3Row> {
+    let pressured_frames = presets::llu_frames(args.quick);
+    vec![
+        Table3Row {
+            system: "MySQL",
+            function: "os_event_wait",
+            modification: "replace FCFS with VATS",
+            original: run_mysql(
+                presets::mysql_inmemory(Policy::Fcfs, args.seed),
+                args,
+                220.0,
+                false,
+            ),
+            modified: run_mysql(
+                presets::mysql_inmemory(Policy::Vats, args.seed),
+                args,
+                220.0,
+                false,
+            ),
+        },
+        Table3Row {
+            system: "MySQL",
+            function: "buf_pool_mutex_enter",
+            modification: "replace mutex with spin lock (LLU)",
+            original: run_mysql(
+                presets::mysql_pressured(Policy::Fcfs, pressured_frames, args.seed),
+                args,
+                200.0,
+                true,
+            ),
+            modified: run_mysql(
+                presets::mysql_pressured(Policy::Fcfs, pressured_frames, args.seed)
+                    .with_llu(presets::LLU_SPIN),
+                args,
+                200.0,
+                true,
+            ),
+        },
+        Table3Row {
+            system: "MySQL",
+            function: "fil_flush",
+            modification: "parameter tuning (lazy flush)",
+            original: run_mysql(
+                presets::mysql_inmemory(Policy::Fcfs, args.seed),
+                args,
+                220.0,
+                false,
+            ),
+            modified: run_mysql(
+                presets::mysql_inmemory(Policy::Fcfs, args.seed)
+                    .with_flush_policy(FlushPolicy::LazyFlush),
+                args,
+                220.0,
+                false,
+            ),
+        },
+        Table3Row {
+            system: "Postgres",
+            function: "LWLockAcquireOrWait",
+            modification: "parallel logging (2 sets)",
+            original: run_pg(presets::postgres(args.seed), args),
+            modified: run_pg(presets::postgres(args.seed).with_parallel_logging(2), args),
+        },
+        Table3Row {
+            system: "VoltDB",
+            function: "[waiting in queue]",
+            modification: "add worker threads (2 -> 8)",
+            original: run_volt(2, args),
+            modified: run_volt(8, args),
+        },
+    ]
+}
+
+/// Regenerate Table 3.
+pub fn run(args: &Args) {
+    println!("== Table 3: impact of each modification (ratios Orig./Modified) ==");
+    let mut t = TextTable::new([
+        "system",
+        "function",
+        "modification",
+        "variance ratio",
+        "p99 ratio",
+        "mean ratio",
+    ]);
+    for row in rows(args) {
+        let (m, v, p) = row.original.summary.ratios_vs(&row.modified.summary);
+        t.row([
+            row.system.to_string(),
+            row.function.to_string(),
+            row.modification.to_string(),
+            ratio(v),
+            ratio(p),
+            ratio(m),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: VATS 5.6/2.0/6.3; LLU 1.6/1.4/1.1; fil_flush tuning 1.4/1.2/1.2;\n\
+         parallel logging 1.8/1.3/2.4; VoltDB workers 2.6/1.4/5.7\n"
+    );
+}

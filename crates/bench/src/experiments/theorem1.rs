@@ -1,0 +1,88 @@
+//! Theorem 1 (Section 5.2), validated by discrete-event simulation: VATS's
+//! expected Lp-norm "p-performance" is optimal against FCFS, RS, and
+//! youngest-first, for every p ≥ 1 and any remaining-time distribution.
+//!
+//! (Not a numbered figure in the paper — the paper proves it; we check it.)
+
+use tpd_common::table::{f2, TextTable};
+use tpd_core::des::{
+    p_performance, random_menu, Coupling, Fcfs, RandomSched, Vats, YoungestFirst,
+};
+
+use crate::Args;
+
+/// Compare p-performance across schedulers for one (menu, p) setting.
+pub fn compare(n: usize, rate: f64, p: f64, rounds: u64, seed: u64) -> [(String, f64); 4] {
+    let menu = random_menu(n, rate, 2.0, seed);
+    let mean_r = 1.0;
+    [
+        (
+            "VATS".to_string(),
+            p_performance(&menu, |_| Vats, p, mean_r, rounds, seed, Coupling::PerPosition),
+        ),
+        (
+            "FCFS".to_string(),
+            p_performance(&menu, |_| Fcfs, p, mean_r, rounds, seed, Coupling::PerPosition),
+        ),
+        (
+            "RS".to_string(),
+            p_performance(
+                &menu,
+                RandomSched::new,
+                p,
+                mean_r,
+                rounds,
+                seed,
+                Coupling::PerPosition,
+            ),
+        ),
+        (
+            "Youngest".to_string(),
+            p_performance(
+                &menu,
+                |_| YoungestFirst,
+                p,
+                mean_r,
+                rounds,
+                seed,
+                Coupling::PerPosition,
+            ),
+        ),
+    ]
+}
+
+/// Regenerate the Theorem 1 validation table.
+pub fn run(args: &Args) {
+    println!("== Theorem 1: expected Lp norm by scheduler (DES, i.i.d. remaining times) ==");
+    let rounds = if args.quick { 300 } else { 2000 };
+    let mut t = TextTable::new([
+        "menu",
+        "p",
+        "VATS",
+        "FCFS",
+        "RS",
+        "Youngest",
+        "VATS optimal?",
+    ]);
+    for (n, rate) in [(30usize, 2.0), (60, 3.0)] {
+        for p in [1.0, 2.0, 4.0] {
+            let rows = compare(n, rate, p, rounds, args.seed);
+            let vats = rows[0].1;
+            let best_other = rows[1..]
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::INFINITY, f64::min);
+            t.row([
+                format!("n={n}, rate={rate}"),
+                format!("{p}"),
+                f2(vats),
+                f2(rows[1].1),
+                f2(rows[2].1),
+                f2(rows[3].1),
+                if vats <= best_other * 1.001 { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Theorem 1: the VATS column must be the (weak) minimum of each row.\n");
+}

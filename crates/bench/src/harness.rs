@@ -1,0 +1,402 @@
+//! Open-loop constant-throughput experiment driver.
+//!
+//! The paper's methodology (Section 7.1): sustain a fixed arrival rate,
+//! measure mean / variance / 99th-percentile latency per configuration.
+//! Arrivals are evenly spaced on a global schedule; client threads pull the
+//! next arrival, sleep until its time, execute (retrying deadlock victims,
+//! like OLTP-Bench), and record latency **from the scheduled arrival** so
+//! queueing delay — the thing unpredictability inflates — is included.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tpd_common::clock::{now_nanos, sleep_until};
+use tpd_common::{LatencyRecorder, LatencySummary, Nanos};
+use tpd_engine::Engine;
+use tpd_voltsim::{Procedure, VoltSim};
+use tpd_workloads::spec::execute_with_retries;
+use tpd_workloads::{TxnSpec, Workload};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Arrival rate, transactions per second.
+    pub rate_tps: f64,
+    /// Measurement window (after warmup).
+    pub duration: Duration,
+    /// Warmup window (measured transactions start after it).
+    pub warmup: Duration,
+    /// Number of client threads.
+    pub clients: usize,
+    /// RNG seed for transaction sampling.
+    pub seed: u64,
+    /// Retry budget for deadlock victims.
+    pub max_retries: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            rate_tps: 300.0,
+            duration: Duration::from_secs(10),
+            warmup: Duration::from_secs(2),
+            clients: 24,
+            seed: 42,
+            max_retries: 20,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Build from the shared CLI args with experiment-specific defaults for
+    /// the arrival rate and client count.
+    pub fn from_args(args: &crate::Args, default_rate: f64, default_clients: usize) -> Self {
+        RunConfig {
+            rate_tps: args.rate_or(default_rate),
+            duration: args.duration(),
+            warmup: args.warmup(),
+            clients: args.clients_or(default_clients),
+            seed: args.seed,
+            ..Default::default()
+        }
+    }
+
+    fn total_txns(&self) -> usize {
+        ((self.duration + self.warmup).as_secs_f64() * self.rate_tps).ceil() as usize
+    }
+}
+
+/// Result of one configuration run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Pooled latency summary over the measurement window.
+    pub summary: LatencySummary,
+    /// Per-transaction-type summaries `(name, summary)`.
+    pub per_type: Vec<(String, LatencySummary)>,
+    /// Transactions measured.
+    pub measured: u64,
+    /// Transactions that exhausted their retry budget.
+    pub failed: u64,
+    /// Total retry attempts beyond first tries.
+    pub retries: u64,
+    /// Achieved throughput over the measurement window, tps.
+    pub achieved_tps: f64,
+}
+
+impl RunResult {
+    fn from_records(
+        records: Vec<tpd_common::latency::LatencyRecord>,
+        type_names: &[&str],
+        failed: u64,
+        retries: u64,
+        window: Duration,
+    ) -> RunResult {
+        let summary = LatencySummary::from_records(&records);
+        let mut per_type = Vec::new();
+        for (i, name) in type_names.iter().enumerate() {
+            let ms: Vec<f64> = records
+                .iter()
+                .filter(|r| r.txn_type as usize == i)
+                .map(|r| r.latency as f64 / 1e6)
+                .collect();
+            if !ms.is_empty() {
+                per_type.push((name.to_string(), LatencySummary::from_ms(&ms)));
+            }
+        }
+        RunResult {
+            measured: records.len() as u64,
+            achieved_tps: records.len() as f64 / window.as_secs_f64(),
+            summary,
+            per_type,
+            failed,
+            retries,
+        }
+    }
+}
+
+/// Run `workload` against `engine` under the open-loop schedule.
+pub fn run_workload(
+    engine: &Arc<Engine>,
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+) -> RunResult {
+    let (records, failed, retries) = run_workload_raw(engine, workload, cfg);
+    RunResult::from_records(records, workload.txn_names(), failed, retries, cfg.duration)
+}
+
+/// Like [`run_workload`] but returns the raw latency records, so callers
+/// can pool samples across trials.
+pub fn run_workload_raw(
+    engine: &Arc<Engine>,
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+) -> (Vec<tpd_common::latency::LatencyRecord>, u64, u64) {
+    let total = cfg.total_txns();
+    // Pre-sample every transaction so client threads share one schedule.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let specs: Vec<TxnSpec> = (0..total).map(|_| workload.sample(&mut rng)).collect();
+    let specs = Arc::new(specs);
+
+    let gap_ns = (1e9 / cfg.rate_tps) as Nanos;
+    let t0 = now_nanos() + 50_000_000; // 50 ms lead-in
+    let measure_from = t0 + cfg.warmup.as_nanos() as Nanos;
+
+    let recorder = Arc::new(LatencyRecorder::new());
+    let next = Arc::new(AtomicUsize::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients {
+            let specs = specs.clone();
+            let next = next.clone();
+            let shard = recorder.shard();
+            let failed = failed.clone();
+            let retries = retries.clone();
+            let engine = engine.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    return;
+                }
+                let arrival = t0 + (i as Nanos) * gap_ns;
+                sleep_until(arrival);
+                let spec = &specs[i];
+                match execute_with_retries(workload, &engine, spec, 64) {
+                    Ok(attempts) => {
+                        retries.fetch_add(attempts as u64 - 1, Ordering::Relaxed);
+                        let done = now_nanos();
+                        if arrival >= measure_from {
+                            shard.record(spec.ty, done.saturating_sub(arrival));
+                        }
+                    }
+                    Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    (
+        recorder.drain(),
+        failed.load(Ordering::Relaxed),
+        retries.load(Ordering::Relaxed),
+    )
+}
+
+/// Run a workload `trials` times against freshly built engines and pool
+/// the measured latencies — averaging out run-to-run regime luck on a
+/// noisy single-core host. `make` builds a fresh engine + workload per
+/// trial; the sampling seed varies per trial.
+pub fn run_trials<F>(make: F, cfg: &RunConfig, trials: usize) -> RunResult
+where
+    F: Fn() -> (Arc<Engine>, Box<dyn Workload>),
+{
+    assert!(trials >= 1);
+    let mut pooled = Vec::new();
+    let mut failed = 0;
+    let mut retries = 0;
+    let mut names: Vec<&'static str> = Vec::new();
+    for trial in 0..trials {
+        let (engine, workload) = make();
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(trial as u64 * 0x9E37);
+        let (records, f, r) = run_workload_raw(&engine, workload.as_ref(), &c);
+        pooled.extend(records);
+        failed += f;
+        retries += r;
+        if names.is_empty() {
+            names = workload.txn_names().to_vec();
+        }
+    }
+    let window = cfg.duration * trials as u32;
+    RunResult::from_records(pooled, &names, failed, retries, window)
+}
+
+/// Run single-partition procedures against the VoltDB-style executor under
+/// the same open-loop schedule. `stall` is the per-procedure blocking
+/// component (see the voltsim crate docs).
+pub fn run_voltdb(sim: &Arc<VoltSim>, cfg: &RunConfig, partitions: usize, stall: Duration) -> RunResult {
+    let total = cfg.total_txns();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let procs: Vec<Procedure> = (0..total)
+        .map(|_| {
+            let mut p = Procedure::single_partition(
+                rng.gen_range(0..partitions),
+                rng.gen_range(0..1024),
+            );
+            p.stall = stall;
+            p.extra_work = rng.gen_range(0..256);
+            p
+        })
+        .collect();
+    let procs = Arc::new(procs);
+
+    let gap_ns = (1e9 / cfg.rate_tps) as Nanos;
+    let t0 = now_nanos() + 50_000_000;
+    let measure_from = t0 + cfg.warmup.as_nanos() as Nanos;
+    let recorder = Arc::new(LatencyRecorder::new());
+    let next = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients {
+            let procs = procs.clone();
+            let next = next.clone();
+            let shard = recorder.shard();
+            let sim = sim.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= procs.len() {
+                    return;
+                }
+                let arrival = t0 + (i as Nanos) * gap_ns;
+                sleep_until(arrival);
+                sim.execute(procs[i].clone());
+                let done = now_nanos();
+                if arrival >= measure_from {
+                    shard.record(0, done.saturating_sub(arrival));
+                }
+            });
+        }
+    });
+
+    RunResult::from_records(recorder.drain(), &["StoredProc"], 0, 0, cfg.duration)
+}
+
+/// Render the paper's standard three-ratio line: baseline vs modified.
+pub fn ratio_line(label: &str, baseline: &RunResult, modified: &RunResult) -> String {
+    let (mean_r, var_r, p99_r) = baseline.summary.ratios_vs(&modified.summary);
+    format!(
+        "{label}: mean {:.2}x, variance {:.2}x, p99 {:.2}x (baseline mean {:.2} ms p99 {:.2} ms -> modified mean {:.2} ms p99 {:.2} ms)",
+        mean_r,
+        var_r,
+        p99_r,
+        baseline.summary.mean_ms,
+        baseline.summary.p99_ms,
+        modified.summary.mean_ms,
+        modified.summary.p99_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpd_common::dist::ServiceTime;
+    use tpd_common::DiskConfig;
+    use tpd_engine::EngineConfig;
+    use tpd_workloads::Ycsb;
+
+    fn quick_engine() -> Arc<Engine> {
+        let quick = DiskConfig {
+            service: ServiceTime::Fixed(10_000),
+            ns_per_byte: 0.0,
+            seed: 9,
+        };
+        Engine::new(EngineConfig {
+            data_disk: quick.clone(),
+            log_disks: vec![quick],
+            ..EngineConfig::mysql(tpd_engine::Policy::Fcfs)
+        })
+    }
+
+    #[test]
+    fn open_loop_run_records_latencies() {
+        let e = quick_engine();
+        let w = Ycsb::install(&e, 2000);
+        let cfg = RunConfig {
+            rate_tps: 500.0,
+            duration: Duration::from_millis(800),
+            warmup: Duration::from_millis(200),
+            clients: 8,
+            seed: 1,
+            max_retries: 10,
+        };
+        let r = run_workload(&e, &w, &cfg);
+        assert!(r.measured > 200, "measured {}", r.measured);
+        assert_eq!(r.failed, 0);
+        assert!(r.summary.mean_ms > 0.0);
+        assert!(r.summary.p99_ms >= r.summary.p50_ms);
+        assert!(!r.per_type.is_empty());
+        // Achieved throughput close to offered (engine keeps up easily).
+        assert!(
+            r.achieved_tps > 350.0,
+            "achieved {} tps of 500 offered",
+            r.achieved_tps
+        );
+    }
+
+    #[test]
+    fn voltdb_run_records_latencies() {
+        let sim = VoltSim::new(tpd_voltsim::VoltConfig {
+            partitions: 4,
+            workers: 4,
+            base_work: 32,
+        });
+        let cfg = RunConfig {
+            rate_tps: 400.0,
+            duration: Duration::from_millis(600),
+            warmup: Duration::from_millis(150),
+            clients: 8,
+            seed: 2,
+            max_retries: 1,
+        };
+        let r = run_voltdb(&sim, &cfg, 4, Duration::from_micros(100));
+        assert!(r.measured > 100);
+        assert!(r.summary.mean_ms > 0.0);
+        sim.shutdown();
+    }
+
+    #[test]
+    fn trials_pool_samples() {
+        let cfg = RunConfig {
+            rate_tps: 400.0,
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+            clients: 4,
+            seed: 5,
+            max_retries: 5,
+        };
+        let r = run_trials(
+            || {
+                let e = quick_engine();
+                let w: Box<dyn tpd_workloads::Workload> = Box::new(Ycsb::install(&e, 500));
+                (e, w)
+            },
+            &cfg,
+            2,
+        );
+        let single = {
+            let e = quick_engine();
+            let w = Ycsb::install(&e, 500);
+            run_workload(&e, &w, &cfg)
+        };
+        assert!(
+            r.measured > single.measured + single.measured / 2,
+            "two trials pool roughly twice the samples: {} vs {}",
+            r.measured,
+            single.measured
+        );
+    }
+
+    #[test]
+    fn ratio_line_formats() {
+        let e = quick_engine();
+        let w = Ycsb::install(&e, 500);
+        let cfg = RunConfig {
+            rate_tps: 400.0,
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+            clients: 4,
+            seed: 3,
+            max_retries: 5,
+        };
+        let a = run_workload(&e, &w, &cfg);
+        let line = ratio_line("test", &a, &a);
+        assert!(line.contains("1.00x"), "{line}");
+    }
+}

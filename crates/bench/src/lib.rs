@@ -1,0 +1,21 @@
+//! Experiment harness for reproducing the paper's tables and figures.
+//!
+//! * [`harness`] — the open-loop constant-throughput driver (the paper runs
+//!   every experiment at a fixed rate and measures mean / variance / 99th
+//!   percentile; Section 7.1) for both the mini engine and the VoltDB-style
+//!   executor.
+//! * [`args`] — the tiny shared CLI: `--quick`, `--secs`, `--rate`,
+//!   `--clients`, `--seed`.
+//! * [`presets`] — the engine configurations each experiment uses
+//!   (128-WH-like in-memory, 2-WH-like memory-pressured, Postgres, ...).
+//!
+//! One binary per paper artifact lives in `src/bin/` (`table1` … `fig8`,
+//! `theorem1`, `repro_all`); Criterion microbenches live in `benches/`.
+
+pub mod args;
+pub mod experiments;
+pub mod harness;
+pub mod presets;
+
+pub use args::Args;
+pub use harness::{run_voltdb, run_workload, RunConfig, RunResult};

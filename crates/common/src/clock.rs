@@ -1,0 +1,85 @@
+//! Monotonic time utilities.
+//!
+//! All latencies in this workspace are nanoseconds measured from a single
+//! process-wide [`Instant`] origin, so timestamps taken on different threads
+//! are directly comparable and fit in a `u64` (584 years of range).
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A monotonic timestamp or duration in nanoseconds.
+pub type Nanos = u64;
+
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the first call to any clock function in this
+/// process. Monotonic and comparable across threads.
+#[inline]
+pub fn now_nanos() -> Nanos {
+    origin().elapsed().as_nanos() as Nanos
+}
+
+/// Sleep until the given process-relative deadline (in nanoseconds).
+///
+/// Used by the open-loop harness to pace arrivals. Uses `thread::sleep`,
+/// which on Linux has ~50 µs granularity; that is adequate because simulated
+/// device times are calibrated to be an order of magnitude larger.
+pub fn sleep_until(deadline: Nanos) {
+    let now = now_nanos();
+    if deadline > now {
+        std::thread::sleep(Duration::from_nanos(deadline - now));
+    }
+}
+
+/// Perform a deterministic amount of CPU work.
+///
+/// Models the in-function computation the paper attributes to "inherent"
+/// variance (e.g. `row_ins_clust_index_entry_low` taking different code
+/// paths). One unit is a handful of nanoseconds; callers scale by the work
+/// they want to model. The result is returned so the optimizer cannot
+/// remove the loop.
+#[inline]
+pub fn cpu_work(units: u64) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        acc ^= acc >> 29;
+    }
+    std::hint::black_box(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_returns_immediately() {
+        let start = now_nanos();
+        sleep_until(0);
+        assert!(now_nanos() - start < 10_000_000, "should not sleep");
+    }
+
+    #[test]
+    fn sleep_until_future_deadline_waits() {
+        let deadline = now_nanos() + 5_000_000; // 5 ms
+        sleep_until(deadline);
+        assert!(now_nanos() >= deadline);
+    }
+
+    #[test]
+    fn cpu_work_scales_and_is_deterministic() {
+        assert_eq!(cpu_work(100), cpu_work(100));
+        // Different unit counts produce different results (no constant fold).
+        assert_ne!(cpu_work(100), cpu_work(101));
+    }
+}

@@ -1,0 +1,275 @@
+//! Access-skew and service-time distributions.
+//!
+//! * [`KeyDist`] — how workloads pick keys: uniform, Zipfian (YCSB's
+//!   incremental-friendly formulation), hotspot, and TPC-C's NURand.
+//! * [`ServiceTime`] — how long a simulated device takes per request:
+//!   fixed, uniform, or lognormal (heavy-tailed, like real disk service
+//!   times — the source of the "inherent I/O variance" the paper observes
+//!   in `fil_flush`).
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+
+use crate::Nanos;
+
+/// Key-selection distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform { n: u64 },
+    /// Zipfian with parameter `theta` (YCSB uses 0.99).
+    Zipfian(Zipfian),
+    /// `hot_fraction` of accesses hit the first `hot_keys` keys.
+    HotSpot {
+        n: u64,
+        hot_keys: u64,
+        hot_fraction: f64,
+    },
+}
+
+impl KeyDist {
+    /// Uniform over `0..n`.
+    pub fn uniform(n: u64) -> Self {
+        assert!(n > 0);
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipfian over `0..n` with skew `theta` in (0, 1).
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        KeyDist::Zipfian(Zipfian::new(n, theta))
+    }
+
+    /// Hotspot distribution.
+    pub fn hotspot(n: u64, hot_keys: u64, hot_fraction: f64) -> Self {
+        assert!(hot_keys <= n && (0.0..=1.0).contains(&hot_fraction));
+        KeyDist::HotSpot {
+            n,
+            hot_keys,
+            hot_fraction,
+        }
+    }
+
+    /// Draw one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(0..*n),
+            KeyDist::Zipfian(z) => z.sample(rng),
+            KeyDist::HotSpot {
+                n,
+                hot_keys,
+                hot_fraction,
+            } => {
+                if rng.gen::<f64>() < *hot_fraction {
+                    rng.gen_range(0..*hot_keys)
+                } else {
+                    rng.gen_range(*hot_keys..*n)
+                }
+            }
+        }
+    }
+
+    /// Size of the key space.
+    pub fn n(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => *n,
+            KeyDist::Zipfian(z) => z.n,
+            KeyDist::HotSpot { n, .. } => *n,
+        }
+    }
+}
+
+/// Zipfian generator (Gray et al.'s rejection-free method, as used by YCSB).
+///
+/// Key 0 is the most popular. Construction is O(n) (harmonic sum); sampling
+/// is O(1).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Build a Zipfian distribution over `0..n` with skew `theta` in (0,1).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw one key (0 is hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5_f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+
+    /// `zeta(2, theta)`, exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// TPC-C's non-uniform random function NURand(A, x, y).
+///
+/// `c` is the per-run constant the spec draws once; callers should hold one
+/// per field.
+pub fn nurand<R: Rng + ?Sized>(rng: &mut R, a: u64, x: u64, y: u64, c: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// Service-time model for a simulated device, in nanoseconds.
+#[derive(Debug, Clone)]
+pub enum ServiceTime {
+    /// Constant service time.
+    Fixed(Nanos),
+    /// Uniform in `[lo, hi]`.
+    Uniform { lo: Nanos, hi: Nanos },
+    /// Lognormal with the given *median* (ns) and `sigma` (log-space spread).
+    /// Heavy right tail — the canonical disk service-time shape.
+    LogNormal { median: Nanos, sigma: f64 },
+}
+
+impl ServiceTime {
+    /// Draw one service time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Nanos {
+        match self {
+            ServiceTime::Fixed(ns) => *ns,
+            ServiceTime::Uniform { lo, hi } => rng.gen_range(*lo..=*hi),
+            ServiceTime::LogNormal { median, sigma } => {
+                let mu = (*median as f64).ln();
+                let d = LogNormal::new(mu, *sigma).expect("valid lognormal");
+                d.sample(rng) as Nanos
+            }
+        }
+    }
+
+    /// The distribution's median, used for capacity planning in the harness.
+    pub fn median(&self) -> Nanos {
+        match self {
+            ServiceTime::Fixed(ns) => *ns,
+            ServiceTime::Uniform { lo, hi } => (lo + hi) / 2,
+            ServiceTime::LogNormal { median, .. } => *median,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = KeyDist::uniform(10);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let z = Zipfian::new(1000, 0.99);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        // Key 0 should be far more popular than key 500.
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // Hottest key frequency roughly 1/zeta(n) ~ 13% for n=1000, theta=.99
+        let f0 = counts[0] as f64 / 100_000.0;
+        assert!(f0 > 0.08 && f0 < 0.25, "f0 = {f0}");
+    }
+
+    #[test]
+    fn zipfian_rejects_bad_theta() {
+        let r = std::panic::catch_unwind(|| Zipfian::new(10, 1.5));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = KeyDist::hotspot(1000, 10, 0.9);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if d.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / 10_000.0;
+        assert!(frac > 0.85 && frac < 0.95, "frac = {frac}");
+    }
+
+    #[test]
+    fn nurand_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = nurand(&mut rng, 1023, 1, 3000, 123);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn service_time_medians() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let d = ServiceTime::LogNormal {
+            median: 100_000,
+            sigma: 0.5,
+        };
+        let mut samples: Vec<Nanos> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let med = samples[5000];
+        assert!(
+            med > 90_000 && med < 110_000,
+            "lognormal median off: {med}"
+        );
+        // Heavy tail: p99 well above the median.
+        let p99 = samples[9900];
+        assert!(p99 > med * 2, "expected heavy tail, p99={p99} med={med}");
+        assert_eq!(ServiceTime::Fixed(5).sample(&mut rng), 5);
+        let u = ServiceTime::Uniform { lo: 10, hi: 20 };
+        for _ in 0..100 {
+            let s = u.sample(&mut rng);
+            assert!((10..=20).contains(&s));
+        }
+        assert_eq!(u.median(), 15);
+    }
+}

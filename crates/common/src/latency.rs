@@ -1,0 +1,219 @@
+//! Thread-safe latency recording for experiments.
+//!
+//! The harness records one latency per committed transaction, tagged with a
+//! transaction-type index so per-type analyses (e.g. Fig. 8's per-TPC-C-type
+//! correlations) can slice the data. Recording appends to per-thread shards
+//! to keep the hot path cheap; analysis drains the shards.
+
+use parking_lot::Mutex;
+
+use crate::stats::SampleSummary;
+use crate::Nanos;
+
+/// One recorded transaction outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRecord {
+    /// Workload-defined transaction type index.
+    pub txn_type: u8,
+    /// End-to-end latency, nanoseconds (from scheduled arrival to completion).
+    pub latency: Nanos,
+}
+
+/// Concurrent latency recorder.
+///
+/// Internally sharded: each recording thread should obtain its own
+/// [`LatencyShard`] via [`LatencyRecorder::shard`]; shards push without
+/// cross-thread contention and are merged at drain time.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    shards: Mutex<Vec<std::sync::Arc<Mutex<Vec<LatencyRecord>>>>>,
+}
+
+/// A per-thread recording handle.
+#[derive(Debug, Clone)]
+pub struct LatencyShard {
+    buf: std::sync::Arc<Mutex<Vec<LatencyRecord>>>,
+}
+
+impl LatencyShard {
+    /// Record one completed transaction.
+    #[inline]
+    pub fn record(&self, txn_type: u8, latency: Nanos) {
+        self.buf.lock().push(LatencyRecord { txn_type, latency });
+    }
+}
+
+impl LatencyRecorder {
+    /// A new, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a new shard for a recording thread.
+    pub fn shard(&self) -> LatencyShard {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::with_capacity(4096)));
+        self.shards.lock().push(buf.clone());
+        LatencyShard { buf }
+    }
+
+    /// Collect all records (leaves shards in place but empty).
+    pub fn drain(&self) -> Vec<LatencyRecord> {
+        let shards = self.shards.lock();
+        let mut out = Vec::new();
+        for shard in shards.iter() {
+            out.append(&mut shard.lock());
+        }
+        out
+    }
+
+    /// Snapshot all records without draining.
+    pub fn snapshot(&self) -> Vec<LatencyRecord> {
+        let shards = self.shards.lock();
+        let mut out = Vec::new();
+        for shard in shards.iter() {
+            out.extend(shard.lock().iter().copied());
+        }
+        out
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.shards.lock().iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The summary every experiment in the paper reports, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of transactions.
+    pub count: usize,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Population variance, ms².
+    pub variance_ms2: f64,
+    /// Standard deviation, ms.
+    pub std_dev_ms: f64,
+    /// Coefficient of variation (σ/μ).
+    pub cv: f64,
+    /// 50th percentile, ms.
+    pub p50_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// 99.9th percentile, ms.
+    pub p999_ms: f64,
+    /// Maximum, ms.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a set of records (all types pooled).
+    pub fn from_records(records: &[LatencyRecord]) -> Self {
+        let ms: Vec<f64> = records.iter().map(|r| r.latency as f64 / 1e6).collect();
+        Self::from_ms(&ms)
+    }
+
+    /// Summarize a sample already converted to milliseconds.
+    pub fn from_ms(ms: &[f64]) -> Self {
+        let s = SampleSummary::from_sample(ms);
+        LatencySummary {
+            count: s.count,
+            mean_ms: s.mean,
+            variance_ms2: s.variance,
+            std_dev_ms: s.std_dev,
+            cv: s.cv,
+            p50_ms: s.p50,
+            p99_ms: s.p99,
+            p999_ms: s.p999,
+            max_ms: s.max,
+        }
+    }
+
+    /// Ratio of this summary's (mean, variance, p99) to `other`'s —
+    /// the "Orig. / Modified" ratios the paper's tables report.
+    pub fn ratios_vs(&self, other: &LatencySummary) -> (f64, f64, f64) {
+        fn ratio(a: f64, b: f64) -> f64 {
+            if b == 0.0 {
+                f64::NAN
+            } else {
+                a / b
+            }
+        }
+        (
+            ratio(self.mean_ms, other.mean_ms),
+            ratio(self.variance_ms2, other.variance_ms2),
+            ratio(self.p99_ms, other.p99_ms),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_drain() {
+        let rec = LatencyRecorder::new();
+        let shard = rec.shard();
+        shard.record(0, 1_000_000);
+        shard.record(1, 2_000_000);
+        assert_eq!(rec.len(), 2);
+        let records = rec.drain();
+        assert_eq!(records.len(), 2);
+        assert!(rec.is_empty());
+        assert_eq!(records[0].txn_type, 0);
+        assert_eq!(records[1].latency, 2_000_000);
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let rec = std::sync::Arc::new(LatencyRecorder::new());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let shard = rec.shard();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    shard.record(t, i * 1000);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert_eq!(rec.len(), 400);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 400);
+        assert_eq!(rec.len(), 400, "snapshot must not drain");
+    }
+
+    #[test]
+    fn summary_from_records() {
+        let records: Vec<LatencyRecord> = (1..=100)
+            .map(|i| LatencyRecord {
+                txn_type: 0,
+                latency: i * 1_000_000, // 1..=100 ms
+            })
+            .collect();
+        let s = LatencySummary::from_records(&records);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert!(s.p99_ms > 98.0 && s.p99_ms <= 100.0);
+        assert_eq!(s.max_ms, 100.0);
+    }
+
+    #[test]
+    fn ratios() {
+        let a = LatencySummary::from_ms(&[10.0; 100]);
+        let b = LatencySummary::from_ms(&[5.0; 100]);
+        let (mean_r, _var_r, p99_r) = a.ratios_vs(&b);
+        assert!((mean_r - 2.0).abs() < 1e-12);
+        assert!((p99_r - 2.0).abs() < 1e-12);
+        // Variance of constant samples is zero -> NaN ratio, flagged not hidden.
+        let (_m, var_r, _p) = a.ratios_vs(&b);
+        assert!(var_r.is_nan());
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared substrate for the predictability study.
+//!
+//! This crate holds everything the engines, profiler, and harness have in
+//! common and that carries no database semantics of its own:
+//!
+//! * [`stats`] — streaming and batch statistics: Welford mean/variance,
+//!   covariance, Pearson correlation, quantiles, and the Lp norm the paper
+//!   uses as its loss function (Section 5.1, eq. 4).
+//! * [`latency`] — thread-safe latency recording and the
+//!   mean/variance/p99 summaries every experiment reports.
+//! * [`dist`] — key-access distributions (uniform, Zipfian, TPC-C NURand)
+//!   and service-time distributions for the simulated devices.
+//! * [`disk`] — [`disk::SimDisk`], a single-channel device with a
+//!   configurable service-time model; stands in for the paper's real disks.
+//! * [`clock`] — monotonic nanosecond timestamps relative to process start.
+//! * [`table`] — fixed-width ASCII table rendering for experiment output.
+
+pub mod clock;
+pub mod disk;
+pub mod dist;
+pub mod latency;
+pub mod stats;
+pub mod table;
+
+pub use clock::{now_nanos, Nanos};
+pub use disk::{DiskConfig, DiskStats, SimDisk};
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use stats::{lp_norm, pearson, percentile, Covariance, OnlineStats, SampleSummary};

@@ -1,0 +1,473 @@
+//! Statistics kernels used throughout the study.
+//!
+//! The paper reasons about *variance* (and its decomposition into per-function
+//! variances and covariances, eq. 1), about the *Lp norm* of latency vectors
+//! (the loss function VATS minimizes, eq. 4), and about *Pearson correlation*
+//! (Appendix C.2, age vs. remaining time). This module implements each with
+//! numerically stable streaming algorithms.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Single pass, numerically stable, mergeable (for sharded collection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ), the paper's standardized dispersion
+    /// measure; 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Streaming covariance accumulator for paired observations.
+///
+/// Used by the variance tree (eq. 1) to attribute the cross terms
+/// `2·Cov(Xi, Xj)` between sibling functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Covariance {
+    n: u64,
+    mean_x: f64,
+    mean_y: f64,
+    c: f64,
+    mx2: f64,
+    my2: f64,
+}
+
+impl Covariance {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one paired observation.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        let n = self.n as f64;
+        let dx = x - self.mean_x;
+        self.mean_x += dx / n;
+        self.mx2 += dx * (x - self.mean_x);
+        let dy = y - self.mean_y;
+        self.mean_y += dy / n;
+        self.my2 += dy * (y - self.mean_y);
+        self.c += dx * (y - self.mean_y);
+    }
+
+    /// Number of pairs.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Population covariance (0 when fewer than two pairs).
+    pub fn covariance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.c / self.n as f64
+        }
+    }
+
+    /// Pearson correlation coefficient in [-1, 1]; 0 when either variable is
+    /// constant.
+    pub fn correlation(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let denom = (self.mx2 * self.my2).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.c / denom
+        }
+    }
+}
+
+/// Pearson correlation of two equal-length slices (0 for degenerate input).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires paired samples");
+    let mut cov = Covariance::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov.push(x, y);
+    }
+    cov.correlation()
+}
+
+/// The Lp norm of a latency vector: `(Σ |l_i|^p)^(1/p)` (paper eq. 4).
+///
+/// `p = 1` is total latency, `p = 2` penalizes dispersion, `p → ∞` approaches
+/// the maximum. The paper's scheduling objective is expected Lp norm
+/// ("p-performance").
+pub fn lp_norm(latencies: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "Lp norm requires p >= 1");
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    if p.is_infinite() {
+        return latencies.iter().cloned().fold(0.0_f64, f64::max);
+    }
+    // Scale by the max to avoid overflow for large p.
+    let max = latencies.iter().cloned().fold(0.0_f64, |a, b| a.max(b.abs()));
+    if max == 0.0 {
+        return 0.0;
+    }
+    let sum: f64 = latencies.iter().map(|&l| (l.abs() / max).powf(p)).sum();
+    max * sum.powf(1.0 / p)
+}
+
+/// The `q`-th percentile (0..=100) of a sample, by linear interpolation on the
+/// sorted order statistics. Sorts a copy; intended for offline analysis.
+pub fn percentile(sample: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    percentile_of_sorted(&sorted, q)
+}
+
+/// The `q`-th percentile of an already-sorted sample.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Full descriptive summary of a sample: the statistics every experiment in
+/// the paper reports (mean, variance, σ, p50/p99/p999, min/max, CV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSummary {
+    pub count: usize,
+    pub mean: f64,
+    pub variance: f64,
+    pub std_dev: f64,
+    pub cv: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub p999: f64,
+}
+
+impl SampleSummary {
+    /// Summarize a sample (empty samples yield all-zero summaries).
+    pub fn from_sample(sample: &[f64]) -> Self {
+        if sample.is_empty() {
+            return SampleSummary {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                std_dev: 0.0,
+                cv: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                p999: 0.0,
+            };
+        }
+        let mut stats = OnlineStats::new();
+        for &x in sample {
+            stats.push(x);
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        SampleSummary {
+            count: sample.len(),
+            mean: stats.mean(),
+            variance: stats.variance(),
+            std_dev: stats.std_dev(),
+            cv: stats.cv(),
+            min: sorted[0],
+            max: *sorted.last().expect("nonempty"),
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            p999: percentile_of_sorted(&sorted, 99.9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} != {b} (eps {eps})");
+    }
+
+    #[test]
+    fn online_stats_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert_close(s.mean(), 5.0, 1e-12);
+        assert_close(s.variance(), 4.0, 1e-12);
+        assert_close(s.std_dev(), 2.0, 1e-12);
+        assert_close(s.cv(), 0.4, 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_and_single() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s1 = OnlineStats::new();
+        s1.push(42.0);
+        assert_eq!(s1.mean(), 42.0);
+        assert_eq!(s1.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..33] {
+            a.push(x);
+        }
+        for &x in &xs[33..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_close(a.mean(), all.mean(), 1e-9);
+        assert_close(a.variance(), all.variance(), 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_close(empty.mean(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_linear_relation() {
+        let mut c = Covariance::new();
+        for i in 0..50 {
+            let x = i as f64;
+            c.push(x, 3.0 * x + 1.0);
+        }
+        assert_close(c.correlation(), 1.0, 1e-12);
+        // Cov(x, 3x+1) = 3 Var(x); Var(0..49) = (n^2-1)/12 = 208.25
+        assert_close(c.covariance(), 3.0 * 208.25, 1e-9);
+    }
+
+    #[test]
+    fn covariance_of_independent_is_small() {
+        let mut c = Covariance::new();
+        for i in 0..1000 {
+            let x = (i % 7) as f64;
+            let y = ((i * 13 + 5) % 11) as f64;
+            c.push(x, y);
+        }
+        assert!(c.correlation().abs() < 0.1);
+    }
+
+    #[test]
+    fn pearson_anticorrelated() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| -2.0 * x + 7.0).collect();
+        assert_close(pearson(&xs, &ys), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [2.0, 3.0, 4.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn lp_norm_basics() {
+        let v = [3.0, 4.0];
+        assert_close(lp_norm(&v, 1.0), 7.0, 1e-12);
+        assert_close(lp_norm(&v, 2.0), 5.0, 1e-12);
+        assert_close(lp_norm(&v, f64::INFINITY), 4.0, 1e-12);
+        assert_eq!(lp_norm(&[], 2.0), 0.0);
+        assert_eq!(lp_norm(&[0.0, 0.0], 2.0), 0.0);
+    }
+
+    #[test]
+    fn lp_norm_large_p_does_not_overflow() {
+        let v = [1e9, 2e9, 3e9];
+        let n = lp_norm(&v, 50.0);
+        assert!(n.is_finite());
+        assert!((3e9..3.3e9).contains(&n));
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn lp_norm_rejects_small_p() {
+        lp_norm(&[1.0], 0.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_close(percentile(&xs, 0.0), 1.0, 1e-12);
+        assert_close(percentile(&xs, 100.0), 4.0, 1e-12);
+        assert_close(percentile(&xs, 50.0), 2.5, 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[5.0], 99.0), 5.0);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = SampleSummary::from_sample(&xs);
+        assert_eq!(s.count, 1000);
+        assert_close(s.mean, 500.5, 1e-9);
+        assert_close(s.p50, 500.5, 1e-9);
+        assert!(s.p99 > 989.0 && s.p99 < 991.0);
+        assert!(s.p999 > s.p99);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        assert!(s.std_dev > 0.0);
+        assert_close(s.cv, s.std_dev / s.mean, 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = SampleSummary::from_sample(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Fixed-width ASCII table rendering for experiment output.
+//!
+//! Every experiment binary prints its results in the same tabular format the
+//! paper's tables use; this keeps that formatting in one place.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must have the same arity as the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns, a rule under the header, and `|` separators.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing padding on the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 3 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a float with 2 decimal places (the paper's table precision).
+pub fn f2(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a ratio as `N.NNx` like the paper ("5.6x lower variance").
+pub fn ratio(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("short"));
+        assert!(lines[3].contains("a-much-longer-name | 123456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(ratio(5.678), "5.68x");
+        assert_eq!(pct(0.329), "32.9%");
+        assert_eq!(f2(f64::NAN), "n/a");
+        assert_eq!(ratio(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TextTable::new(["x"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

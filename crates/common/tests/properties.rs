@@ -1,0 +1,131 @@
+//! Property tests for the shared substrate: distribution bounds and
+//! moments, latency summaries, and table rendering invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tpd_common::dist::{nurand, KeyDist, ServiceTime, Zipfian};
+use tpd_common::latency::{LatencyRecord, LatencySummary};
+use tpd_common::stats::SampleSummary;
+use tpd_common::table::TextTable;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every key distribution stays within its key space.
+    #[test]
+    fn key_dists_stay_in_bounds(n in 1u64..10_000, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dists = [
+            KeyDist::uniform(n),
+            KeyDist::hotspot(n, (n / 10).max(1).min(n), 0.9),
+        ];
+        for d in &dists {
+            for _ in 0..200 {
+                prop_assert!(d.sample(&mut rng) < n);
+            }
+            prop_assert_eq!(d.n(), n);
+        }
+    }
+
+    /// Zipfian keys stay in bounds for any theta in (0, 1).
+    #[test]
+    fn zipfian_bounds(n in 2u64..5_000, theta in 0.01f64..0.99, seed in any::<u64>()) {
+        let z = Zipfian::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// NURand obeys the TPC-C range contract for arbitrary constants.
+    #[test]
+    fn nurand_in_range(a in 1u64..8192, x in 0u64..100, span in 1u64..10_000, c in any::<u64>(), seed in any::<u64>()) {
+        let y = x + span;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = nurand(&mut rng, a, x, y, c);
+            prop_assert!((x..=y).contains(&v));
+        }
+    }
+
+    /// Service-time samples are positive and fixed distributions are exact.
+    #[test]
+    fn service_times_sane(median in 1_000u64..10_000_000, sigma in 0.05f64..1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = ServiceTime::LogNormal { median, sigma };
+        for _ in 0..50 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s > 0);
+        }
+        prop_assert_eq!(ServiceTime::Fixed(median).sample(&mut rng), median);
+    }
+
+    /// A latency summary's order statistics are consistent regardless of
+    /// input ordering.
+    #[test]
+    fn summary_is_permutation_invariant(mut ms in proptest::collection::vec(0.0f64..1e5, 2..100)) {
+        let a = LatencySummary::from_ms(&ms);
+        ms.reverse();
+        let b = LatencySummary::from_ms(&ms);
+        // Streaming moments are order-dependent at the ULP level; order
+        // statistics must be exactly equal.
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()));
+        prop_assert!(close(a.mean_ms, b.mean_ms));
+        prop_assert!(close(a.variance_ms2, b.variance_ms2));
+        prop_assert_eq!(a.p50_ms, b.p50_ms);
+        prop_assert_eq!(a.p99_ms, b.p99_ms);
+        prop_assert_eq!(a.max_ms, b.max_ms);
+        prop_assert!(a.p50_ms <= a.p99_ms + 1e-9);
+        prop_assert!(a.p99_ms <= a.p999_ms + 1e-9);
+        prop_assert!(a.p999_ms <= a.max_ms + 1e-9);
+        prop_assert!(a.variance_ms2 >= -1e-9);
+    }
+
+    /// Ratios of a summary against itself are 1 (when variance is nonzero).
+    #[test]
+    fn self_ratios_are_unity(ms in proptest::collection::vec(0.1f64..1e4, 3..50)) {
+        let s = LatencySummary::from_ms(&ms);
+        let (m, v, p) = s.ratios_vs(&s);
+        prop_assert!((m - 1.0).abs() < 1e-9);
+        prop_assert!((p - 1.0).abs() < 1e-9);
+        if s.variance_ms2 > 0.0 {
+            prop_assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Table rendering: row count and column alignment survive arbitrary
+    /// cell contents (no panics, every data line has the separator count).
+    #[test]
+    fn table_renders_any_cells(rows in proptest::collection::vec((".*", ".*"), 0..10)) {
+        let mut t = TextTable::new(["first", "second"]);
+        for (a, b) in &rows {
+            // Newlines would legitimately change line structure; strip them.
+            t.row([
+                a.replace(['\n', '\r'], " "),
+                b.replace(['\n', '\r'], " "),
+            ]);
+        }
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        prop_assert_eq!(lines.len(), 2 + rows.len());
+        prop_assert!(lines[1].chars().all(|c| c == '-'), "rule under header");
+    }
+}
+
+/// Summaries derived from LatencyRecord vectors convert ns -> ms correctly.
+#[test]
+fn record_summary_units() {
+    let records: Vec<LatencyRecord> = (1..=10)
+        .map(|i| LatencyRecord {
+            txn_type: 0,
+            latency: i * 1_000_000,
+        })
+        .collect();
+    let s = LatencySummary::from_records(&records);
+    assert!((s.mean_ms - 5.5).abs() < 1e-9);
+    assert_eq!(s.max_ms, 10.0);
+    let plain = SampleSummary::from_sample(&[1.0, 2.0, 3.0]);
+    assert_eq!(plain.count, 3);
+}

@@ -1,0 +1,30 @@
+//! The paper's primary contribution: lock scheduling for transaction
+//! predictability.
+//!
+//! This crate implements a strict two-phase-locking lock manager in the style
+//! of MySQL 5.6's InnoDB lock system (a single lock-system mutex guarding all
+//! queues, condvar-suspended waiters, wait-for deadlock detection walked
+//! directly over the queues) with **pluggable transaction scheduling**:
+//!
+//! * [`Policy::Fcfs`] — first-come-first-served, the default in MySQL and
+//!   Postgres and the baseline the paper measures against;
+//! * [`Policy::Vats`] — Variance-Aware Transaction Scheduling (Section 5):
+//!   grant to the *eldest* transaction, batching in compatible requests in
+//!   eldest-first order;
+//! * [`Policy::Random`] — the RS strawman from Section 7.2.
+//!
+//! It also contains [`des`], a discrete-event simulator of the single-queue
+//! scheduling model from Section 5.2, used to validate Theorem 1 (VATS has
+//! optimal expected Lp-norm "p-performance" when remaining times are i.i.d.,
+//! even against schedulers given the remaining-time distribution as advice).
+
+pub mod des;
+pub mod manager;
+pub mod mode;
+pub mod policy;
+pub mod types;
+
+pub use manager::{AcquireOutcome, LockError, LockManager, LockManagerConfig, LockStats};
+pub use mode::LockMode;
+pub use policy::{Policy, VictimPolicy};
+pub use types::{ObjectId, TxnId, TxnToken};

@@ -1,0 +1,1221 @@
+//! The lock manager: strict 2PL with pluggable grant scheduling.
+//!
+//! Architecture follows InnoDB 5.6, the system the paper studied: a single
+//! lock-system mutex guards every queue (`lock_sys->mutex`), waiters suspend
+//! on per-request condvars (`lock_wait_suspend_thread` / `os_event_wait` in
+//! MySQL — the paper's #1 variance source), and deadlock detection walks the
+//! wait-for relation directly over the queues at block time.
+//!
+//! Grant discipline (shared by every policy; only the priority key differs):
+//!
+//! * **Arrival**: the request joins the queue at its policy position and is
+//!   granted immediately iff it conflicts with no granted lock and no
+//!   still-waiting request ahead of it — InnoDB's rule. Under FCFS arrivals
+//!   sort last, so this reduces to the paper's Section 5.1 rule ("grant iff
+//!   compatible and nobody waits"), including footnote 7's starvation
+//!   guard. Under VATS/RS an arrival can sort at the *head* of the queue;
+//!   granting a conflict-free head request is required for liveness (a
+//!   strict "never grant on arrival" would strand it, as no release would
+//!   ever re-run the grant pass — caught by the stress suite).
+//! * **Lock upgrade** (e.g. S→X on the same object) waits only on the other
+//!   current *holders*, jumping the waiter queue: letting an upgrade queue
+//!   behind a waiting X from another transaction would deadlock immediately.
+//! * **Release**: the queue is walked in priority order; each waiter is
+//!   granted iff compatible with every granted lock and every still-waiting
+//!   request ahead of it. Under VATS this is exactly the paper's "grants as
+//!   many locks as possible ... preserved in an eldest-first order".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tpd_common::{now_nanos, Nanos};
+
+use crate::mode::LockMode;
+use crate::policy::{Policy, PriorityKey, SeqGen, VictimPolicy};
+use crate::types::{ObjectId, TxnId, TxnToken};
+
+/// Lock manager configuration.
+#[derive(Debug, Clone)]
+pub struct LockManagerConfig {
+    /// Grant scheduling policy.
+    pub policy: Policy,
+    /// Deadlock victim selection.
+    pub victim: VictimPolicy,
+    /// Liveness fallback: a waiter that exceeds this bound is aborted with
+    /// [`LockError::Timeout`]. `None` disables the fallback.
+    pub wait_timeout: Option<Duration>,
+    /// Seed for the RS policy's random keys.
+    pub rng_seed: u64,
+}
+
+impl Default for LockManagerConfig {
+    fn default() -> Self {
+        LockManagerConfig {
+            policy: Policy::Fcfs,
+            victim: VictimPolicy::Youngest,
+            wait_timeout: Some(Duration::from_secs(10)),
+            rng_seed: 0x10C5,
+        }
+    }
+}
+
+impl LockManagerConfig {
+    /// A config with the given policy and defaults elsewhere.
+    pub fn with_policy(policy: Policy) -> Self {
+        LockManagerConfig {
+            policy,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why an acquire failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// The transaction was chosen as a deadlock victim (either immediately on
+    /// blocking, or while suspended). The caller must abort and release.
+    Deadlock,
+    /// The liveness-fallback timeout expired.
+    Timeout,
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Deadlock => f.write_str("deadlock victim"),
+            LockError::Timeout => f.write_str("lock wait timeout"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// A successful acquire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// Lock granted. `waited` is the suspension time (0 if granted on
+    /// arrival); callers feed this to the profiler as the
+    /// `os_event_wait`-equivalent event.
+    Granted {
+        /// Nanoseconds the requester was suspended.
+        waited: Nanos,
+    },
+    /// The transaction already held a covering lock; nothing to do.
+    AlreadyHeld,
+}
+
+impl AcquireOutcome {
+    /// The suspension time (0 for `AlreadyHeld`).
+    pub fn waited(&self) -> Nanos {
+        match self {
+            AcquireOutcome::Granted { waited } => *waited,
+            AcquireOutcome::AlreadyHeld => 0,
+        }
+    }
+}
+
+/// Cumulative lock-manager statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Total acquire calls (including re-acquires of held locks).
+    pub acquires: u64,
+    /// Granted without suspension.
+    pub immediate: u64,
+    /// Granted after suspension.
+    pub waited: u64,
+    /// Lock upgrades performed.
+    pub upgrades: u64,
+    /// Transactions aborted as deadlock victims.
+    pub deadlocks: u64,
+    /// Waits aborted by the timeout fallback.
+    pub timeouts: u64,
+    /// Total nanoseconds spent suspended across all waiters.
+    pub wait_ns: u64,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum WaitState {
+    Waiting,
+    Granted,
+    Victim,
+}
+
+#[derive(Debug)]
+struct WaitSlot {
+    state: Mutex<WaitState>,
+    cv: Condvar,
+}
+
+impl WaitSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(WaitSlot {
+            state: Mutex::new(WaitState::Waiting),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Waiter {
+    txn: TxnToken,
+    /// The full mode the transaction will hold once granted (for upgrades,
+    /// the supremum of held and requested).
+    mode: LockMode,
+    /// True when the transaction already holds a weaker lock on the object.
+    upgrade: bool,
+    key: PriorityKey,
+    slot: Arc<WaitSlot>,
+}
+
+#[derive(Debug, Default)]
+struct LockQueue {
+    granted: Vec<(TxnToken, LockMode)>,
+    /// Sorted: upgrades first (by key), then regular waiters by key.
+    waiting: Vec<Waiter>,
+}
+
+impl LockQueue {
+    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.granted
+            .iter()
+            .find(|(t, _)| t.id == txn)
+            .map(|&(_, m)| m)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.granted.is_empty() && self.waiting.is_empty()
+    }
+
+    /// Insert maintaining (upgrade-first, key) order.
+    fn insert_waiter(&mut self, w: Waiter) {
+        let pos = self
+            .waiting
+            .iter()
+            .position(|other| {
+                // `w` goes before `other` if w sorts strictly earlier.
+                match (w.upgrade, other.upgrade) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => w.key < other.key,
+                }
+            })
+            .unwrap_or(self.waiting.len());
+        self.waiting.insert(pos, w);
+    }
+
+    /// Would `mode` (requested by `txn`, upgrading or not) conflict with any
+    /// granted lock held by another transaction?
+    fn conflicts_granted(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.granted
+            .iter()
+            .any(|(t, m)| t.id != txn && !mode.compatible(*m))
+    }
+}
+
+#[derive(Debug)]
+struct TxnInfo {
+    token: TxnToken,
+    held: Vec<ObjectId>,
+    waiting_on: Option<ObjectId>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queues: HashMap<ObjectId, LockQueue>,
+    txns: HashMap<TxnId, TxnInfo>,
+    rng: SmallRng,
+}
+
+/// The lock manager. See the module docs for the grant discipline.
+#[derive(Debug)]
+pub struct LockManager {
+    inner: Mutex<Inner>,
+    seq: SeqGen,
+    config: LockManagerConfig,
+    // Stats kept as atomics so reads don't take the big mutex.
+    acquires: AtomicU64,
+    immediate: AtomicU64,
+    waited: AtomicU64,
+    upgrades: AtomicU64,
+    deadlocks: AtomicU64,
+    timeouts: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+impl LockManager {
+    /// A manager with the given configuration.
+    pub fn new(config: LockManagerConfig) -> Self {
+        LockManager {
+            inner: Mutex::new(Inner {
+                queues: HashMap::new(),
+                txns: HashMap::new(),
+                rng: SmallRng::seed_from_u64(config.rng_seed),
+            }),
+            seq: SeqGen::new(),
+            config,
+            acquires: AtomicU64::new(0),
+            immediate: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+            upgrades: AtomicU64::new(0),
+            deadlocks: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// A manager with the given policy and default config elsewhere.
+    pub fn with_policy(policy: Policy) -> Self {
+        Self::new(LockManagerConfig::with_policy(policy))
+    }
+
+    /// The active scheduling policy.
+    pub fn policy(&self) -> Policy {
+        self.config.policy
+    }
+
+    /// Acquire `mode` on `obj` for `txn`, suspending if necessary.
+    ///
+    /// Returns how long the caller was suspended, or a [`LockError`] if the
+    /// transaction was chosen as a deadlock victim / timed out — in which
+    /// case the caller must abort the transaction and call
+    /// [`LockManager::release_all`].
+    pub fn acquire(
+        &self,
+        txn: TxnToken,
+        obj: ObjectId,
+        mode: LockMode,
+    ) -> Result<AcquireOutcome, LockError> {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        let slot;
+        {
+            let mut inner = self.inner.lock();
+            inner
+                .txns
+                .entry(txn.id)
+                .or_insert_with(|| TxnInfo {
+                    token: txn,
+                    held: Vec::new(),
+                    waiting_on: None,
+                });
+
+            let queue = inner.queues.entry(obj).or_default();
+            let held = queue.holder_mode(txn.id);
+            if let Some(h) = held {
+                if h.covers(mode) {
+                    return Ok(AcquireOutcome::AlreadyHeld);
+                }
+            }
+            let upgrade = held.is_some();
+            let effective = match held {
+                Some(h) => h.supremum(mode),
+                None => mode,
+            };
+
+            // Immediate upgrade: needs only to be compatible with the
+            // *other* holders (upgrades jump the waiter queue; queuing
+            // behind a foreign waiting X would deadlock instantly).
+            let conflicts = queue.conflicts_granted(txn.id, effective);
+            if upgrade && !conflicts {
+                Self::grant_in_place(queue, txn, effective, true);
+                self.upgrades.fetch_add(1, Ordering::Relaxed);
+                self.immediate.fetch_add(1, Ordering::Relaxed);
+                return Ok(AcquireOutcome::Granted { waited: 0 });
+            }
+
+            // Fresh requests (and blocked upgrades) join the queue at their
+            // policy position, then the standard grant pass runs: the
+            // request is granted right here iff it conflicts with no
+            // granted lock and no still-waiting request ahead of it —
+            // InnoDB's arrival rule. (Under FCFS an arrival is always last,
+            // so this reduces to "grant iff compatible and queue empty",
+            // footnote 7's starvation guard. Under VATS/RS an arrival may
+            // sort at the head; refusing to grant a conflict-free head
+            // request would strand it forever, since no release would ever
+            // re-run the grant pass.)
+            let seq = self.seq.next();
+            let rand: u64 = inner.rng.gen();
+            let key = self.config.policy.priority_key(&txn, seq, rand);
+            slot = WaitSlot::new();
+            let queue = inner.queues.get_mut(&obj).expect("exists");
+            queue.insert_waiter(Waiter {
+                txn,
+                mode: effective,
+                upgrade,
+                key,
+                slot: slot.clone(),
+            });
+            inner
+                .txns
+                .get_mut(&txn.id)
+                .expect("registered above")
+                .waiting_on = Some(obj);
+            self.regrant(&mut inner, obj);
+            if *slot.state.lock() == WaitState::Granted {
+                self.immediate.fetch_add(1, Ordering::Relaxed);
+                return Ok(AcquireOutcome::Granted { waited: 0 });
+            }
+
+            // Deadlock detection at block time, walked over the live queues.
+            while let Some(cycle) = Self::find_cycle(&inner, txn.id) {
+                let victim = Self::choose_victim(&inner, &cycle, self.config.victim, txn.id);
+                self.deadlocks.fetch_add(1, Ordering::Relaxed);
+                if victim == txn.id {
+                    Self::remove_waiter(&mut inner, txn.id, obj);
+                    self.regrant(&mut inner, obj);
+                    return Err(LockError::Deadlock);
+                }
+                Self::abort_waiter(&mut inner, victim);
+                self.regrant_for_txn_removal(&mut inner, victim);
+            }
+        }
+
+        // Suspended: this is the paper's `lock_wait_suspend_thread` /
+        // `os_event_wait` — the #1 source of latency variance in MySQL.
+        let wait_start = now_nanos();
+        match Self::wait_on_slot(&slot, self.config.wait_timeout) {
+            WaitState::Granted => {}
+            WaitState::Victim => return Err(LockError::Deadlock),
+            WaitState::Waiting => {
+                // Timed out while still queued: dequeue ourselves.
+                // Lock order: inner before slot.
+                let mut inner = self.inner.lock();
+                let mut st = slot.state.lock();
+                match *st {
+                    WaitState::Waiting => {
+                        *st = WaitState::Victim;
+                        drop(st);
+                        Self::remove_waiter(&mut inner, txn.id, obj);
+                        self.regrant(&mut inner, obj);
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Err(LockError::Timeout);
+                    }
+                    // Resolved while we raced for the big lock.
+                    WaitState::Granted => {}
+                    WaitState::Victim => return Err(LockError::Deadlock),
+                }
+            }
+        }
+        let waited = now_nanos() - wait_start;
+        self.waited.fetch_add(1, Ordering::Relaxed);
+        self.wait_ns.fetch_add(waited, Ordering::Relaxed);
+        Ok(AcquireOutcome::Granted { waited })
+    }
+
+    /// Release every lock `txn` holds (commit or abort), waking whatever the
+    /// policy grants next. Also removes a pending wait if the transaction
+    /// was aborted while enqueued.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        let Some(info) = inner.txns.remove(&txn) else {
+            return;
+        };
+        if let Some(obj) = info.waiting_on {
+            Self::remove_waiter(&mut inner, txn, obj);
+            self.regrant(&mut inner, obj);
+        }
+        for obj in info.held {
+            if let Some(queue) = inner.queues.get_mut(&obj) {
+                queue.granted.retain(|(t, _)| t.id != txn);
+            }
+            self.regrant(&mut inner, obj);
+            if inner.queues.get(&obj).is_some_and(LockQueue::is_empty) {
+                inner.queues.remove(&obj);
+            }
+        }
+    }
+
+    /// The mode `txn` currently holds on `obj`, if any.
+    pub fn held_mode(&self, txn: TxnId, obj: ObjectId) -> Option<LockMode> {
+        let inner = self.inner.lock();
+        inner.queues.get(&obj).and_then(|q| q.holder_mode(txn))
+    }
+
+    /// Number of transactions waiting on `obj` (introspection for tests and
+    /// experiment instrumentation).
+    pub fn waiting_count(&self, obj: ObjectId) -> usize {
+        let inner = self.inner.lock();
+        inner.queues.get(&obj).map_or(0, |q| q.waiting.len())
+    }
+
+    /// Number of granted locks on `obj`.
+    pub fn granted_count(&self, obj: ObjectId) -> usize {
+        let inner = self.inner.lock();
+        inner.queues.get(&obj).map_or(0, |q| q.granted.len())
+    }
+
+    /// Render the full lock-system state (diagnostics for tests).
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (obj, q) in &inner.queues {
+            if q.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "{obj}: granted[");
+            for (t, m) in &q.granted {
+                let _ = write!(out, "{}:{m} ", t.id);
+            }
+            let _ = write!(out, "] waiting[");
+            for w in &q.waiting {
+                let _ = write!(
+                    out,
+                    "{}:{}{} ",
+                    w.txn.id,
+                    w.mode,
+                    if w.upgrade { "(up)" } else { "" }
+                );
+            }
+            let _ = writeln!(out, "]");
+        }
+        for (t, info) in &inner.txns {
+            if let Some(obj) = info.waiting_on {
+                let _ = writeln!(out, "{t} waiting_on {obj} holds {:?}", info.held);
+            }
+        }
+        out
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            acquires: self.acquires.load(Ordering::Relaxed),
+            immediate: self.immediate.load(Ordering::Relaxed),
+            waited: self.waited.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Block on the wait slot until granted, victimized, or (when a timeout
+    /// is configured) the timeout expires with the request still pending —
+    /// signalled by returning `Waiting`.
+    fn wait_on_slot(slot: &WaitSlot, timeout: Option<Duration>) -> WaitState {
+        let mut state = slot.state.lock();
+        loop {
+            match *state {
+                WaitState::Granted => return WaitState::Granted,
+                WaitState::Victim => return WaitState::Victim,
+                WaitState::Waiting => {}
+            }
+            match timeout {
+                Some(t) => {
+                    if slot.cv.wait_for(&mut state, t).timed_out()
+                        && *state == WaitState::Waiting
+                    {
+                        return WaitState::Waiting;
+                    }
+                }
+                None => slot.cv.wait(&mut state),
+            }
+        }
+    }
+
+    // ---- internals (all require the inner mutex held by the caller) ----
+
+    fn grant_in_place(queue: &mut LockQueue, txn: TxnToken, mode: LockMode, upgrade: bool) {
+        if upgrade {
+            let entry = queue
+                .granted
+                .iter_mut()
+                .find(|(t, _)| t.id == txn.id)
+                .expect("upgrade requires existing grant");
+            entry.1 = mode;
+        } else {
+            queue.granted.push((txn, mode));
+        }
+    }
+
+    /// Walk the queue in priority order granting everything grantable.
+    fn regrant(&self, inner: &mut Inner, obj: ObjectId) {
+        // CATS needs a global view (how many waiters each transaction
+        // blocks), so compute weights before borrowing the queue mutably.
+        let weights = if self.config.policy == Policy::Cats {
+            Some(Self::cats_weights(inner))
+        } else {
+            None
+        };
+        let Some(queue) = inner.queues.get_mut(&obj) else {
+            return;
+        };
+        if queue.waiting.is_empty() {
+            return;
+        }
+        // Scan order: queue (policy) order, except CATS re-ranks by weight
+        // (upgrades always first; ties fall back to queue position).
+        let mut order: Vec<usize> = (0..queue.waiting.len()).collect();
+        if let Some(weights) = &weights {
+            order.sort_by_key(|&i| {
+                let w = &queue.waiting[i];
+                let weight = weights.get(&w.txn.id).copied().unwrap_or(0);
+                (!w.upgrade, std::cmp::Reverse(weight), i)
+            });
+        }
+        // Plan grants: each scanned waiter is granted iff compatible with
+        // every granted lock, every grant planned in this pass, and every
+        // still-waiting request scanned ahead of it.
+        let mut barrier: Vec<(LockMode, TxnId)> = Vec::new();
+        let mut planned: Vec<(usize, LockMode, TxnId)> = Vec::new();
+        for &i in &order {
+            let w = &queue.waiting[i];
+            let ok_granted = !queue.conflicts_granted(w.txn.id, w.mode)
+                && planned
+                    .iter()
+                    .all(|(_, m, t)| *t == w.txn.id || w.mode.compatible(*m));
+            let ok_barrier = barrier
+                .iter()
+                .all(|(m, t)| *t == w.txn.id || w.mode.compatible(*m));
+            if ok_granted && ok_barrier {
+                planned.push((i, w.mode, w.txn.id));
+            } else {
+                barrier.push((w.mode, w.txn.id));
+            }
+        }
+        // Apply: remove planned waiters (descending index), grant, wake.
+        planned.sort_by_key(|&(i, _, _)| std::cmp::Reverse(i));
+        let mut granted_txns: Vec<TxnId> = Vec::new();
+        for (i, _, _) in planned {
+            let w = queue.waiting.remove(i);
+            Self::grant_in_place(queue, w.txn, w.mode, w.upgrade);
+            if w.upgrade {
+                self.upgrades.fetch_add(1, Ordering::Relaxed);
+            }
+            granted_txns.push(w.txn.id);
+            let mut st = w.slot.state.lock();
+            *st = WaitState::Granted;
+            w.slot.cv.notify_one();
+        }
+        for t in granted_txns {
+            if let Some(info) = inner.txns.get_mut(&t) {
+                info.waiting_on = None;
+                if !info.held.contains(&obj) {
+                    info.held.push(obj);
+                }
+            }
+        }
+    }
+
+    /// CATS weights: for every transaction, how many waiters (across all
+    /// queues) it directly blocks — the one-hop form of the
+    /// contention-aware priority (Huang et al., VLDB'18; adopted by MySQL
+    /// 8.0 as the successor to VATS).
+    fn cats_weights(inner: &Inner) -> HashMap<TxnId, usize> {
+        let mut weights: HashMap<TxnId, usize> = HashMap::new();
+        for (_, queue) in inner.queues.iter() {
+            for (pos, w) in queue.waiting.iter().enumerate() {
+                for (t, m) in &queue.granted {
+                    if t.id != w.txn.id && !w.mode.compatible(*m) {
+                        *weights.entry(t.id).or_insert(0) += 1;
+                    }
+                }
+                for ahead in &queue.waiting[..pos] {
+                    if !w.mode.compatible(ahead.mode) {
+                        *weights.entry(ahead.txn.id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        weights
+    }
+
+    /// Remove `txn`'s waiter entry from `obj`'s queue, if present.
+    fn remove_waiter(inner: &mut Inner, txn: TxnId, obj: ObjectId) {
+        if let Some(queue) = inner.queues.get_mut(&obj) {
+            queue.waiting.retain(|w| w.txn.id != txn);
+        }
+        if let Some(info) = inner.txns.get_mut(&txn) {
+            if info.waiting_on == Some(obj) {
+                info.waiting_on = None;
+            }
+        }
+    }
+
+    /// Mark a *waiting* transaction as a deadlock victim and dequeue it.
+    /// Its locks stay held until it observes the abort and releases.
+    fn abort_waiter(inner: &mut Inner, victim: TxnId) {
+        let Some(obj) = inner.txns.get(&victim).and_then(|i| i.waiting_on) else {
+            return;
+        };
+        let slot = inner.queues.get_mut(&obj).and_then(|queue| {
+            let pos = queue.waiting.iter().position(|w| w.txn.id == victim)?;
+            Some(queue.waiting.remove(pos).slot)
+        });
+        if let Some(info) = inner.txns.get_mut(&victim) {
+            info.waiting_on = None;
+        }
+        if let Some(slot) = slot {
+            let mut st = slot.state.lock();
+            *st = WaitState::Victim;
+            slot.cv.notify_one();
+        }
+    }
+
+    /// After removing a victim's waiter, its queue may be grantable.
+    fn regrant_for_txn_removal(&self, inner: &mut Inner, victim: TxnId) {
+        // The victim's former wait queue was already cleared of its entry;
+        // regrant every queue the victim participates in as a holder is NOT
+        // needed (it still holds its locks) — only the queue it waited on
+        // could have been unblocked by the dequeue. We cannot know it here
+        // (waiting_on was cleared), so regrant all queues where waiters
+        // exist but nothing blocks; cheap because queues are small.
+        let objs: Vec<ObjectId> = inner
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.waiting.is_empty())
+            .map(|(o, _)| *o)
+            .collect();
+        let _ = victim;
+        for obj in objs {
+            self.regrant(inner, obj);
+        }
+    }
+
+    /// The transactions blocking `txn` at its wait queue: incompatible
+    /// holders plus incompatible waiters ahead of it in grant order.
+    fn blockers(inner: &Inner, txn: TxnId) -> Vec<TxnId> {
+        let Some(info) = inner.txns.get(&txn) else {
+            return Vec::new();
+        };
+        let Some(obj) = info.waiting_on else {
+            return Vec::new();
+        };
+        let Some(queue) = inner.queues.get(&obj) else {
+            return Vec::new();
+        };
+        let Some(me) = queue.waiting.iter().find(|w| w.txn.id == txn) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (t, m) in &queue.granted {
+            if t.id != txn && !me.mode.compatible(*m) {
+                out.push(t.id);
+            }
+        }
+        for w in &queue.waiting {
+            if w.txn.id == txn {
+                break;
+            }
+            if !me.mode.compatible(w.mode) {
+                out.push(w.txn.id);
+            }
+        }
+        out
+    }
+
+    /// DFS over the waits-for relation looking for a cycle containing
+    /// `start`. Returns the cycle's members if found.
+    fn find_cycle(inner: &Inner, start: TxnId) -> Option<Vec<TxnId>> {
+        // Iterative DFS with path tracking.
+        let mut path: Vec<TxnId> = vec![start];
+        let mut iters: Vec<std::vec::IntoIter<TxnId>> =
+            vec![Self::blockers(inner, start).into_iter()];
+        let mut visited: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
+        visited.insert(start);
+        while let Some(iter) = iters.last_mut() {
+            match iter.next() {
+                Some(next) => {
+                    if next == start {
+                        return Some(path.clone());
+                    }
+                    if visited.insert(next) {
+                        path.push(next);
+                        iters.push(Self::blockers(inner, next).into_iter());
+                    }
+                }
+                None => {
+                    iters.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+
+    fn choose_victim(
+        inner: &Inner,
+        cycle: &[TxnId],
+        policy: VictimPolicy,
+        requester: TxnId,
+    ) -> TxnId {
+        match policy {
+            VictimPolicy::Requester => requester,
+            VictimPolicy::Youngest => cycle
+                .iter()
+                .copied()
+                .max_by_key(|t| inner.txns.get(t).map_or(0, |i| i.token.birth))
+                .unwrap_or(requester),
+            VictimPolicy::Oldest => cycle
+                .iter()
+                .copied()
+                .min_by_key(|t| {
+                    inner.txns.get(t).map_or(Nanos::MAX, |i| i.token.birth)
+                })
+                .unwrap_or(requester),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn obj(k: u64) -> ObjectId {
+        ObjectId::new(1, k)
+    }
+
+    fn tok(id: u64, birth: Nanos) -> TxnToken {
+        TxnToken::new(id, birth)
+    }
+
+    /// Spawn a thread that acquires and reports, so tests can sequence
+    /// enqueue order deterministically via `waiting_count`.
+    fn acquire_async(
+        mgr: &Arc<LockManager>,
+        txn: TxnToken,
+        o: ObjectId,
+        mode: LockMode,
+        tx: mpsc::Sender<(u64, Result<AcquireOutcome, LockError>)>,
+    ) -> thread::JoinHandle<()> {
+        let mgr = mgr.clone();
+        thread::spawn(move || {
+            let r = mgr.acquire(txn, o, mode);
+            tx.send((txn.id.0, r)).expect("report");
+        })
+    }
+
+    fn wait_for_waiters(mgr: &LockManager, o: ObjectId, n: usize) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while mgr.waiting_count(o) < n {
+            assert!(std::time::Instant::now() < deadline, "waiters never queued");
+            thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn immediate_grant_and_already_held() {
+        let mgr = LockManager::with_policy(Policy::Fcfs);
+        let t = tok(1, 0);
+        assert_eq!(
+            mgr.acquire(t, obj(1), LockMode::S).unwrap(),
+            AcquireOutcome::Granted { waited: 0 }
+        );
+        assert_eq!(
+            mgr.acquire(t, obj(1), LockMode::S).unwrap(),
+            AcquireOutcome::AlreadyHeld
+        );
+        assert_eq!(mgr.held_mode(t.id, obj(1)), Some(LockMode::S));
+        mgr.release_all(t.id);
+        assert_eq!(mgr.held_mode(t.id, obj(1)), None);
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_blocks() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Fcfs));
+        let a = tok(1, 0);
+        let b = tok(2, 0);
+        let c = tok(3, 0);
+        mgr.acquire(a, obj(1), LockMode::S).unwrap();
+        mgr.acquire(b, obj(1), LockMode::S).unwrap();
+        assert_eq!(mgr.granted_count(obj(1)), 2);
+
+        let (tx, rx) = mpsc::channel();
+        let h = acquire_async(&mgr, c, obj(1), LockMode::X, tx);
+        wait_for_waiters(&mgr, obj(1), 1);
+        mgr.release_all(a.id);
+        assert_eq!(mgr.waiting_count(obj(1)), 1, "still blocked by b");
+        mgr.release_all(b.id);
+        let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 3);
+        assert!(matches!(r, Ok(AcquireOutcome::Granted { waited }) if waited > 0));
+        h.join().unwrap();
+        assert_eq!(mgr.held_mode(c.id, obj(1)), Some(LockMode::X));
+    }
+
+    #[test]
+    fn fcfs_grants_in_arrival_order() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Fcfs));
+        let holder = tok(100, 0);
+        mgr.acquire(holder, obj(1), LockMode::X).unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        // Births are *reversed* relative to arrival: FCFS must ignore them.
+        for (i, birth) in [(1u64, 3000u64), (2, 2000), (3, 1000)] {
+            handles.push(acquire_async(&mgr, tok(i, birth), obj(1), LockMode::X, tx.clone()));
+            wait_for_waiters(&mgr, obj(1), i as usize);
+        }
+        let mut order = Vec::new();
+        for i in 0..3 {
+            if i == 0 {
+                mgr.release_all(holder.id);
+            }
+            let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            r.unwrap();
+            order.push(id);
+            mgr.release_all(TxnId(id));
+        }
+        assert_eq!(order, vec![1, 2, 3], "FCFS follows arrival order");
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn vats_grants_eldest_first() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Vats));
+        let holder = tok(100, 0);
+        mgr.acquire(holder, obj(1), LockMode::X).unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        // Arrival order 1,2,3 but txn 3 is the eldest (smallest birth).
+        for (i, birth) in [(1u64, 3000u64), (2, 2000), (3, 1000)] {
+            handles.push(acquire_async(&mgr, tok(i, birth), obj(1), LockMode::X, tx.clone()));
+            wait_for_waiters(&mgr, obj(1), i as usize);
+        }
+        let mut order = Vec::new();
+        for i in 0..3 {
+            if i == 0 {
+                mgr.release_all(holder.id);
+            }
+            let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            r.unwrap();
+            order.push(id);
+            mgr.release_all(TxnId(id));
+        }
+        assert_eq!(order, vec![3, 2, 1], "VATS grants eldest first");
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn vats_batches_compatible_requests() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Vats));
+        let holder = tok(100, 0);
+        mgr.acquire(holder, obj(1), LockMode::X).unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        // Three S waiters and one X waiter; the X's birth puts it last.
+        for (i, birth, mode) in [
+            (1u64, 1000u64, LockMode::S),
+            (2, 2000, LockMode::S),
+            (3, 3000, LockMode::S),
+            (4, 4000, LockMode::X),
+        ] {
+            handles.push(acquire_async(&mgr, tok(i, birth), obj(1), mode, tx.clone()));
+            wait_for_waiters(&mgr, obj(1), i as usize);
+        }
+        mgr.release_all(holder.id);
+        // All three S should be granted together; X still waits.
+        let mut granted = Vec::new();
+        for _ in 0..3 {
+            let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            r.unwrap();
+            granted.push(id);
+        }
+        granted.sort_unstable();
+        assert_eq!(granted, vec![1, 2, 3]);
+        assert_eq!(mgr.waiting_count(obj(1)), 1, "X still queued");
+        for id in [1, 2, 3] {
+            mgr.release_all(TxnId(id));
+        }
+        let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 4);
+        r.unwrap();
+        mgr.release_all(TxnId(4));
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cats_grants_the_heaviest_blocker_first() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Cats));
+        let hot = obj(1);
+        let holder = tok(100, 0);
+        mgr.acquire(holder, hot, LockMode::X).unwrap();
+
+        // "light" arrives FIRST but blocks nobody.
+        // "heavy" arrives second but holds obj(2), on which two other
+        // transactions wait -> weight 2 -> CATS must grant heavy first.
+        let light = tok(1, 10);
+        let heavy = tok(2, 20);
+        mgr.acquire(heavy, obj(2), LockMode::X).unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        let h_light = acquire_async(&mgr, light, hot, LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, hot, 1);
+        let h_heavy = acquire_async(&mgr, heavy, hot, LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, hot, 2);
+        // Two waiters pile up behind heavy's lock on obj(2).
+        let (dep_tx, dep_rx) = mpsc::channel();
+        let mut dependents = Vec::new();
+        for id in [10u64, 11] {
+            dependents.push(acquire_async(&mgr, tok(id, 30), obj(2), LockMode::X, dep_tx.clone()));
+        }
+        wait_for_waiters(&mgr, obj(2), 2);
+
+        mgr.release_all(holder.id);
+        let (first, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        r.unwrap();
+        assert_eq!(first, heavy.id.0, "CATS grants the waiter that blocks 2 others");
+        mgr.release_all(heavy.id);
+        let (second, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        r.unwrap();
+        assert_eq!(second, light.id.0);
+        mgr.release_all(light.id);
+        // Drain the dependents: heavy's release lets the first through.
+        let (d1, r) = dep_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        r.unwrap();
+        mgr.release_all(TxnId(d1));
+        let (d2, r) = dep_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        r.unwrap();
+        mgr.release_all(TxnId(d2));
+        h_light.join().unwrap();
+        h_heavy.join().unwrap();
+        for d in dependents {
+            d.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn s_behind_waiting_x_is_not_granted_on_arrival() {
+        // Footnote 7: reads must not starve writers.
+        let mgr = Arc::new(LockManager::with_policy(Policy::Fcfs));
+        let a = tok(1, 0);
+        mgr.acquire(a, obj(1), LockMode::S).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let hx = acquire_async(&mgr, tok(2, 0), obj(1), LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, obj(1), 1);
+        // A new S request is *compatible* with the granted S, but must queue
+        // behind the waiting X.
+        let hs = acquire_async(&mgr, tok(3, 0), obj(1), LockMode::S, tx.clone());
+        wait_for_waiters(&mgr, obj(1), 2);
+        assert_eq!(mgr.granted_count(obj(1)), 1);
+        mgr.release_all(a.id);
+        let (id, _) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 2, "X granted first");
+        mgr.release_all(TxnId(2));
+        let (id, _) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 3);
+        mgr.release_all(TxnId(3));
+        hx.join().unwrap();
+        hs.join().unwrap();
+    }
+
+    #[test]
+    fn upgrade_jumps_waiter_queue() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Fcfs));
+        let a = tok(1, 0);
+        let b = tok(2, 0);
+        mgr.acquire(a, obj(1), LockMode::S).unwrap();
+        mgr.acquire(b, obj(1), LockMode::S).unwrap();
+        let (tx, rx) = mpsc::channel();
+        // c queues for X.
+        let hc = acquire_async(&mgr, tok(3, 0), obj(1), LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, obj(1), 1);
+        // a upgrades S->X: must wait only on b, ahead of c.
+        let ha = acquire_async(&mgr, a, obj(1), LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, obj(1), 2);
+        mgr.release_all(b.id);
+        let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 1, "upgrade granted before queued X");
+        r.unwrap();
+        assert_eq!(mgr.held_mode(a.id, obj(1)), Some(LockMode::X));
+        mgr.release_all(a.id);
+        let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 3);
+        r.unwrap();
+        mgr.release_all(TxnId(3));
+        ha.join().unwrap();
+        hc.join().unwrap();
+    }
+
+    #[test]
+    fn two_object_deadlock_resolves() {
+        let mgr = Arc::new(LockManager::new(LockManagerConfig {
+            policy: Policy::Fcfs,
+            victim: VictimPolicy::Youngest,
+            wait_timeout: Some(Duration::from_secs(30)),
+            rng_seed: 1,
+        }));
+        let a = tok(1, 100); // elder
+        let b = tok(2, 200); // younger -> victim
+        mgr.acquire(a, obj(1), LockMode::X).unwrap();
+        mgr.acquire(b, obj(2), LockMode::X).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let ha = acquire_async(&mgr, a, obj(2), LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, obj(2), 1);
+        // b closes the cycle; the younger txn (b) must be the victim.
+        let rb = mgr.acquire(b, obj(1), LockMode::X);
+        assert_eq!(rb, Err(LockError::Deadlock));
+        mgr.release_all(b.id);
+        let (id, ra) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 1);
+        ra.unwrap();
+        mgr.release_all(a.id);
+        ha.join().unwrap();
+        assert_eq!(mgr.stats().deadlocks, 1);
+    }
+
+    #[test]
+    fn requester_victim_policy_aborts_requester() {
+        let mgr = Arc::new(LockManager::new(LockManagerConfig {
+            policy: Policy::Fcfs,
+            victim: VictimPolicy::Requester,
+            wait_timeout: Some(Duration::from_secs(30)),
+            rng_seed: 1,
+        }));
+        let a = tok(1, 200);
+        let b = tok(2, 100);
+        mgr.acquire(a, obj(1), LockMode::X).unwrap();
+        mgr.acquire(b, obj(2), LockMode::X).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let ha = acquire_async(&mgr, a, obj(2), LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, obj(2), 1);
+        let rb = mgr.acquire(b, obj(1), LockMode::X);
+        assert_eq!(rb, Err(LockError::Deadlock), "requester is the victim");
+        mgr.release_all(b.id);
+        let (_, ra) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        ra.unwrap();
+        mgr.release_all(a.id);
+        ha.join().unwrap();
+    }
+
+    #[test]
+    fn upgrade_upgrade_deadlock_detected() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Fcfs));
+        let a = tok(1, 100);
+        let b = tok(2, 200);
+        mgr.acquire(a, obj(1), LockMode::S).unwrap();
+        mgr.acquire(b, obj(1), LockMode::S).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let ha = acquire_async(&mgr, a, obj(1), LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, obj(1), 1);
+        // b's upgrade closes an S-S upgrade cycle; youngest (b) is victim.
+        let rb = mgr.acquire(b, obj(1), LockMode::X);
+        assert_eq!(rb, Err(LockError::Deadlock));
+        mgr.release_all(b.id);
+        let (id, ra) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 1);
+        ra.unwrap();
+        assert_eq!(mgr.held_mode(a.id, obj(1)), Some(LockMode::X));
+        mgr.release_all(a.id);
+        ha.join().unwrap();
+    }
+
+    #[test]
+    fn suspended_victim_is_woken_with_deadlock() {
+        // a and b deadlock, but the victim is the *suspended* one.
+        let mgr = Arc::new(LockManager::new(LockManagerConfig {
+            policy: Policy::Fcfs,
+            victim: VictimPolicy::Youngest,
+            wait_timeout: Some(Duration::from_secs(30)),
+            rng_seed: 1,
+        }));
+        let a = tok(1, 200); // younger -> victim, will be suspended first
+        let b = tok(2, 100); // elder, closes the cycle
+        mgr.acquire(a, obj(1), LockMode::X).unwrap();
+        mgr.acquire(b, obj(2), LockMode::X).unwrap();
+        let (tx, rx) = mpsc::channel();
+        // a's thread must release on abort, or b (blocked below) never wakes.
+        let ha = {
+            let mgr = mgr.clone();
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let r = mgr.acquire(a, obj(2), LockMode::X);
+                if r.is_err() {
+                    mgr.release_all(a.id);
+                }
+                tx.send((a.id.0, r)).expect("report");
+            })
+        };
+        wait_for_waiters(&mgr, obj(2), 1);
+        // b closes the cycle; a (younger) must be chosen and woken as victim.
+        let rb = mgr.acquire(b, obj(1), LockMode::X);
+        let (id, ra) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(ra, Err(LockError::Deadlock));
+        rb.unwrap();
+        mgr.release_all(b.id);
+        ha.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_fires_when_configured() {
+        let mgr = Arc::new(LockManager::new(LockManagerConfig {
+            policy: Policy::Fcfs,
+            victim: VictimPolicy::Youngest,
+            wait_timeout: Some(Duration::from_millis(50)),
+            rng_seed: 1,
+        }));
+        let a = tok(1, 0);
+        mgr.acquire(a, obj(1), LockMode::X).unwrap();
+        let r = mgr.acquire(tok(2, 0), obj(1), LockMode::X);
+        assert_eq!(r, Err(LockError::Timeout));
+        assert_eq!(mgr.stats().timeouts, 1);
+        assert_eq!(mgr.waiting_count(obj(1)), 0, "timed-out waiter dequeued");
+        mgr.release_all(a.id);
+        mgr.release_all(TxnId(2));
+    }
+
+    #[test]
+    fn release_all_unknown_txn_is_noop() {
+        let mgr = LockManager::with_policy(Policy::Fcfs);
+        mgr.release_all(TxnId(999));
+        assert_eq!(mgr.stats().acquires, 0);
+    }
+
+    #[test]
+    fn intention_locks_coexist_on_table() {
+        let mgr = LockManager::with_policy(Policy::Fcfs);
+        let table = ObjectId::new(0, 42);
+        mgr.acquire(tok(1, 0), table, LockMode::IS).unwrap();
+        mgr.acquire(tok(2, 0), table, LockMode::IX).unwrap();
+        mgr.acquire(tok(3, 0), table, LockMode::IX).unwrap();
+        assert_eq!(mgr.granted_count(table), 3);
+        mgr.release_all(TxnId(1));
+        mgr.release_all(TxnId(2));
+        mgr.release_all(TxnId(3));
+        assert_eq!(mgr.granted_count(table), 0);
+    }
+
+    #[test]
+    fn stats_count_waits() {
+        let mgr = Arc::new(LockManager::with_policy(Policy::Fcfs));
+        let a = tok(1, 0);
+        mgr.acquire(a, obj(1), LockMode::X).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let h = acquire_async(&mgr, tok(2, 0), obj(1), LockMode::X, tx);
+        wait_for_waiters(&mgr, obj(1), 1);
+        thread::sleep(Duration::from_millis(5));
+        mgr.release_all(a.id);
+        let (_, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let waited = match r.unwrap() {
+            AcquireOutcome::Granted { waited } => waited,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(waited >= 4_000_000, "waited {waited} ns");
+        let s = mgr.stats();
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.immediate, 1);
+        assert_eq!(s.waited, 1);
+        assert!(s.wait_ns >= 4_000_000);
+        mgr.release_all(TxnId(2));
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,180 @@
+//! Lock modes and their compatibility matrix.
+//!
+//! The standard multi-granularity hierarchy: record locks are `S`/`X`,
+//! table-level intention locks are `IS`/`IX`, and `SIX` is a shared lock
+//! with intent to write (used by scans that update a subset of rows).
+
+/// A lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared (table level).
+    IS,
+    /// Intention exclusive (table level).
+    IX,
+    /// Shared.
+    S,
+    /// Shared with intention exclusive.
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// Whether two locks held by *different* transactions can coexist.
+    ///
+    /// ```text
+    ///        IS   IX   S    SIX  X
+    ///  IS    ✓    ✓    ✓    ✓    ✗
+    ///  IX    ✓    ✓    ✗    ✗    ✗
+    ///  S     ✓    ✗    ✓    ✗    ✗
+    ///  SIX   ✓    ✗    ✗    ✗    ✗
+    ///  X     ✗    ✗    ✗    ✗    ✗
+    /// ```
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) => true,
+            (S, S) => true,
+            _ => false,
+        }
+    }
+
+    /// Whether holding `self` already satisfies a request for `want`
+    /// (i.e. `self` is at least as strong as `want`).
+    ///
+    /// The strength (partial) order is `IS < IX, S < SIX < X` with `IX` and
+    /// `S` incomparable.
+    #[inline]
+    pub fn covers(self, want: LockMode) -> bool {
+        use LockMode::*;
+        match (self, want) {
+            (a, b) if a == b => true,
+            (X, _) => true,
+            (SIX, IS) | (SIX, IX) | (SIX, S) => true,
+            (IX, IS) => true,
+            (S, IS) => true,
+            _ => false,
+        }
+    }
+
+    /// The weakest mode at least as strong as both `self` and `other`
+    /// (the supremum in the strength lattice). Used for lock upgrades:
+    /// holding `S` and requesting `IX` must escalate to `SIX`.
+    #[inline]
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self.covers(other) {
+            return self;
+        }
+        if other.covers(self) {
+            return other;
+        }
+        // The only incomparable pairs are {IX, S} (and their symmetric
+        // closure with SIX already handled by covers).
+        match (self, other) {
+            (IX, S) | (S, IX) => SIX,
+            _ => X,
+        }
+    }
+
+    /// Whether the mode is exclusive at the record level (blocks readers).
+    #[inline]
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, LockMode::X)
+    }
+
+    /// All modes, for exhaustive tests.
+    pub const ALL: [LockMode; 5] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::SIX,
+        LockMode::X,
+    ];
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::X => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockMode::*;
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        // Full 5x5 truth table from the doc comment.
+        let expected = [
+            // (a, b, compatible)
+            (IS, IS, true),
+            (IS, IX, true),
+            (IS, S, true),
+            (IS, SIX, true),
+            (IS, X, false),
+            (IX, IX, true),
+            (IX, S, false),
+            (IX, SIX, false),
+            (IX, X, false),
+            (S, S, true),
+            (S, SIX, false),
+            (S, X, false),
+            (SIX, SIX, false),
+            (SIX, X, false),
+            (X, X, false),
+        ];
+        for &(a, b, want) in &expected {
+            assert_eq!(a.compatible(b), want, "{a} vs {b}");
+            assert_eq!(b.compatible(a), want, "symmetry {b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_x_covers_all() {
+        for &m in &LockMode::ALL {
+            assert!(m.covers(m));
+            assert!(X.covers(m));
+        }
+        assert!(!S.covers(X));
+        assert!(!S.covers(IX));
+        assert!(!IX.covers(S));
+        assert!(SIX.covers(S));
+        assert!(SIX.covers(IX));
+        assert!(!SIX.covers(X));
+    }
+
+    #[test]
+    fn supremum_properties() {
+        for &a in &LockMode::ALL {
+            for &b in &LockMode::ALL {
+                let s = a.supremum(b);
+                assert!(s.covers(a), "sup({a},{b})={s} must cover {a}");
+                assert!(s.covers(b), "sup({a},{b})={s} must cover {b}");
+                assert_eq!(s, b.supremum(a), "commutative");
+            }
+        }
+        assert_eq!(S.supremum(IX), SIX);
+        assert_eq!(S.supremum(S), S);
+        assert_eq!(IS.supremum(X), X);
+    }
+
+    #[test]
+    fn exclusivity() {
+        assert!(X.is_exclusive());
+        for m in [IS, IX, S, SIX] {
+            assert!(!m.is_exclusive());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Randomized concurrency stress for the lock manager: many threads, many
+//! objects, mixed modes, every policy and victim rule. The assertions are
+//! liveness (no hangs — enforced by timeouts), conservation (what is
+//! acquired is released), and isolation (an X holder is never concurrent
+//! with another holder on the same object).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tpd_core::{
+    LockError, LockManager, LockManagerConfig, LockMode, ObjectId, Policy, TxnToken,
+    VictimPolicy,
+};
+
+/// Per-object occupancy tracker: +1000 for an X holder, +1 per S holder.
+/// Any state with an X holder must be exactly 1000.
+struct Occupancy {
+    slots: Vec<AtomicI32>,
+}
+
+impl Occupancy {
+    fn new(n: usize) -> Self {
+        Occupancy {
+            slots: (0..n).map(|_| AtomicI32::new(0)).collect(),
+        }
+    }
+
+    fn enter(&self, obj: usize, mode: LockMode) {
+        let delta = if mode == LockMode::X { 1000 } else { 1 };
+        let after = self.slots[obj].fetch_add(delta, Ordering::SeqCst) + delta;
+        // Legal states: k (S holders, k < 1000) or exactly 1000 (one X).
+        assert!(
+            after <= 1000,
+            "object {obj}: illegal occupancy {after} after {mode} enter"
+        );
+    }
+
+    fn exit(&self, obj: usize, mode: LockMode) {
+        let delta = if mode == LockMode::X { 1000 } else { 1 };
+        let before = self.slots[obj].fetch_sub(delta, Ordering::SeqCst);
+        assert!(before >= delta, "object {obj}: negative occupancy");
+    }
+}
+
+fn stress(policy: Policy, victim: VictimPolicy, seed: u64) {
+    let objects = 12usize;
+    let threads = 8usize;
+    let txns_per_thread = 60usize;
+    let mgr = Arc::new(LockManager::new(LockManagerConfig {
+        policy,
+        victim,
+        wait_timeout: Some(Duration::from_secs(5)),
+        rng_seed: seed,
+    }));
+    let occupancy = Arc::new(Occupancy::new(objects));
+    let committed = Arc::new(AtomicU64::new(0));
+    let aborted = Arc::new(AtomicU64::new(0));
+    let ids = Arc::new(AtomicU64::new(1));
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mgr = mgr.clone();
+            let occupancy = occupancy.clone();
+            let committed = committed.clone();
+            let aborted = aborted.clone();
+            let ids = ids.clone();
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);
+                for _ in 0..txns_per_thread {
+                    let txn = TxnToken::new(
+                        ids.fetch_add(1, Ordering::Relaxed),
+                        tpd_common::now_nanos(),
+                    );
+                    let mut held: HashMap<usize, LockMode> = HashMap::new();
+                    let n_locks = rng.gen_range(1..5);
+                    let mut ok = true;
+                    for _ in 0..n_locks {
+                        let obj = rng.gen_range(0..objects);
+                        let mode = if rng.gen_bool(0.4) {
+                            LockMode::X
+                        } else {
+                            LockMode::S
+                        };
+                        let prior = held.get(&obj).copied();
+                        match mgr.acquire(txn, ObjectId::new(1, obj as u64), mode) {
+                            Ok(outcome) => {
+                                // Track occupancy transitions, including
+                                // upgrades (S -> X replaces the S share).
+                                match (prior, outcome) {
+                                    (None, _) => {
+                                        held.insert(obj, mode);
+                                        occupancy.enter(obj, mode);
+                                    }
+                                    (Some(LockMode::S), _) if mode == LockMode::X => {
+                                        occupancy.exit(obj, LockMode::S);
+                                        occupancy.enter(obj, LockMode::X);
+                                        held.insert(obj, LockMode::X);
+                                    }
+                                    _ => {} // covered re-acquire
+                                }
+                                // Simulate work while holding.
+                                if rng.gen_bool(0.2) {
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                            }
+                            Err(LockError::Deadlock | LockError::Timeout) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    for (&obj, &mode) in &held {
+                        occupancy.exit(obj, mode);
+                    }
+                    mgr.release_all(txn.id);
+                    if ok {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let total = committed.load(Ordering::Relaxed) + aborted.load(Ordering::Relaxed);
+    assert_eq!(total as usize, threads * txns_per_thread, "no lost txns");
+    assert!(
+        committed.load(Ordering::Relaxed) > 0,
+        "some transactions must commit"
+    );
+    // All queues drained.
+    for obj in 0..objects {
+        assert_eq!(
+            mgr.granted_count(ObjectId::new(1, obj as u64)),
+            0,
+            "object {obj} still has grants"
+        );
+        assert_eq!(mgr.waiting_count(ObjectId::new(1, obj as u64)), 0);
+    }
+    let stats = mgr.stats();
+    assert_eq!(stats.timeouts, 0, "timeouts indicate a missed wakeup");
+}
+
+#[test]
+fn stress_fcfs_youngest() {
+    stress(Policy::Fcfs, VictimPolicy::Youngest, 0xA1);
+}
+
+#[test]
+fn stress_vats_youngest() {
+    stress(Policy::Vats, VictimPolicy::Youngest, 0xB2);
+}
+
+#[test]
+fn stress_random_youngest() {
+    stress(Policy::Random, VictimPolicy::Youngest, 0xC3);
+}
+
+#[test]
+fn stress_vats_requester_victim() {
+    stress(Policy::Vats, VictimPolicy::Requester, 0xD4);
+}
+
+#[test]
+fn stress_fcfs_oldest_victim() {
+    stress(Policy::Fcfs, VictimPolicy::Oldest, 0xE5);
+}
+
+#[test]
+fn stress_cats_youngest() {
+    stress(Policy::Cats, VictimPolicy::Youngest, 0xF6);
+}
+
+/// Single-object hammer: maximal queue churn on one hot object.
+#[test]
+fn hot_object_hammer() {
+    let mgr = Arc::new(LockManager::with_policy(Policy::Vats));
+    let obj = ObjectId::new(1, 0);
+    let counter = Arc::new(AtomicU64::new(0));
+    let ids = Arc::new(AtomicU64::new(1));
+    std::thread::scope(|scope| {
+        for _ in 0..12 {
+            let mgr = mgr.clone();
+            let counter = counter.clone();
+            let ids = ids.clone();
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let txn =
+                        TxnToken::new(ids.fetch_add(1, Ordering::Relaxed), tpd_common::now_nanos());
+                    match mgr.acquire(txn, obj, LockMode::X) {
+                        Ok(_) => {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            mgr.release_all(txn.id);
+                        }
+                        Err(e) => panic!("single-object X can never deadlock: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 1200);
+    assert_eq!(mgr.stats().deadlocks, 0);
+}

@@ -1,0 +1,230 @@
+//! The catalog and row store.
+//!
+//! Committed row values live in an ordered in-memory store per table (the
+//! buffer pool is the *timing* model for page residency; the store is the
+//! *content* model). Keys map deterministically onto data pages
+//! (`rows_per_page` per page), and each table's B-tree depth is derived
+//! from its size and the configured fanout, so index descents touch the
+//! right number of (pool-resident) index pages.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use tpd_storage::PageId;
+
+use crate::types::{Row, RowKey, TableId};
+
+/// Static information about one table.
+#[derive(Debug)]
+pub struct TableInfo {
+    /// Table id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Rows stored per data page.
+    pub rows_per_page: u64,
+    rows: RwLock<BTreeMap<RowKey, Row>>,
+    next_key: AtomicU64,
+}
+
+impl TableInfo {
+    /// Number of rows currently in the table.
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.read().is_empty()
+    }
+
+    /// Read a committed row.
+    pub fn get(&self, key: RowKey) -> Option<Row> {
+        self.rows.read().get(&key).cloned()
+    }
+
+    /// Install or replace a row value (caller must hold the record X lock).
+    pub fn put(&self, key: RowKey, row: Row) {
+        let mut rows = self.rows.write();
+        rows.insert(key, row);
+        // Keep the allocator ahead of explicit keys.
+        let next = self.next_key.load(Ordering::Relaxed);
+        if key >= next {
+            self.next_key.store(key + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Remove a row (abort path for inserts).
+    pub fn remove(&self, key: RowKey) -> Option<Row> {
+        self.rows.write().remove(&key)
+    }
+
+    /// Allocate the next row key for an insert.
+    pub fn allocate_key(&self) -> RowKey {
+        self.next_key.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Keys in `[lo, hi)`, up to `limit`.
+    pub fn range_keys(&self, lo: RowKey, hi: RowKey, limit: usize) -> Vec<RowKey> {
+        self.rows
+            .read()
+            .range(lo..hi)
+            .take(limit)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// The data page holding `key`.
+    pub fn data_page(&self, key: RowKey) -> PageId {
+        PageId(((self.id.0 as u64) << 40) | (key / self.rows_per_page))
+    }
+
+    /// The index page touched at `level` while descending to `key`
+    /// (level 0 = root; pages coalesce by key range as depth grows).
+    pub fn index_page(&self, key: RowKey, level: u32, fanout: u64) -> PageId {
+        // Root covers everything; each level partitions the key space.
+        let span = self
+            .rows_per_page
+            .saturating_mul(fanout.saturating_pow(level));
+        let bucket = if span == 0 { 0 } else { key / span.max(1) };
+        PageId(((self.id.0 as u64) << 40) | (1 << 39) | ((level as u64) << 32) | bucket)
+    }
+
+    /// B-tree depth implied by current size and `fanout`: number of levels
+    /// to descend (≥ 1 for nonempty tables).
+    pub fn index_depth(&self, fanout: u64) -> u32 {
+        let pages = (self.len() as u64 / self.rows_per_page.max(1)).max(1);
+        let mut depth = 1;
+        let mut reach = fanout;
+        while reach < pages {
+            depth += 1;
+            reach = reach.saturating_mul(fanout);
+        }
+        depth
+    }
+}
+
+/// The set of tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<Vec<std::sync::Arc<TableInfo>>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table; names are for diagnostics and need not be unique.
+    pub fn create_table(&self, name: &str, rows_per_page: u64) -> TableId {
+        assert!(rows_per_page > 0);
+        let mut tables = self.tables.write();
+        let id = TableId(u32::try_from(tables.len()).expect("too many tables"));
+        tables.push(std::sync::Arc::new(TableInfo {
+            id,
+            name: name.to_string(),
+            rows_per_page,
+            rows: RwLock::new(BTreeMap::new()),
+            next_key: AtomicU64::new(0),
+        }));
+        id
+    }
+
+    /// Get a table handle.
+    pub fn table(&self, id: TableId) -> std::sync::Arc<TableInfo> {
+        self.tables.read()[id.0 as usize].clone()
+    }
+
+    /// Find a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<std::sync::Arc<TableInfo>> {
+        self.tables.read().iter().find(|t| t.name == name).cloned()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// Whether there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let c = Catalog::new();
+        let t = c.create_table("warehouse", 16);
+        assert_eq!(t, TableId(0));
+        assert_eq!(c.table(t).name, "warehouse");
+        assert!(c.table_by_name("warehouse").is_some());
+        assert!(c.table_by_name("nope").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let c = Catalog::new();
+        let t = c.table(c.create_table("t", 16));
+        assert!(t.get(5).is_none());
+        t.put(5, vec![1, 2]);
+        assert_eq!(t.get(5), Some(vec![1, 2]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(5), Some(vec![1, 2]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn key_allocation_skips_explicit_keys() {
+        let c = Catalog::new();
+        let t = c.table(c.create_table("t", 16));
+        t.put(100, vec![0]);
+        let k = t.allocate_key();
+        assert!(k > 100, "allocator moved past explicit key: {k}");
+        let k2 = t.allocate_key();
+        assert_eq!(k2, k + 1);
+    }
+
+    #[test]
+    fn page_mapping_is_stable_and_distinct() {
+        let c = Catalog::new();
+        let t0 = c.table(c.create_table("a", 4));
+        let t1 = c.table(c.create_table("b", 4));
+        assert_eq!(t0.data_page(0), t0.data_page(3));
+        assert_ne!(t0.data_page(3), t0.data_page(4));
+        assert_ne!(t0.data_page(0), t1.data_page(0), "tables do not collide");
+        // Index pages are distinct from data pages.
+        assert_ne!(t0.index_page(0, 0, 64), t0.data_page(0));
+    }
+
+    #[test]
+    fn index_depth_grows_with_size() {
+        let c = Catalog::new();
+        let t = c.table(c.create_table("t", 1));
+        assert_eq!(t.index_depth(4), 1);
+        for k in 0..64 {
+            t.put(k, vec![0]);
+        }
+        // 64 pages at fanout 4: 4^1 < 64 <= 4^3 → depth 3.
+        assert_eq!(t.index_depth(4), 3);
+    }
+
+    #[test]
+    fn range_keys_respects_bounds_and_limit() {
+        let c = Catalog::new();
+        let t = c.table(c.create_table("t", 16));
+        for k in 0..20 {
+            t.put(k, vec![k as i64]);
+        }
+        assert_eq!(t.range_keys(5, 10, 100), vec![5, 6, 7, 8, 9]);
+        assert_eq!(t.range_keys(5, 10, 2), vec![5, 6]);
+        assert!(t.range_keys(50, 60, 10).is_empty());
+    }
+}

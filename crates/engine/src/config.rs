@@ -1,0 +1,205 @@
+//! Engine configuration: personality, scheduling, storage, and logging
+//! knobs — every tuning parameter the paper sweeps has a field here.
+
+use std::time::Duration;
+
+use tpd_core::{Policy, VictimPolicy};
+use tpd_storage::{MutexPolicy, PoolConfig};
+use tpd_wal::{FlushPolicy, WalWriterConfig};
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::DiskConfig;
+
+/// Which system the engine imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Personality {
+    /// InnoDB-style: per-record lock scheduling, buffer pool, redo flush
+    /// policies.
+    Mysql,
+    /// Postgres-style: WALWriteLock commit path, predicate locks.
+    Postgres,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// MySQL or Postgres behaviour on the commit/locking paths.
+    pub personality: Personality,
+    /// Lock scheduling policy (the paper's FCFS / VATS / RS).
+    pub lock_policy: Policy,
+    /// Deadlock victim selection.
+    pub victim: VictimPolicy,
+    /// Lock wait timeout (liveness fallback).
+    pub lock_timeout: Option<Duration>,
+    /// Buffer-pool configuration (frames, old/young split, LLU).
+    pub pool: PoolConfig,
+    /// MySQL redo durability policy.
+    pub flush_policy: FlushPolicy,
+    /// Background flusher period for lazy policies.
+    pub flush_interval: Duration,
+    /// Postgres WAL configuration (sets, block size).
+    pub wal: WalWriterConfig,
+    /// Data device model.
+    pub data_disk: DiskConfig,
+    /// Log device model(s); one per WAL set (Postgres) or the first one
+    /// (MySQL).
+    pub log_disks: Vec<DiskConfig>,
+    /// B-tree fanout used to derive index depth from table size.
+    pub index_fanout: u64,
+    /// CPU work units per index level descended.
+    pub work_per_index_level: u64,
+    /// Extra CPU work on inserts that trigger a (modeled) page split.
+    pub page_split_work: u64,
+    /// A page split is charged every `split_period` inserts per table.
+    pub split_period: u64,
+    /// Redo bytes written per logical row byte (real engines log images,
+    /// index entries, and headers far larger than the row delta; Postgres
+    /// additionally logs full pages after checkpoints). Drives how many WAL
+    /// blocks a commit spans in the Fig. 4 block-size sweep.
+    pub redo_amplification: u64,
+    /// Per-statement client round-trip model: each statement (read, update,
+    /// insert, scan) pauses this long before touching the engine, modeling
+    /// the SQL-over-network execution of the paper's OLTP-Bench setup.
+    /// Locks are therefore held across round trips — the regime in which
+    /// lock scheduling matters. `None` disables (embedded execution).
+    pub statement_rtt: Option<ServiceTime>,
+    /// Record the (age, remaining-time) samples for Fig. 8.
+    pub record_age_remaining: bool,
+    /// Rng seed for the engine's internal randomness.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let log_disk = DiskConfig {
+            // Log devices: sequential writes, modest variability.
+            service: ServiceTime::LogNormal {
+                median: 150_000,
+                sigma: 0.35,
+            },
+            ns_per_byte: 1.0,
+            seed: 0x10F5,
+        };
+        EngineConfig {
+            personality: Personality::Mysql,
+            lock_policy: Policy::Fcfs,
+            victim: VictimPolicy::Youngest,
+            lock_timeout: Some(Duration::from_secs(10)),
+            pool: PoolConfig::default(),
+            flush_policy: FlushPolicy::Eager,
+            flush_interval: Duration::from_millis(10),
+            wal: WalWriterConfig::default(),
+            data_disk: DiskConfig {
+                service: ServiceTime::LogNormal {
+                    median: 200_000,
+                    sigma: 0.4,
+                },
+                ns_per_byte: 2.0,
+                seed: 0xDA7A,
+            },
+            log_disks: vec![log_disk],
+            index_fanout: 64,
+            work_per_index_level: 96,
+            page_split_work: 4096,
+            split_period: 32,
+            redo_amplification: 1,
+            statement_rtt: None,
+            record_age_remaining: false,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// MySQL personality with the given lock policy (the Table 4 matrix).
+    pub fn mysql(policy: Policy) -> Self {
+        EngineConfig {
+            personality: Personality::Mysql,
+            lock_policy: policy,
+            ..Default::default()
+        }
+    }
+
+    /// Postgres personality (FCFS locks, single WAL set).
+    pub fn postgres() -> Self {
+        EngineConfig {
+            personality: Personality::Postgres,
+            ..Default::default()
+        }
+    }
+
+    /// Memory-pressured variant (the paper's 2-WH setup): a pool far
+    /// smaller than the working set.
+    pub fn with_pool_frames(mut self, frames: usize) -> Self {
+        self.pool.frames = frames;
+        self
+    }
+
+    /// Use the paper's Lazy LRU Update with the given spin budget.
+    pub fn with_llu(mut self, spin_budget: Duration) -> Self {
+        self.pool.mutex_policy = MutexPolicy::Llu { spin_budget };
+        self
+    }
+
+    /// Set the redo flush policy (MySQL).
+    pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.flush_policy = policy;
+        self
+    }
+
+    /// Enable the paper's parallel logging (Postgres) with `sets` log sets.
+    pub fn with_parallel_logging(mut self, sets: usize) -> Self {
+        self.wal.sets = sets;
+        while self.log_disks.len() < sets {
+            let mut d = self.log_disks[0].clone();
+            d.seed = d.seed.wrapping_add(self.log_disks.len() as u64 * 7919);
+            self.log_disks.push(d);
+        }
+        self.log_disks.truncate(sets.max(1));
+        self
+    }
+
+    /// Set the WAL block size (Postgres, Fig. 4 right).
+    pub fn with_block_size(mut self, bytes: u64) -> Self {
+        self.wal.block_size = bytes;
+        self
+    }
+
+    /// Enable the per-statement round-trip model with a fixed delay.
+    pub fn with_statement_rtt(mut self, rtt: std::time::Duration) -> Self {
+        self.statement_rtt = Some(ServiceTime::Fixed(rtt.as_nanos() as u64));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = EngineConfig::mysql(Policy::Vats)
+            .with_pool_frames(64)
+            .with_llu(Duration::from_micros(10))
+            .with_flush_policy(FlushPolicy::LazyFlush);
+        assert_eq!(c.lock_policy, Policy::Vats);
+        assert_eq!(c.pool.frames, 64);
+        assert!(matches!(c.pool.mutex_policy, MutexPolicy::Llu { .. }));
+        assert_eq!(c.flush_policy, FlushPolicy::LazyFlush);
+    }
+
+    #[test]
+    fn parallel_logging_provisions_disks() {
+        let c = EngineConfig::postgres().with_parallel_logging(2);
+        assert_eq!(c.wal.sets, 2);
+        assert_eq!(c.log_disks.len(), 2);
+        assert_ne!(c.log_disks[0].seed, c.log_disks[1].seed);
+    }
+
+    #[test]
+    fn default_is_mysql_fcfs() {
+        let c = EngineConfig::default();
+        assert_eq!(c.personality, Personality::Mysql);
+        assert_eq!(c.lock_policy, tpd_core::Policy::Fcfs);
+    }
+}

@@ -1,0 +1,35 @@
+//! The mini transactional engine the study runs on.
+//!
+//! A strict-2PL row store assembled from the workspace substrates, with two
+//! *personalities* matching the systems the paper profiled:
+//!
+//! * [`Personality::Mysql`] — thread-per-connection execution, record locks
+//!   scheduled by the pluggable policy (FCFS / VATS / RS), an InnoDB-style
+//!   buffer pool with young/old LRU (optionally the paper's Lazy LRU
+//!   Update), and redo logging with the three
+//!   `innodb_flush_log_at_trx_commit` policies.
+//! * [`Personality::Postgres`] — same row store, but commits serialize on a
+//!   global `WALWriteLock` (optionally the paper's parallel logging), and
+//!   range scans take predicate locks released in a
+//!   `ReleasePredicateLocks` phase at commit.
+//!
+//! Every function the paper's Tables 1–2 name is a probe site wired to
+//! TProfiler: `os_event_wait` (under `lock_wait_suspend_thread`),
+//! `row_ins_clust_index_entry_low`, `buf_pool_mutex_enter`,
+//! `btr_cur_search_to_nth_level`, `fil_flush`, `LWLockAcquireOrWait`,
+//! `ReleasePredicateLocks`.
+
+pub mod catalog;
+pub mod config;
+pub mod engine;
+pub mod probes;
+pub mod types;
+
+pub use catalog::{Catalog, TableInfo};
+pub use config::{EngineConfig, Personality};
+pub use engine::{AgeRemainingSample, Engine, EngineStats, RecoveryReport, Txn};
+pub use probes::EngineProbes;
+pub use types::{EngineError, Row, RowKey, TableId, TxnType};
+
+// Re-exports so workloads and binaries need not depend on tpd-core directly.
+pub use tpd_core::{LockMode, Policy, VictimPolicy};

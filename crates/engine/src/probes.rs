@@ -1,0 +1,148 @@
+//! The engine's instrumented call graph, using the paper's function names.
+//!
+//! Static parents determine heights/specificity (eq. 2); at run time each
+//! event also records its *dynamic* parent span, which is how TProfiler
+//! distinguishes `os_event_wait [A]` (select path) from `os_event_wait [B]`
+//! (update path) in Table 1 — same function, different call sites.
+
+use tpd_profiler::{CallGraphBuilder, FuncId, Profiler};
+
+/// Probe ids for every instrumented engine function.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineProbes {
+    /// Root: one transaction's execution.
+    pub execute_transaction: FuncId,
+    /// Read path (MySQL's `row_search_for_mysql`).
+    pub row_search_for_mysql: FuncId,
+    /// Update path (MySQL's `row_upd_step`).
+    pub row_upd_step: FuncId,
+    /// Insert into the clustered index; body variance is inherent
+    /// (page splits), per Section 4.1.
+    pub row_ins_clust_index_entry_low: FuncId,
+    /// Index descent; runtime varies with tree depth (inherent).
+    pub btr_cur_search_to_nth_level: FuncId,
+    /// Suspension of a transaction waiting for a record lock.
+    pub lock_wait_suspend_thread: FuncId,
+    /// The low-level event wait inside the suspension — the paper's #1
+    /// variance source.
+    pub os_event_wait: FuncId,
+    /// Buffer-pool page access wrapper (`buf_page_get`).
+    pub buf_page_get: FuncId,
+    /// Wait for the buffer-pool LRU mutex (`buf_pool_mutex_enter`).
+    pub buf_pool_mutex_enter: FuncId,
+    /// Page read/write I/O on a pool miss.
+    pub buf_page_io: FuncId,
+    /// Commit processing.
+    pub trx_commit: FuncId,
+    /// Redo fsync on the commit path (MySQL).
+    pub fil_flush: FuncId,
+    /// WALWriteLock acquisition (Postgres).
+    pub lwlock_acquire_or_wait: FuncId,
+    /// Predicate-lock release phase at commit (Postgres).
+    pub release_predicate_locks: FuncId,
+    /// Waiting for the client's next statement (inter-statement round
+    /// trip); inherent client-side time, attributed so it cannot be
+    /// mistaken for a server pathology.
+    pub net_read_packet: FuncId,
+}
+
+impl EngineProbes {
+    /// Build the call graph and a profiler over it.
+    pub fn build() -> (Profiler, EngineProbes) {
+        let mut b = CallGraphBuilder::new();
+        let execute_transaction = b.register("execute_transaction", None);
+        let row_search_for_mysql =
+            b.register("row_search_for_mysql", Some(execute_transaction));
+        let row_upd_step = b.register("row_upd_step", Some(execute_transaction));
+        let row_ins_clust_index_entry_low =
+            b.register("row_ins_clust_index_entry_low", Some(execute_transaction));
+        let btr_cur_search_to_nth_level =
+            b.register("btr_cur_search_to_nth_level", Some(row_search_for_mysql));
+        let lock_wait_suspend_thread =
+            b.register("lock_wait_suspend_thread", Some(row_search_for_mysql));
+        let os_event_wait = b.register("os_event_wait", Some(lock_wait_suspend_thread));
+        let buf_page_get = b.register("buf_page_get", Some(row_search_for_mysql));
+        let buf_pool_mutex_enter =
+            b.register("buf_pool_mutex_enter", Some(buf_page_get));
+        let buf_page_io = b.register("buf_page_io", Some(buf_page_get));
+        let trx_commit = b.register("trx_commit", Some(execute_transaction));
+        let fil_flush = b.register("fil_flush", Some(trx_commit));
+        let lwlock_acquire_or_wait =
+            b.register("LWLockAcquireOrWait", Some(trx_commit));
+        let release_predicate_locks =
+            b.register("ReleasePredicateLocks", Some(trx_commit));
+        let net_read_packet = b.register("net_read_packet", Some(execute_transaction));
+        // Multi-caller edges: the update and insert paths reach the same
+        // index/lock/pool machinery as the read path.
+        for parent in [row_upd_step, row_ins_clust_index_entry_low] {
+            b.add_caller(btr_cur_search_to_nth_level, parent);
+            b.add_caller(lock_wait_suspend_thread, parent);
+            b.add_caller(buf_page_get, parent);
+        }
+        let profiler = Profiler::new(b.build());
+        (
+            profiler,
+            EngineProbes {
+                execute_transaction,
+                row_search_for_mysql,
+                row_upd_step,
+                row_ins_clust_index_entry_low,
+                btr_cur_search_to_nth_level,
+                lock_wait_suspend_thread,
+                os_event_wait,
+                buf_page_get,
+                buf_pool_mutex_enter,
+                buf_page_io,
+                trx_commit,
+                fil_flush,
+                lwlock_acquire_or_wait,
+                release_predicate_locks,
+                net_read_packet,
+            },
+        )
+    }
+
+    /// All probe ids (to enable full instrumentation in experiments).
+    pub fn all(&self) -> Vec<FuncId> {
+        vec![
+            self.execute_transaction,
+            self.row_search_for_mysql,
+            self.row_upd_step,
+            self.row_ins_clust_index_entry_low,
+            self.btr_cur_search_to_nth_level,
+            self.lock_wait_suspend_thread,
+            self.os_event_wait,
+            self.buf_page_get,
+            self.buf_pool_mutex_enter,
+            self.buf_page_io,
+            self.trx_commit,
+            self.fil_flush,
+            self.lwlock_acquire_or_wait,
+            self.release_predicate_locks,
+            self.net_read_packet,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_has_paper_names_and_sane_heights() {
+        let (p, probes) = EngineProbes::build();
+        let g = p.graph();
+        assert_eq!(g.lookup("os_event_wait"), Some(probes.os_event_wait));
+        assert_eq!(g.lookup("fil_flush"), Some(probes.fil_flush));
+        assert_eq!(
+            g.lookup("buf_pool_mutex_enter"),
+            Some(probes.buf_pool_mutex_enter)
+        );
+        // Root is the least specific; os_event_wait is deep and specific.
+        assert_eq!(g.specificity(probes.execute_transaction), 0.0);
+        assert!(g.specificity(probes.os_event_wait) > g.specificity(probes.row_search_for_mysql));
+        assert_eq!(g.height(probes.execute_transaction), g.graph_height());
+        assert!(g.is_leaf(probes.os_event_wait));
+        assert_eq!(probes.all().len(), g.len());
+    }
+}

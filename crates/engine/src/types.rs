@@ -1,0 +1,78 @@
+//! Engine-level identifiers, rows, and errors.
+
+/// A table identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// A row key within a table (clustered-index key).
+pub type RowKey = u64;
+
+/// A row: a vector of integer columns. The engines under study are timing
+/// models; integer columns capture sizes and update semantics without
+/// string-handling noise.
+pub type Row = Vec<i64>;
+
+/// A workload-defined transaction-type index (e.g. TPC-C NewOrder = 0).
+pub type TxnType = u8;
+
+/// Errors surfaced to workload drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The transaction was aborted as a deadlock victim; the engine has
+    /// already rolled it back. The driver should retry with a new
+    /// transaction.
+    Deadlock,
+    /// Lock wait timeout; rolled back like a deadlock.
+    LockTimeout,
+    /// The requested row does not exist.
+    RowNotFound {
+        /// Table queried.
+        table: TableId,
+        /// Missing key.
+        key: RowKey,
+    },
+    /// Operation on a transaction that already ended.
+    TxnFinished,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Deadlock => f.write_str("deadlock victim; transaction rolled back"),
+            EngineError::LockTimeout => f.write_str("lock wait timeout; transaction rolled back"),
+            EngineError::RowNotFound { table, key } => {
+                write!(f, "row {key} not found in table {}", table.0)
+            }
+            EngineError::TxnFinished => f.write_str("transaction already finished"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Estimated wire/redo size of a row, in bytes.
+pub fn row_bytes(row: &Row) -> u64 {
+    (row.len() as u64) * 8 + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EngineError::Deadlock.to_string().contains("deadlock"));
+        let e = EngineError::RowNotFound {
+            table: TableId(3),
+            key: 42,
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn row_size_estimate() {
+        assert_eq!(row_bytes(&vec![1, 2, 3]), 40);
+        assert_eq!(row_bytes(&Vec::new()), 16);
+    }
+}

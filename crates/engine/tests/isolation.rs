@@ -1,0 +1,205 @@
+//! Isolation-level tests for the engine: strict 2PL must prevent dirty
+//! reads, non-repeatable reads, and lost updates; aborts must be invisible.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::DiskConfig;
+use tpd_engine::{Engine, EngineConfig, EngineError, Policy};
+
+fn engine() -> Arc<Engine> {
+    let quick = DiskConfig {
+        service: ServiceTime::Fixed(10_000),
+        ns_per_byte: 0.0,
+        seed: 21,
+    };
+    Engine::new(EngineConfig {
+        data_disk: quick.clone(),
+        log_disks: vec![quick],
+        ..EngineConfig::mysql(Policy::Vats)
+    })
+}
+
+#[test]
+fn no_dirty_reads() {
+    let e = engine();
+    let t = e.catalog().create_table("t", 16);
+    {
+        let mut setup = e.begin(0);
+        setup.insert(t, vec![0]).expect("insert");
+        setup.commit().expect("commit");
+    }
+    let dirty_seen = Arc::new(AtomicBool::new(false));
+    let writer_holding = Arc::new(AtomicBool::new(false));
+
+    let e2 = e.clone();
+    let writer_holding2 = writer_holding.clone();
+    let writer = std::thread::spawn(move || {
+        let mut w = e2.begin(0);
+        w.update(t, 0, |r| r[0] = 666).expect("update");
+        writer_holding2.store(true, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(20));
+        w.abort(); // the dirty value must never have escaped
+    });
+    while !writer_holding.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+    // Reader blocks on the X lock; when it gets through, the abort has
+    // already rolled the value back.
+    let mut r = e.begin(0);
+    let val = r.read(t, 0).expect("read")[0];
+    if val == 666 {
+        dirty_seen.store(true, Ordering::Release);
+    }
+    r.commit().expect("commit");
+    writer.join().expect("writer");
+    assert!(!dirty_seen.load(Ordering::Acquire), "dirty read observed");
+    let mut check = e.begin(0);
+    assert_eq!(check.read(t, 0).expect("read")[0], 0);
+    check.commit().expect("commit");
+}
+
+#[test]
+fn repeatable_reads_within_transaction() {
+    let e = engine();
+    let t = e.catalog().create_table("t", 16);
+    {
+        let mut setup = e.begin(0);
+        setup.insert(t, vec![7]).expect("insert");
+        setup.commit().expect("commit");
+    }
+    let mut reader = e.begin(0);
+    let first = reader.read(t, 0).expect("read");
+    // A concurrent writer must block on our S lock rather than change the
+    // value under us.
+    let e2 = e.clone();
+    let writer = std::thread::spawn(move || {
+        let mut w = e2.begin(0);
+        match w.update(t, 0, |r| r[0] = 8) {
+            Ok(()) => w.commit().expect("commit"),
+            Err(EngineError::Deadlock | EngineError::LockTimeout) => {}
+            Err(other) => panic!("unexpected {other}"),
+        }
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    let second = reader.read(t, 0).expect("reread");
+    assert_eq!(first, second, "value changed under an S lock");
+    reader.commit().expect("commit");
+    writer.join().expect("writer");
+}
+
+#[test]
+fn no_lost_updates_with_read_modify_write() {
+    let e = engine();
+    let t = e.catalog().create_table("t", 16);
+    {
+        let mut setup = e.begin(0);
+        setup.insert(t, vec![0]).expect("insert");
+        setup.commit().expect("commit");
+    }
+    let attempts = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let e = e.clone();
+            let attempts = attempts.clone();
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    loop {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let mut txn = e.begin(0);
+                        // read_for_update takes X up front: RMW is atomic.
+                        let cur = match txn.read_for_update(t, 0) {
+                            Ok(row) => row[0],
+                            Err(_) => continue,
+                        };
+                        if txn.update(t, 0, |r| r[0] = cur + 1).is_err() {
+                            continue;
+                        }
+                        if txn.commit().is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut check = e.begin(0);
+    assert_eq!(check.read(t, 0).expect("read")[0], 120, "all increments kept");
+    check.commit().expect("commit");
+}
+
+#[test]
+fn aborted_inserts_never_visible_to_scans() {
+    let e = engine();
+    let t = e.catalog().create_table("t", 16);
+    {
+        let mut setup = e.begin(0);
+        for i in 0..10 {
+            setup.insert(t, vec![i]).expect("insert");
+        }
+        setup.commit().expect("commit");
+    }
+    // Writer inserts then aborts, concurrently with scanning readers.
+    std::thread::scope(|scope| {
+        let e2 = e.clone();
+        scope.spawn(move || {
+            for _ in 0..20 {
+                let mut w = e2.begin(0);
+                w.insert(t, vec![-1]).expect("insert");
+                w.abort();
+            }
+        });
+        let e3 = e.clone();
+        scope.spawn(move || {
+            for _ in 0..20 {
+                let mut r = e3.begin(0);
+                if let Ok(rows) = r.scan(t, 0, 1000, 1000) {
+                    for (_, row) in rows {
+                        assert_ne!(row[0], -1, "aborted insert leaked into a scan");
+                    }
+                }
+                let _ = r.commit();
+            }
+        });
+    });
+    // Final state: exactly the 10 committed rows.
+    assert_eq!(e.catalog().table(t).len(), 10);
+}
+
+#[test]
+fn deadlock_victims_leave_no_partial_effects() {
+    let e = engine();
+    let t = e.catalog().create_table("t", 16);
+    {
+        let mut setup = e.begin(0);
+        setup.insert(t, vec![0]).expect("a");
+        setup.insert(t, vec![0]).expect("b");
+        setup.commit().expect("commit");
+    }
+    // Opposite-order writers; every commit applies both updates or none.
+    std::thread::scope(|scope| {
+        for dir in 0..2u64 {
+            let e = e.clone();
+            scope.spawn(move || {
+                let (first, second) = if dir == 0 { (0, 1) } else { (1, 0) };
+                for _ in 0..30 {
+                    let mut txn = e.begin(0);
+                    if txn.update(t, first, |r| r[0] += 1).is_err() {
+                        continue;
+                    }
+                    if txn.update(t, second, |r| r[0] += 1).is_err() {
+                        continue;
+                    }
+                    let _ = txn.commit();
+                }
+            });
+        }
+    });
+    let mut check = e.begin(0);
+    let a = check.read(t, 0).expect("a")[0];
+    let b = check.read(t, 1).expect("b")[0];
+    check.commit().expect("commit");
+    assert_eq!(a, b, "atomic pairs: {a} vs {b}");
+}

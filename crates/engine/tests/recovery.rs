@@ -1,0 +1,168 @@
+//! Crash/recovery tests: the durability half of the flush-policy trade-off
+//! (Section 7.5 / Appendix B), made executable.
+//!
+//! * Eager flush: every acknowledged commit survives a crash.
+//! * Lazy write (long flusher interval): a crash immediately after a burst
+//!   of commits loses recent ones, but recovery is *prefix-consistent* —
+//!   recovered transactions are whole, never partial.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::DiskConfig;
+use tpd_engine::{Engine, EngineConfig, Policy, TableId};
+use tpd_wal::FlushPolicy;
+
+fn config(policy: FlushPolicy, flush_interval: Duration) -> EngineConfig {
+    let quick = DiskConfig {
+        service: ServiceTime::Fixed(5_000),
+        ns_per_byte: 0.0,
+        seed: 31,
+    };
+    let mut cfg = EngineConfig::mysql(Policy::Fcfs);
+    cfg.data_disk = quick.clone();
+    cfg.log_disks = vec![quick];
+    cfg.flush_policy = policy;
+    cfg.flush_interval = flush_interval;
+    cfg
+}
+
+/// Run `n` transfer transactions (each updates two rows and inserts a
+/// journal row) and return the table ids.
+fn run_transfers(engine: &Arc<Engine>, n: u64) -> (TableId, TableId) {
+    let accounts = engine.catalog().create_table("accounts", 16);
+    let journal = engine.catalog().create_table("journal", 16);
+    {
+        let mut setup = engine.begin(0);
+        setup.insert(accounts, vec![1000]).expect("a");
+        setup.insert(accounts, vec![1000]).expect("b");
+        setup.commit().expect("setup");
+    }
+    for i in 0..n {
+        let mut txn = engine.begin(0);
+        txn.update(accounts, 0, |r| r[0] -= 1).expect("debit");
+        txn.update(accounts, 1, |r| r[0] += 1).expect("credit");
+        txn.insert(journal, vec![i as i64]).expect("journal");
+        txn.commit().expect("commit");
+    }
+    (accounts, journal)
+}
+
+#[test]
+fn eager_flush_loses_nothing() {
+    let engine = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    let (accounts, journal) = run_transfers(&engine, 25);
+    let log = engine.simulate_crash();
+    assert!(!log.is_empty());
+
+    // Recover into a fresh engine with the same schema.
+    let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    recovered.catalog().create_table("accounts", 16);
+    recovered.catalog().create_table("journal", 16);
+    let report = recovered.recover_from(&log);
+    assert_eq!(report.committed_txns, 26, "setup + 25 transfers");
+    assert_eq!(report.records_skipped, 0);
+
+    let acc = recovered.catalog().table(accounts);
+    assert_eq!(acc.get(0).expect("a")[0], 1000 - 25);
+    assert_eq!(acc.get(1).expect("b")[0], 1000 + 25);
+    assert_eq!(recovered.catalog().table(journal).len(), 25);
+}
+
+#[test]
+fn lazy_write_can_lose_recent_commits_but_stays_consistent() {
+    // Flusher effectively never runs: a crash right after the burst sees
+    // whatever the (never-run) flusher made durable — nothing.
+    let engine = Engine::new(config(FlushPolicy::LazyWrite, Duration::from_secs(3600)));
+    let (accounts, _journal) = run_transfers(&engine, 25);
+    let log = engine.simulate_crash();
+
+    let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    recovered.catalog().create_table("accounts", 16);
+    recovered.catalog().create_table("journal", 16);
+    let report = recovered.recover_from(&log);
+    assert!(
+        report.committed_txns < 26,
+        "lazy write must lose forward progress here: {report:?}"
+    );
+
+    // Prefix consistency: if any transfer survived, its paired updates
+    // both survived (sum of balances preserved among recovered rows).
+    let acc = recovered.catalog().table(accounts);
+    if let (Some(a), Some(b)) = (acc.get(0), acc.get(1)) {
+        assert_eq!(a[0] + b[0], 2000, "transfers are atomic in recovery");
+    }
+}
+
+#[test]
+fn lazy_flush_recovers_after_flusher_catches_up() {
+    let engine = Engine::new(config(FlushPolicy::LazyFlush, Duration::from_millis(5)));
+    let (accounts, journal) = run_transfers(&engine, 10);
+    // Give the background flusher time to make everything durable.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let log = engine.simulate_crash();
+        let committed = tpd_wal::committed_txns(&log).len();
+        if committed == 11 {
+            let recovered =
+                Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+            recovered.catalog().create_table("accounts", 16);
+            recovered.catalog().create_table("journal", 16);
+            recovered.recover_from(&log);
+            assert_eq!(
+                recovered.catalog().table(accounts).get(0).expect("a")[0],
+                990
+            );
+            assert_eq!(recovered.catalog().table(journal).len(), 10);
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flusher never made the burst durable ({committed}/11)"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn aborted_transactions_never_reach_the_durable_log() {
+    let engine = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    let t = engine.catalog().create_table("t", 16);
+    {
+        let mut setup = engine.begin(0);
+        setup.insert(t, vec![1]).expect("insert");
+        setup.commit().expect("commit");
+    }
+    {
+        let mut doomed = engine.begin(0);
+        doomed.update(t, 0, |r| r[0] = 999).expect("update");
+        doomed.abort();
+    }
+    let log = engine.simulate_crash();
+    for r in &log {
+        if let tpd_wal::LogRecord::Update { after, .. } = &r.record {
+            assert_ne!(after[0], 999, "aborted update leaked into the log");
+        }
+    }
+    let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    recovered.catalog().create_table("t", 16);
+    let report = recovered.recover_from(&log);
+    assert_eq!(report.committed_txns, 1);
+    assert_eq!(recovered.catalog().table(t).get(0).expect("row")[0], 1);
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let engine = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    let (accounts, _) = run_transfers(&engine, 5);
+    let log = engine.simulate_crash();
+    let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    recovered.catalog().create_table("accounts", 16);
+    recovered.catalog().create_table("journal", 16);
+    recovered.recover_from(&log);
+    let once = recovered.catalog().table(accounts).get(0);
+    recovered.recover_from(&log); // replay again
+    let twice = recovered.catalog().table(accounts).get(0);
+    assert_eq!(once, twice, "physical redo replays idempotently");
+}

@@ -1,0 +1,646 @@
+//! Offline variance analysis: the variance tree and factor scoring.
+//!
+//! For each *call site* — a `(parent, function)` pair — we form the random
+//! variable "nanoseconds this transaction spent in this call site" (zero when
+//! not invoked), across all collected transactions. The variance tree of
+//! eq. 1 decomposes a parent's variance into the variances of its components
+//! plus twice their pairwise covariances; the score of eq. 3 multiplies each
+//! factor's variance mass by the specificity of eq. 2 so that deep, specific
+//! functions outrank the roots that merely aggregate them.
+
+use std::collections::HashMap;
+
+use tpd_common::stats::{Covariance, OnlineStats};
+use tpd_common::table::{pct, TextTable};
+
+use crate::probe::TxnTrace;
+use crate::registry::{CallGraph, FuncId};
+
+/// What a factor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FactorKind {
+    /// Time spent in a function (summed over its call sites).
+    Func(FuncId),
+    /// Covariance between two sibling functions under the same parent.
+    Cov(FuncId, FuncId),
+    /// A function's *body*: its time minus its instrumented children.
+    Body(FuncId),
+}
+
+/// One scored factor.
+#[derive(Debug, Clone)]
+pub struct FactorScore {
+    /// What this factor measures.
+    pub kind: FactorKind,
+    /// Total variance (or |2·covariance|) mass attributed to the factor, ns².
+    pub variance: f64,
+    /// Fraction of the overall transaction-latency variance.
+    pub fraction_of_total: f64,
+    /// The ranking score: specificity × variance mass.
+    pub score: f64,
+    /// Per-call-site variance breakdown `(parent, variance)` for `Func`
+    /// factors (the paper's `os_event_wait [A]` vs `[B]`).
+    pub call_sites: Vec<(Option<FuncId>, f64)>,
+    /// Mean ns per transaction spent in this factor (for context).
+    pub mean_ns: f64,
+}
+
+/// The output of one analysis pass.
+#[derive(Debug, Clone)]
+pub struct VarianceReport {
+    /// Number of transactions analyzed.
+    pub txn_count: usize,
+    /// Mean end-to-end latency, ns.
+    pub mean_total_ns: f64,
+    /// Variance of end-to-end latency, ns².
+    pub total_variance: f64,
+    /// All factors, sorted by score descending.
+    pub factors: Vec<FactorScore>,
+}
+
+impl VarianceReport {
+    /// Analyze a batch of traces against the call graph.
+    pub fn analyze(graph: &CallGraph, traces: &[TxnTrace]) -> Self {
+        let n = traces.len();
+        let mut total_stats = OnlineStats::new();
+        for t in traces {
+            total_stats.push(t.total as f64);
+        }
+        let total_variance = total_stats.variance();
+
+        // Column per call site: (parent, func) -> per-txn durations.
+        let mut col_of: HashMap<(Option<FuncId>, FuncId), usize> = HashMap::new();
+        let mut cols: Vec<Vec<f64>> = Vec::new();
+        // Column per function body: func -> per-txn (own − children) durations.
+        let mut body_col_of: HashMap<FuncId, usize> = HashMap::new();
+        let mut body_cols: Vec<Vec<f64>> = Vec::new();
+
+        for (ti, trace) in traces.iter().enumerate() {
+            // Per-txn sums per call site and per function.
+            let mut site_sum: HashMap<(Option<FuncId>, FuncId), f64> = HashMap::new();
+            let mut func_sum: HashMap<FuncId, f64> = HashMap::new();
+            let mut child_sum: HashMap<FuncId, f64> = HashMap::new();
+            for e in &trace.events {
+                *site_sum.entry((e.parent, e.func)).or_insert(0.0) += e.dur as f64;
+                *func_sum.entry(e.func).or_insert(0.0) += e.dur as f64;
+                if let Some(p) = e.parent {
+                    *child_sum.entry(p).or_insert(0.0) += e.dur as f64;
+                }
+            }
+            for (site, v) in site_sum {
+                let col = *col_of.entry(site).or_insert_with(|| {
+                    cols.push(vec![0.0; n]);
+                    cols.len() - 1
+                });
+                cols[col][ti] = v;
+            }
+            for (f, own) in &func_sum {
+                let kids = child_sum.get(f).copied().unwrap_or(0.0);
+                if kids > 0.0 {
+                    let col = *body_col_of.entry(*f).or_insert_with(|| {
+                        body_cols.push(vec![0.0; n]);
+                        body_cols.len() - 1
+                    });
+                    body_cols[col][ti] = (own - kids).max(0.0);
+                }
+            }
+        }
+
+        // Per-call-site variance.
+        let site_var: Vec<((Option<FuncId>, FuncId), f64, f64)> = col_of
+            .iter()
+            .map(|(&site, &col)| {
+                let mut s = OnlineStats::new();
+                for &v in &cols[col] {
+                    s.push(v);
+                }
+                (site, s.variance(), s.mean())
+            })
+            .collect();
+
+        // Aggregate to function level.
+        let mut func_factors: HashMap<FuncId, FactorScore> = HashMap::new();
+        for &((parent, f), var, mean) in &site_var {
+            let entry = func_factors.entry(f).or_insert_with(|| FactorScore {
+                kind: FactorKind::Func(f),
+                variance: 0.0,
+                fraction_of_total: 0.0,
+                score: 0.0,
+                call_sites: Vec::new(),
+                mean_ns: 0.0,
+            });
+            entry.variance += var;
+            entry.mean_ns += mean;
+            entry.call_sites.push((parent, var));
+        }
+
+        // Sibling covariances: pairs of call sites sharing a parent.
+        let mut cov_factors: HashMap<(FuncId, FuncId), FactorScore> = HashMap::new();
+        let sites: Vec<(&(Option<FuncId>, FuncId), &usize)> = col_of.iter().collect();
+        for i in 0..sites.len() {
+            for j in (i + 1)..sites.len() {
+                let (&(pa, fa), &ca) = sites[i];
+                let (&(pb, fb), &cb) = sites[j];
+                if pa != pb || fa == fb {
+                    continue;
+                }
+                let mut cov = Covariance::new();
+                for (x, y) in cols[ca].iter().zip(&cols[cb]) {
+                    cov.push(*x, *y);
+                }
+                let c = 2.0 * cov.covariance();
+                if c == 0.0 {
+                    continue;
+                }
+                let key = if fa <= fb { (fa, fb) } else { (fb, fa) };
+                let entry = cov_factors.entry(key).or_insert_with(|| FactorScore {
+                    kind: FactorKind::Cov(key.0, key.1),
+                    variance: 0.0,
+                    fraction_of_total: 0.0,
+                    score: 0.0,
+                    call_sites: Vec::new(),
+                    mean_ns: 0.0,
+                });
+                entry.variance += c;
+                entry.call_sites.push((pa, c));
+            }
+        }
+
+        // Body factors.
+        let mut body_factors: Vec<FactorScore> = body_col_of
+            .iter()
+            .map(|(&f, &col)| {
+                let mut s = OnlineStats::new();
+                for &v in &body_cols[col] {
+                    s.push(v);
+                }
+                FactorScore {
+                    kind: FactorKind::Body(f),
+                    variance: s.variance(),
+                    fraction_of_total: 0.0,
+                    score: 0.0,
+                    call_sites: vec![(Some(f), s.variance())],
+                    mean_ns: s.mean(),
+                }
+            })
+            .collect();
+
+        // Finalize scores.
+        let mut factors: Vec<FactorScore> = Vec::new();
+        let leaf_spec = {
+            let d = graph.graph_height() as f64;
+            d * d
+        };
+        for (_, mut fs) in func_factors {
+            let FactorKind::Func(f) = fs.kind else {
+                unreachable!()
+            };
+            fs.fraction_of_total = safe_frac(fs.variance, total_variance);
+            fs.score = graph.specificity(f) * fs.variance;
+            factors.push(fs);
+        }
+        for (_, mut fs) in cov_factors {
+            let FactorKind::Cov(a, b) = fs.kind else {
+                unreachable!()
+            };
+            fs.fraction_of_total = safe_frac(fs.variance, total_variance);
+            fs.score = graph.pair_specificity(a, b) * fs.variance.abs();
+            factors.push(fs);
+        }
+        for fs in &mut body_factors {
+            fs.fraction_of_total = safe_frac(fs.variance, total_variance);
+            // A body is terminal: maximally specific.
+            fs.score = leaf_spec * fs.variance;
+        }
+        factors.append(&mut body_factors);
+        factors.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaN scores"));
+
+        VarianceReport {
+            txn_count: n,
+            mean_total_ns: total_stats.mean(),
+            total_variance,
+            factors,
+        }
+    }
+
+    /// The top-`k` factors by score.
+    pub fn top_k(&self, k: usize) -> &[FactorScore] {
+        &self.factors[..k.min(self.factors.len())]
+    }
+
+    /// The factor for a specific function, if present.
+    pub fn func_factor(&self, f: FuncId) -> Option<&FactorScore> {
+        self.factors
+            .iter()
+            .find(|fs| fs.kind == FactorKind::Func(f))
+    }
+
+    /// Render the top-`k` factors as a text table (the paper's Table 1/2
+    /// format: function, % of overall variance).
+    pub fn render(&self, graph: &CallGraph, k: usize) -> String {
+        let mut t = TextTable::new(["factor", "% of overall variance", "mean (us)", "score"]);
+        for fs in self.top_k(k) {
+            let name = match fs.kind {
+                FactorKind::Func(f) => graph.name(f).to_string(),
+                FactorKind::Cov(a, b) => {
+                    format!("cov({}, {})", graph.name(a), graph.name(b))
+                }
+                FactorKind::Body(f) => format!("body({})", graph.name(f)),
+            };
+            t.row([
+                name,
+                pct(fs.fraction_of_total),
+                format!("{:.1}", fs.mean_ns / 1000.0),
+                format!("{:.3e}", fs.score),
+            ]);
+        }
+        format!(
+            "{} transactions, mean {:.2} ms, variance {:.3e} ns^2\n{}",
+            self.txn_count,
+            self.mean_total_ns / 1e6,
+            self.total_variance,
+            t.render()
+        )
+    }
+}
+
+impl VarianceReport {
+    /// Render the observed call hierarchy as a variance tree (the paper's
+    /// Figure 1): each node shows its variance share, bodies appear as
+    /// leaf nodes, and sibling covariances are listed under their parent.
+    pub fn render_tree(&self, graph: &CallGraph) -> String {
+        use std::collections::BTreeMap;
+        use std::fmt::Write;
+
+        // Observed edges: dynamic parent -> (func, variance at that site).
+        let mut children: BTreeMap<Option<FuncId>, Vec<(FuncId, f64)>> = BTreeMap::new();
+        for f in &self.factors {
+            if let FactorKind::Func(func) = f.kind {
+                for &(parent, var) in &f.call_sites {
+                    children.entry(parent).or_default().push((func, var));
+                }
+            }
+        }
+        for kids in children.values_mut() {
+            kids.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        }
+        let body_var = |f: FuncId| {
+            self.factors
+                .iter()
+                .find(|x| x.kind == FactorKind::Body(f))
+                .map(|x| x.variance)
+        };
+        // Sibling covariances grouped by the shared dynamic parent.
+        let mut covs: BTreeMap<Option<FuncId>, Vec<(FuncId, FuncId, f64)>> = BTreeMap::new();
+        for f in &self.factors {
+            if let FactorKind::Cov(a, b) = f.kind {
+                for &(parent, c) in &f.call_sites {
+                    covs.entry(parent).or_default().push((a, b, c));
+                }
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Var(txn) = {:.3e} ns^2 over {} transactions",
+            self.total_variance, self.txn_count
+        );
+        // Iterative DFS from the observed roots.
+        fn visit(
+            out: &mut String,
+            graph: &CallGraph,
+            children: &std::collections::BTreeMap<Option<FuncId>, Vec<(FuncId, f64)>>,
+            covs: &std::collections::BTreeMap<Option<FuncId>, Vec<(FuncId, FuncId, f64)>>,
+            body_var: &dyn Fn(FuncId) -> Option<f64>,
+            node: FuncId,
+            var: f64,
+            total: f64,
+            depth: usize,
+            seen: &mut Vec<FuncId>,
+        ) {
+            let indent = "  ".repeat(depth);
+            let frac = if total > 0.0 { var / total * 100.0 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{indent}Var({}) = {:.3e}  [{frac:.1}%]",
+                graph.name(node),
+                var
+            );
+            if seen.contains(&node) {
+                return; // recursion guard for multi-caller graphs
+            }
+            seen.push(node);
+            if let Some(b) = body_var(node) {
+                let _ = writeln!(
+                    out,
+                    "{indent}  Var(body_{}) = {:.3e}",
+                    graph.name(node),
+                    b
+                );
+            }
+            if let Some(kids) = children.get(&Some(node)) {
+                for &(c, v) in kids {
+                    visit(out, graph, children, covs, body_var, c, v, total, depth + 1, seen);
+                }
+            }
+            if let Some(pairs) = covs.get(&Some(node)) {
+                for &(a, b, c) in pairs {
+                    let _ = writeln!(
+                        out,
+                        "{indent}  2Cov({}, {}) = {:.3e}",
+                        graph.name(a),
+                        graph.name(b),
+                        c
+                    );
+                }
+            }
+            seen.pop();
+        }
+        let mut seen = Vec::new();
+        if let Some(roots) = children.get(&None) {
+            for &(r, v) in roots {
+                visit(
+                    &mut out,
+                    graph,
+                    &children,
+                    &covs,
+                    &body_var,
+                    r,
+                    v,
+                    self.total_variance,
+                    0,
+                    &mut seen,
+                );
+            }
+        }
+        out
+    }
+}
+
+fn safe_frac(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Event;
+    use crate::registry::CallGraphBuilder;
+
+    /// Build traces synthetically: root calls a and b; a's duration varies
+    /// wildly, b is constant.
+    fn graph() -> (CallGraph, FuncId, FuncId, FuncId) {
+        let mut g = CallGraphBuilder::new();
+        let root = g.register("root", None);
+        let a = g.register("a", Some(root));
+        let b = g.register("b", Some(root));
+        (g.build(), root, a, b)
+    }
+
+    fn trace(root: FuncId, a: FuncId, b: FuncId, a_dur: u64, b_dur: u64) -> TxnTrace {
+        let total = a_dur + b_dur + 100;
+        TxnTrace {
+            txn_type: 0,
+            total,
+            events: vec![
+                Event {
+                    func: root,
+                    parent: None,
+                    start: 0,
+                    dur: total,
+                },
+                Event {
+                    func: a,
+                    parent: Some(root),
+                    start: 10,
+                    dur: a_dur,
+                },
+                Event {
+                    func: b,
+                    parent: Some(root),
+                    start: 10 + a_dur,
+                    dur: b_dur,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn variable_child_outranks_constant_child_and_root() {
+        let (g, root, a, b) = graph();
+        let traces: Vec<TxnTrace> = (0..100)
+            .map(|i| trace(root, a, b, (i % 10) * 1000, 5000))
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        assert_eq!(report.txn_count, 100);
+        assert!(report.total_variance > 0.0);
+        // The top *function* factor must be `a`: the root has at least as
+        // much raw variance, but zero specificity.
+        let top_func = report
+            .factors
+            .iter()
+            .find(|f| matches!(f.kind, FactorKind::Func(_)))
+            .expect("has function factors");
+        assert_eq!(top_func.kind, FactorKind::Func(a));
+        let fa = report.func_factor(a).expect("a analyzed");
+        let fb = report.func_factor(b).expect("b analyzed");
+        assert!(fa.variance > 0.0);
+        assert_eq!(fb.variance, 0.0, "constant child has zero variance");
+        let froot = report.func_factor(root).expect("root analyzed");
+        assert_eq!(froot.score, 0.0, "root has zero specificity");
+        assert!(froot.variance >= fa.variance, "parent variance dominates");
+    }
+
+    #[test]
+    fn fraction_of_total_matches_table1_semantics() {
+        let (g, root, a, b) = graph();
+        // a is the *only* varying component; its variance fraction should be
+        // close to 1 (b and overhead constant).
+        let traces: Vec<TxnTrace> = (0..200)
+            .map(|i| trace(root, a, b, ((i * 37) % 100) * 500, 2000))
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let fa = report.func_factor(a).expect("a analyzed");
+        assert!(
+            fa.fraction_of_total > 0.95 && fa.fraction_of_total < 1.05,
+            "fraction = {}",
+            fa.fraction_of_total
+        );
+    }
+
+    #[test]
+    fn covariance_of_correlated_siblings_detected() {
+        let (g, root, a, b) = graph();
+        // a and b vary together (same work driver).
+        let traces: Vec<TxnTrace> = (0..100)
+            .map(|i| {
+                let w = (i % 10) * 1000;
+                trace(root, a, b, w, w)
+            })
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let cov = report
+            .factors
+            .iter()
+            .find(|f| matches!(f.kind, FactorKind::Cov(_, _)))
+            .expect("covariance factor present");
+        assert!(cov.variance > 0.0, "positive covariance");
+        // 2cov(a,b) = 2var(w) equals each child's variance doubled.
+        let fa = report.func_factor(a).expect("a");
+        assert!((cov.variance - 2.0 * fa.variance).abs() / cov.variance < 1e-9);
+    }
+
+    #[test]
+    fn body_time_computed() {
+        let (g, root, a, b) = graph();
+        let traces: Vec<TxnTrace> = (0..50)
+            .map(|i| trace(root, a, b, 1000, (i % 5) * 100))
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let body = report
+            .factors
+            .iter()
+            .find(|f| f.kind == FactorKind::Body(root))
+            .expect("root body factor");
+        // body(root) = total − a − b = 100, constant → zero variance.
+        assert_eq!(body.variance, 0.0);
+        assert!((body.mean_ns - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces() {
+        let (g, ..) = graph();
+        let report = VarianceReport::analyze(&g, &[]);
+        assert_eq!(report.txn_count, 0);
+        assert_eq!(report.total_variance, 0.0);
+        assert!(report.factors.is_empty());
+        assert!(report.top_k(5).is_empty());
+    }
+
+    #[test]
+    fn uninvoked_functions_count_as_zero() {
+        let (g, root, a, b) = graph();
+        // a invoked in only half the transactions: absence must count as 0,
+        // creating variance.
+        let traces: Vec<TxnTrace> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    trace(root, a, b, 10_000, 1000)
+                } else {
+                    let total = 1100;
+                    TxnTrace {
+                        txn_type: 0,
+                        total,
+                        events: vec![
+                            Event {
+                                func: root,
+                                parent: None,
+                                start: 0,
+                                dur: total,
+                            },
+                            Event {
+                                func: b,
+                                parent: Some(root),
+                                start: 10,
+                                dur: 1000,
+                            },
+                        ],
+                    }
+                }
+            })
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let fa = report.func_factor(a).expect("a analyzed");
+        // Var of a 50/50 {0, 10000} mixture = 2.5e7.
+        assert!((fa.variance - 2.5e7).abs() < 1.0, "var = {}", fa.variance);
+    }
+
+    #[test]
+    fn render_contains_names_and_percentages() {
+        let (g, root, a, b) = graph();
+        let traces: Vec<TxnTrace> =
+            (0..20).map(|i| trace(root, a, b, i * 100, 50)).collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let s = report.render(&g, 3);
+        assert!(s.contains('%'));
+        assert!(s.contains('a') || s.contains("body"));
+        assert!(s.contains("transactions"));
+    }
+
+    #[test]
+    fn render_tree_shows_hierarchy_and_covariances() {
+        let (g, root, a, b) = graph();
+        let traces: Vec<TxnTrace> = (0..50)
+            .map(|i| {
+                let w = (i % 10) * 1000;
+                trace(root, a, b, w, w)
+            })
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let tree = report.render_tree(&g);
+        assert!(tree.contains("Var(root)"), "{tree}");
+        // Children indented under root.
+        assert!(tree.contains("  Var(a)"), "{tree}");
+        assert!(tree.contains("  Var(b)"), "{tree}");
+        assert!(tree.contains("2Cov(a, b)") || tree.contains("2Cov(b, a)"), "{tree}");
+        assert!(tree.contains("Var(body_root)"), "{tree}");
+    }
+
+    #[test]
+    fn multi_call_site_aggregation() {
+        // One function invoked from two parents: call sites tracked apart,
+        // variance summed at the function level.
+        let mut gb = CallGraphBuilder::new();
+        let root = gb.register("root", None);
+        let p1 = gb.register("p1", Some(root));
+        let p2 = gb.register("p2", Some(root));
+        let shared = gb.register("shared", Some(p1));
+        let g = gb.build();
+        let traces: Vec<TxnTrace> = (0..100)
+            .map(|i| {
+                let d1 = (i % 7) * 100;
+                let d2 = (i % 3) * 1000;
+                TxnTrace {
+                    txn_type: 0,
+                    total: 100_000,
+                    events: vec![
+                        Event {
+                            func: p1,
+                            parent: Some(root),
+                            start: 0,
+                            dur: d1 + 10,
+                        },
+                        Event {
+                            func: shared,
+                            parent: Some(p1),
+                            start: 0,
+                            dur: d1,
+                        },
+                        Event {
+                            func: p2,
+                            parent: Some(root),
+                            start: 0,
+                            dur: d2 + 10,
+                        },
+                        Event {
+                            func: shared,
+                            parent: Some(p2),
+                            start: 0,
+                            dur: d2,
+                        },
+                    ],
+                }
+            })
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let fs = report.func_factor(shared).expect("shared analyzed");
+        assert_eq!(fs.call_sites.len(), 2, "two distinct call sites");
+        let sum: f64 = fs.call_sites.iter().map(|(_, v)| v).sum();
+        assert!((sum - fs.variance).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,30 @@
+//! TProfiler — transaction-aware variance profiling (Section 3 of the paper).
+//!
+//! TProfiler answers "which functions make transaction latency *unpredictable*?"
+//! It differs from conventional profilers in two ways the paper calls out:
+//!
+//! 1. It is transaction-aware: the unit of analysis is one transaction's
+//!    latency, demarcated by [`Profiler::begin_txn`], and only time spent on
+//!    behalf of a transaction is attributed.
+//! 2. It reasons about *variance*, not means: per-function latencies are
+//!    aggregated per transaction and decomposed with the variance tree
+//!    (`Var(ΣXᵢ) = ΣVar(Xᵢ) + 2ΣΣCov(Xᵢ,Xⱼ)`, eq. 1), then ranked by a
+//!    score that multiplies variance by *specificity* — deeper functions are
+//!    more informative (eq. 2–3).
+//!
+//! The workflow mirrors the paper's iterative refinement: instrument a small
+//! subset of the static call graph (a disabled probe is a single relaxed
+//! atomic load, keeping overhead within the paper's <6% bound), run the
+//! workload, analyze, then descend into the highest-scoring factors
+//! ([`refine::Refiner`]). A [`ProbeCost::Heavy`] mode models DTrace-style
+//! binary instrumentation for the Figure 5 overhead comparison.
+
+pub mod analysis;
+pub mod probe;
+pub mod refine;
+pub mod registry;
+
+pub use analysis::{FactorKind, FactorScore, VarianceReport};
+pub use probe::{OwnedSpanGuard, OwnedTxnGuard, ProbeCost, Profiler, SpanGuard, TxnGuard, TxnTrace};
+pub use refine::{naive_run_count, RefineOutcome, Refiner};
+pub use registry::{CallGraph, CallGraphBuilder, FuncId};

@@ -1,0 +1,554 @@
+//! Probes and trace collection.
+//!
+//! A probe site wraps an engine function in a [`SpanGuard`]; while a
+//! transaction is active on the thread (between [`Profiler::begin_txn`] and
+//! the guard drop), enabled probes append `(function, parent, start,
+//! duration)` events to a thread-local buffer, which is submitted as one
+//! [`TxnTrace`] at transaction end.
+//!
+//! Costs, mirroring the paper's Figure 5 setup:
+//! * disabled probe — one relaxed atomic load;
+//! * enabled probe ([`ProbeCost::Cheap`], TProfiler's source-level
+//!   instrumentation) — two timestamps plus a buffer push;
+//! * enabled probe ([`ProbeCost::Heavy`], modeling DTrace's run-time binary
+//!   instrumentation) — additionally burns a configurable amount of CPU per
+//!   event boundary (trap + context switch + copy-out).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tpd_common::clock::{cpu_work, now_nanos};
+use tpd_common::Nanos;
+
+use crate::registry::{CallGraph, FuncId};
+
+/// Per-event instrumentation cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeCost {
+    /// Source-level instrumentation (TProfiler).
+    Cheap,
+    /// Binary instrumentation à la DTrace: `work_units` of CPU burned at
+    /// every event entry and exit (thousands of units ≈ microseconds).
+    Heavy {
+        /// CPU work units per event boundary (see `tpd_common::clock::cpu_work`).
+        work_units: u64,
+    },
+}
+
+/// One attributed event inside a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The instrumented function.
+    pub func: FuncId,
+    /// The enclosing instrumented function at entry (the call site context).
+    pub parent: Option<FuncId>,
+    /// Start, process-relative ns.
+    pub start: Nanos,
+    /// Duration, ns.
+    pub dur: Nanos,
+}
+
+/// One transaction's trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnTrace {
+    /// Workload-defined transaction type.
+    pub txn_type: u8,
+    /// End-to-end duration of the demarcated interval, ns.
+    pub total: Nanos,
+    /// Events recorded by enabled probes, in entry order.
+    pub events: Vec<Event>,
+}
+
+struct ActiveTrace {
+    txn_type: u8,
+    start: Nanos,
+    /// Indices into `events` of currently-open spans (innermost last).
+    stack: Vec<usize>,
+    events: Vec<Event>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// The profiler: call graph + per-function enable bits + trace sink.
+#[derive(Debug)]
+pub struct Profiler {
+    graph: CallGraph,
+    enabled: Vec<AtomicBool>,
+    collecting: AtomicBool,
+    cost: ProbeCost,
+    traces: Mutex<Vec<TxnTrace>>,
+}
+
+impl Profiler {
+    /// A profiler over the given call graph, with all probes disabled and
+    /// collection off.
+    pub fn new(graph: CallGraph) -> Self {
+        let enabled = (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
+        Profiler {
+            graph,
+            enabled,
+            collecting: AtomicBool::new(false),
+            cost: ProbeCost::Cheap,
+            traces: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A no-op profiler over an empty graph (for engines run unprofiled).
+    pub fn disabled() -> Self {
+        Self::new(crate::registry::CallGraphBuilder::new().build())
+    }
+
+    /// The call graph.
+    pub fn graph(&self) -> &CallGraph {
+        &self.graph
+    }
+
+    /// Set the per-event cost model (for the Fig. 5 overhead study).
+    pub fn set_cost(&mut self, cost: ProbeCost) {
+        self.cost = cost;
+    }
+
+    /// Current cost model.
+    pub fn cost(&self) -> ProbeCost {
+        self.cost
+    }
+
+    /// Turn collection on/off (off: `begin_txn` is a no-op).
+    pub fn set_collecting(&self, on: bool) {
+        self.collecting.store(on, Ordering::Release);
+    }
+
+    /// Whether collection is on.
+    pub fn is_collecting(&self) -> bool {
+        self.collecting.load(Ordering::Acquire)
+    }
+
+    /// Enable or disable a probe.
+    pub fn set_enabled(&self, f: FuncId, on: bool) {
+        self.enabled[f.0 as usize].store(on, Ordering::Release);
+    }
+
+    /// Enable exactly this set of probes, disabling all others.
+    pub fn enable_only(&self, set: &[FuncId]) {
+        for e in &self.enabled {
+            e.store(false, Ordering::Release);
+        }
+        for f in set {
+            self.set_enabled(*f, true);
+        }
+    }
+
+    /// Whether a probe is enabled.
+    pub fn is_enabled(&self, f: FuncId) -> bool {
+        self.enabled[f.0 as usize].load(Ordering::Relaxed)
+    }
+
+    /// Currently enabled probes.
+    pub fn enabled_set(&self) -> Vec<FuncId> {
+        self.graph.ids().filter(|f| self.is_enabled(*f)).collect()
+    }
+
+    /// Demarcate the start of a transaction on this thread. The returned
+    /// guard submits the trace when dropped. If collection is off, the
+    /// guard is inert.
+    #[must_use = "the transaction ends when the guard drops"]
+    pub fn begin_txn(&self, txn_type: u8) -> TxnGuard<'_> {
+        let active = self.begin_txn_impl(txn_type);
+        TxnGuard {
+            profiler: self,
+            active,
+        }
+    }
+
+    /// Like [`Profiler::begin_txn`] but the guard owns an `Arc` to the
+    /// profiler — for transaction handles that must not borrow.
+    #[must_use = "the transaction ends when the guard drops"]
+    pub fn begin_txn_arc(self: &Arc<Self>, txn_type: u8) -> OwnedTxnGuard {
+        let active = self.begin_txn_impl(txn_type);
+        OwnedTxnGuard {
+            profiler: self.clone(),
+            active,
+        }
+    }
+
+    fn begin_txn_impl(&self, txn_type: u8) -> bool {
+        if !self.is_collecting() {
+            return false;
+        }
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            debug_assert!(slot.is_none(), "nested transactions on one thread");
+            *slot = Some(ActiveTrace {
+                txn_type,
+                start: now_nanos(),
+                stack: Vec::with_capacity(8),
+                events: Vec::with_capacity(32),
+            });
+        });
+        true
+    }
+
+    /// Enter an instrumented function. Disabled probes cost one atomic load.
+    #[inline]
+    #[must_use = "the span ends when the guard drops"]
+    pub fn probe(&self, f: FuncId) -> SpanGuard<'_> {
+        let recording = self.probe_impl(f);
+        SpanGuard {
+            profiler: self,
+            recording,
+        }
+    }
+
+    /// Like [`Profiler::probe`] but the guard owns an `Arc` to the profiler.
+    #[inline]
+    #[must_use = "the span ends when the guard drops"]
+    pub fn probe_arc(self: &Arc<Self>, f: FuncId) -> OwnedSpanGuard {
+        let recording = self.probe_impl(f);
+        OwnedSpanGuard {
+            profiler: self.clone(),
+            recording,
+        }
+    }
+
+    #[inline]
+    fn probe_impl(&self, f: FuncId) -> bool {
+        if !self.enabled[f.0 as usize].load(Ordering::Relaxed) {
+            return false;
+        }
+        self.burn();
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let Some(active) = slot.as_mut() else {
+                return false;
+            };
+            let parent = active
+                .stack
+                .last()
+                .map(|&i| active.events[i].func);
+            let idx = active.events.len();
+            active.events.push(Event {
+                func: f,
+                parent,
+                start: now_nanos(),
+                dur: 0,
+            });
+            active.stack.push(idx);
+            true
+        })
+    }
+
+    /// Record an event that was measured externally (e.g. a lock wait whose
+    /// duration the lock manager reports). Attributed under the current
+    /// innermost open span. No-op when the probe is disabled or no
+    /// transaction is active.
+    pub fn add_event(&self, f: FuncId, start: Nanos, dur: Nanos) {
+        if !self.enabled[f.0 as usize].load(Ordering::Relaxed) {
+            return;
+        }
+        self.burn();
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            if let Some(active) = slot.as_mut() {
+                let parent = active.stack.last().map(|&i| active.events[i].func);
+                active.events.push(Event {
+                    func: f,
+                    parent,
+                    start,
+                    dur,
+                });
+            }
+        });
+    }
+
+    /// Submit a trace assembled externally (e.g. the event-based VoltDB
+    /// executor concatenating per-task intervals for one transaction id).
+    pub fn submit_trace(&self, trace: TxnTrace) {
+        if self.is_collecting() {
+            self.traces.lock().push(trace);
+        }
+    }
+
+    /// Drain all collected traces.
+    pub fn drain_traces(&self) -> Vec<TxnTrace> {
+        std::mem::take(&mut self.traces.lock())
+    }
+
+    /// Number of collected traces.
+    pub fn trace_count(&self) -> usize {
+        self.traces.lock().len()
+    }
+
+    #[inline]
+    fn burn(&self) {
+        if let ProbeCost::Heavy { work_units } = self.cost {
+            cpu_work(work_units);
+        }
+    }
+
+    fn end_txn(&self) {
+        let finished = ACTIVE.with(|a| a.borrow_mut().take());
+        let Some(active) = finished else {
+            return;
+        };
+        debug_assert!(
+            active.stack.is_empty(),
+            "transaction ended with open spans"
+        );
+        let trace = TxnTrace {
+            txn_type: active.txn_type,
+            total: now_nanos() - active.start,
+            events: active.events,
+        };
+        self.traces.lock().push(trace);
+    }
+
+    fn end_span(&self) {
+        self.burn();
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            if let Some(active) = slot.as_mut() {
+                if let Some(idx) = active.stack.pop() {
+                    let e = &mut active.events[idx];
+                    e.dur = now_nanos() - e.start;
+                }
+            }
+        });
+    }
+}
+
+/// Guard demarcating one transaction; submits the trace on drop.
+#[derive(Debug)]
+pub struct TxnGuard<'p> {
+    profiler: &'p Profiler,
+    active: bool,
+}
+
+impl Drop for TxnGuard<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            self.profiler.end_txn();
+        }
+    }
+}
+
+/// Guard for one instrumented span; records the duration on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'p> {
+    profiler: &'p Profiler,
+    recording: bool,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.recording {
+            self.profiler.end_span();
+        }
+    }
+}
+
+/// Owned variant of [`TxnGuard`] (see [`Profiler::begin_txn_arc`]).
+#[derive(Debug)]
+pub struct OwnedTxnGuard {
+    profiler: Arc<Profiler>,
+    active: bool,
+}
+
+impl Drop for OwnedTxnGuard {
+    fn drop(&mut self) {
+        if self.active {
+            self.profiler.end_txn();
+        }
+    }
+}
+
+/// Owned variant of [`SpanGuard`] (see [`Profiler::probe_arc`]).
+#[derive(Debug)]
+pub struct OwnedSpanGuard {
+    profiler: Arc<Profiler>,
+    recording: bool,
+}
+
+impl Drop for OwnedSpanGuard {
+    fn drop(&mut self) {
+        if self.recording {
+            self.profiler.end_span();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::CallGraphBuilder;
+
+    fn setup() -> (Profiler, FuncId, FuncId, FuncId) {
+        let mut b = CallGraphBuilder::new();
+        let root = b.register("root", None);
+        let child = b.register("child", Some(root));
+        let leaf = b.register("leaf", Some(child));
+        let p = Profiler::new(b.build());
+        p.set_collecting(true);
+        p.enable_only(&[root, child, leaf]);
+        (p, root, child, leaf)
+    }
+
+    fn spin(ns: u64) {
+        let end = now_nanos() + ns;
+        while now_nanos() < end {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn records_nested_spans_with_parents() {
+        let (p, root, child, leaf) = setup();
+        {
+            let _t = p.begin_txn(3);
+            let _r = p.probe(root);
+            spin(10_000);
+            {
+                let _c = p.probe(child);
+                {
+                    let _l = p.probe(leaf);
+                    spin(5_000);
+                }
+            }
+        }
+        let traces = p.drain_traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.txn_type, 3);
+        assert!(t.total >= 15_000);
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.events[0].func, root);
+        assert_eq!(t.events[0].parent, None);
+        assert_eq!(t.events[1].func, child);
+        assert_eq!(t.events[1].parent, Some(root));
+        assert_eq!(t.events[2].func, leaf);
+        assert_eq!(t.events[2].parent, Some(child));
+        assert!(t.events[0].dur >= t.events[1].dur);
+        assert!(t.events[1].dur >= t.events[2].dur);
+    }
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let (p, root, child, _leaf) = setup();
+        p.enable_only(&[root]);
+        {
+            let _t = p.begin_txn(0);
+            let _r = p.probe(root);
+            let _c = p.probe(child); // disabled
+        }
+        let traces = p.drain_traces();
+        assert_eq!(traces[0].events.len(), 1);
+        assert_eq!(traces[0].events[0].func, root);
+    }
+
+    #[test]
+    fn collection_off_records_nothing() {
+        let (p, root, ..) = setup();
+        p.set_collecting(false);
+        {
+            let _t = p.begin_txn(0);
+            let _r = p.probe(root);
+        }
+        assert_eq!(p.trace_count(), 0);
+    }
+
+    #[test]
+    fn probe_outside_txn_is_noop() {
+        let (p, root, ..) = setup();
+        {
+            let _r = p.probe(root);
+        }
+        assert_eq!(p.trace_count(), 0);
+    }
+
+    #[test]
+    fn add_event_attributes_under_open_span() {
+        let (p, root, child, _) = setup();
+        {
+            let _t = p.begin_txn(0);
+            let _r = p.probe(root);
+            p.add_event(child, 100, 42);
+        }
+        let traces = p.drain_traces();
+        let e = &traces[0].events[1];
+        assert_eq!(e.func, child);
+        assert_eq!(e.parent, Some(root));
+        assert_eq!(e.dur, 42);
+    }
+
+    #[test]
+    fn traces_accumulate_across_transactions() {
+        let (p, root, ..) = setup();
+        for i in 0..5u8 {
+            let _t = p.begin_txn(i);
+            let _r = p.probe(root);
+        }
+        let traces = p.drain_traces();
+        assert_eq!(traces.len(), 5);
+        assert_eq!(traces[4].txn_type, 4);
+        assert_eq!(p.trace_count(), 0, "drain empties");
+    }
+
+    #[test]
+    fn heavy_cost_is_slower_than_cheap() {
+        let (mut p, root, ..) = setup();
+        let reps = 2000;
+        let t0 = now_nanos();
+        for _ in 0..reps {
+            let _t = p.begin_txn(0);
+            let _r = p.probe(root);
+        }
+        let cheap = now_nanos() - t0;
+        p.drain_traces();
+        p.set_cost(ProbeCost::Heavy { work_units: 3000 });
+        let t0 = now_nanos();
+        for _ in 0..reps {
+            let _t = p.begin_txn(0);
+            let _r = p.probe(root);
+        }
+        let heavy = now_nanos() - t0;
+        assert!(
+            heavy > cheap * 2,
+            "heavy {heavy} should dwarf cheap {cheap}"
+        );
+    }
+
+    #[test]
+    fn submit_trace_respects_collecting() {
+        let (p, root, ..) = setup();
+        p.submit_trace(TxnTrace {
+            txn_type: 1,
+            total: 10,
+            events: vec![Event {
+                func: root,
+                parent: None,
+                start: 0,
+                dur: 10,
+            }],
+        });
+        assert_eq!(p.trace_count(), 1);
+        p.set_collecting(false);
+        p.submit_trace(TxnTrace {
+            txn_type: 1,
+            total: 10,
+            events: vec![],
+        });
+        assert_eq!(p.trace_count(), 1);
+    }
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let p = Profiler::disabled();
+        let _t = p.begin_txn(0);
+        assert_eq!(p.trace_count(), 0);
+        assert!(!p.is_collecting());
+    }
+}

@@ -1,0 +1,247 @@
+//! Iterative refinement (Section 3.1).
+//!
+//! TProfiler does not instrument the whole call graph at once — that would
+//! distort the latency profile. Instead it instruments a frontier, runs the
+//! workload, analyzes, and descends only into the top-scoring factors,
+//! leaving low-variance subtrees untouched. The number of runs this takes is
+//! the quantity Figure 5 (right) compares against a naive profiler that must
+//! decompose *every* non-leaf function.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::{FactorKind, VarianceReport};
+use crate::probe::Profiler;
+use crate::registry::{CallGraph, FuncId};
+
+/// Drives the instrument → run → analyze → descend loop.
+#[derive(Debug)]
+pub struct Refiner<'p> {
+    profiler: &'p Profiler,
+    /// How many top factors to consider for expansion each iteration.
+    pub top_k: usize,
+    /// Hard cap on iterations (the paper reports "perhaps as much as ten").
+    pub max_iterations: usize,
+}
+
+/// Result of a refinement session.
+#[derive(Debug)]
+pub struct RefineOutcome {
+    /// Number of profiled runs performed.
+    pub runs: usize,
+    /// The final report (from the last, widest instrumentation set).
+    pub report: VarianceReport,
+    /// The instrumentation set used in each run.
+    pub instrumented_history: Vec<Vec<FuncId>>,
+}
+
+impl<'p> Refiner<'p> {
+    /// A refiner over the profiler's call graph with the paper's defaults.
+    pub fn new(profiler: &'p Profiler) -> Self {
+        Refiner {
+            profiler,
+            top_k: 5,
+            max_iterations: 10,
+        }
+    }
+
+    /// Run the loop. `workload` is invoked once per iteration and must drive
+    /// transactions through the profiler (its traces are drained and
+    /// analyzed after each call).
+    pub fn run<W: FnMut()>(&self, mut workload: W) -> RefineOutcome {
+        let graph = self.profiler.graph();
+        let mut instrumented: BTreeSet<FuncId> = graph.roots().into_iter().collect();
+        let mut history = Vec::new();
+        let mut runs = 0usize;
+        let mut report;
+        loop {
+            let set: Vec<FuncId> = instrumented.iter().copied().collect();
+            self.profiler.enable_only(&set);
+            self.profiler.drain_traces();
+            let was_collecting = self.profiler.is_collecting();
+            self.profiler.set_collecting(true);
+            workload();
+            self.profiler.set_collecting(was_collecting);
+            let traces = self.profiler.drain_traces();
+            report = Some(VarianceReport::analyze(graph, &traces));
+            history.push(set);
+            runs += 1;
+
+            // Descend into the top factors' children.
+            let mut grew = false;
+            for fs in report.as_ref().expect("just set").top_k(self.top_k) {
+                let funcs: Vec<FuncId> = match fs.kind {
+                    FactorKind::Func(f) | FactorKind::Body(f) => vec![f],
+                    FactorKind::Cov(a, b) => vec![a, b],
+                };
+                for f in funcs {
+                    for &c in graph.children(f) {
+                        if instrumented.insert(c) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew || runs >= self.max_iterations {
+                break;
+            }
+        }
+        RefineOutcome {
+            runs,
+            report: report.expect("at least one run"),
+            instrumented_history: history,
+        }
+    }
+}
+
+/// How many runs a naive profiler needs: it decomposes every non-leaf
+/// function, one per run (Fig. 5 right's baseline).
+pub fn naive_run_count(graph: &CallGraph) -> usize {
+    graph.non_leaf_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::CallGraphBuilder;
+    use tpd_common::clock::now_nanos;
+
+    /// A call graph where the variance hides two levels down in one of many
+    /// subtrees: root -> {s0..s4}, s2 -> {noisy, quiet}.
+    struct Fixture {
+        profiler: Profiler,
+        root: FuncId,
+        subs: Vec<FuncId>,
+        noisy: FuncId,
+        quiet: FuncId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut b = CallGraphBuilder::new();
+        let root = b.register("root", None);
+        let subs: Vec<FuncId> = (0..5)
+            .map(|i| b.register(&format!("s{i}"), Some(root)))
+            .collect();
+        let noisy = b.register("noisy", Some(subs[2]));
+        let quiet = b.register("quiet", Some(subs[2]));
+        Fixture {
+            profiler: Profiler::new(b.build()),
+            root,
+            subs,
+            noisy,
+            quiet,
+        }
+    }
+
+    fn spin(ns: u64) {
+        let end = now_nanos() + ns;
+        while now_nanos() < end {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn drive(f: &Fixture, txns: u64) {
+        for i in 0..txns {
+            let _t = f.profiler.begin_txn(0);
+            let _r = f.profiler.probe(f.root);
+            for (si, &s) in f.subs.iter().enumerate() {
+                let _s = f.profiler.probe(s);
+                if si == 2 {
+                    {
+                        let _n = f.profiler.probe(f.noisy);
+                        spin((i % 8) * 20_000); // the variance source
+                    }
+                    let _q = f.profiler.probe(f.quiet);
+                    spin(5_000);
+                } else {
+                    spin(2_000);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refiner_descends_to_the_noisy_leaf() {
+        let f = fixture();
+        let refiner = Refiner::new(&f.profiler);
+        let outcome = refiner.run(|| drive(&f, 60));
+        // It must have reached and instrumented `noisy`.
+        let last = outcome
+            .instrumented_history
+            .last()
+            .expect("at least one run");
+        assert!(last.contains(&f.noisy), "noisy instrumented: {last:?}");
+        // And the final report's best *specific* factor should be noisy.
+        let top_func = outcome
+            .report
+            .factors
+            .iter()
+            .find(|x| matches!(x.kind, FactorKind::Func(_)))
+            .expect("has function factors");
+        assert_eq!(top_func.kind, FactorKind::Func(f.noisy));
+        // Root -> subs -> noisy = 3 instrumentation frontiers.
+        assert!(outcome.runs <= 4, "took {} runs", outcome.runs);
+    }
+
+    #[test]
+    fn refiner_beats_naive_run_count() {
+        let f = fixture();
+        let naive = naive_run_count(f.profiler.graph());
+        assert_eq!(naive, 2, "root and s2 are the non-leaves");
+        // On a *wide* graph the gap is dramatic; build one to show it.
+        let mut b = CallGraphBuilder::new();
+        let root = b.register("wide_root", None);
+        for i in 0..200 {
+            let s = b.register(&format!("w{i}"), Some(root));
+            for j in 0..3 {
+                b.register(&format!("w{i}_{j}"), Some(s));
+            }
+        }
+        let g = b.build();
+        assert_eq!(naive_run_count(&g), 201);
+        let _ = root;
+    }
+
+    #[test]
+    fn refiner_stops_when_nothing_grows() {
+        // A flat graph: one run suffices.
+        let mut b = CallGraphBuilder::new();
+        let root = b.register("flat", None);
+        let p = Profiler::new(b.build());
+        let refiner = Refiner::new(&p);
+        let outcome = refiner.run(|| {
+            for _ in 0..10 {
+                let _t = p.begin_txn(0);
+                let _r = p.probe(root);
+            }
+        });
+        assert_eq!(outcome.runs, 1);
+        assert_eq!(outcome.report.txn_count, 10);
+    }
+
+    #[test]
+    fn refiner_respects_max_iterations() {
+        // A deep chain graph would take one run per level; cap at 2.
+        let mut b = CallGraphBuilder::new();
+        let mut prev = b.register("lvl0", None);
+        let mut chain = vec![prev];
+        for i in 1..8 {
+            prev = b.register(&format!("lvl{i}"), Some(prev));
+            chain.push(prev);
+        }
+        let p = Profiler::new(b.build());
+        let refiner = Refiner {
+            profiler: &p,
+            top_k: 5,
+            max_iterations: 2,
+        };
+        let outcome = refiner.run(|| {
+            for i in 0..20u64 {
+                let _t = p.begin_txn(0);
+                let guards: Vec<_> = chain.iter().map(|&f| p.probe(f)).collect();
+                spin((i % 4) * 5_000);
+                drop(guards);
+            }
+        });
+        assert_eq!(outcome.runs, 2);
+    }
+}

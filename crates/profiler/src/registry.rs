@@ -1,0 +1,297 @@
+//! The static call graph TProfiler instruments.
+//!
+//! The paper's tool parses the application's source to build a call graph;
+//! here the application registers its instrumentation points explicitly:
+//! each probe site gets a [`FuncId`] with a static parent (its dominant
+//! caller in the engine's call hierarchy). Heights and specificities
+//! (eq. 2) are derived from this graph.
+
+use std::collections::HashMap;
+
+/// Identifier of an instrumented function (index into the call graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u16);
+
+#[derive(Debug, Clone)]
+struct FuncMeta {
+    name: String,
+    parent: Option<FuncId>,
+    children: Vec<FuncId>,
+}
+
+/// Builder for the immutable [`CallGraph`].
+#[derive(Debug, Default)]
+pub struct CallGraphBuilder {
+    funcs: Vec<FuncMeta>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl CallGraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an additional caller edge: `child` is also invoked from
+    /// `parent`. Real call graphs are DAGs — e.g. MySQL's
+    /// `btr_cur_search_to_nth_level` is reached from both the select and
+    /// the update paths. The primary parent (from [`Self::register`]) is
+    /// unchanged; the extra edge participates in `children`/heights, so the
+    /// refiner can descend from every caller.
+    pub fn add_caller(&mut self, child: FuncId, parent: FuncId) {
+        assert_ne!(child, parent, "self edges not allowed");
+        assert!(
+            (parent.0 as usize) < self.funcs.len() && (child.0 as usize) < self.funcs.len(),
+            "both ends must be registered"
+        );
+        assert!(
+            parent.0 < child.0,
+            "callers must be registered before callees (keeps the graph acyclic)"
+        );
+        let kids = &mut self.funcs[parent.0 as usize].children;
+        if !kids.contains(&child) {
+            kids.push(child);
+        }
+    }
+
+    /// Register a function under an optional parent. Names must be unique.
+    /// Returns its id.
+    pub fn register(&mut self, name: &str, parent: Option<FuncId>) -> FuncId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "function {name:?} registered twice"
+        );
+        if let Some(p) = parent {
+            assert!(
+                (p.0 as usize) < self.funcs.len(),
+                "parent {p:?} not registered"
+            );
+        }
+        let id = FuncId(u16::try_from(self.funcs.len()).expect("too many functions"));
+        self.funcs.push(FuncMeta {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.funcs[p.0 as usize].children.push(id);
+        }
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Freeze into a [`CallGraph`], computing heights.
+    pub fn build(self) -> CallGraph {
+        let n = self.funcs.len();
+        let mut heights = vec![0u32; n];
+        // Heights: leaves are 0; compute bottom-up. The graph is a DAG
+        // whose edges always point from lower to higher ids (enforced by
+        // register/add_caller), so one reverse pass suffices.
+        for i in (0..n).rev() {
+            let h = self.funcs[i]
+                .children
+                .iter()
+                .map(|c| heights[c.0 as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            heights[i] = h;
+        }
+        let graph_height = heights.iter().copied().max().unwrap_or(0);
+        CallGraph {
+            funcs: self.funcs,
+            by_name: self.by_name,
+            heights,
+            graph_height,
+        }
+    }
+}
+
+/// The immutable call graph: function metadata, heights, specificity.
+#[derive(Debug)]
+pub struct CallGraph {
+    funcs: Vec<FuncMeta>,
+    by_name: HashMap<String, FuncId>,
+    heights: Vec<u32>,
+    graph_height: u32,
+}
+
+impl CallGraph {
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Function name.
+    pub fn name(&self, f: FuncId) -> &str {
+        &self.funcs[f.0 as usize].name
+    }
+
+    /// Look up a function by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Static parent, if any.
+    pub fn parent(&self, f: FuncId) -> Option<FuncId> {
+        self.funcs[f.0 as usize].parent
+    }
+
+    /// Static children.
+    pub fn children(&self, f: FuncId) -> &[FuncId] {
+        &self.funcs[f.0 as usize].children
+    }
+
+    /// Whether `f` has no children (a leaf of the instrumented graph).
+    pub fn is_leaf(&self, f: FuncId) -> bool {
+        self.children(f).is_empty()
+    }
+
+    /// Height of `f`: max depth of the call tree beneath it (leaf = 0).
+    pub fn height(&self, f: FuncId) -> u32 {
+        self.heights[f.0 as usize]
+    }
+
+    /// Height of the whole graph (the paper's `height(call graph)`).
+    pub fn graph_height(&self) -> u32 {
+        self.graph_height
+    }
+
+    /// Specificity (eq. 2): `(height(graph) − height(f))²`. Deeper (more
+    /// specific) functions score higher.
+    pub fn specificity(&self, f: FuncId) -> f64 {
+        let d = self.graph_height - self.height(f);
+        (d as f64) * (d as f64)
+    }
+
+    /// Specificity of a covariance factor: the paper uses the *larger*
+    /// height of the pair (so the shallower member dominates).
+    pub fn pair_specificity(&self, a: FuncId, b: FuncId) -> f64 {
+        let h = self.height(a).max(self.height(b));
+        let d = self.graph_height - h;
+        (d as f64) * (d as f64)
+    }
+
+    /// All roots (functions without a parent).
+    pub fn roots(&self) -> Vec<FuncId> {
+        (0..self.funcs.len() as u16)
+            .map(FuncId)
+            .filter(|f| self.parent(*f).is_none())
+            .collect()
+    }
+
+    /// Number of functions with at least one child (what a naive profiler
+    /// must decompose one run at a time; see Fig. 5 right).
+    pub fn non_leaf_count(&self) -> usize {
+        (0..self.funcs.len() as u16)
+            .map(FuncId)
+            .filter(|f| !self.is_leaf(*f))
+            .count()
+    }
+
+    /// Iterate all ids.
+    pub fn ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len() as u16).map(FuncId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (CallGraph, FuncId, FuncId, FuncId, FuncId) {
+        let mut b = CallGraphBuilder::new();
+        let root = b.register("dispatch", None);
+        let a = b.register("a", Some(root));
+        let b1 = b.register("b", Some(root));
+        let leaf = b.register("a_leaf", Some(a));
+        (b.build(), root, a, b1, leaf)
+    }
+
+    #[test]
+    fn heights_and_specificity() {
+        let (g, root, a, b1, leaf) = sample();
+        assert_eq!(g.height(root), 2);
+        assert_eq!(g.height(a), 1);
+        assert_eq!(g.height(b1), 0);
+        assert_eq!(g.height(leaf), 0);
+        assert_eq!(g.graph_height(), 2);
+        assert_eq!(g.specificity(root), 0.0);
+        assert_eq!(g.specificity(a), 1.0);
+        assert_eq!(g.specificity(leaf), 4.0);
+        // Pair specificity uses the larger height.
+        assert_eq!(g.pair_specificity(a, leaf), 1.0);
+        assert_eq!(g.pair_specificity(b1, leaf), 4.0);
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let (g, root, ..) = sample();
+        assert_eq!(g.lookup("dispatch"), Some(root));
+        assert_eq!(g.lookup("nope"), None);
+        assert_eq!(g.name(root), "dispatch");
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn structure_queries() {
+        let (g, root, a, b1, leaf) = sample();
+        assert_eq!(g.parent(leaf), Some(a));
+        assert_eq!(g.parent(root), None);
+        assert_eq!(g.children(root), &[a, b1]);
+        assert!(g.is_leaf(leaf));
+        assert!(!g.is_leaf(root));
+        assert_eq!(g.roots(), vec![root]);
+        assert_eq!(g.non_leaf_count(), 2);
+        assert_eq!(g.ids().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let mut b = CallGraphBuilder::new();
+        b.register("x", None);
+        b.register("x", None);
+    }
+
+    #[test]
+    fn dag_edges_extend_children_and_heights() {
+        let mut b = CallGraphBuilder::new();
+        let root = b.register("root", None);
+        let read = b.register("read", Some(root));
+        let write = b.register("write", Some(root));
+        let shared = b.register("shared", Some(read));
+        let deep = b.register("deep", Some(shared));
+        b.add_caller(shared, write);
+        let g = b.build();
+        assert_eq!(g.children(write), &[shared]);
+        assert_eq!(g.children(read), &[shared]);
+        // write's height now reaches through shared -> deep.
+        assert_eq!(g.height(write), 2);
+        assert_eq!(g.height(root), 3);
+        assert_eq!(g.parent(shared), Some(read), "primary parent kept");
+        let _ = deep;
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn add_caller_rejects_backward_edges() {
+        let mut b = CallGraphBuilder::new();
+        let a = b.register("a", None);
+        let c = b.register("c", Some(a));
+        b.add_caller(a, c);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CallGraphBuilder::new().build();
+        assert!(g.is_empty());
+        assert_eq!(g.graph_height(), 0);
+        assert!(g.roots().is_empty());
+    }
+}

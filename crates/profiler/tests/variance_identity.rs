@@ -1,0 +1,156 @@
+//! Property tests of the variance-tree mathematics: the paper's eq. (1)
+//! decomposition must hold exactly on the analyzer's own output, and the
+//! scoring must prefer deep functions as designed.
+
+use proptest::prelude::*;
+
+use tpd_profiler::probe::Event;
+use tpd_profiler::{CallGraphBuilder, FactorKind, Profiler, TxnTrace, VarianceReport};
+
+// Build root -> {a, b} with synthetic per-txn durations; check that
+// Var(a + b + body) == Var(a) + Var(b) + Var(body)
+//                      + 2[Cov(a,b) + Cov(a,body) + Cov(b,body)]
+// using the report's own factor outputs for the left- and right-hand
+// sides (body is reconstructed from totals).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eq1_decomposition_holds(
+        durs in proptest::collection::vec((1u64..10_000, 1u64..10_000, 1u64..2_000), 8..100),
+    ) {
+        let mut gb = CallGraphBuilder::new();
+        let root = gb.register("root", None);
+        let a = gb.register("a", Some(root));
+        let b = gb.register("b", Some(root));
+        let graph = gb.build();
+
+        let traces: Vec<TxnTrace> = durs
+            .iter()
+            .map(|&(da, db, body)| {
+                let total = da + db + body;
+                TxnTrace {
+                    txn_type: 0,
+                    total,
+                    events: vec![
+                        Event { func: root, parent: None, start: 0, dur: total },
+                        Event { func: a, parent: Some(root), start: 0, dur: da },
+                        Event { func: b, parent: Some(root), start: da, dur: db },
+                    ],
+                }
+            })
+            .collect();
+        let report = VarianceReport::analyze(&graph, &traces);
+
+        // LHS: variance of the root function's duration (== total).
+        let var_root = report
+            .func_factor(root)
+            .expect("root factor")
+            .variance;
+        prop_assert!((var_root - report.total_variance).abs() <= 1e-6 * var_root.max(1.0));
+
+        // RHS: children variances + body variance + 2*pairwise covariances.
+        let var_a = report.func_factor(a).expect("a").variance;
+        let var_b = report.func_factor(b).expect("b").variance;
+        let body = report
+            .factors
+            .iter()
+            .find(|f| f.kind == FactorKind::Body(root))
+            .expect("body factor")
+            .variance;
+        let cov_ab = report
+            .factors
+            .iter()
+            .find(|f| matches!(f.kind, FactorKind::Cov(x, y) if (x == a && y == b) || (x == b && y == a)))
+            .map(|f| f.variance) // already 2*Cov
+            .unwrap_or(0.0);
+        // Cov(a, body) and Cov(b, body) are not reported as factors (bodies
+        // are synthetic), so compute them directly.
+        let n = durs.len() as f64;
+        let mean = |f: &dyn Fn(&(u64, u64, u64)) -> f64| durs.iter().map(f).sum::<f64>() / n;
+        let ma = mean(&|d| d.0 as f64);
+        let mb = mean(&|d| d.1 as f64);
+        let mc = mean(&|d| d.2 as f64);
+        let cov = |fx: &dyn Fn(&(u64, u64, u64)) -> f64,
+                   fy: &dyn Fn(&(u64, u64, u64)) -> f64,
+                   mx: f64,
+                   my: f64| {
+            durs.iter().map(|d| (fx(d) - mx) * (fy(d) - my)).sum::<f64>() / n
+        };
+        let cov_a_body = cov(&|d| d.0 as f64, &|d| d.2 as f64, ma, mc);
+        let cov_b_body = cov(&|d| d.1 as f64, &|d| d.2 as f64, mb, mc);
+
+        let rhs = var_a + var_b + body + cov_ab + 2.0 * (cov_a_body + cov_b_body);
+        let tol = 1e-6 * var_root.max(1.0) + 1e-3;
+        prop_assert!(
+            (var_root - rhs).abs() <= tol,
+            "eq(1) violated: Var(root)={var_root} rhs={rhs}"
+        );
+    }
+
+    /// Scores rank deeper functions above shallower ones when variances
+    /// are equal: specificity strictly dominates.
+    #[test]
+    fn deeper_functions_outrank_equal_variance(
+        durs in proptest::collection::vec(1u64..10_000, 8..60),
+    ) {
+        let mut gb = CallGraphBuilder::new();
+        let root = gb.register("root", None);
+        let mid = gb.register("mid", Some(root));
+        let leaf = gb.register("leaf", Some(mid));
+        let graph = gb.build();
+        // mid and leaf have *identical* durations per txn.
+        let traces: Vec<TxnTrace> = durs
+            .iter()
+            .map(|&d| TxnTrace {
+                txn_type: 0,
+                total: d + 10,
+                events: vec![
+                    Event { func: root, parent: None, start: 0, dur: d + 10 },
+                    Event { func: mid, parent: Some(root), start: 0, dur: d },
+                    Event { func: leaf, parent: Some(mid), start: 0, dur: d },
+                ],
+            })
+            .collect();
+        let report = VarianceReport::analyze(&graph, &traces);
+        let score = |f| report.func_factor(f).expect("factor").score;
+        prop_assert!(score(leaf) >= score(mid));
+        prop_assert!(score(mid) >= score(root));
+        if report.func_factor(leaf).expect("leaf").variance > 0.0 {
+            prop_assert!(score(leaf) > score(root), "leaf must strictly beat root");
+        }
+    }
+}
+
+/// End-to-end: traces recorded through real probes reproduce the known
+/// injected timing structure.
+#[test]
+fn recorded_traces_match_injected_structure() {
+    let mut gb = CallGraphBuilder::new();
+    let root = gb.register("root", None);
+    let steady = gb.register("steady", Some(root));
+    let noisy = gb.register("noisy", Some(root));
+    let p = Profiler::new(gb.build());
+    p.set_collecting(true);
+    p.enable_only(&[root, steady, noisy]);
+    for i in 0..200u64 {
+        let _t = p.begin_txn(0);
+        let _r = p.probe(root);
+        p.add_event(steady, 0, 1_000);
+        p.add_event(noisy, 0, (i % 10) * 1_000);
+    }
+    let traces = p.drain_traces();
+    let report = VarianceReport::analyze(p.graph(), &traces);
+    let vs = report.func_factor(steady).expect("steady").variance;
+    let vn = report.func_factor(noisy).expect("noisy").variance;
+    assert_eq!(vs, 0.0, "constant function has zero variance");
+    // Var of uniform {0..9}*1000 = 8.25e6 ns^2.
+    assert!((vn - 8.25e6).abs() < 1.0, "vn = {vn}");
+    // And the noisy function outranks everything else specific.
+    let top_func = report
+        .factors
+        .iter()
+        .find(|f| matches!(f.kind, FactorKind::Func(_)))
+        .expect("function factor");
+    assert_eq!(top_func.kind, FactorKind::Func(noisy));
+}

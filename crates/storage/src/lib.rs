@@ -1,0 +1,14 @@
+//! Buffer-pool substrate (the paper's Sections 4.1 and 6.1).
+//!
+//! * [`lru::LruList`] — InnoDB's midpoint-insertion LRU with young/old
+//!   sublists (3/8 old by default).
+//! * [`pool::BufferPool`] — frames + page hash + the global `buf_pool`
+//!   mutex whose wait times TProfiler identified as the dominant variance
+//!   source under memory pressure, with the paper's **Lazy LRU Update**
+//!   fix available via [`pool::MutexPolicy::Llu`].
+
+pub mod lru;
+pub mod pool;
+
+pub use lru::LruList;
+pub use pool::{AccessKind, BufferPool, MutexPolicy, PageId, PoolConfig, PoolProbes, PoolStats};

@@ -1,0 +1,413 @@
+//! MySQL-style midpoint-insertion LRU list.
+//!
+//! InnoDB splits the page list into a *young* (new) sublist and an *old*
+//! sublist holding, by default, 3/8 of the pages (Section 6.1). Pages read
+//! in are inserted at the **old head** (the midpoint); a subsequent access
+//! to a page in the old sublist *makes it young* — moves it to the young
+//! head. Accesses to pages already in the young sublist do not reorder the
+//! list (InnoDB deliberately keeps young-list ordering imprecise). Eviction
+//! victims come from the tail, i.e. the coldest old page.
+//!
+//! The list is intrusive over frame indices; the old sublist is the suffix
+//! starting at `old_head`, so rebalancing the 3/8 split is just sliding the
+//! boundary pointer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const NONE: usize = usize::MAX;
+
+/// The young/old LRU list over frame indices `0..capacity`.
+///
+/// `in_old` flags are atomics: they are only *written* under the pool mutex
+/// that owns the list, but the buffer pool's hit path reads them racily to
+/// decide whether a `make_young` (and thus the mutex) is needed at all —
+/// mirroring InnoDB, where young-list hits touch only the page-hash latch.
+#[derive(Debug)]
+pub struct LruList {
+    next: Vec<usize>,
+    prev: Vec<usize>,
+    in_list: Vec<bool>,
+    in_old: Arc<Vec<AtomicBool>>,
+    head: usize,
+    tail: usize,
+    old_head: usize,
+    young_len: usize,
+    old_len: usize,
+    old_num: usize,
+    old_den: usize,
+}
+
+impl LruList {
+    /// A list over `capacity` frames with the given old-sublist fraction
+    /// (`old_num / old_den`; MySQL's default is 3/8).
+    pub fn new(capacity: usize, old_num: usize, old_den: usize) -> Self {
+        assert!(old_den > 0 && old_num < old_den, "old fraction must be < 1");
+        LruList {
+            next: vec![NONE; capacity],
+            prev: vec![NONE; capacity],
+            in_list: vec![false; capacity],
+            in_old: Arc::new((0..capacity).map(|_| AtomicBool::new(false)).collect()),
+            head: NONE,
+            tail: NONE,
+            old_head: NONE,
+            young_len: 0,
+            old_len: 0,
+            old_num,
+            old_den,
+        }
+    }
+
+    /// Number of frames in the list.
+    pub fn len(&self) -> usize {
+        self.young_len + self.old_len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of the young sublist.
+    pub fn young_len(&self) -> usize {
+        self.young_len
+    }
+
+    /// Length of the old sublist.
+    pub fn old_len(&self) -> usize {
+        self.old_len
+    }
+
+    /// Whether `f` is currently linked.
+    pub fn contains(&self, f: usize) -> bool {
+        self.in_list[f]
+    }
+
+    /// Whether `f` is in the old sublist.
+    pub fn is_old(&self, f: usize) -> bool {
+        self.in_list[f] && self.in_old[f].load(Ordering::Relaxed)
+    }
+
+    /// Racy read of the old flag, for lock-free hit paths. May be stale;
+    /// callers must re-verify under the owning mutex before acting.
+    pub fn is_old_racy(&self, f: usize) -> bool {
+        self.in_old[f].load(Ordering::Relaxed)
+    }
+
+    /// Shared handle to the old flags, so owners holding the list behind a
+    /// mutex can still perform the racy hit-path read without locking.
+    pub fn old_flags(&self) -> Arc<Vec<AtomicBool>> {
+        self.in_old.clone()
+    }
+
+    /// Target old-sublist length for the current size.
+    fn old_target(&self) -> usize {
+        // At least one old page whenever the list is nonempty, so eviction
+        // candidates exist even for tiny pools.
+        if self.is_empty() {
+            0
+        } else {
+            (self.len() * self.old_num / self.old_den).max(1)
+        }
+    }
+
+    fn unlink(&mut self, f: usize) {
+        debug_assert!(self.in_list[f]);
+        let (p, n) = (self.prev[f], self.next[f]);
+        if p != NONE {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NONE {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        if self.old_head == f {
+            self.old_head = n; // suffix property: next old (or NONE)
+        }
+        if self.in_old[f].load(Ordering::Relaxed) {
+            self.old_len -= 1;
+        } else {
+            self.young_len -= 1;
+        }
+        self.in_list[f] = false;
+        self.next[f] = NONE;
+        self.prev[f] = NONE;
+    }
+
+    fn link_front(&mut self, f: usize) {
+        debug_assert!(!self.in_list[f]);
+        self.prev[f] = NONE;
+        self.next[f] = self.head;
+        if self.head != NONE {
+            self.prev[self.head] = f;
+        } else {
+            self.tail = f;
+        }
+        self.head = f;
+        self.in_list[f] = true;
+        self.in_old[f].store(false, Ordering::Relaxed);
+        self.young_len += 1;
+    }
+
+    /// Insert `f` at the old head (midpoint insertion for newly read pages).
+    pub fn insert_old_head(&mut self, f: usize) {
+        debug_assert!(!self.in_list[f]);
+        if self.old_head == NONE {
+            // No old section: append at tail and start one.
+            self.prev[f] = self.tail;
+            self.next[f] = NONE;
+            if self.tail != NONE {
+                self.next[self.tail] = f;
+            } else {
+                self.head = f;
+            }
+            self.tail = f;
+        } else {
+            let oh = self.old_head;
+            let p = self.prev[oh];
+            self.prev[f] = p;
+            self.next[f] = oh;
+            self.prev[oh] = f;
+            if p != NONE {
+                self.next[p] = f;
+            } else {
+                self.head = f;
+            }
+        }
+        self.old_head = f;
+        self.in_list[f] = true;
+        self.in_old[f].store(true, Ordering::Relaxed);
+        self.old_len += 1;
+        self.rebalance();
+    }
+
+    /// Access notification: if `f` is old, move it to the young head
+    /// (InnoDB's `buf_page_make_young`). Returns whether a move happened.
+    pub fn make_young(&mut self, f: usize) -> bool {
+        if !self.in_list[f] || !self.in_old[f].load(Ordering::Relaxed) {
+            return false; // young accesses do not reorder
+        }
+        self.unlink(f);
+        self.link_front(f);
+        self.rebalance();
+        true
+    }
+
+    /// The eviction candidate: the list tail (coldest old page), if any.
+    pub fn evict_candidate(&self) -> Option<usize> {
+        (self.tail != NONE).then_some(self.tail)
+    }
+
+    /// The frame after `f` toward the head (for skipping busy victims).
+    pub fn prev_of(&self, f: usize) -> Option<usize> {
+        let p = self.prev[f];
+        (p != NONE).then_some(p)
+    }
+
+    /// Remove `f` from the list entirely (eviction).
+    pub fn remove(&mut self, f: usize) {
+        self.unlink(f);
+        self.rebalance();
+    }
+
+    /// Slide the young/old boundary to restore the configured split.
+    fn rebalance(&mut self) {
+        let target = self.old_target();
+        // Grow old: move the young tail into the old section by sliding the
+        // boundary pointer leftward.
+        while self.old_len < target && self.young_len > 0 {
+            let new_oh = if self.old_head == NONE {
+                self.tail
+            } else {
+                self.prev[self.old_head]
+            };
+            debug_assert_ne!(new_oh, NONE);
+            self.old_head = new_oh;
+            self.in_old[new_oh].store(true, Ordering::Relaxed);
+            self.old_len += 1;
+            self.young_len -= 1;
+        }
+        // Shrink old: slide the boundary rightward.
+        while self.old_len > target {
+            let oh = self.old_head;
+            debug_assert_ne!(oh, NONE);
+            self.in_old[oh].store(false, Ordering::Relaxed);
+            self.old_head = self.next[oh];
+            self.old_len -= 1;
+            self.young_len += 1;
+        }
+    }
+
+    /// The list order from head (MRU) to tail (LRU), for tests.
+    pub fn iter_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = self.head;
+        while cur != NONE {
+            out.push(cur);
+            cur = self.next[cur];
+        }
+        out
+    }
+
+    /// Validate internal invariants (tests and debug builds).
+    pub fn check_invariants(&self) {
+        let order = self.iter_order();
+        assert_eq!(order.len(), self.len(), "count mismatch");
+        // Old section must be a suffix beginning at old_head.
+        let first_old = order
+            .iter()
+            .position(|&f| self.in_old[f].load(Ordering::Relaxed));
+        match first_old {
+            Some(i) => {
+                assert_eq!(order[i], self.old_head, "old_head at boundary");
+                assert!(
+                    order[i..]
+                        .iter()
+                        .all(|&f| self.in_old[f].load(Ordering::Relaxed)),
+                    "old is a suffix"
+                );
+                assert_eq!(order.len() - i, self.old_len);
+            }
+            None => {
+                assert_eq!(self.old_len, 0);
+                assert_eq!(self.old_head, NONE);
+            }
+        }
+        if !order.is_empty() {
+            assert!(self.old_len >= 1, "nonempty list keeps an old page");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_midpoint_behaviour() {
+        let mut l = LruList::new(8, 3, 8);
+        for f in 0..8 {
+            l.insert_old_head(f);
+            l.check_invariants();
+        }
+        assert_eq!(l.len(), 8);
+        // 3/8 of 8 = 3 old pages.
+        assert_eq!(l.old_len(), 3);
+        assert_eq!(l.young_len(), 5);
+    }
+
+    #[test]
+    fn make_young_moves_old_to_head() {
+        let mut l = LruList::new(8, 3, 8);
+        for f in 0..8 {
+            l.insert_old_head(f);
+        }
+        let order_before = l.iter_order();
+        let victim = *order_before.last().expect("nonempty");
+        assert!(l.is_old(victim));
+        assert!(l.make_young(victim));
+        l.check_invariants();
+        assert_eq!(l.iter_order()[0], victim, "moved to MRU position");
+        assert!(!l.is_old(victim));
+    }
+
+    #[test]
+    fn young_access_does_not_reorder() {
+        let mut l = LruList::new(8, 3, 8);
+        for f in 0..8 {
+            l.insert_old_head(f);
+        }
+        let young = l.iter_order()[1];
+        assert!(!l.is_old(young));
+        let before = l.iter_order();
+        assert!(!l.make_young(young));
+        assert_eq!(l.iter_order(), before);
+    }
+
+    #[test]
+    fn eviction_takes_tail_and_rebalances() {
+        let mut l = LruList::new(8, 3, 8);
+        for f in 0..8 {
+            l.insert_old_head(f);
+        }
+        let tail = l.evict_candidate().expect("candidate");
+        l.remove(tail);
+        l.check_invariants();
+        assert_eq!(l.len(), 7);
+        assert!(!l.contains(tail));
+        // 3/8 of 7 = 2 (floor), min 1.
+        assert_eq!(l.old_len(), 2);
+    }
+
+    #[test]
+    fn single_frame_list() {
+        let mut l = LruList::new(2, 3, 8);
+        l.insert_old_head(0);
+        l.check_invariants();
+        assert_eq!(l.old_len(), 1, "solo page stays old (eviction candidate)");
+        assert_eq!(l.evict_candidate(), Some(0));
+        // make_young on the only (old) page: it moves, then rebalance pulls
+        // it back old so an eviction candidate always exists.
+        l.make_young(0);
+        l.check_invariants();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.evict_candidate(), Some(0));
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = LruList::new(4, 3, 8);
+        assert!(l.is_empty());
+        assert_eq!(l.evict_candidate(), None);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn prev_of_walks_toward_head() {
+        let mut l = LruList::new(4, 1, 2);
+        for f in 0..4 {
+            l.insert_old_head(f);
+        }
+        let order = l.iter_order();
+        let tail = *order.last().expect("nonempty");
+        let prev = l.prev_of(tail).expect("has prev");
+        assert_eq!(prev, order[order.len() - 2]);
+        assert_eq!(l.prev_of(order[0]), None);
+    }
+
+    #[test]
+    fn randomized_ops_maintain_invariants() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let cap = 16;
+        let mut l = LruList::new(cap, 3, 8);
+        let mut resident: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = (0..cap).collect();
+        for _ in 0..5000 {
+            match rng.gen_range(0..3) {
+                0 if !free.is_empty() => {
+                    let f = free.swap_remove(rng.gen_range(0..free.len()));
+                    l.insert_old_head(f);
+                    resident.push(f);
+                }
+                1 if !resident.is_empty() => {
+                    let f = resident[rng.gen_range(0..resident.len())];
+                    l.make_young(f);
+                }
+                2 if !resident.is_empty() => {
+                    let i = rng.gen_range(0..resident.len());
+                    let f = resident.swap_remove(i);
+                    l.remove(f);
+                    free.push(f);
+                }
+                _ => {}
+            }
+            l.check_invariants();
+            assert_eq!(l.len(), resident.len());
+        }
+    }
+}

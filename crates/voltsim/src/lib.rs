@@ -1,0 +1,535 @@
+//! A VoltDB-style event-based executor (the paper's Appendix A).
+//!
+//! Transactions are stored-procedure invocations wrapped as *tasks*; each
+//! task waits in a queue until one of a fixed pool of worker threads picks
+//! it up, then executes against a partitioned in-memory store (partition =
+//! single-threaded site). TProfiler found that **99.9% of VoltDB's latency
+//! variance is queue wait**; the number of worker threads is the tuning
+//! knob swept in Figure 7.
+//!
+//! Substitution note (per DESIGN.md): on the single-core host, a purely
+//! CPU-bound procedure pool cannot benefit from extra workers. Real VoltDB
+//! procedures block on synchronous command logging and cross-partition
+//! coordination; we model that blocking component as a configurable
+//! per-procedure `stall`, so added workers overlap stalls exactly as added
+//! workers overlap I/O on the paper's testbed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use tpd_common::clock::{cpu_work, now_nanos};
+use tpd_common::Nanos;
+use tpd_profiler::{CallGraphBuilder, FuncId, Profiler};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct VoltConfig {
+    /// Number of data partitions (single-threaded sites).
+    pub partitions: usize,
+    /// Number of worker threads (Fig. 7's knob; VoltDB's default was 2).
+    pub workers: usize,
+    /// Base CPU work units per procedure.
+    pub base_work: u64,
+}
+
+impl Default for VoltConfig {
+    fn default() -> Self {
+        VoltConfig {
+            partitions: 8,
+            workers: 2,
+            base_work: 256,
+        }
+    }
+}
+
+/// A stored-procedure invocation.
+#[derive(Debug, Clone)]
+pub struct Procedure {
+    /// Home partition.
+    pub partition: usize,
+    /// Additional partitions for a multi-partition transaction (VoltDB's
+    /// slow path: all sites are locked in ascending order for the
+    /// duration).
+    pub extra_partitions: Vec<usize>,
+    /// Keys read.
+    pub reads: Vec<u64>,
+    /// Keys written (key, delta to column 0).
+    pub writes: Vec<(u64, i64)>,
+    /// Extra CPU work units beyond the configured base.
+    pub extra_work: u64,
+    /// Blocking component (command logging / coordination stall).
+    pub stall: Duration,
+}
+
+impl Procedure {
+    /// A single-partition read/update procedure with defaults.
+    pub fn single_partition(partition: usize, key: u64) -> Self {
+        Procedure {
+            partition,
+            extra_partitions: Vec::new(),
+            reads: vec![key],
+            writes: vec![(key, 1)],
+            extra_work: 0,
+            stall: Duration::from_micros(100),
+        }
+    }
+
+    /// A multi-partition procedure touching `partitions` (applies the same
+    /// read/write set to each).
+    pub fn multi_partition(partitions: Vec<usize>, key: u64) -> Self {
+        let (&partition, rest) = partitions.split_first().expect("at least one partition");
+        Procedure {
+            partition,
+            extra_partitions: rest.to_vec(),
+            reads: vec![key],
+            writes: vec![(key, 1)],
+            extra_work: 0,
+            stall: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Timing of one completed invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Time from submission until a worker picked the task up.
+    pub queue_wait: Nanos,
+    /// Execution time on the worker.
+    pub exec: Nanos,
+    /// End-to-end (submission → completion).
+    pub total: Nanos,
+}
+
+/// Probe ids for the executor's instrumented phases.
+#[derive(Debug, Clone, Copy)]
+pub struct VoltProbes {
+    /// Root: one stored-procedure invocation.
+    pub invocation: FuncId,
+    /// Waiting in the task queue — the paper's 99.9% factor.
+    pub task_queue_wait: FuncId,
+    /// Procedure execution on a worker.
+    pub procedure_execute: FuncId,
+    /// The blocking command-log/coordination stall.
+    pub command_log_write: FuncId,
+}
+
+struct Task {
+    proc: Procedure,
+    enqueued_at: Nanos,
+    done: Arc<TaskDone>,
+}
+
+#[derive(Default)]
+struct TaskDone {
+    slot: Mutex<Option<Completion>>,
+    cv: Condvar,
+}
+
+/// Cumulative executor statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoltStats {
+    /// Completed invocations.
+    pub completed: u64,
+    /// Total queue-wait ns.
+    pub queue_wait_ns: u64,
+    /// Total execution ns.
+    pub exec_ns: u64,
+    /// High-water queue depth.
+    pub max_queue_depth: u64,
+}
+
+/// The executor. Workers start at construction and stop on [`VoltSim::shutdown`]
+/// or drop.
+pub struct VoltSim {
+    config: VoltConfig,
+    queue: Mutex<VecDeque<Task>>,
+    queue_cv: Condvar,
+    partitions: Vec<Mutex<HashMap<u64, Vec<i64>>>>,
+    shutdown: Arc<AtomicBool>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    profiler: Arc<Profiler>,
+    probes: VoltProbes,
+    completed: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    exec_ns: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl VoltSim {
+    /// Start an executor with `config.workers` worker threads.
+    pub fn new(config: VoltConfig) -> Arc<Self> {
+        assert!(config.partitions >= 1 && config.workers >= 1);
+        let mut b = CallGraphBuilder::new();
+        let invocation = b.register("stored_procedure_invocation", None);
+        let task_queue_wait = b.register("task_queue_wait", Some(invocation));
+        let procedure_execute = b.register("procedure_execute", Some(invocation));
+        let command_log_write = b.register("command_log_write", Some(procedure_execute));
+        let profiler = Arc::new(Profiler::new(b.build()));
+        let sim = Arc::new(VoltSim {
+            partitions: (0..config.partitions)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            workers: Mutex::new(Vec::new()),
+            profiler,
+            probes: VoltProbes {
+                invocation,
+                task_queue_wait,
+                procedure_execute,
+                command_log_write,
+            },
+            completed: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+            exec_ns: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            config,
+        });
+        let mut workers = sim.workers.lock();
+        for _ in 0..sim.config.workers {
+            let sim2 = sim.clone();
+            workers.push(std::thread::spawn(move || sim2.worker_loop()));
+        }
+        drop(workers);
+        sim
+    }
+
+    /// The executor's profiler (own call graph, VoltDB-style names).
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// Probe ids.
+    pub fn probes(&self) -> &VoltProbes {
+        &self.probes
+    }
+
+    /// Enable all probes and start collecting traces.
+    pub fn enable_full_profiling(&self) {
+        self.profiler.enable_only(&[
+            self.probes.invocation,
+            self.probes.task_queue_wait,
+            self.probes.procedure_execute,
+            self.probes.command_log_write,
+        ]);
+        self.profiler.set_collecting(true);
+    }
+
+    /// Load a row directly into a partition (setup).
+    pub fn put(&self, partition: usize, key: u64, row: Vec<i64>) {
+        self.partitions[partition].lock().insert(key, row);
+    }
+
+    /// Read a row directly (verification).
+    pub fn get(&self, partition: usize, key: u64) -> Option<Vec<i64>> {
+        self.partitions[partition].lock().get(&key).cloned()
+    }
+
+    /// Submit a procedure and block until it completes.
+    pub fn execute(&self, proc: Procedure) -> Completion {
+        let done = self.submit(proc);
+        let mut slot = done.slot.lock();
+        while slot.is_none() {
+            done.cv.wait(&mut slot);
+        }
+        slot.expect("completion present")
+    }
+
+    fn submit(&self, proc: Procedure) -> Arc<TaskDone> {
+        assert!(proc.partition < self.config.partitions, "bad partition");
+        assert!(
+            proc.extra_partitions
+                .iter()
+                .all(|&p| p < self.config.partitions),
+            "bad partition"
+        );
+        let done = Arc::new(TaskDone::default());
+        let task = Task {
+            proc,
+            enqueued_at: now_nanos(),
+            done: done.clone(),
+        };
+        let mut q = self.queue.lock();
+        q.push_back(task);
+        let depth = q.len() as u64;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(q);
+        self.queue_cv.notify_one();
+        done
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    self.queue_cv.wait_for(&mut q, Duration::from_millis(50));
+                }
+            };
+            let picked_at = now_nanos();
+            let queue_wait = picked_at - task.enqueued_at;
+
+            // Trace assembly on the worker (VoltDB-style: the transaction's
+            // intervals are stitched together by transaction id; here one
+            // worker executes the whole procedure, so a thread trace works).
+            let tguard = self.profiler.begin_txn_arc(0);
+            let root = self.profiler.probe_arc(self.probes.invocation);
+            self.profiler
+                .add_event(self.probes.task_queue_wait, task.enqueued_at, queue_wait);
+            {
+                let _exec = self.profiler.probe_arc(self.probes.procedure_execute);
+                let p = &task.proc;
+                // Lock the involved sites in ascending order (VoltDB's
+                // multi-partition path serializes the whole cluster slice).
+                let mut sites: Vec<usize> = std::iter::once(p.partition)
+                    .chain(p.extra_partitions.iter().copied())
+                    .collect();
+                sites.sort_unstable();
+                sites.dedup();
+                let mut guards: Vec<_> =
+                    sites.iter().map(|&s| self.partitions[s].lock()).collect();
+                for part in guards.iter_mut() {
+                    for k in &p.reads {
+                        let _ = part.get(k);
+                    }
+                    for (k, delta) in &p.writes {
+                        let row = part.entry(*k).or_insert_with(|| vec![0]);
+                        row[0] += delta;
+                    }
+                }
+                drop(guards);
+                cpu_work(self.config.base_work + p.extra_work);
+                if !p.stall.is_zero() {
+                    let s0 = now_nanos();
+                    std::thread::sleep(p.stall);
+                    self.profiler.add_event(
+                        self.probes.command_log_write,
+                        s0,
+                        now_nanos() - s0,
+                    );
+                }
+            }
+            drop(root);
+            drop(tguard);
+
+            let finished = now_nanos();
+            let completion = Completion {
+                queue_wait,
+                exec: finished - picked_at,
+                total: finished - task.enqueued_at,
+            };
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.queue_wait_ns.fetch_add(queue_wait, Ordering::Relaxed);
+            self.exec_ns
+                .fetch_add(completion.exec, Ordering::Relaxed);
+            let mut slot = task.done.slot.lock();
+            *slot = Some(completion);
+            task.done.cv.notify_all();
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> VoltStats {
+        VoltStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            exec_ns: self.exec_ns.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the workers (idempotent). Queued tasks may be abandoned.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue_cv.notify_all();
+        let mut workers = self.workers.lock();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for VoltSim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(workers: usize) -> Arc<VoltSim> {
+        VoltSim::new(VoltConfig {
+            partitions: 4,
+            workers,
+            base_work: 64,
+        })
+    }
+
+    fn fast_proc(partition: usize, key: u64) -> Procedure {
+        Procedure {
+            partition,
+            extra_partitions: Vec::new(),
+            reads: vec![key],
+            writes: vec![(key, 1)],
+            extra_work: 0,
+            stall: Duration::from_micros(200),
+        }
+    }
+
+    #[test]
+    fn execute_updates_partition_state() {
+        let sim = quick(2);
+        sim.put(1, 7, vec![0]);
+        let c = sim.execute(fast_proc(1, 7));
+        assert!(c.total >= c.exec);
+        assert!(c.exec >= 200_000, "stall included: {}", c.exec);
+        assert_eq!(sim.get(1, 7), Some(vec![1]));
+        sim.shutdown();
+    }
+
+    #[test]
+    fn writes_create_missing_rows() {
+        let sim = quick(1);
+        sim.execute(fast_proc(0, 99));
+        assert_eq!(sim.get(0, 99), Some(vec![1]));
+        sim.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_complete() {
+        let sim = quick(3);
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let sim = sim.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    sim.execute(fast_proc((t % 4) as usize, i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client");
+        }
+        assert_eq!(sim.stats().completed, 60);
+        sim.shutdown();
+    }
+
+    #[test]
+    fn more_workers_reduce_queue_wait() {
+        // With 1 worker, 8 concurrent 200 µs-stall procedures serialize →
+        // large queue waits. With 8 workers, stalls overlap.
+        let run = |workers: usize| -> u64 {
+            let sim = quick(workers);
+            let mut handles = Vec::new();
+            for c in 0..8u64 {
+                let sim = sim.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..5 {
+                        sim.execute(fast_proc((c % 4) as usize, i));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("client");
+            }
+            let s = sim.stats();
+            sim.shutdown();
+            s.queue_wait_ns / s.completed
+        };
+        let slow = run(1);
+        let fast = run(8);
+        assert!(
+            fast < slow / 2,
+            "8 workers ({fast} ns avg wait) ≥ half of 1 worker ({slow} ns)"
+        );
+    }
+
+    #[test]
+    fn profiling_captures_queue_wait_events() {
+        let sim = quick(1);
+        sim.enable_full_profiling();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sim = sim.clone();
+            handles.push(std::thread::spawn(move || {
+                sim.execute(fast_proc(0, 1));
+            }));
+        }
+        for h in handles {
+            h.join().expect("client");
+        }
+        let traces = sim.profiler().drain_traces();
+        assert_eq!(traces.len(), 4);
+        let g = sim.profiler().graph();
+        let has_queue_event = traces.iter().any(|t| {
+            t.events
+                .iter()
+                .any(|e| g.name(e.func) == "task_queue_wait" && e.dur > 0)
+        });
+        assert!(has_queue_event, "queue waits recorded");
+        sim.shutdown();
+    }
+
+    #[test]
+    fn multi_partition_updates_every_site() {
+        let sim = quick(2);
+        let mut p = Procedure::multi_partition(vec![0, 2, 3], 5);
+        p.stall = Duration::from_micros(50);
+        sim.execute(p);
+        for site in [0usize, 2, 3] {
+            assert_eq!(sim.get(site, 5), Some(vec![1]), "site {site}");
+        }
+        assert_eq!(sim.get(1, 5), None);
+        sim.shutdown();
+    }
+
+    #[test]
+    fn multi_partition_is_atomic_under_concurrency() {
+        let sim = quick(4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sim = sim.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let mut p = Procedure::multi_partition(vec![0, 1], 9);
+                    p.stall = Duration::ZERO;
+                    sim.execute(p);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client");
+        }
+        assert_eq!(sim.get(0, 9), Some(vec![100]));
+        assert_eq!(sim.get(1, 9), Some(vec![100]));
+        sim.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let sim = quick(2);
+        sim.shutdown();
+        sim.shutdown();
+        assert_eq!(sim.stats().completed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad partition")]
+    fn bad_partition_rejected() {
+        let sim = quick(1);
+        let _ = sim.submit(fast_proc(99, 0));
+    }
+}

@@ -1,0 +1,524 @@
+//! InnoDB-style redo logging.
+//!
+//! Transactions append redo bytes to a shared log buffer during execution;
+//! at commit, durability is governed by [`FlushPolicy`] (MySQL's
+//! `innodb_flush_log_at_trx_commit`, studied in Section 7.5 / Appendix B):
+//!
+//! * [`FlushPolicy::Eager`] — the committing thread writes and fsyncs
+//!   before acknowledging. The fsync is the paper's `fil_flush` probe site.
+//!   Concurrent committers group-commit: whoever holds the flush lock
+//!   flushes everything buffered, and the rest observe their LSN is already
+//!   durable.
+//! * [`FlushPolicy::LazyFlush`] — the committer writes (into the OS cache)
+//!   but fsync is deferred to a background flusher thread.
+//! * [`FlushPolicy::LazyWrite`] — both write and fsync are deferred; commit
+//!   never touches the device.
+//!
+//! Both lazy modes risk losing the last interval's commits on a crash, as
+//! the paper notes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use tpd_common::clock::now_nanos;
+use tpd_common::disk::SimDisk;
+use tpd_profiler::{FuncId, Profiler};
+
+use crate::record::{LogRecord, StampedRecord};
+use crate::Lsn;
+
+/// Commit durability policy (`innodb_flush_log_at_trx_commit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Write + fsync on the commit path (fully durable).
+    Eager,
+    /// Write on commit; fsync by the background flusher.
+    LazyFlush,
+    /// Write and fsync both deferred to the background flusher.
+    LazyWrite,
+}
+
+/// Redo log configuration.
+#[derive(Debug, Clone)]
+pub struct RedoLogConfig {
+    /// Durability policy.
+    pub policy: FlushPolicy,
+    /// Background flusher period for the lazy policies (MySQL uses ~1 s;
+    /// scaled down to suit microsecond-scale transactions).
+    pub flush_interval: Duration,
+}
+
+impl Default for RedoLogConfig {
+    fn default() -> Self {
+        RedoLogConfig {
+            policy: FlushPolicy::Eager,
+            flush_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Profiler hookup for the redo log's paper-named probe site.
+#[derive(Debug, Clone)]
+pub struct MysqlWalProbes {
+    /// The engine's profiler.
+    pub profiler: Arc<Profiler>,
+    /// `fil_flush` — the commit-path fsync.
+    pub fil_flush: FuncId,
+}
+
+/// Cumulative redo-log statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RedoStats {
+    /// Bytes appended to the log buffer.
+    pub bytes_appended: u64,
+    /// Commit calls.
+    pub commits: u64,
+    /// Device flush operations.
+    pub flushes: u64,
+    /// Commits satisfied by another transaction's flush (group commit).
+    pub group_commits: u64,
+    /// Bytes written to the device.
+    pub bytes_written: u64,
+    /// Total ns commit paths spent achieving durability.
+    pub commit_wait_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct BufferState {
+    next_lsn: u64,
+    /// Bytes appended but not yet written to the device.
+    unwritten: u64,
+    written_lsn: u64,
+    flushed_lsn: u64,
+    /// Typed records retained for crash/recovery simulation (all appended
+    /// records; durability is judged against `flushed_lsn` at crash time).
+    records: Vec<StampedRecord>,
+}
+
+/// The redo log. See module docs.
+#[derive(Debug)]
+pub struct RedoLog {
+    disk: Arc<SimDisk>,
+    config: RedoLogConfig,
+    state: Mutex<BufferState>,
+    /// Serializes device write+fsync so committers group-commit behind the
+    /// current flusher.
+    flush_lock: Mutex<()>,
+    shutdown: Arc<AtomicBool>,
+    shutdown_cv: Arc<(Mutex<bool>, Condvar)>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+    probes: Option<MysqlWalProbes>,
+    bytes_appended: AtomicU64,
+    commits: AtomicU64,
+    flushes: AtomicU64,
+    group_commits: AtomicU64,
+    bytes_written: AtomicU64,
+    commit_wait_ns: AtomicU64,
+}
+
+impl RedoLog {
+    /// Create a redo log; lazy policies spawn the background flusher.
+    pub fn new(
+        config: RedoLogConfig,
+        disk: Arc<SimDisk>,
+        probes: Option<MysqlWalProbes>,
+    ) -> Arc<Self> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_cv = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut log = RedoLog {
+            disk,
+            config: config.clone(),
+            state: Mutex::new(BufferState::default()),
+            flush_lock: Mutex::new(()),
+            shutdown,
+            shutdown_cv,
+            flusher: None,
+            probes,
+            bytes_appended: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            commit_wait_ns: AtomicU64::new(0),
+        };
+        if matches!(config.policy, FlushPolicy::Eager) {
+            return Arc::new(log);
+        }
+        // Lazy policies: cyclic Arc via a placeholder then spawn.
+        let arc = Arc::new_cyclic(|weak: &std::sync::Weak<RedoLog>| {
+            let weak = weak.clone();
+            let shutdown = log.shutdown.clone();
+            let cv = log.shutdown_cv.clone();
+            let interval = config.flush_interval;
+            log.flusher = Some(std::thread::spawn(move || loop {
+                {
+                    let (lock, cvar) = &*cv;
+                    let mut stop = lock.lock();
+                    if !*stop {
+                        cvar.wait_for(&mut stop, interval);
+                    }
+                }
+                if shutdown.load(Ordering::Acquire) {
+                    // One final flush so shutdown is durable.
+                    if let Some(log) = weak.upgrade() {
+                        log.write_and_flush_pending();
+                    }
+                    return;
+                }
+                if let Some(log) = weak.upgrade() {
+                    log.write_and_flush_pending();
+                } else {
+                    return;
+                }
+            }));
+            log
+        });
+        arc
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.config.policy
+    }
+
+    /// Append `bytes` of redo for a transaction; returns the end LSN that
+    /// commit must make durable (eager) or acknowledge (lazy).
+    pub fn append(&self, bytes: u64) -> Lsn {
+        let mut st = self.state.lock();
+        st.next_lsn += bytes;
+        st.unwritten += bytes;
+        self.bytes_appended.fetch_add(bytes, Ordering::Relaxed);
+        Lsn(st.next_lsn)
+    }
+
+    /// Append typed records (retained for recovery) plus `extra_bytes` of
+    /// untyped payload (e.g. amplification modeling index/page images).
+    /// Returns the end LSN of the batch.
+    pub fn append_records(&self, records: Vec<LogRecord>, extra_bytes: u64) -> Lsn {
+        let mut st = self.state.lock();
+        let mut bytes = extra_bytes;
+        for r in records {
+            let len = r.encoded_len();
+            bytes += len;
+            st.next_lsn += len;
+            let end = Lsn(st.next_lsn);
+            st.records.push(StampedRecord { end, record: r });
+        }
+        st.next_lsn += extra_bytes;
+        st.unwritten += bytes;
+        self.bytes_appended.fetch_add(bytes, Ordering::Relaxed);
+        Lsn(st.next_lsn)
+    }
+
+    /// Simulate a crash: return exactly the records that were durable
+    /// (end-LSN within the flushed prefix) at this instant. Lazy policies
+    /// can lose recently-committed transactions — the trade-off the
+    /// paper's flush-policy tuning accepts.
+    pub fn simulate_crash(&self) -> Vec<StampedRecord> {
+        let st = self.state.lock();
+        st.records
+            .iter()
+            .filter(|r| r.end.0 <= st.flushed_lsn)
+            .cloned()
+            .collect()
+    }
+
+    /// Commit: make `lsn` durable according to the policy. Returns the time
+    /// spent waiting on durability (0 for the lazy policies' fast paths).
+    pub fn commit(&self, lsn: Lsn) -> u64 {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        let start = now_nanos();
+        match self.config.policy {
+            FlushPolicy::Eager => {
+                self.ensure_flushed(lsn);
+            }
+            FlushPolicy::LazyFlush => {
+                // Write into the OS cache on the commit path; no fsync.
+                self.ensure_written(lsn);
+            }
+            FlushPolicy::LazyWrite => {
+                // Nothing: the flusher does both.
+            }
+        }
+        let waited = now_nanos() - start;
+        self.commit_wait_ns.fetch_add(waited, Ordering::Relaxed);
+        waited
+    }
+
+    /// Write buffered bytes up to at least `lsn` into the device cache.
+    fn ensure_written(&self, lsn: Lsn) {
+        loop {
+            let to_write = {
+                let mut st = self.state.lock();
+                if st.written_lsn >= lsn.0 {
+                    return;
+                }
+                let n = st.unwritten;
+                st.written_lsn = st.next_lsn;
+                st.unwritten = 0;
+                n
+            };
+            if to_write > 0 {
+                self.disk.write(to_write);
+                self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
+            }
+            // Loop re-checks in case new bytes raced in below our lsn —
+            // cannot happen since lsn was assigned before, but stay safe.
+            let st = self.state.lock();
+            if st.written_lsn >= lsn.0 {
+                return;
+            }
+        }
+    }
+
+    /// Write + fsync everything up to at least `lsn` (group commit).
+    fn ensure_flushed(&self, lsn: Lsn) {
+        {
+            let st = self.state.lock();
+            if st.flushed_lsn >= lsn.0 {
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let _g = self.flush_lock.lock();
+        // Re-check: the previous holder may have flushed us (group commit).
+        {
+            let st = self.state.lock();
+            if st.flushed_lsn >= lsn.0 {
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.write_and_flush_pending_locked();
+    }
+
+    /// Background entry point: take the flush lock and flush pending bytes.
+    fn write_and_flush_pending(&self) {
+        let _g = self.flush_lock.lock();
+        self.write_and_flush_pending_locked();
+    }
+
+    /// Requires the flush lock. Writes all unwritten bytes, then fsyncs.
+    fn write_and_flush_pending_locked(&self) {
+        let (to_write, target_lsn) = {
+            let mut st = self.state.lock();
+            let n = st.unwritten;
+            st.written_lsn = st.next_lsn;
+            st.unwritten = 0;
+            (n, st.next_lsn)
+        };
+        if to_write > 0 {
+            self.disk.write(to_write);
+            self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
+        }
+        {
+            let st = self.state.lock();
+            if st.flushed_lsn >= target_lsn {
+                return;
+            }
+        }
+        // The fsync: the paper's `fil_flush`.
+        let t0 = now_nanos();
+        self.disk.flush(0);
+        let dur = now_nanos() - t0;
+        if let Some(p) = &self.probes {
+            p.profiler.add_event(p.fil_flush, t0, dur);
+        }
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        st.flushed_lsn = st.flushed_lsn.max(target_lsn);
+    }
+
+    /// Durable LSN (for tests and recovery assertions).
+    pub fn flushed_lsn(&self) -> Lsn {
+        Lsn(self.state.lock().flushed_lsn)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RedoStats {
+        RedoStats {
+            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            commit_wait_ns: self.commit_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the background flusher (if any), flushing once more first.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let (lock, cvar) = &*self.shutdown_cv;
+        let mut stop = lock.lock();
+        *stop = true;
+        cvar.notify_all();
+    }
+}
+
+impl Drop for RedoLog {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpd_common::dist::ServiceTime;
+    use tpd_common::DiskConfig;
+
+    fn fast_disk() -> Arc<SimDisk> {
+        Arc::new(SimDisk::new(DiskConfig {
+            service: ServiceTime::Fixed(50_000),
+            ns_per_byte: 0.0,
+            seed: 3,
+        }))
+    }
+
+    #[test]
+    fn eager_commit_is_durable() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::Eager,
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        let lsn = log.append(100);
+        let waited = log.commit(lsn);
+        assert!(waited >= 50_000, "commit waited for I/O: {waited}");
+        assert!(log.flushed_lsn() >= lsn);
+        let s = log.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.bytes_written, 100);
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_flushes() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::Eager,
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                let lsn = log.append(64);
+                log.commit(lsn);
+                assert!(log.flushed_lsn() >= lsn);
+            }));
+        }
+        for h in handles {
+            h.join().expect("committer");
+        }
+        let s = log.stats();
+        assert_eq!(s.commits, 8);
+        assert!(
+            s.flushes < 8,
+            "grouping must reduce flushes: {} flushes",
+            s.flushes
+        );
+        assert!(s.flushes + s.group_commits >= 8 - s.flushes);
+    }
+
+    #[test]
+    fn lazy_flush_commit_writes_but_does_not_fsync() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::LazyFlush,
+                flush_interval: Duration::from_millis(5),
+            },
+            fast_disk(),
+            None,
+        );
+        let lsn = log.append(128);
+        log.commit(lsn);
+        // Written but (likely) not yet flushed by the committer itself.
+        assert_eq!(log.stats().bytes_written, 128);
+        // The background flusher catches up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while log.flushed_lsn() < lsn {
+            assert!(std::time::Instant::now() < deadline, "flusher never ran");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        log.shutdown();
+    }
+
+    #[test]
+    fn lazy_write_commit_touches_nothing() {
+        let disk = fast_disk();
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::LazyWrite,
+                flush_interval: Duration::from_millis(5),
+            },
+            disk.clone(),
+            None,
+        );
+        let lsn = log.append(256);
+        let waited = log.commit(lsn);
+        assert!(waited < 5_000_000, "lazy-write commit must be fast");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while log.flushed_lsn() < lsn {
+            assert!(std::time::Instant::now() < deadline, "flusher never ran");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(log.stats().bytes_written, 256);
+        log.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_pending() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::LazyWrite,
+                flush_interval: Duration::from_secs(3600), // effectively never
+            },
+            fast_disk(),
+            None,
+        );
+        let lsn = log.append(64);
+        log.commit(lsn);
+        log.shutdown();
+        // Drop joins the flusher, which flushes one final time.
+        let log2 = log.clone();
+        drop(log);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while log2.flushed_lsn() < lsn {
+            assert!(std::time::Instant::now() < deadline, "final flush missing");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn append_assigns_monotone_lsns() {
+        let log = RedoLog::new(RedoLogConfig::default(), fast_disk(), None);
+        let a = log.append(10);
+        let b = log.append(20);
+        assert!(b > a);
+        assert_eq!(b, Lsn(30));
+    }
+
+    #[test]
+    fn already_durable_commit_is_free() {
+        let log = RedoLog::new(RedoLogConfig::default(), fast_disk(), None);
+        let lsn = log.append(10);
+        log.commit(lsn);
+        let waited = log.commit(lsn); // second commit of same lsn
+        assert!(waited < 1_000_000, "no second flush: {waited}");
+        assert_eq!(log.stats().group_commits, 1);
+    }
+}

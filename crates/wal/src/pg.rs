@@ -1,0 +1,354 @@
+//! Postgres-style WAL with a global `WALWriteLock`, and the paper's
+//! parallel-logging variant.
+//!
+//! In Postgres, a committing backend calls `LWLockAcquireOrWait` on the
+//! single `WALWriteLock`; the variance of that wait accounts for 76.8% of
+//! Postgres's overall transaction-latency variance (Table 2). The holder
+//! flushes everything buffered, so blocked backends frequently find their
+//! records already durable when the lock releases — group commit.
+//!
+//! Flush cost is block-quantized: a flush of `b` bytes writes
+//! `ceil(b / block_size)` whole blocks. Larger blocks mean fewer device
+//! operations but more padding — the trade-off swept in Figure 4 (right).
+//!
+//! [`WalWriterConfig::sets`] > 1 enables the paper's parallel logging
+//! (Section 6.2): multiple independent log sets, each with its own device
+//! and lock. A committer takes any free set; when all are busy it waits on
+//! the set with the fewest waiters.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tpd_common::clock::now_nanos;
+use tpd_common::disk::SimDisk;
+use tpd_profiler::{FuncId, Profiler};
+
+/// Configuration for the WAL writer.
+#[derive(Debug, Clone)]
+pub struct WalWriterConfig {
+    /// Number of independent log sets (1 = stock Postgres; 2 = the paper's
+    /// parallel logging).
+    pub sets: usize,
+    /// WAL block size in bytes (Postgres default 8 KiB).
+    pub block_size: u64,
+    /// Fixed cost per block written (write(2) syscall + device command
+    /// overhead), spent on the flush critical path. This is what larger
+    /// blocks amortize in the Fig. 4 sweep.
+    pub per_block_overhead: std::time::Duration,
+}
+
+impl Default for WalWriterConfig {
+    fn default() -> Self {
+        WalWriterConfig {
+            sets: 1,
+            block_size: 8 * 1024,
+            per_block_overhead: std::time::Duration::from_micros(150),
+        }
+    }
+}
+
+/// Profiler hookup for the paper-named probe site.
+#[derive(Debug, Clone)]
+pub struct PgWalProbes {
+    /// The engine's profiler.
+    pub profiler: Arc<Profiler>,
+    /// `LWLockAcquireOrWait` — wait for the WALWriteLock.
+    pub lwlock_acquire: FuncId,
+}
+
+/// Cumulative statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalWriterStats {
+    /// Commit calls.
+    pub commits: u64,
+    /// Device flush operations (sum over sets).
+    pub flushes: u64,
+    /// Commits satisfied by another backend's flush.
+    pub group_commits: u64,
+    /// Blocks written (including padding).
+    pub blocks_written: u64,
+    /// Payload bytes requested (before padding).
+    pub bytes_requested: u64,
+    /// Total ns spent waiting for a WALWriteLock.
+    pub lock_wait_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct SetState {
+    /// Ticket counter: each commit takes a ticket before flushing.
+    next_ticket: u64,
+    /// Highest ticket whose bytes are durable.
+    flushed_ticket: u64,
+    /// Bytes pending (appended by ticket holders, not yet flushed).
+    pending_bytes: u64,
+}
+
+#[derive(Debug)]
+struct LogSet {
+    disk: Arc<SimDisk>,
+    /// The WALWriteLock for this set.
+    write_lock: Mutex<()>,
+    state: Mutex<SetState>,
+    waiters: AtomicUsize,
+}
+
+/// The WAL writer. See module docs.
+#[derive(Debug)]
+pub struct WalWriter {
+    sets: Vec<LogSet>,
+    config: WalWriterConfig,
+    probes: Option<PgWalProbes>,
+    commits: AtomicU64,
+    flushes: AtomicU64,
+    group_commits: AtomicU64,
+    blocks_written: AtomicU64,
+    bytes_requested: AtomicU64,
+    lock_wait_ns: AtomicU64,
+}
+
+impl WalWriter {
+    /// Create a writer with one device per set.
+    pub fn new(
+        config: WalWriterConfig,
+        disks: Vec<Arc<SimDisk>>,
+        probes: Option<PgWalProbes>,
+    ) -> Self {
+        assert!(config.sets >= 1, "need at least one log set");
+        assert_eq!(
+            disks.len(),
+            config.sets,
+            "one device per log set required"
+        );
+        assert!(config.block_size > 0);
+        WalWriter {
+            sets: disks
+                .into_iter()
+                .map(|disk| LogSet {
+                    disk,
+                    write_lock: Mutex::new(()),
+                    state: Mutex::new(SetState::default()),
+                    waiters: AtomicUsize::new(0),
+                })
+                .collect(),
+            config,
+            probes,
+            commits: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
+            bytes_requested: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Commit `bytes` of WAL durably. Returns ns spent on the commit path.
+    pub fn commit(&self, bytes: u64) -> u64 {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.bytes_requested.fetch_add(bytes, Ordering::Relaxed);
+        let start = now_nanos();
+
+        let set_idx = self.choose_set();
+        let set = &self.sets[set_idx];
+
+        // Take a ticket: our bytes are now part of the set's pending batch.
+        let my_ticket = {
+            let mut st = set.state.lock();
+            st.next_ticket += 1;
+            st.pending_bytes += bytes;
+            st.next_ticket
+        };
+
+        // LWLockAcquireOrWait: either we acquire and flush, or we wait and
+        // discover the holder flushed us.
+        let lock_start = now_nanos();
+        set.waiters.fetch_add(1, Ordering::Relaxed);
+        let guard = set.write_lock.lock();
+        set.waiters.fetch_sub(1, Ordering::Relaxed);
+        let lock_wait = now_nanos() - lock_start;
+        self.lock_wait_ns.fetch_add(lock_wait, Ordering::Relaxed);
+        if let Some(p) = &self.probes {
+            p.profiler.add_event(p.lwlock_acquire, lock_start, lock_wait);
+        }
+
+        // Group commit: flushed while we waited?
+        let (to_flush, flush_upto) = {
+            let mut st = set.state.lock();
+            if st.flushed_ticket >= my_ticket {
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                drop(guard);
+                return now_nanos() - start;
+            }
+            let b = st.pending_bytes;
+            st.pending_bytes = 0;
+            (b, st.next_ticket)
+        };
+
+        // Flush block-quantized bytes: one sequential device write of the
+        // padded batch, a per-block syscall/command overhead, then fsync.
+        let blocks = to_flush.div_ceil(self.config.block_size).max(1);
+        set.disk.write(blocks * self.config.block_size);
+        if !self.config.per_block_overhead.is_zero() {
+            std::thread::sleep(self.config.per_block_overhead * blocks as u32);
+        }
+        set.disk.flush(0);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.blocks_written.fetch_add(blocks, Ordering::Relaxed);
+        {
+            let mut st = set.state.lock();
+            st.flushed_ticket = st.flushed_ticket.max(flush_upto);
+        }
+        drop(guard);
+        now_nanos() - start
+    }
+
+    /// Pick a log set: any immediately free one, else the one with the
+    /// fewest waiters (the paper's rule).
+    fn choose_set(&self) -> usize {
+        if self.sets.len() == 1 {
+            return 0;
+        }
+        for (i, set) in self.sets.iter().enumerate() {
+            if let Some(g) = set.write_lock.try_lock() {
+                drop(g); // probing only; the real acquisition happens later
+                return i;
+            }
+        }
+        self.sets
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.waiters.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .expect("at least one set")
+    }
+
+    /// Number of configured log sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> WalWriterStats {
+        WalWriterStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            bytes_requested: self.bytes_requested.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpd_common::dist::ServiceTime;
+    use tpd_common::DiskConfig;
+
+    fn fast_disk(seed: u64) -> Arc<SimDisk> {
+        Arc::new(SimDisk::new(DiskConfig {
+            service: ServiceTime::Fixed(50_000),
+            ns_per_byte: 0.0,
+            seed,
+        }))
+    }
+
+    fn writer(sets: usize, block: u64) -> WalWriter {
+        let disks = (0..sets).map(|i| fast_disk(i as u64)).collect();
+        WalWriter::new(
+            WalWriterConfig {
+                sets,
+                block_size: block,
+                per_block_overhead: std::time::Duration::ZERO,
+            },
+            disks,
+            None,
+        )
+    }
+
+    #[test]
+    fn single_commit_flushes_one_padded_block() {
+        let w = writer(1, 8192);
+        let t = w.commit(100);
+        assert!(t >= 100_000, "write + flush, got {t}");
+        let s = w.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.blocks_written, 1, "100 bytes pads to one block");
+        assert_eq!(s.bytes_requested, 100);
+    }
+
+    #[test]
+    fn large_commit_writes_multiple_blocks() {
+        let w = writer(1, 4096);
+        w.commit(10_000);
+        assert_eq!(w.stats().blocks_written, 3, "ceil(10000/4096)");
+    }
+
+    #[test]
+    fn concurrent_commits_group() {
+        let w = Arc::new(writer(1, 8192));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let w = w.clone();
+            handles.push(std::thread::spawn(move || {
+                w.commit(64);
+            }));
+        }
+        for h in handles {
+            h.join().expect("committer");
+        }
+        let s = w.stats();
+        assert_eq!(s.commits, 8);
+        assert!(s.flushes < 8, "{} flushes for 8 commits", s.flushes);
+        assert!(s.group_commits > 0);
+    }
+
+    #[test]
+    fn parallel_logging_uses_both_sets() {
+        let w = Arc::new(writer(2, 8192));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let w = w.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..4 {
+                    w.commit(64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("committer");
+        }
+        assert_eq!(w.set_count(), 2);
+        let s = w.stats();
+        assert_eq!(s.commits, 64);
+        // Both devices must have seen traffic: total flushes spread. We can
+        // only check aggregate here; per-set spread is visible via each
+        // disk's stats in the engine integration tests.
+        assert!(s.flushes >= 2);
+    }
+
+    #[test]
+    fn zero_byte_commit_still_flushes_a_block() {
+        let w = writer(1, 8192);
+        w.commit(0);
+        assert_eq!(w.stats().blocks_written, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one device per log set")]
+    fn wrong_disk_count_rejected() {
+        WalWriter::new(
+            WalWriterConfig {
+                sets: 2,
+                block_size: 8192,
+                per_block_overhead: std::time::Duration::ZERO,
+            },
+            vec![fast_disk(1)],
+            None,
+        );
+    }
+}

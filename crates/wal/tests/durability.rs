@@ -1,0 +1,166 @@
+//! Concurrency/durability properties of the logging substrates: an eager
+//! commit must never return before its LSN is durable, group commit must
+//! batch but never skip, and the Postgres writer's tickets must be covered
+//! by flushes in order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::{DiskConfig, SimDisk};
+use tpd_wal::{FlushPolicy, RedoLog, RedoLogConfig, WalWriter, WalWriterConfig};
+
+fn disk(seed: u64, service_ns: u64) -> Arc<SimDisk> {
+    Arc::new(SimDisk::new(DiskConfig {
+        service: ServiceTime::Fixed(service_ns),
+        ns_per_byte: 0.0,
+        seed,
+    }))
+}
+
+#[test]
+fn eager_commits_are_durable_at_return_under_concurrency() {
+    let log = RedoLog::new(
+        RedoLogConfig {
+            policy: FlushPolicy::Eager,
+            ..Default::default()
+        },
+        disk(1, 30_000),
+        None,
+    );
+    let violations = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let log = log.clone();
+            let violations = violations.clone();
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    let lsn = log.append(128);
+                    log.commit(lsn);
+                    if log.flushed_lsn() < lsn {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(violations.load(Ordering::Relaxed), 0);
+    let s = log.stats();
+    assert_eq!(s.commits, 320);
+    assert!(
+        s.flushes < s.commits,
+        "group commit must batch: {} flushes for {} commits",
+        s.flushes,
+        s.commits
+    );
+}
+
+#[test]
+fn lsns_are_strictly_monotonic_under_concurrency() {
+    let log = RedoLog::new(RedoLogConfig::default(), disk(2, 0), None);
+    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let log = log.clone();
+            let seen = seen.clone();
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for _ in 0..200 {
+                    local.push(log.append(8));
+                }
+                seen.lock().extend(local);
+            });
+        }
+    });
+    let mut all = seen.lock().clone();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), 1600, "no two appends share an end-LSN");
+}
+
+#[test]
+fn pg_writer_group_commit_correctness() {
+    // Slow flushes force waiters to pile on the WALWriteLock; every commit
+    // must still return only after its ticket was covered by some flush.
+    let w = Arc::new(WalWriter::new(
+        WalWriterConfig {
+            sets: 1,
+            block_size: 4096,
+            per_block_overhead: Duration::ZERO,
+        },
+        vec![disk(3, 100_000)],
+        None,
+    ));
+    std::thread::scope(|scope| {
+        for _ in 0..12 {
+            let w = w.clone();
+            scope.spawn(move || {
+                for _ in 0..15 {
+                    w.commit(512);
+                }
+            });
+        }
+    });
+    let s = w.stats();
+    assert_eq!(s.commits, 180);
+    assert!(s.flushes + s.group_commits >= 180 - s.flushes);
+    assert!(
+        s.group_commits > 0,
+        "contention must produce group commits: {s:?}"
+    );
+    assert!(s.flushes < 180, "flushes batched: {}", s.flushes);
+}
+
+#[test]
+fn pg_parallel_sets_split_load() {
+    let d0 = disk(4, 50_000);
+    let d1 = disk(5, 50_000);
+    let (s0, s1) = (d0.clone(), d1.clone());
+    let w = Arc::new(WalWriter::new(
+        WalWriterConfig {
+            sets: 2,
+            block_size: 8192,
+            per_block_overhead: Duration::ZERO,
+        },
+        vec![d0, d1],
+        None,
+    ));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let w = w.clone();
+            scope.spawn(move || {
+                for _ in 0..30 {
+                    w.commit(256);
+                }
+            });
+        }
+    });
+    let (f0, f1) = (s0.stats().flushes, s1.stats().flushes);
+    assert!(f0 > 0 && f1 > 0, "both devices used: {f0} vs {f1}");
+}
+
+#[test]
+fn lazy_write_loses_nothing_after_shutdown() {
+    let log = RedoLog::new(
+        RedoLogConfig {
+            policy: FlushPolicy::LazyWrite,
+            flush_interval: Duration::from_millis(2),
+        },
+        disk(6, 1000),
+        None,
+    );
+    let mut last = tpd_wal::Lsn(0);
+    for _ in 0..50 {
+        last = log.append(64);
+        log.commit(last);
+    }
+    log.shutdown();
+    let log2 = log.clone();
+    drop(log); // joins the flusher, which flushes once more
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while log2.flushed_lsn() < last {
+        assert!(std::time::Instant::now() < deadline, "final flush missing");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,232 @@
+//! Epinions — the customer-review-site benchmark (low contention).
+//!
+//! Users read and write reviews of items and maintain trust relations.
+//! Access is uniform over large user/item spaces, so record-lock conflicts
+//! are rare — the paper uses it (with YCSB) to show VATS is immaterial
+//! without contention.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use tpd_engine::{Engine, EngineError, TableId};
+
+use crate::spec::{TxnSpec, Workload};
+
+const GET_REVIEW_ITEM: u8 = 0;
+const GET_REVIEWS_BY_USER: u8 = 1;
+const GET_AVG_RATING: u8 = 2;
+const UPDATE_USER: u8 = 3;
+const UPDATE_ITEM: u8 = 4;
+const NEW_REVIEW: u8 = 5;
+
+/// Reviews seeded per item at install time.
+const SEED_REVIEWS_PER_ITEM: u64 = 2;
+
+/// The Epinions driver.
+#[derive(Debug)]
+pub struct Epinions {
+    users: u64,
+    items: u64,
+    user: TableId,
+    item: TableId,
+    review: TableId,
+    trust: TableId,
+}
+
+impl Epinions {
+    /// Create the schema with `users` users and `users/2` items.
+    pub fn install(engine: &Arc<Engine>, users: u64) -> Self {
+        assert!(users >= 2);
+        let items = (users / 2).max(1);
+        let c = engine.catalog();
+        let w = Epinions {
+            users,
+            items,
+            user: c.create_table("ep_user", 32),
+            item: c.create_table("ep_item", 32),
+            review: c.create_table("ep_review", 64),
+            trust: c.create_table("ep_trust", 64),
+        };
+        let ut = c.table(w.user);
+        for u in 0..users {
+            ut.put(u, vec![0, 0]); // [reviews_written, profile_version]
+        }
+        let it = c.table(w.item);
+        for i in 0..items {
+            it.put(i, vec![0, 0]); // [rating_sum, rating_count]
+        }
+        let rt = c.table(w.review);
+        for i in 0..items {
+            for r in 0..SEED_REVIEWS_PER_ITEM {
+                rt.put(
+                    i * SEED_REVIEWS_PER_ITEM + r,
+                    vec![i as i64, (i % users) as i64, 3],
+                ); // [item, user, rating]
+            }
+        }
+        let tt = c.table(w.trust);
+        for u in 0..users {
+            tt.put(u, vec![u as i64, ((u + 1) % users) as i64]); // [from, to]
+        }
+        w
+    }
+}
+
+impl Workload for Epinions {
+    fn name(&self) -> &'static str {
+        "Epinions"
+    }
+
+    fn txn_names(&self) -> &'static [&'static str] {
+        &[
+            "GetReviewItemById",
+            "GetReviewsByUser",
+            "GetAverageRating",
+            "UpdateUser",
+            "UpdateItemTitle",
+            "NewReview",
+        ]
+    }
+
+    fn is_contended(&self) -> bool {
+        false
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> TxnSpec {
+        let roll = rng.gen_range(0..100);
+        let ty = match roll {
+            0..=29 => GET_REVIEW_ITEM,
+            30..=49 => GET_REVIEWS_BY_USER,
+            50..=69 => GET_AVG_RATING,
+            70..=79 => UPDATE_USER,
+            80..=89 => UPDATE_ITEM,
+            _ => NEW_REVIEW,
+        };
+        TxnSpec {
+            ty,
+            params: vec![
+                rng.gen_range(0..self.users),
+                rng.gen_range(0..self.items),
+                rng.gen_range(1..=5),
+            ],
+        }
+    }
+
+    fn execute(&self, engine: &Arc<Engine>, spec: &TxnSpec) -> Result<(), EngineError> {
+        let (u, i, rating) = (spec.params[0], spec.params[1], spec.params[2] as i64);
+        match spec.ty {
+            GET_REVIEW_ITEM => {
+                let mut txn = engine.begin(GET_REVIEW_ITEM);
+                txn.read(self.item, i)?;
+                let lo = i * SEED_REVIEWS_PER_ITEM;
+                txn.scan(self.review, lo, lo + SEED_REVIEWS_PER_ITEM, 10)?;
+                txn.commit()
+            }
+            GET_REVIEWS_BY_USER => {
+                let mut txn = engine.begin(GET_REVIEWS_BY_USER);
+                txn.read(self.user, u)?;
+                let n = engine.catalog().table(self.review).len() as u64;
+                let lo = n.saturating_sub(10);
+                txn.scan(self.review, lo, n, 10)?;
+                txn.commit()
+            }
+            GET_AVG_RATING => {
+                let mut txn = engine.begin(GET_AVG_RATING);
+                txn.read(self.trust, u)?;
+                txn.read(self.item, i)?;
+                txn.commit()
+            }
+            UPDATE_USER => {
+                let mut txn = engine.begin(UPDATE_USER);
+                txn.update(self.user, u, |r| r[1] += 1)?;
+                txn.commit()
+            }
+            UPDATE_ITEM => {
+                let mut txn = engine.begin(UPDATE_ITEM);
+                txn.update(self.item, i, |r| r[1] += 0)?;
+                txn.commit()
+            }
+            NEW_REVIEW => {
+                let mut txn = engine.begin(NEW_REVIEW);
+                txn.insert(self.review, vec![i as i64, u as i64, rating])?;
+                txn.update(self.item, i, |r| {
+                    r[0] += rating;
+                    r[1] += 1;
+                })?;
+                txn.update(self.user, u, |r| r[0] += 1)?;
+                txn.commit()
+            }
+            other => panic!("unknown Epinions txn type {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::execute_with_retries;
+    use rand::SeedableRng;
+    use tpd_common::dist::ServiceTime;
+    use tpd_common::DiskConfig;
+    use tpd_engine::EngineConfig;
+
+    fn quick_engine() -> Arc<Engine> {
+        let quick = DiskConfig {
+            service: ServiceTime::Fixed(10_000),
+            ns_per_byte: 0.0,
+            seed: 9,
+        };
+        Engine::new(EngineConfig {
+            data_disk: quick.clone(),
+            log_disks: vec![quick],
+            ..EngineConfig::mysql(tpd_engine::Policy::Fcfs)
+        })
+    }
+
+    #[test]
+    fn install_sizes() {
+        let e = quick_engine();
+        let w = Epinions::install(&e, 100);
+        assert_eq!(e.catalog().table(w.user).len(), 100);
+        assert_eq!(e.catalog().table(w.item).len(), 50);
+        assert_eq!(
+            e.catalog().table(w.review).len() as u64,
+            50 * SEED_REVIEWS_PER_ITEM
+        );
+    }
+
+    #[test]
+    fn all_types_run_and_review_updates_aggregates() {
+        let e = quick_engine();
+        let w = Epinions::install(&e, 100);
+        for ty in 0..6u8 {
+            let spec = TxnSpec {
+                ty,
+                params: vec![10, 5, 4],
+            };
+            execute_with_retries(&w, &e, &spec, 5).unwrap_or_else(|err| {
+                panic!("type {ty} failed: {err}");
+            });
+        }
+        let item = e.catalog().table(w.item).get(5).expect("item");
+        assert_eq!(item[0], 4, "rating sum updated by NewReview");
+        assert_eq!(item[1], 1, "rating count updated");
+    }
+
+    #[test]
+    fn reads_dominate_mix() {
+        let e = quick_engine();
+        let w = Epinions::install(&e, 100);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut reads = 0;
+        for _ in 0..5000 {
+            if w.sample(&mut rng).ty <= GET_AVG_RATING {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / 5000.0;
+        assert!(frac > 0.6 && frac < 0.8, "read fraction {frac}");
+    }
+}

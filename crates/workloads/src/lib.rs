@@ -1,0 +1,29 @@
+//! The five OLTP-Bench workloads used in the paper's evaluation
+//! (Section 7.1), scaled down to the mini engine:
+//!
+//! | workload | contention | paper scale | our default scale |
+//! |----------|------------|-------------|-------------------|
+//! | TPC-C    | high       | 128 / 2 WH  | 2–8 warehouses    |
+//! | SEATS    | high       | SF 50       | 200 flights       |
+//! | TATP     | medium     | SF 10       | 2 000 subscribers |
+//! | Epinions | low        | SF 500      | 5 000 users       |
+//! | YCSB     | none       | SF 1200     | 50 000 rows       |
+//!
+//! Transaction mixes follow the original benchmark specifications; schemas
+//! keep the columns that drive contention and footprint, dropping free-text
+//! payload. Each workload pre-draws all randomness into a [`TxnSpec`], so a
+//! deadlock-aborted transaction retries the *same* logical work.
+
+pub mod epinions;
+pub mod seats;
+pub mod spec;
+pub mod tatp;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use epinions::Epinions;
+pub use seats::Seats;
+pub use spec::{TxnSpec, Workload, WorkloadKind};
+pub use tatp::Tatp;
+pub use tpcc::TpcC;
+pub use ycsb::Ycsb;

@@ -1,0 +1,252 @@
+//! SEATS — the airline ticketing benchmark (highly contended).
+//!
+//! Customers search flights and make reservations; the contention hotspot
+//! is the per-flight seat counter that every NewReservation decrements
+//! exclusively. With a scaled-down flight table the hotspot is intense,
+//! matching the paper's "scale factor 50, leading to a highly contended
+//! workload".
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use tpd_engine::{Engine, EngineError, TableId};
+
+use crate::spec::{TxnSpec, Workload};
+
+const FIND_FLIGHTS: u8 = 0;
+const FIND_OPEN_SEATS: u8 = 1;
+const NEW_RESERVATION: u8 = 2;
+const UPDATE_CUSTOMER: u8 = 3;
+const UPDATE_RESERVATION: u8 = 4;
+
+/// Customers in the scaled-down database.
+const CUSTOMERS: u64 = 2000;
+
+/// The SEATS driver.
+#[derive(Debug)]
+pub struct Seats {
+    flights: u64,
+    flight: TableId,
+    customer: TableId,
+    reservation: TableId,
+}
+
+impl Seats {
+    /// Create the schema and populate `flights` flights.
+    pub fn install(engine: &Arc<Engine>, flights: u64) -> Self {
+        assert!(flights >= 1);
+        let c = engine.catalog();
+        let s = Seats {
+            flights,
+            flight: c.create_table("flight", 16),
+            customer: c.create_table("seats_customer", 32),
+            reservation: c.create_table("reservation", 64),
+        };
+        let ft = c.table(s.flight);
+        for f in 0..flights {
+            ft.put(f, vec![150, 0, (f % 24) as i64]); // [seats_left, reserved, depart_hour]
+        }
+        let ct = c.table(s.customer);
+        for cu in 0..CUSTOMERS {
+            ct.put(cu, vec![0, 0]); // [reservations, balance]
+        }
+        s
+    }
+}
+
+impl Workload for Seats {
+    fn name(&self) -> &'static str {
+        "SEATS"
+    }
+
+    fn txn_names(&self) -> &'static [&'static str] {
+        &[
+            "FindFlights",
+            "FindOpenSeats",
+            "NewReservation",
+            "UpdateCustomer",
+            "UpdateReservation",
+        ]
+    }
+
+    fn is_contended(&self) -> bool {
+        true
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> TxnSpec {
+        // Mix follows the SEATS specification's profile.
+        let roll = rng.gen_range(0..100);
+        let ty = match roll {
+            0..=9 => FIND_FLIGHTS,
+            10..=44 => FIND_OPEN_SEATS,
+            45..=64 => NEW_RESERVATION,
+            65..=79 => UPDATE_CUSTOMER,
+            _ => UPDATE_RESERVATION,
+        };
+        // Popular flights: quadratic skew toward low flight ids.
+        let u: f64 = rng.gen();
+        let flight = ((u * u) * self.flights as f64) as u64;
+        TxnSpec {
+            ty,
+            params: vec![
+                flight.min(self.flights - 1),
+                rng.gen_range(0..CUSTOMERS),
+                rng.gen_range(0..1000),
+            ],
+        }
+    }
+
+    fn execute(&self, engine: &Arc<Engine>, spec: &TxnSpec) -> Result<(), EngineError> {
+        let (f, cu, val) = (spec.params[0], spec.params[1], spec.params[2] as i64);
+        match spec.ty {
+            FIND_FLIGHTS => {
+                let mut txn = engine.begin(FIND_FLIGHTS);
+                let lo = f.saturating_sub(5);
+                txn.scan(self.flight, lo, lo + 10, 10)?;
+                txn.commit()
+            }
+            FIND_OPEN_SEATS => {
+                let mut txn = engine.begin(FIND_OPEN_SEATS);
+                txn.read(self.flight, f)?;
+                txn.commit()
+            }
+            NEW_RESERVATION => {
+                let mut txn = engine.begin(NEW_RESERVATION);
+                // Like the real benchmark: check availability under a
+                // shared lock first, do the bookkeeping, then upgrade to
+                // exclusive to claim the seat. The S->X upgrade on a hot
+                // flight is SEATS's contention signature.
+                let flight = txn.read(self.flight, f)?;
+                if flight[0] > 0 {
+                    txn.read(self.customer, cu)?;
+                    txn.insert(self.reservation, vec![f as i64, cu as i64, val])?;
+                    txn.update(self.flight, f, |r| {
+                        if r[0] > 0 {
+                            r[0] -= 1;
+                            r[1] += 1;
+                        }
+                    })?;
+                    txn.update(self.customer, cu, |r| r[0] += 1)?;
+                }
+                txn.commit()
+            }
+            UPDATE_CUSTOMER => {
+                let mut txn = engine.begin(UPDATE_CUSTOMER);
+                txn.read(self.customer, cu)?;
+                txn.update(self.customer, cu, |r| r[1] += val)?;
+                txn.commit()
+            }
+            UPDATE_RESERVATION => {
+                let mut txn = engine.begin(UPDATE_RESERVATION);
+                let n = engine.catalog().table(self.reservation).len() as u64;
+                if n > 0 {
+                    let key = val as u64 % n;
+                    match txn.update(self.reservation, key, |r| r[2] = val) {
+                        Ok(()) | Err(EngineError::RowNotFound { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                txn.commit()
+            }
+            other => panic!("unknown SEATS txn type {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::execute_with_retries;
+    use rand::SeedableRng;
+    use tpd_common::dist::ServiceTime;
+    use tpd_common::DiskConfig;
+    use tpd_engine::EngineConfig;
+
+    fn quick_engine() -> Arc<Engine> {
+        let quick = DiskConfig {
+            service: ServiceTime::Fixed(10_000),
+            ns_per_byte: 0.0,
+            seed: 9,
+        };
+        Engine::new(EngineConfig {
+            data_disk: quick.clone(),
+            log_disks: vec![quick],
+            ..EngineConfig::mysql(tpd_engine::Policy::Fcfs)
+        })
+    }
+
+    #[test]
+    fn install_and_reserve() {
+        let e = quick_engine();
+        let s = Seats::install(&e, 10);
+        let spec = TxnSpec {
+            ty: NEW_RESERVATION,
+            params: vec![3, 17, 500],
+        };
+        s.execute(&e, &spec).expect("reservation");
+        let flight = e.catalog().table(s.flight).get(3).expect("flight");
+        assert_eq!(flight[0], 149);
+        assert_eq!(flight[1], 1);
+        assert_eq!(e.catalog().table(s.reservation).len(), 1);
+    }
+
+    #[test]
+    fn skew_prefers_low_flight_ids() {
+        let e = quick_engine();
+        let s = Seats::install(&e, 100);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut low = 0;
+        for _ in 0..5000 {
+            if s.sample(&mut rng).params[0] < 25 {
+                low += 1;
+            }
+        }
+        // Quadratic skew: P(flight < 25) = sqrt(0.25) = 0.5.
+        let frac = low as f64 / 5000.0;
+        assert!(frac > 0.42 && frac < 0.58, "frac = {frac}");
+    }
+
+    #[test]
+    fn all_types_run() {
+        let e = quick_engine();
+        let s = Seats::install(&e, 10);
+        for ty in 0..5u8 {
+            let spec = TxnSpec {
+                ty,
+                params: vec![2, 5, 7],
+            };
+            execute_with_retries(&s, &e, &spec, 5).unwrap_or_else(|err| {
+                panic!("type {ty} failed: {err}");
+            });
+        }
+    }
+
+    #[test]
+    fn seat_counter_never_negative_under_concurrency() {
+        let e = quick_engine();
+        let s = Arc::new(Seats::install(&e, 2));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let e = e.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t);
+                for _ in 0..30 {
+                    let spec = TxnSpec {
+                        ty: NEW_RESERVATION,
+                        params: vec![0, rng.gen_range(0..CUSTOMERS), 1],
+                    };
+                    let _ = execute_with_retries(s.as_ref(), &e, &spec, 10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let flight = e.catalog().table(s.flight).get(0).expect("flight");
+        assert!(flight[0] >= 0, "seats_left = {}", flight[0]);
+        assert_eq!(flight[0] + flight[1], 150, "seats conserved");
+    }
+}

@@ -1,0 +1,134 @@
+//! The workload abstraction shared by the harness and the benchmarks.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+
+use tpd_engine::{Engine, EngineError, TxnType};
+
+/// One sampled transaction: its type plus every random parameter it needs,
+/// drawn up front so retries re-run identical logical work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpec {
+    /// Workload-defined transaction type index.
+    pub ty: TxnType,
+    /// Flat parameter vector; each workload defines its own layout.
+    pub params: Vec<u64>,
+}
+
+/// A benchmark workload bound to an engine's schema.
+pub trait Workload: Send + Sync {
+    /// Workload name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Names of the transaction types, indexed by [`TxnSpec::ty`].
+    fn txn_names(&self) -> &'static [&'static str];
+
+    /// Draw the next transaction.
+    fn sample(&self, rng: &mut SmallRng) -> TxnSpec;
+
+    /// Execute one transaction. On `Err(Deadlock | LockTimeout)` the engine
+    /// has already rolled back; the caller decides whether to retry.
+    fn execute(&self, engine: &Arc<Engine>, spec: &TxnSpec) -> Result<(), EngineError>;
+
+    /// Whether the paper classifies this workload as lock-contended.
+    fn is_contended(&self) -> bool;
+}
+
+/// Execute with retries on deadlock/timeout (the standard OLTP-Bench
+/// behaviour). Returns the number of attempts made (≥ 1) on success.
+pub fn execute_with_retries(
+    workload: &dyn Workload,
+    engine: &Arc<Engine>,
+    spec: &TxnSpec,
+    max_attempts: usize,
+) -> Result<usize, EngineError> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match workload.execute(engine, spec) {
+            Ok(()) => return Ok(attempts),
+            Err(e @ (EngineError::Deadlock | EngineError::LockTimeout)) => {
+                if attempts >= max_attempts {
+                    return Err(e);
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+/// The five workloads, for harness dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// TPC-C order processing (highly contended).
+    TpcC,
+    /// SEATS airline ticketing (highly contended).
+    Seats,
+    /// TATP caller-location (moderately contended).
+    Tatp,
+    /// Epinions review site (low contention).
+    Epinions,
+    /// YCSB key-value microbenchmark (no contention).
+    Ycsb,
+}
+
+impl WorkloadKind {
+    /// All five, in the paper's Table 4 order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::TpcC,
+        WorkloadKind::Seats,
+        WorkloadKind::Tatp,
+        WorkloadKind::Epinions,
+        WorkloadKind::Ycsb,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::TpcC => "TPCC",
+            WorkloadKind::Seats => "SEATS",
+            WorkloadKind::Tatp => "TATP",
+            WorkloadKind::Epinions => "Epinions",
+            WorkloadKind::Ycsb => "YCSB",
+        }
+    }
+
+    /// Install the workload's schema + data on `engine` and return the
+    /// driver. `quick` shrinks data sizes for tests.
+    pub fn install(&self, engine: &Arc<Engine>, quick: bool) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::TpcC => Box::new(crate::TpcC::install(
+                engine,
+                if quick { 1 } else { 2 },
+            )),
+            WorkloadKind::Seats => Box::new(crate::Seats::install(
+                engine,
+                if quick { 30 } else { 60 },
+            )),
+            WorkloadKind::Tatp => Box::new(crate::Tatp::install(
+                engine,
+                if quick { 400 } else { 2000 },
+            )),
+            WorkloadKind::Epinions => Box::new(crate::Epinions::install(
+                engine,
+                if quick { 500 } else { 5000 },
+            )),
+            WorkloadKind::Ycsb => Box::new(crate::Ycsb::install(
+                engine,
+                if quick { 5_000 } else { 50_000 },
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(WorkloadKind::TpcC.name(), "TPCC");
+        assert_eq!(WorkloadKind::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! TATP — the telecom caller-location benchmark (moderately contended).
+//!
+//! Standard mix: GetSubscriberData 35%, GetNewDestination 10%,
+//! GetAccessData 35%, UpdateSubscriberData 2%, UpdateLocation 14%,
+//! InsertCallForwarding 2%, DeleteCallForwarding 2%. Keys are uniform over
+//! the subscriber space; contention comes from the small scaled-down
+//! subscriber count, matching the paper's "contended, but less than TPC-C".
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use tpd_engine::{Engine, EngineError, TableId};
+
+use crate::spec::{TxnSpec, Workload};
+
+/// Access-info rows per subscriber.
+const AI_PER_SUB: u64 = 4;
+/// Special-facility rows per subscriber.
+const SF_PER_SUB: u64 = 4;
+
+const GET_SUBSCRIBER: u8 = 0;
+const GET_NEW_DEST: u8 = 1;
+const GET_ACCESS: u8 = 2;
+const UPD_SUBSCRIBER: u8 = 3;
+const UPD_LOCATION: u8 = 4;
+const INS_CALL_FWD: u8 = 5;
+const DEL_CALL_FWD: u8 = 6;
+
+/// The TATP driver.
+#[derive(Debug)]
+pub struct Tatp {
+    subscribers: u64,
+    subscriber: TableId,
+    access_info: TableId,
+    special_facility: TableId,
+    call_forwarding: TableId,
+}
+
+impl Tatp {
+    /// Create the schema and populate `subscribers` subscribers.
+    pub fn install(engine: &Arc<Engine>, subscribers: u64) -> Self {
+        assert!(subscribers >= 1);
+        let c = engine.catalog();
+        let t = Tatp {
+            subscribers,
+            subscriber: c.create_table("subscriber", 32),
+            access_info: c.create_table("access_info", 64),
+            special_facility: c.create_table("special_facility", 64),
+            call_forwarding: c.create_table("call_forwarding", 64),
+        };
+        let st = c.table(t.subscriber);
+        let at = c.table(t.access_info);
+        let ft = c.table(t.special_facility);
+        let cf = c.table(t.call_forwarding);
+        for s in 0..subscribers {
+            st.put(s, vec![s as i64, 1, 0, 0]); // [sid, bit, hex, vlr_location]
+            for i in 0..AI_PER_SUB {
+                at.put(s * AI_PER_SUB + i, vec![s as i64, i as i64]);
+            }
+            for i in 0..SF_PER_SUB {
+                ft.put(s * SF_PER_SUB + i, vec![s as i64, 1, 0]); // [sid, active, data]
+                // One call-forwarding row per special facility.
+                cf.put(s * SF_PER_SUB + i, vec![s as i64, i as i64, 1]); // [sid, sf, active]
+            }
+        }
+        t
+    }
+}
+
+impl Workload for Tatp {
+    fn name(&self) -> &'static str {
+        "TATP"
+    }
+
+    fn txn_names(&self) -> &'static [&'static str] {
+        &[
+            "GetSubscriberData",
+            "GetNewDestination",
+            "GetAccessData",
+            "UpdateSubscriberData",
+            "UpdateLocation",
+            "InsertCallForwarding",
+            "DeleteCallForwarding",
+        ]
+    }
+
+    fn is_contended(&self) -> bool {
+        true
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> TxnSpec {
+        let s = rng.gen_range(0..self.subscribers);
+        let sf = rng.gen_range(0..SF_PER_SUB);
+        let roll = rng.gen_range(0..100);
+        let ty = match roll {
+            0..=34 => GET_SUBSCRIBER,
+            35..=44 => GET_NEW_DEST,
+            45..=79 => GET_ACCESS,
+            80..=81 => UPD_SUBSCRIBER,
+            82..=95 => UPD_LOCATION,
+            96..=97 => INS_CALL_FWD,
+            _ => DEL_CALL_FWD,
+        };
+        TxnSpec {
+            ty,
+            params: vec![s, sf, rng.gen_range(0..1000)],
+        }
+    }
+
+    fn execute(&self, engine: &Arc<Engine>, spec: &TxnSpec) -> Result<(), EngineError> {
+        let (s, sf, val) = (spec.params[0], spec.params[1], spec.params[2] as i64);
+        match spec.ty {
+            GET_SUBSCRIBER => {
+                let mut txn = engine.begin(GET_SUBSCRIBER);
+                txn.read(self.subscriber, s)?;
+                txn.commit()
+            }
+            GET_NEW_DEST => {
+                let mut txn = engine.begin(GET_NEW_DEST);
+                txn.read(self.special_facility, s * SF_PER_SUB + sf)?;
+                txn.read(self.call_forwarding, s * SF_PER_SUB + sf)?;
+                txn.commit()
+            }
+            GET_ACCESS => {
+                let mut txn = engine.begin(GET_ACCESS);
+                txn.read(self.access_info, s * AI_PER_SUB + (sf % AI_PER_SUB))?;
+                txn.commit()
+            }
+            UPD_SUBSCRIBER => {
+                let mut txn = engine.begin(UPD_SUBSCRIBER);
+                txn.update(self.subscriber, s, |r| r[1] ^= 1)?;
+                txn.update(self.special_facility, s * SF_PER_SUB + sf, |r| {
+                    r[2] = val;
+                })?;
+                txn.commit()
+            }
+            UPD_LOCATION => {
+                let mut txn = engine.begin(UPD_LOCATION);
+                txn.update(self.subscriber, s, |r| r[3] = val)?;
+                txn.commit()
+            }
+            INS_CALL_FWD => {
+                let mut txn = engine.begin(INS_CALL_FWD);
+                txn.read(self.subscriber, s)?;
+                txn.read(self.special_facility, s * SF_PER_SUB + sf)?;
+                txn.insert(self.call_forwarding, vec![s as i64, sf as i64, 1])?;
+                txn.commit()
+            }
+            DEL_CALL_FWD => {
+                // Logical delete: clear the active flag.
+                let mut txn = engine.begin(DEL_CALL_FWD);
+                txn.update(self.call_forwarding, s * SF_PER_SUB + sf, |r| r[2] = 0)?;
+                txn.commit()
+            }
+            other => panic!("unknown TATP txn type {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::execute_with_retries;
+    use rand::SeedableRng;
+    use tpd_common::dist::ServiceTime;
+    use tpd_common::DiskConfig;
+    use tpd_engine::EngineConfig;
+
+    fn quick_engine() -> Arc<Engine> {
+        let quick = DiskConfig {
+            service: ServiceTime::Fixed(10_000),
+            ns_per_byte: 0.0,
+            seed: 9,
+        };
+        Engine::new(EngineConfig {
+            data_disk: quick.clone(),
+            log_disks: vec![quick],
+            ..EngineConfig::mysql(tpd_engine::Policy::Fcfs)
+        })
+    }
+
+    #[test]
+    fn install_sizes() {
+        let e = quick_engine();
+        let t = Tatp::install(&e, 100);
+        assert_eq!(e.catalog().table(t.subscriber).len(), 100);
+        assert_eq!(e.catalog().table(t.access_info).len() as u64, 100 * AI_PER_SUB);
+        assert_eq!(
+            e.catalog().table(t.call_forwarding).len() as u64,
+            100 * SF_PER_SUB
+        );
+    }
+
+    #[test]
+    fn mix_proportions() {
+        let e = quick_engine();
+        let t = Tatp::install(&e, 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 7];
+        for _ in 0..10_000 {
+            counts[t.sample(&mut rng).ty as usize] += 1;
+        }
+        let frac = |i: usize| counts[i] as f64 / 10_000.0;
+        assert!((frac(0) - 0.35).abs() < 0.03);
+        assert!((frac(2) - 0.35).abs() < 0.03);
+        assert!((frac(4) - 0.14).abs() < 0.02);
+        // Reads dominate: 80% of the mix.
+        assert!(frac(0) + frac(1) + frac(2) > 0.72);
+    }
+
+    #[test]
+    fn all_types_run() {
+        let e = quick_engine();
+        let t = Tatp::install(&e, 50);
+        for ty in 0..7u8 {
+            let spec = TxnSpec {
+                ty,
+                params: vec![7, 1, 42],
+            };
+            execute_with_retries(&t, &e, &spec, 5).unwrap_or_else(|err| {
+                panic!("type {ty} failed: {err}");
+            });
+        }
+        // UpdateLocation wrote vlr_location.
+        assert_eq!(e.catalog().table(t.subscriber).get(7).expect("row")[3], 42);
+    }
+}

@@ -1,0 +1,174 @@
+//! YCSB — the cloud-serving microbenchmark (no contention).
+//!
+//! Single `usertable`, one operation per transaction, 50/50 read/update
+//! with uniform key choice over a large key space (the paper's scale factor
+//! 1200 "causing little or no contention"). A Zipfian variant is available
+//! for contention ablations.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use tpd_common::dist::KeyDist;
+use tpd_engine::{Engine, EngineError, TableId};
+
+use crate::spec::{TxnSpec, Workload};
+
+const READ: u8 = 0;
+const UPDATE: u8 = 1;
+
+/// Columns per YCSB row (the standard 10 fields).
+const FIELDS: usize = 10;
+
+/// The YCSB driver.
+#[derive(Debug)]
+pub struct Ycsb {
+    records: u64,
+    table: TableId,
+    keys: KeyDist,
+}
+
+impl Ycsb {
+    /// Uniform-key YCSB over `records` rows.
+    pub fn install(engine: &Arc<Engine>, records: u64) -> Self {
+        Self::install_with_dist(engine, records, KeyDist::uniform(records.max(1)))
+    }
+
+    /// YCSB with a custom key distribution (e.g. Zipfian for ablations).
+    pub fn install_with_dist(engine: &Arc<Engine>, records: u64, keys: KeyDist) -> Self {
+        assert!(records >= 1);
+        let c = engine.catalog();
+        let w = Ycsb {
+            records,
+            table: c.create_table("usertable", 64),
+            keys,
+        };
+        let t = c.table(w.table);
+        for k in 0..records {
+            t.put(k, vec![0; FIELDS]);
+        }
+        w
+    }
+
+    /// Number of records.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+impl Workload for Ycsb {
+    fn name(&self) -> &'static str {
+        "YCSB"
+    }
+
+    fn txn_names(&self) -> &'static [&'static str] {
+        &["Read", "Update"]
+    }
+
+    fn is_contended(&self) -> bool {
+        false
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> TxnSpec {
+        let ty = if rng.gen_bool(0.5) { READ } else { UPDATE };
+        TxnSpec {
+            ty,
+            params: vec![
+                self.keys.sample(rng),
+                rng.gen_range(0..FIELDS as u64),
+                rng.gen_range(0..1_000_000),
+            ],
+        }
+    }
+
+    fn execute(&self, engine: &Arc<Engine>, spec: &TxnSpec) -> Result<(), EngineError> {
+        let (key, field, val) = (
+            spec.params[0],
+            spec.params[1] as usize,
+            spec.params[2] as i64,
+        );
+        match spec.ty {
+            READ => {
+                let mut txn = engine.begin(READ);
+                txn.read(self.table, key)?;
+                txn.commit()
+            }
+            UPDATE => {
+                let mut txn = engine.begin(UPDATE);
+                txn.update(self.table, key, |r| r[field] = val)?;
+                txn.commit()
+            }
+            other => panic!("unknown YCSB txn type {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tpd_common::dist::ServiceTime;
+    use tpd_common::DiskConfig;
+    use tpd_engine::EngineConfig;
+
+    fn quick_engine() -> Arc<Engine> {
+        let quick = DiskConfig {
+            service: ServiceTime::Fixed(10_000),
+            ns_per_byte: 0.0,
+            seed: 9,
+        };
+        Engine::new(EngineConfig {
+            data_disk: quick.clone(),
+            log_disks: vec![quick],
+            ..EngineConfig::mysql(tpd_engine::Policy::Fcfs)
+        })
+    }
+
+    #[test]
+    fn install_and_ops() {
+        let e = quick_engine();
+        let w = Ycsb::install(&e, 1000);
+        assert_eq!(w.records(), 1000);
+        let read = TxnSpec {
+            ty: READ,
+            params: vec![5, 0, 0],
+        };
+        w.execute(&e, &read).expect("read");
+        let update = TxnSpec {
+            ty: UPDATE,
+            params: vec![5, 3, 777],
+        };
+        w.execute(&e, &update).expect("update");
+        assert_eq!(e.catalog().table(w.table).get(5).expect("row")[3], 777);
+    }
+
+    #[test]
+    fn mix_is_half_and_half() {
+        let e = quick_engine();
+        let w = Ycsb::install(&e, 1000);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut reads = 0;
+        for _ in 0..10_000 {
+            if w.sample(&mut rng).ty == READ {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "read fraction {frac}");
+    }
+
+    #[test]
+    fn zipfian_variant_skews() {
+        let e = quick_engine();
+        let w = Ycsb::install_with_dist(&e, 1000, KeyDist::zipfian(1000, 0.99));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hot = 0;
+        for _ in 0..5000 {
+            if w.sample(&mut rng).params[0] < 10 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 1000, "zipfian hot keys: {hot}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Variance-aware tuning (the paper's Section 6.3 / Appendix B): sweep the
+//! knobs TProfiler pointed at and watch mean vs variance move.
+//!
+//! Sweeps three knobs on a YCSB-style workload:
+//! 1. redo flush policy (eager / lazy-flush / lazy-write),
+//! 2. buffer-pool size,
+//! 3. VoltDB-style worker threads.
+//!
+//! ```sh
+//! cargo run --release --example tuning_sweep
+//! ```
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use predictadb::common::stats::SampleSummary;
+use predictadb::common::table::{f2, TextTable};
+use predictadb::core::Policy;
+use predictadb::engine::{Engine, EngineConfig};
+use predictadb::voltsim::{Procedure, VoltConfig, VoltSim};
+use predictadb::wal::FlushPolicy;
+use predictadb::workloads::{Workload, Ycsb};
+
+const TXNS: usize = 600;
+
+fn main() {
+    flush_policy_sweep();
+    pool_size_sweep();
+    worker_sweep();
+}
+
+/// Run YCSB transactions serially and summarize latency (ms).
+fn drive(engine: &std::sync::Arc<Engine>, records: u64, seed: u64) -> SampleSummary {
+    let w = Ycsb::install(engine, records);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut lat = Vec::with_capacity(TXNS);
+    for _ in 0..TXNS {
+        let spec = w.sample(&mut rng);
+        let t0 = std::time::Instant::now();
+        w.execute(engine, &spec).expect("ycsb txn");
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    SampleSummary::from_sample(&lat)
+}
+
+fn flush_policy_sweep() {
+    println!("-- knob 1: innodb_flush_log_at_trx_commit --");
+    let mut t = TextTable::new(["policy", "mean (ms)", "std dev", "p99"]);
+    for (name, policy) in [
+        ("eager flush", FlushPolicy::Eager),
+        ("lazy flush", FlushPolicy::LazyFlush),
+        ("lazy write", FlushPolicy::LazyWrite),
+    ] {
+        let cfg = EngineConfig::mysql(Policy::Fcfs).with_flush_policy(policy);
+        let engine = Engine::new(cfg);
+        let s = drive(&engine, 5_000, 1);
+        t.row([name.to_string(), f2(s.mean), f2(s.std_dev), f2(s.p99)]);
+    }
+    println!("{}", t.render());
+    println!("lazy policies take the fsync off the commit path (at crash-durability cost)\n");
+}
+
+fn pool_size_sweep() {
+    println!("-- knob 2: buffer pool size (10k rows = ~160 data pages) --");
+    let mut t = TextTable::new(["frames", "mean (ms)", "std dev", "p99"]);
+    for frames in [64usize, 128, 256] {
+        let mut cfg = EngineConfig::mysql(Policy::Fcfs);
+        cfg.pool.frames = frames;
+        let engine = Engine::new(cfg);
+        let s = drive(&engine, 10_000, 2);
+        t.row([frames.to_string(), f2(s.mean), f2(s.std_dev), f2(s.p99)]);
+    }
+    println!("{}", t.render());
+    println!("a larger pool cuts misses, improving both mean and variance\n");
+}
+
+fn worker_sweep() {
+    println!("-- knob 3: VoltDB worker threads (16 concurrent clients) --");
+    let mut t = TextTable::new(["workers", "mean (ms)", "std dev", "p99"]);
+    for workers in [1usize, 2, 4, 8] {
+        let sim = VoltSim::new(VoltConfig {
+            partitions: 4,
+            workers,
+            base_work: 128,
+        });
+        let lat = parking_lot::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for c in 0..16u64 {
+                let sim = sim.clone();
+                let lat = &lat;
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        let mut p = Procedure::single_partition((c % 4) as usize, i);
+                        p.stall = Duration::from_micros(300);
+                        let done = sim.execute(p);
+                        lat.lock().push(done.total as f64 / 1e6);
+                    }
+                });
+            }
+        });
+        let s = SampleSummary::from_sample(&lat.lock());
+        t.row([workers.to_string(), f2(s.mean), f2(s.std_dev), f2(s.p99)]);
+        sim.shutdown();
+    }
+    println!("{}", t.render());
+    println!("queue wait is ~all of VoltDB's variance; workers drain it (Fig. 7)");
+}

@@ -1,0 +1,81 @@
+//! # predictadb
+//!
+//! A from-scratch Rust reproduction of *"A Top-Down Approach to Achieving
+//! Performance Predictability in Database Systems"* (Huang, Mozafari,
+//! Schoenebeck, Wenisch — SIGMOD 2017): the *VATS* lock-scheduling
+//! algorithm, the *TProfiler* variance profiler, the *Lazy LRU Update*
+//! buffer-pool policy, *parallel logging*, variance-aware tuning — and the
+//! miniature MySQL-, Postgres-, and VoltDB-style engines the study needs.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names and hosts the runnable examples and cross-crate integration
+//! tests. See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every table and figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use predictadb::engine::{Engine, EngineConfig};
+//! use predictadb::core::Policy;
+//!
+//! // A MySQL-style engine with VATS lock scheduling.
+//! let engine = Engine::new(EngineConfig::mysql(Policy::Vats));
+//! let accounts = engine.catalog().create_table("accounts", 64);
+//!
+//! let mut txn = engine.begin(0);
+//! let alice = txn.insert(accounts, vec![100]).unwrap();
+//! let bob = txn.insert(accounts, vec![50]).unwrap();
+//! txn.commit().unwrap();
+//!
+//! let mut transfer = engine.begin(1);
+//! transfer.update(accounts, alice, |row| row[0] -= 10).unwrap();
+//! transfer.update(accounts, bob, |row| row[0] += 10).unwrap();
+//! transfer.commit().unwrap();
+//!
+//! let mut check = engine.begin(2);
+//! assert_eq!(check.read(accounts, alice).unwrap(), vec![90]);
+//! assert_eq!(check.read(accounts, bob).unwrap(), vec![60]);
+//! check.commit().unwrap();
+//! ```
+
+/// Shared substrate: statistics, distributions, simulated devices, tables.
+pub mod common {
+    pub use tpd_common::*;
+}
+
+/// The paper's primary contribution: the lock manager with pluggable
+/// scheduling (FCFS / VATS / RS) and the Theorem 1 discrete-event simulator.
+pub mod core {
+    pub use tpd_core::*;
+}
+
+/// TProfiler: transaction-aware variance profiling.
+pub mod profiler {
+    pub use tpd_profiler::*;
+}
+
+/// Buffer pool with young/old LRU and the Lazy LRU Update policy.
+pub mod storage {
+    pub use tpd_storage::*;
+}
+
+/// Redo logging: InnoDB flush policies, Postgres WALWriteLock, parallel
+/// logging.
+pub mod wal {
+    pub use tpd_wal::*;
+}
+
+/// The mini transactional engine (MySQL and Postgres personalities).
+pub mod engine {
+    pub use tpd_engine::*;
+}
+
+/// The VoltDB-style event-based executor.
+pub mod voltsim {
+    pub use tpd_voltsim::*;
+}
+
+/// TPC-C, SEATS, TATP, Epinions, and YCSB drivers.
+pub mod workloads {
+    pub use tpd_workloads::*;
+}

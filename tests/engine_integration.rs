@@ -1,0 +1,217 @@
+//! Cross-crate integration tests: full workloads driving the engine with
+//! every personality and policy combination, checking ACID invariants and
+//! profiler integration end to end.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use predictadb::common::dist::ServiceTime;
+use predictadb::common::DiskConfig;
+use predictadb::core::Policy;
+use predictadb::engine::{Engine, EngineConfig, Personality};
+use predictadb::profiler::{FactorKind, VarianceReport};
+use predictadb::storage::MutexPolicy;
+use predictadb::wal::FlushPolicy;
+use predictadb::workloads::spec::execute_with_retries;
+use predictadb::workloads::{TpcC, Workload, WorkloadKind};
+
+fn quick_disk(seed: u64) -> DiskConfig {
+    DiskConfig {
+        service: ServiceTime::Fixed(15_000),
+        ns_per_byte: 0.0,
+        seed,
+    }
+}
+
+fn quick_config(personality: Personality, policy: Policy) -> EngineConfig {
+    let mut cfg = match personality {
+        Personality::Mysql => EngineConfig::mysql(policy),
+        Personality::Postgres => {
+            let mut c = EngineConfig::postgres();
+            c.lock_policy = policy;
+            c
+        }
+    };
+    cfg.data_disk = quick_disk(1);
+    cfg.log_disks = vec![quick_disk(2)];
+    cfg
+}
+
+/// Drive `n` sampled transactions on `threads` threads with retries.
+fn drive(engine: &Arc<Engine>, workload: &dyn Workload, n: usize, threads: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let specs: Vec<_> = (0..n).map(|_| workload.sample(&mut rng)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let specs = &specs;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    return;
+                }
+                execute_with_retries(workload, engine, &specs[i], 50)
+                    .expect("transaction must eventually succeed");
+            });
+        }
+    });
+}
+
+#[test]
+fn every_workload_runs_on_every_policy() {
+    for kind in WorkloadKind::ALL {
+        for policy in [Policy::Fcfs, Policy::Vats, Policy::Random] {
+            let engine = Engine::new(quick_config(Personality::Mysql, policy));
+            let workload = kind.install(&engine, true);
+            drive(&engine, workload.as_ref(), 120, 8, 7);
+            let stats = engine.stats();
+            assert!(
+                stats.commits >= 120,
+                "{} under {}: {} commits",
+                kind.name(),
+                policy.name(),
+                stats.commits
+            );
+        }
+    }
+}
+
+#[test]
+fn tpcc_invariants_hold_under_all_policies() {
+    for policy in [Policy::Fcfs, Policy::Vats, Policy::Random] {
+        let engine = Engine::new(quick_config(Personality::Mysql, policy));
+        let tpcc = TpcC::install(&engine, 2);
+        drive(&engine, &tpcc, 300, 12, 11);
+        tpcc.check_invariants(&engine);
+    }
+}
+
+#[test]
+fn tpcc_runs_on_postgres_personality() {
+    let engine = Engine::new(quick_config(Personality::Postgres, Policy::Fcfs));
+    let tpcc = TpcC::install(&engine, 2);
+    drive(&engine, &tpcc, 200, 8, 13);
+    tpcc.check_invariants(&engine);
+    let wal = engine.pg_wal_stats().expect("pg personality");
+    assert!(wal.commits > 0, "write transactions hit the WAL");
+    assert!(wal.flushes > 0);
+}
+
+#[test]
+fn final_state_is_policy_independent_for_serial_history() {
+    // A single-threaded run must produce byte-identical table contents
+    // regardless of the scheduling policy (no concurrency -> no choices).
+    let mut states = Vec::new();
+    for policy in [Policy::Fcfs, Policy::Vats, Policy::Random] {
+        let engine = Engine::new(quick_config(Personality::Mysql, policy));
+        let tpcc = TpcC::install(&engine, 1);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..150 {
+            let spec = tpcc.sample(&mut rng);
+            execute_with_retries(&tpcc, &engine, &spec, 5).expect("serial txn");
+        }
+        let warehouse = engine
+            .catalog()
+            .table_by_name("warehouse")
+            .expect("warehouse");
+        let district = engine
+            .catalog()
+            .table_by_name("district")
+            .expect("district");
+        states.push((
+            warehouse.get(0),
+            (0..10).map(|d| district.get(d)).collect::<Vec<_>>(),
+            engine.catalog().table_by_name("orders").expect("orders").len(),
+        ));
+    }
+    assert_eq!(states[0], states[1]);
+    assert_eq!(states[1], states[2]);
+}
+
+#[test]
+fn llu_preserves_correctness_under_memory_pressure() {
+    let mut cfg = quick_config(Personality::Mysql, Policy::Fcfs);
+    cfg.pool.frames = 16; // brutal pressure
+    cfg.pool.mutex_policy = MutexPolicy::Llu {
+        spin_budget: Duration::from_micros(5),
+    };
+    let engine = Engine::new(cfg);
+    let tpcc = TpcC::install(&engine, 1);
+    drive(&engine, &tpcc, 200, 8, 17);
+    tpcc.check_invariants(&engine);
+    let pool = engine.pool().stats();
+    assert!(pool.misses > 0, "pressure produced misses");
+}
+
+#[test]
+fn lazy_flush_policies_complete_and_flush_eventually() {
+    for policy in [FlushPolicy::LazyFlush, FlushPolicy::LazyWrite] {
+        let mut cfg = quick_config(Personality::Mysql, Policy::Fcfs);
+        cfg.flush_policy = policy;
+        cfg.flush_interval = Duration::from_millis(5);
+        let engine = Engine::new(cfg);
+        let tpcc = TpcC::install(&engine, 1);
+        drive(&engine, &tpcc, 100, 6, 19);
+        // The background flusher eventually makes everything durable.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let s = engine.redo_stats().expect("mysql personality");
+            if s.flushes > 0 && s.bytes_written >= s.bytes_appended {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flusher never caught up: {s:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+#[test]
+fn profiler_reports_lock_waits_on_contended_run() {
+    let mut cfg = quick_config(Personality::Mysql, Policy::Fcfs);
+    cfg.statement_rtt = Some(ServiceTime::Fixed(150_000));
+    let engine = Engine::new(cfg);
+    let tpcc = TpcC::install(&engine, 1);
+    engine.enable_full_profiling();
+    drive(&engine, &tpcc, 250, 24, 23);
+    let traces = engine.profiler().drain_traces();
+    assert!(traces.len() >= 250);
+    let report = VarianceReport::analyze(engine.profiler().graph(), &traces);
+    assert!(report.total_variance > 0.0);
+    // os_event_wait must be present as a factor on a contended run.
+    let g = engine.profiler().graph();
+    let os_wait = g.lookup("os_event_wait").expect("registered");
+    let factor = report.func_factor(os_wait);
+    assert!(
+        factor.is_some_and(|f| f.variance > 0.0),
+        "lock waits contribute variance"
+    );
+    // And something must rank above the (zero-specificity) root.
+    let top = &report.factors[0];
+    assert!(!matches!(top.kind, FactorKind::Func(f) if f == g.lookup("execute_transaction").expect("root")));
+}
+
+#[test]
+fn age_remaining_samples_flow_through_workload() {
+    let mut cfg = quick_config(Personality::Mysql, Policy::Fcfs);
+    cfg.record_age_remaining = true;
+    cfg.statement_rtt = Some(ServiceTime::Fixed(150_000));
+    let engine = Engine::new(cfg);
+    let tpcc = TpcC::install(&engine, 1);
+    drive(&engine, &tpcc, 200, 24, 29);
+    let samples = engine.drain_age_remaining();
+    assert!(
+        !samples.is_empty(),
+        "contended run must produce block samples"
+    );
+    for s in &samples {
+        assert!(s.age_ns >= 0.0);
+        assert!(s.remaining_ns >= 0.0);
+    }
+}

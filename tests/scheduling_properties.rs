@@ -1,0 +1,124 @@
+//! Property-based tests on the scheduling core, spanning tpd-core and
+//! tpd-common through the facade: Theorem 1's optimality claims, lock-mode
+//! algebra, and statistics identities under random inputs.
+
+use proptest::prelude::*;
+
+use predictadb::common::stats::{lp_norm, percentile, OnlineStats};
+use predictadb::core::des::{simulate, Coupling, Fcfs, FixedOrder, MenuEntry, Vats};
+use predictadb::core::LockMode;
+
+proptest! {
+    /// Exact Theorem 1 core: with everyone queued at t=0 and per-position
+    /// remaining-time coupling, VATS (eldest-first) minimizes the Lp norm
+    /// over every feasible grant order, for every realization.
+    #[test]
+    fn vats_beats_all_orders_when_all_queued(
+        ages in proptest::collection::vec(0.0f64..50.0, 2..6),
+        draws in proptest::collection::vec(0.1f64..10.0, 6),
+        p in 1.0f64..6.0,
+    ) {
+        let n = ages.len();
+        let menu: Vec<MenuEntry> = ages
+            .iter()
+            .map(|&a| MenuEntry { arrival: 0.0, age_at_arrival: a })
+            .collect();
+        let vats = lp_norm(&simulate(&menu, &mut Vats, &draws, Coupling::PerPosition), p);
+        // Check against every permutation (n! <= 120).
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 { return vec![vec![0]]; }
+            let mut out = Vec::new();
+            for q in perms(n - 1) {
+                for i in 0..=q.len() {
+                    let mut r = q.clone();
+                    r.insert(i, n - 1);
+                    out.push(r);
+                }
+            }
+            out
+        }
+        for order in perms(n) {
+            let mut s = FixedOrder::new(&order);
+            let norm = lp_norm(&simulate(&menu, &mut s, &draws, Coupling::PerPosition), p);
+            prop_assert!(vats <= norm + 1e-9, "VATS {vats} beaten by {order:?} = {norm}");
+        }
+    }
+
+    /// The L1 norm (total latency) is schedule-invariant for a single
+    /// work-conserving server under per-position coupling.
+    #[test]
+    fn l1_is_schedule_invariant(
+        ages in proptest::collection::vec(0.0f64..20.0, 2..7),
+        draws in proptest::collection::vec(0.1f64..5.0, 7),
+    ) {
+        let menu: Vec<MenuEntry> = ages
+            .iter()
+            .map(|&a| MenuEntry { arrival: 0.0, age_at_arrival: a })
+            .collect();
+        let v = lp_norm(&simulate(&menu, &mut Vats, &draws, Coupling::PerPosition), 1.0);
+        let f = lp_norm(&simulate(&menu, &mut Fcfs, &draws, Coupling::PerPosition), 1.0);
+        prop_assert!((v - f).abs() < 1e-9, "L1: VATS {v} vs FCFS {f}");
+    }
+
+    /// Lock-mode algebra: supremum is a least upper bound, and
+    /// compatibility is monotone (a stronger lock conflicts with at least
+    /// as much).
+    #[test]
+    fn lock_mode_lattice_laws(ai in 0usize..5, bi in 0usize..5, ci in 0usize..5) {
+        let (a, b, c) = (LockMode::ALL[ai], LockMode::ALL[bi], LockMode::ALL[ci]);
+        let s = a.supremum(b);
+        prop_assert!(s.covers(a) && s.covers(b));
+        // Least: any other upper bound covers the supremum.
+        if c.covers(a) && c.covers(b) {
+            prop_assert!(c.covers(s), "{c} covers {a},{b} but not sup {s}");
+        }
+        // Monotonicity: if s covers a, everything compatible with s is
+        // compatible with a.
+        if s.compatible(c) {
+            prop_assert!(a.compatible(c), "{s}~{c} but !{a}~{c}");
+        }
+    }
+
+    /// Welford mean/variance agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone(
+        xs in proptest::collection::vec(0.0f64..1e9, 1..100),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let plo = percentile(&xs, lo);
+        let phi = percentile(&xs, hi);
+        prop_assert!(plo <= phi + 1e-9);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(plo >= min - 1e-9 && phi <= max + 1e-9);
+    }
+
+    /// Lp norms are monotone non-increasing in p for fixed vectors scaled
+    /// to unit max (power-mean inequality direction for norms).
+    #[test]
+    fn lp_norm_ordering(xs in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let l1 = lp_norm(&xs, 1.0);
+        let l2 = lp_norm(&xs, 2.0);
+        let l4 = lp_norm(&xs, 4.0);
+        let linf = lp_norm(&xs, f64::INFINITY);
+        prop_assert!(l1 + 1e-9 >= l2, "||x||1 >= ||x||2");
+        prop_assert!(l2 + 1e-9 >= l4);
+        prop_assert!(l4 + 1e-9 >= linf);
+    }
+}
