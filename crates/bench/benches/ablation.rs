@@ -9,7 +9,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use tpd_common::dist::ServiceTime;
 use tpd_common::{DiskConfig, SimDisk};
 use tpd_core::des::{p_performance, random_menu, Coupling, Fcfs, Vats, YoungestFirst};
-use tpd_core::{LockManager, LockManagerConfig, LockMode, ObjectId, Policy, TxnToken, VictimPolicy};
+use tpd_core::{
+    LockManager, LockManagerConfig, LockMode, ObjectId, Policy, TxnToken, VictimPolicy,
+};
 use tpd_storage::{BufferPool, MutexPolicy, PageId, PoolConfig};
 
 /// DES p-performance per scheduler: quantifies the VATS advantage (and its

@@ -73,21 +73,25 @@ fn intent_lock_scan(c: &mut Criterion) {
     // lock in the engine).
     let mut group = c.benchmark_group("lock/table_is");
     for &holders in &[2usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(holders), &holders, |b, &holders| {
-            let mgr = LockManager::with_policy(Policy::Fcfs);
-            let obj = ObjectId::new(0, 0);
-            for i in 0..holders {
-                mgr.acquire(TxnToken::new(i as u64 + 500, 1), obj, LockMode::IS)
-                    .expect("holder");
-            }
-            let mut id = 0u64;
-            b.iter(|| {
-                id += 1;
-                let txn = TxnToken::new(id, id);
-                mgr.acquire(txn, obj, LockMode::IX).expect("compatible");
-                mgr.release_all(txn.id);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(holders),
+            &holders,
+            |b, &holders| {
+                let mgr = LockManager::with_policy(Policy::Fcfs);
+                let obj = ObjectId::new(0, 0);
+                for i in 0..holders {
+                    mgr.acquire(TxnToken::new(i as u64 + 500, 1), obj, LockMode::IS)
+                        .expect("holder");
+                }
+                let mut id = 0u64;
+                b.iter(|| {
+                    id += 1;
+                    let txn = TxnToken::new(id, id);
+                    mgr.acquire(txn, obj, LockMode::IX).expect("compatible");
+                    mgr.release_all(txn.id);
+                });
+            },
+        );
     }
     group.finish();
 }

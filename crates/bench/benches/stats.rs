@@ -42,9 +42,7 @@ fn summary_and_percentiles(c: &mut Criterion) {
     }
     group.finish();
     c.bench_function("stats/percentile_10k", |b| {
-        let xs: Vec<f64> = (0..10_000)
-            .map(|i| ((i * 48271) % 65_537) as f64)
-            .collect();
+        let xs: Vec<f64> = (0..10_000).map(|i| ((i * 48271) % 65_537) as f64).collect();
         b.iter(|| black_box(percentile(&xs, 99.0)));
     });
 }

@@ -60,8 +60,7 @@ impl Args {
                 other => return Err(format!("unknown flag {other}")),
             }
         }
-        if args.clients == Some(0) || args.rate.is_some_and(|r| r <= 0.0) || args.secs <= 0.0
-        {
+        if args.clients == Some(0) || args.rate.is_some_and(|r| r <= 0.0) || args.secs <= 0.0 {
             return Err("values must be positive".to_string());
         }
         Ok(args)
@@ -127,8 +126,8 @@ mod tests {
 
     #[test]
     fn flags_apply() {
-        let a = parse(&["--quick", "--rate", "500", "--clients", "8", "--seed", "7"])
-            .expect("parse");
+        let a =
+            parse(&["--quick", "--rate", "500", "--clients", "8", "--seed", "7"]).expect("parse");
         assert!(a.quick);
         assert!(a.secs <= 3.0);
         assert_eq!(a.rate_or(250.0), 500.0, "explicit rate wins over quick");

@@ -83,9 +83,7 @@ pub fn run(args: &Args) {
         ]);
     }
     println!("{}", t.render());
-    println!(
-        "paper: VATS 6.3x mean, 5.6x variance, 2.0x p99 over FCFS; RS in between on mean"
-    );
+    println!("paper: VATS 6.3x mean, 5.6x variance, 2.0x p99 over FCFS; RS in between on mean");
     println!("(*CATS is this repo's extension: the VLDB'18 successor shipped in MySQL 8.0)\n");
 }
 

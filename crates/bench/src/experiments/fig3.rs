@@ -108,5 +108,7 @@ pub fn run(args: &Args) {
         t.row([label.to_string(), ratio(m), ratio(v), ratio(p)]);
     }
     println!("{}", t.render());
-    println!("paper: lazy write best (both ops off the commit path); crash-durability traded away\n");
+    println!(
+        "paper: lazy write best (both ops off the commit path); crash-durability traded away\n"
+    );
 }

@@ -15,7 +15,11 @@ use crate::{presets, Args};
 fn pg_run(cfg: EngineConfig, args: &Args) -> RunResult {
     let engine = Engine::new(cfg);
     let w = TpcC::install(&engine, presets::pg_warehouses(args.quick));
-    let r = run_workload(&engine, &w, &RunConfig::from_args(args, presets::PG_RATE, 400));
+    let r = run_workload(
+        &engine,
+        &w,
+        &RunConfig::from_args(args, presets::PG_RATE, 400),
+    );
     if let Some(ws) = engine.pg_wal_stats() {
         eprintln!(
             "[sets={} block={}] flushes={} group={} blocks={} lock_wait={:.1}ms",

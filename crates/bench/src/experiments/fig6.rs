@@ -30,7 +30,11 @@ pub fn results(args: &Args) -> Vec<(&'static str, RunResult)> {
     let w = TpcC::install(&engine, presets::pg_warehouses(args.quick));
     out.push((
         "Postgres",
-        run_workload(&engine, &w, &RunConfig::from_args(args, presets::PG_RATE, 400)),
+        run_workload(
+            &engine,
+            &w,
+            &RunConfig::from_args(args, presets::PG_RATE, 400),
+        ),
     ));
 
     let sim = VoltSim::new(VoltConfig {

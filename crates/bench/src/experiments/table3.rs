@@ -36,7 +36,11 @@ fn run_mysql(cfg: EngineConfig, args: &Args, rate: f64, pressured: bool) -> RunR
 fn run_pg(cfg: EngineConfig, args: &Args) -> RunResult {
     let engine = Engine::new(cfg);
     let w = TpcC::install(&engine, presets::pg_warehouses(args.quick));
-    run_workload(&engine, &w, &RunConfig::from_args(args, presets::PG_RATE, 400))
+    run_workload(
+        &engine,
+        &w,
+        &RunConfig::from_args(args, presets::PG_RATE, 400),
+    )
 }
 
 fn run_volt(workers: usize, args: &Args) -> RunResult {

@@ -87,8 +87,7 @@ pub fn run(args: &Args) {
         ]);
     }
     let n = contended_ratios.len() as f64;
-    let avg =
-        |f: fn(&(f64, f64, f64)) -> f64| contended_ratios.iter().map(f).sum::<f64>() / n;
+    let avg = |f: fn(&(f64, f64, f64)) -> f64| contended_ratios.iter().map(f).sum::<f64>() / n;
     t.row([
         "Avg (contended)".to_string(),
         "-".to_string(),

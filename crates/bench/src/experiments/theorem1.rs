@@ -5,9 +5,7 @@
 //! (Not a numbered figure in the paper — the paper proves it; we check it.)
 
 use tpd_common::table::{f2, TextTable};
-use tpd_core::des::{
-    p_performance, random_menu, Coupling, Fcfs, RandomSched, Vats, YoungestFirst,
-};
+use tpd_core::des::{p_performance, random_menu, Coupling, Fcfs, RandomSched, Vats, YoungestFirst};
 
 use crate::Args;
 
@@ -18,11 +16,27 @@ pub fn compare(n: usize, rate: f64, p: f64, rounds: u64, seed: u64) -> [(String,
     [
         (
             "VATS".to_string(),
-            p_performance(&menu, |_| Vats, p, mean_r, rounds, seed, Coupling::PerPosition),
+            p_performance(
+                &menu,
+                |_| Vats,
+                p,
+                mean_r,
+                rounds,
+                seed,
+                Coupling::PerPosition,
+            ),
         ),
         (
             "FCFS".to_string(),
-            p_performance(&menu, |_| Fcfs, p, mean_r, rounds, seed, Coupling::PerPosition),
+            p_performance(
+                &menu,
+                |_| Fcfs,
+                p,
+                mean_r,
+                rounds,
+                seed,
+                Coupling::PerPosition,
+            ),
         ),
         (
             "RS".to_string(),
@@ -79,7 +93,12 @@ pub fn run(args: &Args) {
                 f2(rows[1].1),
                 f2(rows[2].1),
                 f2(rows[3].1),
-                if vats <= best_other * 1.001 { "yes" } else { "NO" }.to_string(),
+                if vats <= best_other * 1.001 {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
             ]);
         }
     }

@@ -119,11 +119,7 @@ impl RunResult {
 }
 
 /// Run `workload` against `engine` under the open-loop schedule.
-pub fn run_workload(
-    engine: &Arc<Engine>,
-    workload: &dyn Workload,
-    cfg: &RunConfig,
-) -> RunResult {
+pub fn run_workload(engine: &Arc<Engine>, workload: &dyn Workload, cfg: &RunConfig) -> RunResult {
     let (records, failed, retries) = run_workload_raw(engine, workload, cfg);
     RunResult::from_records(records, workload.txn_names(), failed, retries, cfg.duration)
 }
@@ -221,15 +217,18 @@ where
 /// Run single-partition procedures against the VoltDB-style executor under
 /// the same open-loop schedule. `stall` is the per-procedure blocking
 /// component (see the voltsim crate docs).
-pub fn run_voltdb(sim: &Arc<VoltSim>, cfg: &RunConfig, partitions: usize, stall: Duration) -> RunResult {
+pub fn run_voltdb(
+    sim: &Arc<VoltSim>,
+    cfg: &RunConfig,
+    partitions: usize,
+    stall: Duration,
+) -> RunResult {
     let total = cfg.total_txns();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let procs: Vec<Procedure> = (0..total)
         .map(|_| {
-            let mut p = Procedure::single_partition(
-                rng.gen_range(0..partitions),
-                rng.gen_range(0..1024),
-            );
+            let mut p =
+                Procedure::single_partition(rng.gen_range(0..partitions), rng.gen_range(0..1024));
             p.stall = stall;
             p.extra_work = rng.gen_range(0..256);
             p

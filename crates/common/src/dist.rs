@@ -257,10 +257,7 @@ mod tests {
         let mut samples: Vec<Nanos> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
         samples.sort_unstable();
         let med = samples[5000];
-        assert!(
-            med > 90_000 && med < 110_000,
-            "lognormal median off: {med}"
-        );
+        assert!(med > 90_000 && med < 110_000, "lognormal median off: {med}");
         // Heavy tail: p99 well above the median.
         let p99 = samples[9900];
         assert!(p99 > med * 2, "expected heavy tail, p99={p99} med={med}");

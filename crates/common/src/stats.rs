@@ -212,7 +212,10 @@ pub fn lp_norm(latencies: &[f64], p: f64) -> f64 {
         return latencies.iter().cloned().fold(0.0_f64, f64::max);
     }
     // Scale by the max to avoid overflow for large p.
-    let max = latencies.iter().cloned().fold(0.0_f64, |a, b| a.max(b.abs()));
+    let max = latencies
+        .iter()
+        .cloned()
+        .fold(0.0_f64, |a, b| a.max(b.abs()));
     if max == 0.0 {
         return 0.0;
     }

@@ -22,11 +22,7 @@ impl TextTable {
     /// Append one row; must have the same arity as the header.
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(
-            row.len(),
-            self.header.len(),
-            "row arity must match header"
-        );
+        assert_eq!(row.len(), self.header.len(), "row arity must match header");
         self.rows.push(row);
         self
     }

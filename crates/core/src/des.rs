@@ -94,8 +94,7 @@ impl DesScheduler for Vats {
         for i in 1..queue.len() {
             let bi = &queue[i];
             let bb = &queue[best];
-            if bi.age(now) > bb.age(now)
-                || (bi.age(now) == bb.age(now) && bi.arrival < bb.arrival)
+            if bi.age(now) > bb.age(now) || (bi.age(now) == bb.age(now) && bi.arrival < bb.arrival)
             {
                 best = i;
             }

@@ -295,14 +295,11 @@ impl LockManager {
         let slot;
         {
             let mut inner = self.inner.lock();
-            inner
-                .txns
-                .entry(txn.id)
-                .or_insert_with(|| TxnInfo {
-                    token: txn,
-                    held: Vec::new(),
-                    waiting_on: None,
-                });
+            inner.txns.entry(txn.id).or_insert_with(|| TxnInfo {
+                token: txn,
+                held: Vec::new(),
+                waiting_on: None,
+            });
 
             let queue = inner.queues.entry(obj).or_default();
             let held = queue.holder_mode(txn.id);
@@ -508,9 +505,7 @@ impl LockManager {
             }
             match timeout {
                 Some(t) => {
-                    if slot.cv.wait_for(&mut state, t).timed_out()
-                        && *state == WaitState::Waiting
-                    {
+                    if slot.cv.wait_for(&mut state, t).timed_out() && *state == WaitState::Waiting {
                         return WaitState::Waiting;
                     }
                 }
@@ -755,9 +750,7 @@ impl LockManager {
             VictimPolicy::Oldest => cycle
                 .iter()
                 .copied()
-                .min_by_key(|t| {
-                    inner.txns.get(t).map_or(Nanos::MAX, |i| i.token.birth)
-                })
+                .min_by_key(|t| inner.txns.get(t).map_or(Nanos::MAX, |i| i.token.birth))
                 .unwrap_or(requester),
         }
     }
@@ -853,7 +846,13 @@ mod tests {
         let mut handles = Vec::new();
         // Births are *reversed* relative to arrival: FCFS must ignore them.
         for (i, birth) in [(1u64, 3000u64), (2, 2000), (3, 1000)] {
-            handles.push(acquire_async(&mgr, tok(i, birth), obj(1), LockMode::X, tx.clone()));
+            handles.push(acquire_async(
+                &mgr,
+                tok(i, birth),
+                obj(1),
+                LockMode::X,
+                tx.clone(),
+            ));
             wait_for_waiters(&mgr, obj(1), i as usize);
         }
         let mut order = Vec::new();
@@ -882,7 +881,13 @@ mod tests {
         let mut handles = Vec::new();
         // Arrival order 1,2,3 but txn 3 is the eldest (smallest birth).
         for (i, birth) in [(1u64, 3000u64), (2, 2000), (3, 1000)] {
-            handles.push(acquire_async(&mgr, tok(i, birth), obj(1), LockMode::X, tx.clone()));
+            handles.push(acquire_async(
+                &mgr,
+                tok(i, birth),
+                obj(1),
+                LockMode::X,
+                tx.clone(),
+            ));
             wait_for_waiters(&mgr, obj(1), i as usize);
         }
         let mut order = Vec::new();
@@ -965,14 +970,23 @@ mod tests {
         let (dep_tx, dep_rx) = mpsc::channel();
         let mut dependents = Vec::new();
         for id in [10u64, 11] {
-            dependents.push(acquire_async(&mgr, tok(id, 30), obj(2), LockMode::X, dep_tx.clone()));
+            dependents.push(acquire_async(
+                &mgr,
+                tok(id, 30),
+                obj(2),
+                LockMode::X,
+                dep_tx.clone(),
+            ));
         }
         wait_for_waiters(&mgr, obj(2), 2);
 
         mgr.release_all(holder.id);
         let (first, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         r.unwrap();
-        assert_eq!(first, heavy.id.0, "CATS grants the waiter that blocks 2 others");
+        assert_eq!(
+            first, heavy.id.0,
+            "CATS grants the waiter that blocks 2 others"
+        );
         mgr.release_all(heavy.id);
         let (second, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         r.unwrap();

@@ -13,8 +13,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tpd_core::{
-    LockError, LockManager, LockManagerConfig, LockMode, ObjectId, Policy, TxnToken,
-    VictimPolicy,
+    LockError, LockManager, LockManagerConfig, LockMode, ObjectId, Policy, TxnToken, VictimPolicy,
 };
 
 /// Per-object occupancy tracker: +1000 for an X holder, +1 per S holder.
@@ -72,10 +71,8 @@ fn stress(policy: Policy, victim: VictimPolicy, seed: u64) {
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);
                 for _ in 0..txns_per_thread {
-                    let txn = TxnToken::new(
-                        ids.fetch_add(1, Ordering::Relaxed),
-                        tpd_common::now_nanos(),
-                    );
+                    let txn =
+                        TxnToken::new(ids.fetch_add(1, Ordering::Relaxed), tpd_common::now_nanos());
                     let mut held: HashMap<usize, LockMode> = HashMap::new();
                     let n_locks = rng.gen_range(1..5);
                     let mut ok = true;

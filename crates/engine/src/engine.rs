@@ -14,8 +14,8 @@ use tpd_core::{LockError, LockManager, LockManagerConfig, LockMode, ObjectId, Tx
 use tpd_profiler::{OwnedSpanGuard, OwnedTxnGuard, Profiler};
 use tpd_storage::{BufferPool, PoolProbes};
 use tpd_wal::{
-    committed_txns, LogRecord, MysqlWalProbes, PgWalProbes, RedoLog, RedoLogConfig,
-    StampedRecord, WalWriter,
+    committed_txns, LogRecord, MysqlWalProbes, PgWalProbes, RedoLog, RedoLogConfig, StampedRecord,
+    WalWriter,
 };
 
 use crate::catalog::{Catalog, TableInfo};
@@ -254,7 +254,12 @@ impl Engine {
         let mut skipped = 0u64;
         for r in records {
             match &r.record {
-                LogRecord::Update { txn, table, key, after }
+                LogRecord::Update {
+                    txn,
+                    table,
+                    key,
+                    after,
+                }
                 | LogRecord::Insert {
                     txn,
                     table,
@@ -400,9 +405,7 @@ impl Txn {
         match result {
             Ok(_) => Ok(()),
             Err(LockError::Deadlock) => {
-                self.engine
-                    .deadlock_aborts
-                    .fetch_add(1, Ordering::Relaxed);
+                self.engine.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
                 self.rollback();
                 Err(EngineError::Deadlock)
             }
@@ -449,11 +452,7 @@ impl Txn {
     }
 
     /// Read a row under an exclusive lock (select ... for update).
-    pub fn read_for_update(
-        &mut self,
-        table: TableId,
-        key: RowKey,
-    ) -> Result<Row, EngineError> {
+    pub fn read_for_update(&mut self, table: TableId, key: RowKey) -> Result<Row, EngineError> {
         self.check_active()?;
         self.statement_rtt();
         let e = self.engine.clone();
@@ -505,9 +504,7 @@ impl Txn {
         self.check_active()?;
         self.statement_rtt();
         let e = self.engine.clone();
-        let _span = e
-            .profiler
-            .probe(e.probes.row_ins_clust_index_entry_low);
+        let _span = e.profiler.probe(e.probes.row_ins_clust_index_entry_low);
         self.acquire(Self::table_lock_obj(table), LockMode::IX)?;
         let t = e.catalog.table(table);
         let key = t.allocate_key();
@@ -827,9 +824,7 @@ mod tests {
         });
         for _ in 0..20 {
             let mut txn = e.begin(0);
-            if txn.update(t, 2, |r| r[1] += 1).is_ok()
-                && txn.update(t, 1, |r| r[1] += 1).is_ok()
-            {
+            if txn.update(t, 2, |r| r[1] += 1).is_ok() && txn.update(t, 1, |r| r[1] += 1).is_ok() {
                 let _ = txn.commit();
             }
         }

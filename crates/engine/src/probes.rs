@@ -51,8 +51,7 @@ impl EngineProbes {
     pub fn build() -> (Profiler, EngineProbes) {
         let mut b = CallGraphBuilder::new();
         let execute_transaction = b.register("execute_transaction", None);
-        let row_search_for_mysql =
-            b.register("row_search_for_mysql", Some(execute_transaction));
+        let row_search_for_mysql = b.register("row_search_for_mysql", Some(execute_transaction));
         let row_upd_step = b.register("row_upd_step", Some(execute_transaction));
         let row_ins_clust_index_entry_low =
             b.register("row_ins_clust_index_entry_low", Some(execute_transaction));
@@ -62,15 +61,12 @@ impl EngineProbes {
             b.register("lock_wait_suspend_thread", Some(row_search_for_mysql));
         let os_event_wait = b.register("os_event_wait", Some(lock_wait_suspend_thread));
         let buf_page_get = b.register("buf_page_get", Some(row_search_for_mysql));
-        let buf_pool_mutex_enter =
-            b.register("buf_pool_mutex_enter", Some(buf_page_get));
+        let buf_pool_mutex_enter = b.register("buf_pool_mutex_enter", Some(buf_page_get));
         let buf_page_io = b.register("buf_page_io", Some(buf_page_get));
         let trx_commit = b.register("trx_commit", Some(execute_transaction));
         let fil_flush = b.register("fil_flush", Some(trx_commit));
-        let lwlock_acquire_or_wait =
-            b.register("LWLockAcquireOrWait", Some(trx_commit));
-        let release_predicate_locks =
-            b.register("ReleasePredicateLocks", Some(trx_commit));
+        let lwlock_acquire_or_wait = b.register("LWLockAcquireOrWait", Some(trx_commit));
+        let release_predicate_locks = b.register("ReleasePredicateLocks", Some(trx_commit));
         let net_read_packet = b.register("net_read_packet", Some(execute_transaction));
         // Multi-caller edges: the update and insert paths reach the same
         // index/lock/pool machinery as the read path.

@@ -126,7 +126,11 @@ fn no_lost_updates_with_read_modify_write() {
         }
     });
     let mut check = e.begin(0);
-    assert_eq!(check.read(t, 0).expect("read")[0], 120, "all increments kept");
+    assert_eq!(
+        check.read(t, 0).expect("read")[0],
+        120,
+        "all increments kept"
+    );
     check.commit().expect("commit");
 }
 

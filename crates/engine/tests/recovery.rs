@@ -105,8 +105,7 @@ fn lazy_flush_recovers_after_flusher_catches_up() {
         let log = engine.simulate_crash();
         let committed = tpd_wal::committed_txns(&log).len();
         if committed == 11 {
-            let recovered =
-                Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+            let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
             recovered.catalog().create_table("accounts", 16);
             recovered.catalog().create_table("journal", 16);
             recovered.recover_from(&log);

@@ -307,6 +307,7 @@ impl VarianceReport {
             self.total_variance, self.txn_count
         );
         // Iterative DFS from the observed roots.
+        #[allow(clippy::too_many_arguments)]
         fn visit(
             out: &mut String,
             graph: &CallGraph,
@@ -320,7 +321,11 @@ impl VarianceReport {
             seen: &mut Vec<FuncId>,
         ) {
             let indent = "  ".repeat(depth);
-            let frac = if total > 0.0 { var / total * 100.0 } else { 0.0 };
+            let frac = if total > 0.0 {
+                var / total * 100.0
+            } else {
+                0.0
+            };
             let _ = writeln!(
                 out,
                 "{indent}Var({}) = {:.3e}  [{frac:.1}%]",
@@ -332,16 +337,22 @@ impl VarianceReport {
             }
             seen.push(node);
             if let Some(b) = body_var(node) {
-                let _ = writeln!(
-                    out,
-                    "{indent}  Var(body_{}) = {:.3e}",
-                    graph.name(node),
-                    b
-                );
+                let _ = writeln!(out, "{indent}  Var(body_{}) = {:.3e}", graph.name(node), b);
             }
             if let Some(kids) = children.get(&Some(node)) {
                 for &(c, v) in kids {
-                    visit(out, graph, children, covs, body_var, c, v, total, depth + 1, seen);
+                    visit(
+                        out,
+                        graph,
+                        children,
+                        covs,
+                        body_var,
+                        c,
+                        v,
+                        total,
+                        depth + 1,
+                        seen,
+                    );
                 }
             }
             if let Some(pairs) = covs.get(&Some(node)) {
@@ -563,8 +574,7 @@ mod tests {
     #[test]
     fn render_contains_names_and_percentages() {
         let (g, root, a, b) = graph();
-        let traces: Vec<TxnTrace> =
-            (0..20).map(|i| trace(root, a, b, i * 100, 50)).collect();
+        let traces: Vec<TxnTrace> = (0..20).map(|i| trace(root, a, b, i * 100, 50)).collect();
         let report = VarianceReport::analyze(&g, &traces);
         let s = report.render(&g, 3);
         assert!(s.contains('%'));
@@ -587,7 +597,10 @@ mod tests {
         // Children indented under root.
         assert!(tree.contains("  Var(a)"), "{tree}");
         assert!(tree.contains("  Var(b)"), "{tree}");
-        assert!(tree.contains("2Cov(a, b)") || tree.contains("2Cov(b, a)"), "{tree}");
+        assert!(
+            tree.contains("2Cov(a, b)") || tree.contains("2Cov(b, a)"),
+            "{tree}"
+        );
         assert!(tree.contains("Var(body_root)"), "{tree}");
     }
 

@@ -25,6 +25,8 @@ pub mod refine;
 pub mod registry;
 
 pub use analysis::{FactorKind, FactorScore, VarianceReport};
-pub use probe::{OwnedSpanGuard, OwnedTxnGuard, ProbeCost, Profiler, SpanGuard, TxnGuard, TxnTrace};
+pub use probe::{
+    OwnedSpanGuard, OwnedTxnGuard, ProbeCost, Profiler, SpanGuard, TxnGuard, TxnTrace,
+};
 pub use refine::{naive_run_count, RefineOutcome, Refiner};
 pub use registry::{CallGraph, CallGraphBuilder, FuncId};

@@ -226,10 +226,7 @@ impl Profiler {
             let Some(active) = slot.as_mut() else {
                 return false;
             };
-            let parent = active
-                .stack
-                .last()
-                .map(|&i| active.events[i].func);
+            let parent = active.stack.last().map(|&i| active.events[i].func);
             let idx = active.events.len();
             active.events.push(Event {
                 func: f,
@@ -295,10 +292,7 @@ impl Profiler {
         let Some(active) = finished else {
             return;
         };
-        debug_assert!(
-            active.stack.is_empty(),
-            "transaction ended with open spans"
-        );
+        debug_assert!(active.stack.is_empty(), "transaction ended with open spans");
         let trace = TxnTrace {
             txn_type: active.txn_type,
             total: now_nanos() - active.start,

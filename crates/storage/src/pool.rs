@@ -283,15 +283,12 @@ impl BufferPool {
                         self.record_mutex_wait(start);
                         // Drain this thread's backlog first (paper: process
                         // deferred pages before the triggering page).
-                        let backlog = BACKLOG.with(|b| {
-                            b.borrow_mut().remove(&self.id).unwrap_or_default()
-                        });
+                        let backlog =
+                            BACKLOG.with(|b| b.borrow_mut().remove(&self.id).unwrap_or_default());
                         for bpid in backlog {
                             let bf = self.page_table.read().get(&bpid).copied();
                             if let Some(bf) = bf {
-                                if state.frames[bf].page == Some(bpid)
-                                    && state.lru.make_young(bf)
-                                {
+                                if state.frames[bf].page == Some(bpid) && state.lru.make_young(bf) {
                                     self.backlog_applied.fetch_add(1, Ordering::Relaxed);
                                     self.make_young_n.fetch_add(1, Ordering::Relaxed);
                                 }
@@ -365,7 +362,8 @@ impl BufferPool {
         }
         self.disk.read(self.config.page_bytes);
         if let Some(p) = &self.probes {
-            p.profiler.add_event(p.page_io, io_start, now_nanos() - io_start);
+            p.profiler
+                .add_event(p.page_io, io_start, now_nanos() - io_start);
         }
 
         // Publish: LRU insert then page-hash insert.
@@ -677,8 +675,7 @@ mod tests {
             let p = p.clone();
             handles.push(std::thread::spawn(move || p.access(PageId(7), false)));
         }
-        let kinds: Vec<AccessKind> =
-            handles.into_iter().map(|h| h.join().expect("t")).collect();
+        let kinds: Vec<AccessKind> = handles.into_iter().map(|h| h.join().expect("t")).collect();
         // Exactly one thread performs the miss; the rest coalesce into hits.
         let misses = kinds.iter().filter(|k| **k == AccessKind::Miss).count();
         assert_eq!(misses, 1, "kinds: {kinds:?}");

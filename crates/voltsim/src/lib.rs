@@ -297,8 +297,7 @@ impl VoltSim {
                     .collect();
                 sites.sort_unstable();
                 sites.dedup();
-                let mut guards: Vec<_> =
-                    sites.iter().map(|&s| self.partitions[s].lock()).collect();
+                let mut guards: Vec<_> = sites.iter().map(|&s| self.partitions[s].lock()).collect();
                 for part in guards.iter_mut() {
                     for k in &p.reads {
                         let _ = part.get(k);
@@ -313,11 +312,8 @@ impl VoltSim {
                 if !p.stall.is_zero() {
                     let s0 = now_nanos();
                     std::thread::sleep(p.stall);
-                    self.profiler.add_event(
-                        self.probes.command_log_write,
-                        s0,
-                        now_nanos() - s0,
-                    );
+                    self.profiler
+                        .add_event(self.probes.command_log_write, s0, now_nanos() - s0);
                 }
             }
             drop(root);
@@ -331,8 +327,7 @@ impl VoltSim {
             };
             self.completed.fetch_add(1, Ordering::Relaxed);
             self.queue_wait_ns.fetch_add(queue_wait, Ordering::Relaxed);
-            self.exec_ns
-                .fetch_add(completion.exec, Ordering::Relaxed);
+            self.exec_ns.fetch_add(completion.exec, Ordering::Relaxed);
             let mut slot = task.done.slot.lock();
             *slot = Some(completion);
             task.done.cv.notify_all();

@@ -116,11 +116,7 @@ impl WalWriter {
         probes: Option<PgWalProbes>,
     ) -> Self {
         assert!(config.sets >= 1, "need at least one log set");
-        assert_eq!(
-            disks.len(),
-            config.sets,
-            "one device per log set required"
-        );
+        assert_eq!(disks.len(), config.sets, "one device per log set required");
         assert!(config.block_size > 0);
         WalWriter {
             sets: disks
@@ -169,7 +165,8 @@ impl WalWriter {
         let lock_wait = now_nanos() - lock_start;
         self.lock_wait_ns.fetch_add(lock_wait, Ordering::Relaxed);
         if let Some(p) = &self.probes {
-            p.profiler.add_event(p.lwlock_acquire, lock_start, lock_wait);
+            p.profiler
+                .add_event(p.lwlock_acquire, lock_start, lock_wait);
         }
 
         // Group commit: flushed while we waited?

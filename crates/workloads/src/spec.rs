@@ -98,18 +98,13 @@ impl WorkloadKind {
     /// driver. `quick` shrinks data sizes for tests.
     pub fn install(&self, engine: &Arc<Engine>, quick: bool) -> Box<dyn Workload> {
         match self {
-            WorkloadKind::TpcC => Box::new(crate::TpcC::install(
-                engine,
-                if quick { 1 } else { 2 },
-            )),
-            WorkloadKind::Seats => Box::new(crate::Seats::install(
-                engine,
-                if quick { 30 } else { 60 },
-            )),
-            WorkloadKind::Tatp => Box::new(crate::Tatp::install(
-                engine,
-                if quick { 400 } else { 2000 },
-            )),
+            WorkloadKind::TpcC => Box::new(crate::TpcC::install(engine, if quick { 1 } else { 2 })),
+            WorkloadKind::Seats => {
+                Box::new(crate::Seats::install(engine, if quick { 30 } else { 60 }))
+            }
+            WorkloadKind::Tatp => {
+                Box::new(crate::Tatp::install(engine, if quick { 400 } else { 2000 }))
+            }
             WorkloadKind::Epinions => Box::new(crate::Epinions::install(
                 engine,
                 if quick { 500 } else { 5000 },

@@ -61,7 +61,7 @@ impl Tatp {
             }
             for i in 0..SF_PER_SUB {
                 ft.put(s * SF_PER_SUB + i, vec![s as i64, 1, 0]); // [sid, active, data]
-                // One call-forwarding row per special facility.
+                                                                  // One call-forwarding row per special facility.
                 cf.put(s * SF_PER_SUB + i, vec![s as i64, i as i64, 1]); // [sid, sf, active]
             }
         }
@@ -186,7 +186,10 @@ mod tests {
         let e = quick_engine();
         let t = Tatp::install(&e, 100);
         assert_eq!(e.catalog().table(t.subscriber).len(), 100);
-        assert_eq!(e.catalog().table(t.access_info).len() as u64, 100 * AI_PER_SUB);
+        assert_eq!(
+            e.catalog().table(t.access_info).len() as u64,
+            100 * AI_PER_SUB
+        );
         assert_eq!(
             e.catalog().table(t.call_forwarding).len() as u64,
             100 * SF_PER_SUB

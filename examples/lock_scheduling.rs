@@ -66,7 +66,8 @@ fn deadlock_demo() {
     let elder = TxnToken::new(1, 100);
     let younger = TxnToken::new(2, 200);
     mgr.acquire(elder, a, LockMode::X).expect("elder takes a");
-    mgr.acquire(younger, b, LockMode::X).expect("younger takes b");
+    mgr.acquire(younger, b, LockMode::X)
+        .expect("younger takes b");
 
     let mgr2 = mgr.clone();
     let h = std::thread::spawn(move || {
@@ -94,12 +95,37 @@ fn theorem1_demo() {
     let menu = random_menu(40, 2.5, 2.0, 7);
     let rounds = 500;
     let results = [
-        ("VATS", p_performance(&menu, |_| Vats, 2.0, 1.0, rounds, 1, Coupling::PerPosition)),
-        ("FCFS", p_performance(&menu, |_| Fcfs, 2.0, 1.0, rounds, 1, Coupling::PerPosition)),
-        ("RS", p_performance(&menu, RandomSched::new, 2.0, 1.0, rounds, 1, Coupling::PerPosition)),
+        (
+            "VATS",
+            p_performance(&menu, |_| Vats, 2.0, 1.0, rounds, 1, Coupling::PerPosition),
+        ),
+        (
+            "FCFS",
+            p_performance(&menu, |_| Fcfs, 2.0, 1.0, rounds, 1, Coupling::PerPosition),
+        ),
+        (
+            "RS",
+            p_performance(
+                &menu,
+                RandomSched::new,
+                2.0,
+                1.0,
+                rounds,
+                1,
+                Coupling::PerPosition,
+            ),
+        ),
         (
             "Youngest",
-            p_performance(&menu, |_| YoungestFirst, 2.0, 1.0, rounds, 1, Coupling::PerPosition),
+            p_performance(
+                &menu,
+                |_| YoungestFirst,
+                2.0,
+                1.0,
+                rounds,
+                1,
+                Coupling::PerPosition,
+            ),
         ),
     ];
     for (name, v) in &results {

@@ -19,8 +19,8 @@ use predictadb::workloads::{TpcC, Workload};
 
 fn main() {
     // A contended MySQL-style engine: locks held across client round trips.
-    let cfg = EngineConfig::mysql(Policy::Fcfs)
-        .with_statement_rtt(std::time::Duration::from_micros(200));
+    let cfg =
+        EngineConfig::mysql(Policy::Fcfs).with_statement_rtt(std::time::Duration::from_micros(200));
     let engine = Engine::new(cfg);
     let tpcc = TpcC::install(&engine, 1);
     println!("installed TPC-C (1 warehouse)");
@@ -66,9 +66,7 @@ fn main() {
                 "os_event_wait" | "lock_wait_suspend_thread" => {
                     "lock waits — a scheduling pathology; try Policy::Vats"
                 }
-                "buf_pool_mutex_enter" => {
-                    "LRU mutex contention — try MutexPolicy::Llu"
-                }
+                "buf_pool_mutex_enter" => "LRU mutex contention — try MutexPolicy::Llu",
                 "fil_flush" | "LWLockAcquireOrWait" => {
                     "log flushing — tune the flush policy or parallelize logging"
                 }

@@ -29,12 +29,18 @@ fn main() {
     {
         // A transaction dropped without commit rolls back.
         let mut doomed = engine.begin(0);
-        doomed.update(accounts, alice, |r| r[0] = -999).expect("update");
+        doomed
+            .update(accounts, alice, |r| r[0] = -999)
+            .expect("update");
     }
     {
         let mut transfer = engine.begin(0);
-        transfer.update(accounts, alice, |r| r[0] -= 10).expect("debit");
-        transfer.update(accounts, bob, |r| r[0] += 10).expect("credit");
+        transfer
+            .update(accounts, alice, |r| r[0] -= 10)
+            .expect("debit");
+        transfer
+            .update(accounts, bob, |r| r[0] += 10)
+            .expect("credit");
         transfer.commit().expect("commit");
     }
     let mut check = engine.begin(0);
@@ -98,9 +104,7 @@ fn contended_run(policy: Policy) -> Vec<f64> {
                             Err(e) => panic!("unexpected: {e}"),
                         }
                     }
-                    latencies
-                        .lock()
-                        .push(started.elapsed().as_secs_f64() * 1e3);
+                    latencies.lock().push(started.elapsed().as_secs_f64() * 1e3);
                 }
             });
         }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/buffer_pool-dd85fa2aa45abc3f.d: crates/bench/benches/buffer_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuffer_pool-dd85fa2aa45abc3f.rmeta: crates/bench/benches/buffer_pool.rs Cargo.toml
+
+crates/bench/benches/buffer_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durability-cb6e79342b2b8552.d: crates/wal/tests/durability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurability-cb6e79342b2b8552.rmeta: crates/wal/tests/durability.rs Cargo.toml
+
+crates/wal/tests/durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

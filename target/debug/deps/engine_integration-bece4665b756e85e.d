@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_integration-bece4665b756e85e.d: tests/engine_integration.rs
+
+/root/repo/target/debug/deps/engine_integration-bece4665b756e85e: tests/engine_integration.rs
+
+tests/engine_integration.rs:

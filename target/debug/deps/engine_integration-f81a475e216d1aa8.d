@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_integration-f81a475e216d1aa8.d: tests/engine_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_integration-f81a475e216d1aa8.rmeta: tests/engine_integration.rs Cargo.toml
+
+tests/engine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

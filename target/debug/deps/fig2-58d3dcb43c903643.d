@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-58d3dcb43c903643.d: crates/bench/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-58d3dcb43c903643.rmeta: crates/bench/src/bin/fig2.rs Cargo.toml
+
+crates/bench/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

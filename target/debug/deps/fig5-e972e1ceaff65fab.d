@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-e972e1ceaff65fab.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-e972e1ceaff65fab.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isolation-c6859bae95ce3bdc.d: crates/engine/tests/isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisolation-c6859bae95ce3bdc.rmeta: crates/engine/tests/isolation.rs Cargo.toml
+
+crates/engine/tests/isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_policies-376f98bfe4764aac.d: crates/bench/benches/lock_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_policies-376f98bfe4764aac.rmeta: crates/bench/benches/lock_policies.rs Cargo.toml
+
+crates/bench/benches/lock_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

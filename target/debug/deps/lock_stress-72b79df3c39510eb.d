@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_stress-72b79df3c39510eb.d: crates/core/tests/lock_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_stress-72b79df3c39510eb.rmeta: crates/core/tests/lock_stress.rs Cargo.toml
+
+crates/core/tests/lock_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

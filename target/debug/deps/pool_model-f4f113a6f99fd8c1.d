@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_model-f4f113a6f99fd8c1.d: crates/storage/tests/pool_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_model-f4f113a6f99fd8c1.rmeta: crates/storage/tests/pool_model.rs Cargo.toml
+
+crates/storage/tests/pool_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictadb-4ab1e12208cff923.d: src/lib.rs
+
+/root/repo/target/debug/deps/predictadb-4ab1e12208cff923: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predictadb-a57de5ae5c495142.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpredictadb-a57de5ae5c495142.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpredictadb-a57de5ae5c495142.rmeta: src/lib.rs
+
+src/lib.rs:

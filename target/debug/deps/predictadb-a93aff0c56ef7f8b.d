@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictadb-a93aff0c56ef7f8b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictadb-a93aff0c56ef7f8b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictadb-ed0567dbacf037e6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictadb-ed0567dbacf037e6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probes-8cf551428f5657c6.d: crates/bench/benches/probes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobes-8cf551428f5657c6.rmeta: crates/bench/benches/probes.rs Cargo.toml
+
+crates/bench/benches/probes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

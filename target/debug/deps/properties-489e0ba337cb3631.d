@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-489e0ba337cb3631.d: crates/common/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-489e0ba337cb3631.rmeta: crates/common/tests/properties.rs Cargo.toml
+
+crates/common/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-87e53568e2599310.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-87e53568e2599310.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-87e53568e2599310.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

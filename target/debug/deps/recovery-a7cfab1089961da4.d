@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-a7cfab1089961da4.d: crates/engine/tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-a7cfab1089961da4.rmeta: crates/engine/tests/recovery.rs Cargo.toml
+
+crates/engine/tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

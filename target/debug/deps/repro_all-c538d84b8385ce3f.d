@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_all-c538d84b8385ce3f.d: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_all-c538d84b8385ce3f.rmeta: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+crates/bench/src/bin/repro_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

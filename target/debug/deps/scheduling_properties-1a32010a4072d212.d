@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling_properties-1a32010a4072d212.d: tests/scheduling_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling_properties-1a32010a4072d212.rmeta: tests/scheduling_properties.rs Cargo.toml
+
+tests/scheduling_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling_properties-ff221abeccc05693.d: tests/scheduling_properties.rs
+
+/root/repo/target/debug/deps/scheduling_properties-ff221abeccc05693: tests/scheduling_properties.rs
+
+tests/scheduling_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats-cf80d2bb4c291389.d: crates/bench/benches/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-cf80d2bb4c291389.rmeta: crates/bench/benches/stats.rs Cargo.toml
+
+crates/bench/benches/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

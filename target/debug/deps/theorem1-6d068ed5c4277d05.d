@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-6d068ed5c4277d05.d: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-6d068ed5c4277d05.rmeta: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+crates/bench/src/bin/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

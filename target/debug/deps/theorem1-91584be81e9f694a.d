@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-91584be81e9f694a.d: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-91584be81e9f694a.rmeta: crates/bench/src/bin/theorem1.rs Cargo.toml
+
+crates/bench/src/bin/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

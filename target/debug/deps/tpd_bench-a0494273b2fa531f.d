@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/tpd_bench-a0494273b2fa531f.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/theorem1.rs crates/bench/src/harness.rs crates/bench/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_bench-a0494273b2fa531f.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/theorem1.rs crates/bench/src/harness.rs crates/bench/src/presets.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/theorem1.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tpd_common-0cb805e281f9ffae.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/debug/deps/libtpd_common-0cb805e281f9ffae.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/debug/deps/libtpd_common-0cb805e281f9ffae.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/disk.rs:
+crates/common/src/dist.rs:
+crates/common/src/latency.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tpd_common-b1578b2b0ead224a.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_common-b1578b2b0ead224a.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/disk.rs:
+crates/common/src/dist.rs:
+crates/common/src/latency.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tpd_core-1effd1d3bf77215f.d: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_core-1effd1d3bf77215f.rmeta: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/des.rs:
+crates/core/src/manager.rs:
+crates/core/src/mode.rs:
+crates/core/src/policy.rs:
+crates/core/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

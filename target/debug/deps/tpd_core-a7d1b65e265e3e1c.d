@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpd_core-a7d1b65e265e3e1c.d: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libtpd_core-a7d1b65e265e3e1c.rlib: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libtpd_core-a7d1b65e265e3e1c.rmeta: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/des.rs:
+crates/core/src/manager.rs:
+crates/core/src/mode.rs:
+crates/core/src/policy.rs:
+crates/core/src/types.rs:

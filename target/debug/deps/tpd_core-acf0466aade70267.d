@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tpd_core-acf0466aade70267.d: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_core-acf0466aade70267.rmeta: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/des.rs:
+crates/core/src/manager.rs:
+crates/core/src/mode.rs:
+crates/core/src/policy.rs:
+crates/core/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

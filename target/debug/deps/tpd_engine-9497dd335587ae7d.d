@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpd_engine-9497dd335587ae7d.d: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs
+
+/root/repo/target/debug/deps/libtpd_engine-9497dd335587ae7d.rlib: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs
+
+/root/repo/target/debug/deps/libtpd_engine-9497dd335587ae7d.rmeta: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/catalog.rs:
+crates/engine/src/config.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/probes.rs:
+crates/engine/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tpd_engine-e22ddeb937e2d3f5.d: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_engine-e22ddeb937e2d3f5.rmeta: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/catalog.rs:
+crates/engine/src/config.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/probes.rs:
+crates/engine/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

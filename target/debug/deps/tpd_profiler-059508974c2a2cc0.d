@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tpd_profiler-059508974c2a2cc0.d: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_profiler-059508974c2a2cc0.rmeta: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/analysis.rs:
+crates/profiler/src/probe.rs:
+crates/profiler/src/refine.rs:
+crates/profiler/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

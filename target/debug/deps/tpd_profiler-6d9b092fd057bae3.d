@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tpd_profiler-6d9b092fd057bae3.d: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs
+
+/root/repo/target/debug/deps/libtpd_profiler-6d9b092fd057bae3.rlib: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs
+
+/root/repo/target/debug/deps/libtpd_profiler-6d9b092fd057bae3.rmeta: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/analysis.rs:
+crates/profiler/src/probe.rs:
+crates/profiler/src/refine.rs:
+crates/profiler/src/registry.rs:

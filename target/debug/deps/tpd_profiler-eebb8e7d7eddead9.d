@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tpd_profiler-eebb8e7d7eddead9.d: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_profiler-eebb8e7d7eddead9.rmeta: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/analysis.rs:
+crates/profiler/src/probe.rs:
+crates/profiler/src/refine.rs:
+crates/profiler/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

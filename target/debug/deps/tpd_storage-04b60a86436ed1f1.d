@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpd_storage-04b60a86436ed1f1.d: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs
+
+/root/repo/target/debug/deps/libtpd_storage-04b60a86436ed1f1.rlib: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs
+
+/root/repo/target/debug/deps/libtpd_storage-04b60a86436ed1f1.rmeta: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/lru.rs:
+crates/storage/src/pool.rs:

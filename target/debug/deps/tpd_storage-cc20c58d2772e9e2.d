@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tpd_storage-cc20c58d2772e9e2.d: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_storage-cc20c58d2772e9e2.rmeta: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/lru.rs:
+crates/storage/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tpd_voltsim-7a12df975694c294.d: crates/voltsim/src/lib.rs
+
+/root/repo/target/debug/deps/libtpd_voltsim-7a12df975694c294.rlib: crates/voltsim/src/lib.rs
+
+/root/repo/target/debug/deps/libtpd_voltsim-7a12df975694c294.rmeta: crates/voltsim/src/lib.rs
+
+crates/voltsim/src/lib.rs:

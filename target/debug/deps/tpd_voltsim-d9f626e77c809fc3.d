@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpd_voltsim-d9f626e77c809fc3.d: crates/voltsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_voltsim-d9f626e77c809fc3.rmeta: crates/voltsim/src/lib.rs Cargo.toml
+
+crates/voltsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpd_voltsim-fb46fd218279c19c.d: crates/voltsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_voltsim-fb46fd218279c19c.rmeta: crates/voltsim/src/lib.rs Cargo.toml
+
+crates/voltsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

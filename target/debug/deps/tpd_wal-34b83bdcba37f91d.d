@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpd_wal-34b83bdcba37f91d.d: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_wal-34b83bdcba37f91d.rmeta: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/mysql.rs:
+crates/wal/src/pg.rs:
+crates/wal/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpd_wal-7ade15d5268de544.d: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_wal-7ade15d5268de544.rmeta: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/mysql.rs:
+crates/wal/src/pg.rs:
+crates/wal/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

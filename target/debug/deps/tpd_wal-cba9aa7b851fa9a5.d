@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpd_wal-cba9aa7b851fa9a5.d: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs
+
+/root/repo/target/debug/deps/libtpd_wal-cba9aa7b851fa9a5.rlib: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs
+
+/root/repo/target/debug/deps/libtpd_wal-cba9aa7b851fa9a5.rmeta: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/mysql.rs:
+crates/wal/src/pg.rs:
+crates/wal/src/record.rs:

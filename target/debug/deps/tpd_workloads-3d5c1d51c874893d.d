@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tpd_workloads-3d5c1d51c874893d.d: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpd_workloads-3d5c1d51c874893d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/epinions.rs:
+crates/workloads/src/seats.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/tatp.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

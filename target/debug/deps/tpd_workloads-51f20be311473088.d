@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tpd_workloads-51f20be311473088.d: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libtpd_workloads-51f20be311473088.rlib: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libtpd_workloads-51f20be311473088.rmeta: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/epinions.rs:
+crates/workloads/src/seats.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/tatp.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/ycsb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/variance_identity-426be683f875674c.d: crates/profiler/tests/variance_identity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvariance_identity-426be683f875674c.rmeta: crates/profiler/tests/variance_identity.rs Cargo.toml
+
+crates/profiler/tests/variance_identity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal-1dff0aa17ee98bba.d: crates/bench/benches/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal-1dff0aa17ee98bba.rmeta: crates/bench/benches/wal.rs Cargo.toml
+
+crates/bench/benches/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

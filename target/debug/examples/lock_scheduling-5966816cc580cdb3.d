@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_scheduling-5966816cc580cdb3.d: examples/lock_scheduling.rs
+
+/root/repo/target/debug/examples/lock_scheduling-5966816cc580cdb3: examples/lock_scheduling.rs
+
+examples/lock_scheduling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lock_scheduling-b8552d22ca31846e.d: examples/lock_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblock_scheduling-b8552d22ca31846e.rmeta: examples/lock_scheduling.rs Cargo.toml
+
+examples/lock_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_variance-41355d50a19b27d6.d: examples/profile_variance.rs
+
+/root/repo/target/debug/examples/profile_variance-41355d50a19b27d6: examples/profile_variance.rs
+
+examples/profile_variance.rs:

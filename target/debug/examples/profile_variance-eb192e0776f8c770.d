@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_variance-eb192e0776f8c770.d: examples/profile_variance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_variance-eb192e0776f8c770.rmeta: examples/profile_variance.rs Cargo.toml
+
+examples/profile_variance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

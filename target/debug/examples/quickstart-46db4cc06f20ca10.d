@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-46db4cc06f20ca10.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-46db4cc06f20ca10: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-eaeb52527b6a4004.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-eaeb52527b6a4004.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tuning_sweep-727227849888f74a.d: examples/tuning_sweep.rs
+
+/root/repo/target/debug/examples/tuning_sweep-727227849888f74a: examples/tuning_sweep.rs
+
+examples/tuning_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tuning_sweep-7b28fd5a37998e70.d: examples/tuning_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtuning_sweep-7b28fd5a37998e70.rmeta: examples/tuning_sweep.rs Cargo.toml
+
+examples/tuning_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

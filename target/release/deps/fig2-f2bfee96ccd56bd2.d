@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-f2bfee96ccd56bd2.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-f2bfee96ccd56bd2: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

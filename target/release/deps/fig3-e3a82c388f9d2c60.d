@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-e3a82c388f9d2c60.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-e3a82c388f9d2c60: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

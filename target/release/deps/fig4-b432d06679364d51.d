@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-b432d06679364d51.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-b432d06679364d51: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f2a1c71abae65d8c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f2a1c71abae65d8c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

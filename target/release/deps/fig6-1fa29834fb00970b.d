@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1fa29834fb00970b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1fa29834fb00970b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-07fa41e59a725b41.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-07fa41e59a725b41: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

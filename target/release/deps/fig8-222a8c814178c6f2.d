@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-222a8c814178c6f2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-222a8c814178c6f2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

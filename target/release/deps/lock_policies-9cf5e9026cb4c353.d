@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lock_policies-9cf5e9026cb4c353.d: crates/bench/benches/lock_policies.rs
+
+/root/repo/target/release/deps/lock_policies-9cf5e9026cb4c353: crates/bench/benches/lock_policies.rs
+
+crates/bench/benches/lock_policies.rs:

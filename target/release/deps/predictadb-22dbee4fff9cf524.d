@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predictadb-22dbee4fff9cf524.d: src/lib.rs
+
+/root/repo/target/release/deps/libpredictadb-22dbee4fff9cf524.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpredictadb-22dbee4fff9cf524.rmeta: src/lib.rs
+
+src/lib.rs:

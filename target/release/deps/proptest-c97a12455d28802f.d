@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c97a12455d28802f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c97a12455d28802f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c97a12455d28802f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

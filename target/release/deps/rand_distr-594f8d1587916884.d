@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-594f8d1587916884.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-594f8d1587916884.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-594f8d1587916884.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-9f3c6375e9973a3e.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-9f3c6375e9973a3e: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

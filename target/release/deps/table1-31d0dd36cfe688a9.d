@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-31d0dd36cfe688a9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-31d0dd36cfe688a9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

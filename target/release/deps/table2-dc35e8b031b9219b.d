@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-dc35e8b031b9219b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-dc35e8b031b9219b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

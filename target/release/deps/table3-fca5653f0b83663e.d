@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-fca5653f0b83663e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-fca5653f0b83663e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-9f4e555c8380b703.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-9f4e555c8380b703: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem1-c1b41ee3117d3e86.d: crates/bench/src/bin/theorem1.rs
+
+/root/repo/target/release/deps/theorem1-c1b41ee3117d3e86: crates/bench/src/bin/theorem1.rs
+
+crates/bench/src/bin/theorem1.rs:

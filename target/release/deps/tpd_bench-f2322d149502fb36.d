@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/tpd_bench-f2322d149502fb36.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/theorem1.rs crates/bench/src/harness.rs crates/bench/src/presets.rs
+
+/root/repo/target/release/deps/libtpd_bench-f2322d149502fb36.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/theorem1.rs crates/bench/src/harness.rs crates/bench/src/presets.rs
+
+/root/repo/target/release/deps/libtpd_bench-f2322d149502fb36.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/theorem1.rs crates/bench/src/harness.rs crates/bench/src/presets.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/theorem1.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/presets.rs:

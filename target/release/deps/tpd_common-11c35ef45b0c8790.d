@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tpd_common-11c35ef45b0c8790.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/release/deps/libtpd_common-11c35ef45b0c8790.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/release/deps/libtpd_common-11c35ef45b0c8790.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/disk.rs crates/common/src/dist.rs crates/common/src/latency.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/disk.rs:
+crates/common/src/dist.rs:
+crates/common/src/latency.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tpd_core-d8344a58ac95ebc5.d: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/libtpd_core-d8344a58ac95ebc5.rlib: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/libtpd_core-d8344a58ac95ebc5.rmeta: crates/core/src/lib.rs crates/core/src/des.rs crates/core/src/manager.rs crates/core/src/mode.rs crates/core/src/policy.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/des.rs:
+crates/core/src/manager.rs:
+crates/core/src/mode.rs:
+crates/core/src/policy.rs:
+crates/core/src/types.rs:

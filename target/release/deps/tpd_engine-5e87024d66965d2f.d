@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tpd_engine-5e87024d66965d2f.d: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs
+
+/root/repo/target/release/deps/libtpd_engine-5e87024d66965d2f.rlib: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs
+
+/root/repo/target/release/deps/libtpd_engine-5e87024d66965d2f.rmeta: crates/engine/src/lib.rs crates/engine/src/catalog.rs crates/engine/src/config.rs crates/engine/src/engine.rs crates/engine/src/probes.rs crates/engine/src/types.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/catalog.rs:
+crates/engine/src/config.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/probes.rs:
+crates/engine/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tpd_profiler-7b08c24dee274166.d: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs
+
+/root/repo/target/release/deps/libtpd_profiler-7b08c24dee274166.rlib: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs
+
+/root/repo/target/release/deps/libtpd_profiler-7b08c24dee274166.rmeta: crates/profiler/src/lib.rs crates/profiler/src/analysis.rs crates/profiler/src/probe.rs crates/profiler/src/refine.rs crates/profiler/src/registry.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/analysis.rs:
+crates/profiler/src/probe.rs:
+crates/profiler/src/refine.rs:
+crates/profiler/src/registry.rs:

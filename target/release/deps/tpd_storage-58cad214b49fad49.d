@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tpd_storage-58cad214b49fad49.d: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs
+
+/root/repo/target/release/deps/libtpd_storage-58cad214b49fad49.rlib: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs
+
+/root/repo/target/release/deps/libtpd_storage-58cad214b49fad49.rmeta: crates/storage/src/lib.rs crates/storage/src/lru.rs crates/storage/src/pool.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/lru.rs:
+crates/storage/src/pool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tpd_voltsim-af5418ab6f17ced5.d: crates/voltsim/src/lib.rs
+
+/root/repo/target/release/deps/libtpd_voltsim-af5418ab6f17ced5.rlib: crates/voltsim/src/lib.rs
+
+/root/repo/target/release/deps/libtpd_voltsim-af5418ab6f17ced5.rmeta: crates/voltsim/src/lib.rs
+
+crates/voltsim/src/lib.rs:

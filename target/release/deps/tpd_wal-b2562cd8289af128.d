@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tpd_wal-b2562cd8289af128.d: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs
+
+/root/repo/target/release/deps/libtpd_wal-b2562cd8289af128.rlib: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs
+
+/root/repo/target/release/deps/libtpd_wal-b2562cd8289af128.rmeta: crates/wal/src/lib.rs crates/wal/src/mysql.rs crates/wal/src/pg.rs crates/wal/src/record.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/mysql.rs:
+crates/wal/src/pg.rs:
+crates/wal/src/record.rs:

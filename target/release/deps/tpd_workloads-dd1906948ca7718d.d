@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tpd_workloads-dd1906948ca7718d.d: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libtpd_workloads-dd1906948ca7718d.rlib: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libtpd_workloads-dd1906948ca7718d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/epinions.rs crates/workloads/src/seats.rs crates/workloads/src/spec.rs crates/workloads/src/tatp.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/epinions.rs:
+crates/workloads/src/seats.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/tatp.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/ycsb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lock_scheduling-a3b73ace386e7986.d: examples/lock_scheduling.rs
+
+/root/repo/target/release/examples/lock_scheduling-a3b73ace386e7986: examples/lock_scheduling.rs
+
+examples/lock_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-67ea857700f50208.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-67ea857700f50208: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -125,7 +125,11 @@ fn final_state_is_policy_independent_for_serial_history() {
         states.push((
             warehouse.get(0),
             (0..10).map(|d| district.get(d)).collect::<Vec<_>>(),
-            engine.catalog().table_by_name("orders").expect("orders").len(),
+            engine
+                .catalog()
+                .table_by_name("orders")
+                .expect("orders")
+                .len(),
         ));
     }
     assert_eq!(states[0], states[1]);
@@ -194,7 +198,9 @@ fn profiler_reports_lock_waits_on_contended_run() {
     );
     // And something must rank above the (zero-specificity) root.
     let top = &report.factors[0];
-    assert!(!matches!(top.kind, FactorKind::Func(f) if f == g.lookup("execute_transaction").expect("root")));
+    assert!(
+        !matches!(top.kind, FactorKind::Func(f) if f == g.lookup("execute_transaction").expect("root"))
+    );
 }
 
 #[test]

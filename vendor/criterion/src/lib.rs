@@ -1,0 +1,256 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::{iter, iter_batched, iter_custom}`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop (warm-up, auto-calibrated iteration count,
+//! median of N samples) and one plain-text result line per benchmark.
+//! There are no HTML reports, statistics, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted for API parity; the
+/// stand-in always runs setup per batch of one).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, rendered as `group/id`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId(s.into())
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last run.
+    ns_per_iter: f64,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+const SAMPLES: usize = 5;
+
+impl Bencher {
+    /// Measure `f` per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        self.run_samples(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Measure `routine` per call, excluding `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.run_samples(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    /// Hand full control of timing to the closure: it receives an
+    /// iteration count and returns the elapsed time for exactly that many
+    /// iterations.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.run_samples(&mut f);
+    }
+
+    fn run_samples(&mut self, mut sample: impl FnMut(u64) -> Duration) {
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t = sample(iters);
+            if t >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            let scale = if t.is_zero() {
+                16.0
+            } else {
+                (TARGET_SAMPLE.as_secs_f64() / t.as_secs_f64()).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64 * scale) as u64).max(iters + 1);
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| sample(iters).as_nanos() as f64 / iters as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    let ns = b.ns_per_iter;
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else if ns < 1_000_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else {
+        (ns / 1_000_000_000.0, "s")
+    };
+    println!("{name:<50} time: [{value:.3} {unit}]");
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the sample count (accepted for API parity; the stand-in uses a
+    /// fixed small count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; accept and ignore.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_runs() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter_custom(|iters| std::time::Duration::from_nanos(iters * 10));
+        assert!(b.ns_per_iter > 0.0);
+    }
+}

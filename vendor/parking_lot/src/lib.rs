@@ -1,0 +1,289 @@
+//! Vendored offline stand-in for `parking_lot`.
+//!
+//! Exposes `Mutex`, `RwLock`, and `Condvar` with parking_lot's API shape
+//! (infallible `lock()` / `read()` / `write()`, `Condvar::wait(&mut guard)`)
+//! backed by `std::sync`. Poisoning is deliberately swallowed — parking_lot
+//! has no poisoning, and callers here rely on that. Performance is whatever
+//! std provides; correctness and API compatibility are what matter for the
+//! offline build.
+
+use std::time::Duration;
+
+/// A mutual-exclusion lock with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        })
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire the lock, giving up after `timeout`.
+    ///
+    /// std has no timed mutex acquire, so this spins on `try_lock` with
+    /// yields until the deadline — the same observable semantics for the
+    /// short spin budgets (microseconds) this workspace uses.
+    pub fn try_lock_for(&self, timeout: Duration) -> Option<MutexGuard<'_, T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(g) = self.try_lock() {
+                return Some(g);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A reader-writer lock with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// A new lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(match self.0.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        })
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(match self.0.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        })
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Result of a timed wait: records whether the wait timed out.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`].
+///
+/// std's `Condvar` requires all waits to use the same mutex; parking_lot's
+/// rebinds freely. Every use in this workspace pairs a condvar with exactly
+/// one mutex, so the std behaviour is sufficient.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified. May wake spuriously, exactly like parking_lot.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| match self.cv.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, r) = match self.cv.wait_timeout(g, timeout) {
+                Ok(pair) => pair,
+                Err(p) => p.into_inner(),
+            };
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.cv.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// Temporarily move the std guard out of our wrapper so std's condvar (which
+/// consumes and returns guards) can be used behind parking_lot's
+/// `&mut guard` signature.
+fn replace_guard<'a, T>(
+    guard: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
+) {
+    // SAFETY: we read the inner guard out and always write a valid guard
+    // back before returning. If `f` unwinds (std condvar waits only panic
+    // on mutex misuse), the wrapper would hold a dropped guard, so abort
+    // rather than let the duplicate be observed.
+    unsafe {
+        let inner = std::ptr::read(&guard.0);
+        let new = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(inner))) {
+            Ok(g) => g,
+            Err(_) => {
+                eprintln!("condvar wait panicked; aborting");
+                std::process::abort();
+            }
+        };
+        std::ptr::write(&mut guard.0, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_coexist() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+        drop((a, b));
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn condvar_signals() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+}

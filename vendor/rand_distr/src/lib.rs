@@ -1,0 +1,82 @@
+//! Vendored offline stand-in for `rand_distr`: the [`Distribution`] trait
+//! and [`LogNormal`], which is all this workspace uses. `LogNormal` samples
+//! via Box–Muller; moments match the parameterization of the real crate
+//! (`LogNormal::new(mu, sigma)` over the *underlying normal*).
+
+use rand::RngCore;
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A log-normal whose underlying normal has mean `mu` and standard
+    /// deviation `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller on two uniforms; u1 in (0, 1] so ln is finite.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn median_tracks_mu() {
+        let mu = (200_000f64).ln();
+        let d = LogNormal::new(mu, 0.4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let med = xs[xs.len() / 2];
+        assert!(
+            (med / 200_000.0 - 1.0).abs() < 0.05,
+            "median {med} should be near 200k"
+        );
+        // Heavy right tail: p99 well above the median.
+        let p99 = xs[(xs.len() as f64 * 0.99) as usize];
+        assert!(p99 > med * 1.5);
+    }
+}
