@@ -130,6 +130,7 @@ fn victim_policies(c: &mut Criterion) {
                 policy: Policy::Vats,
                 victim,
                 wait_timeout: Some(Duration::from_secs(10)),
+                shards: 1,
                 rng_seed: 1,
             });
             // Seed some held locks so acquires scan non-trivial state.

@@ -1,0 +1,99 @@
+//! Shard-count sweep for the partitioned lock table: multi-threaded
+//! acquire/release throughput at 1..16 shards, under a uniform key
+//! distribution (shardable traffic — the case partitioning exists for) and
+//! a hot-set skew (queue contention, where the per-object queue, not the
+//! table mutex, is the bottleneck and sharding can't help).
+//!
+//! Note: on a single-core container the sweep measures *overhead parity*
+//! (shards > 1 must not cost more than the single-mutex layout), not
+//! scaling — the threads time-slice one core.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tpd_core::{
+    LockManager, LockManagerConfig, LockMode, ObjectId, Policy, TxnToken, VictimPolicy,
+};
+
+const THREADS: usize = 4;
+const OBJECTS: u64 = 4096;
+const HOT: u64 = 8;
+
+fn manager(policy: Policy, shards: usize) -> LockManager {
+    LockManager::new(LockManagerConfig {
+        policy,
+        victim: VictimPolicy::Youngest,
+        wait_timeout: Some(std::time::Duration::from_secs(10)),
+        shards,
+        rng_seed: 7,
+    })
+}
+
+/// One sweep: `THREADS` workers each acquire X on one object and release,
+/// with keys drawn uniformly or 80/20-skewed onto a small hot set.
+fn sweep(c: &mut Criterion, name: &str, policy: Policy, skewed: bool) {
+    let mut group = c.benchmark_group(name);
+    for &shards in &[1usize, 2, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let mgr = manager(policy, shards);
+                let ids = AtomicU64::new(1);
+                b.iter_custom(|iters| {
+                    let per_thread = iters / THREADS as u64 + 1;
+                    let start = Instant::now();
+                    std::thread::scope(|scope| {
+                        for t in 0..THREADS {
+                            let (mgr, ids) = (&mgr, &ids);
+                            scope.spawn(move || {
+                                let mut rng = SmallRng::seed_from_u64(0xB0A7 ^ (t as u64) << 40);
+                                for _ in 0..per_thread {
+                                    let id = ids.fetch_add(1, Ordering::Relaxed);
+                                    let key = if skewed && rng.gen_bool(0.8) {
+                                        rng.gen_range(0..HOT)
+                                    } else {
+                                        rng.gen_range(0..OBJECTS)
+                                    };
+                                    let txn = TxnToken::new(id, id);
+                                    // Single-object X: contended waits are
+                                    // possible, deadlocks are not.
+                                    mgr.acquire(txn, ObjectId::new(1, key), LockMode::X)
+                                        .expect("no deadlock possible");
+                                    mgr.release_all(txn.id);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn uniform_fcfs(c: &mut Criterion) {
+    sweep(c, "lock_shards/uniform_fcfs", Policy::Fcfs, false);
+}
+
+fn hot_fcfs(c: &mut Criterion) {
+    sweep(c, "lock_shards/hot_fcfs", Policy::Fcfs, true);
+}
+
+fn hot_cats(c: &mut Criterion) {
+    // CATS adds the weight-board traffic to every queue mutation; the
+    // sweep shows what the incremental maintenance costs under skew.
+    sweep(c, "lock_shards/hot_cats", Policy::Cats, true);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = uniform_fcfs, hot_fcfs, hot_cats
+}
+criterion_main!(benches);

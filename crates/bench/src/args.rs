@@ -14,6 +14,9 @@ pub struct Args {
     pub rate: Option<f64>,
     /// Client threads (`None` = the experiment's own default).
     pub clients: Option<usize>,
+    /// Lock-table shards (`None` = the preset's default, which pins 1 for
+    /// paper fidelity; `0` = auto-size to the machine).
+    pub shards: Option<usize>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -25,6 +28,7 @@ impl Default for Args {
             secs: 10.0,
             rate: None,
             clients: None,
+            shards: None,
             seed: 42,
         }
     }
@@ -50,10 +54,11 @@ impl Args {
                 "--secs" => args.secs = take("--secs")?,
                 "--rate" => args.rate = Some(take("--rate")?),
                 "--clients" => args.clients = Some(take("--clients")? as usize),
+                "--shards" => args.shards = Some(take("--shards")? as usize),
                 "--seed" => args.seed = take("--seed")? as u64,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--quick] [--secs N] [--rate TPS] [--clients N] [--seed N]"
+                        "usage: [--quick] [--secs N] [--rate TPS] [--clients N] [--shards N] [--seed N]"
                             .to_string(),
                     )
                 }
@@ -126,13 +131,31 @@ mod tests {
 
     #[test]
     fn flags_apply() {
-        let a =
-            parse(&["--quick", "--rate", "500", "--clients", "8", "--seed", "7"]).expect("parse");
+        let a = parse(&[
+            "--quick",
+            "--rate",
+            "500",
+            "--clients",
+            "8",
+            "--shards",
+            "4",
+            "--seed",
+            "7",
+        ])
+        .expect("parse");
         assert!(a.quick);
         assert!(a.secs <= 3.0);
         assert_eq!(a.rate_or(250.0), 500.0, "explicit rate wins over quick");
         assert_eq!(a.clients_or(300), 8);
+        assert_eq!(a.shards, Some(4));
         assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn shards_zero_means_auto_and_is_accepted() {
+        let a = parse(&["--shards", "0"]).expect("0 = auto-size");
+        assert_eq!(a.shards, Some(0));
+        assert_eq!(parse(&[]).expect("default").shards, None);
     }
 
     #[test]

@@ -26,9 +26,16 @@ pub fn run_policy(policy: Policy, args: &Args) -> RunResult {
     let trials = if args.quick { 1 } else { 2 };
     let seed = args.seed;
     let quick = args.quick;
+    let shards = args.shards;
     let r = run_trials(
         move || {
-            let engine = Engine::new(presets::mysql_inmemory(policy, seed));
+            let mut preset = presets::mysql_inmemory(policy, seed);
+            // The preset pins one shard (paper-faithful); --shards overrides
+            // for lock-table scaling studies.
+            if let Some(s) = shards {
+                preset.lock_shards = s;
+            }
+            let engine = Engine::new(preset);
             let w: Box<dyn tpd_workloads::Workload> =
                 Box::new(TpcC::install(&engine, if quick { 1 } else { 2 }));
             (engine, w)

@@ -52,6 +52,9 @@ pub fn log_disk(seed: u64) -> DiskConfig {
 /// lock waits (not memory pressure) dominate (Table 1 top).
 pub fn mysql_inmemory(policy: Policy, seed: u64) -> EngineConfig {
     let mut cfg = EngineConfig::mysql(policy);
+    // One lock-table shard: the single lock_sys mutex of the InnoDB 5.6
+    // the paper profiled, so experiment runs stay byte-for-byte faithful.
+    cfg.lock_shards = 1;
     cfg.pool.frames = 4096;
     cfg.data_disk = data_disk(seed);
     cfg.log_disks = vec![log_disk(seed ^ 0xA5)];
@@ -73,6 +76,7 @@ pub fn statement_rtt() -> ServiceTime {
 /// the LRU mutex and evictions dominate (Table 1 bottom, Fig. 3).
 pub fn mysql_pressured(policy: Policy, frames: usize, seed: u64) -> EngineConfig {
     let mut cfg = EngineConfig::mysql(policy);
+    cfg.lock_shards = 1;
     cfg.pool.frames = frames;
     cfg.data_disk = hdd_disk(seed);
     cfg.log_disks = vec![log_disk(seed ^ 0xA5)];
@@ -87,6 +91,7 @@ pub fn mysql_pressured(policy: Policy, frames: usize, seed: u64) -> EngineConfig
 /// contended resource the paper found.
 pub fn postgres(seed: u64) -> EngineConfig {
     let mut cfg = EngineConfig::postgres();
+    cfg.lock_shards = 1;
     cfg.pool.frames = 4096;
     cfg.data_disk = data_disk(seed);
     cfg.log_disks = vec![pg_log_disk(seed ^ 0xA5)];
@@ -164,6 +169,7 @@ mod tests {
     fn presets_construct_engines() {
         let e = Engine::new(mysql_inmemory(Policy::Vats, 1));
         assert_eq!(e.config().lock_policy, Policy::Vats);
+        assert_eq!(e.config().lock_shards, 1, "paper presets pin one shard");
         let e2 = Engine::new(postgres(2));
         assert!(e2.pg_wal_stats().is_some());
         let e3 = Engine::new(mysql_pressured(Policy::Fcfs, 64, 3));

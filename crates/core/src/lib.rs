@@ -2,9 +2,13 @@
 //! predictability.
 //!
 //! This crate implements a strict two-phase-locking lock manager in the style
-//! of MySQL 5.6's InnoDB lock system (a single lock-system mutex guarding all
-//! queues, condvar-suspended waiters, wait-for deadlock detection walked
-//! directly over the queues) with **pluggable transaction scheduling**:
+//! of MySQL 5.6's InnoDB lock system (condvar-suspended waiters, wait-for
+//! deadlock detection at block time) with **pluggable transaction
+//! scheduling**. The lock table is sharded — N partitions under independent
+//! mutexes, with `shards = 1` reproducing the paper's single
+//! lock-system-mutex layout exactly; deadlock detection runs over a
+//! dedicated wait-for graph and CATS weights are maintained incrementally
+//! (see [`manager`] for the full design). The policies:
 //!
 //! * [`Policy::Fcfs`] — first-come-first-served, the default in MySQL and
 //!   Postgres and the baseline the paper measures against;
@@ -23,8 +27,12 @@ pub mod manager;
 pub mod mode;
 pub mod policy;
 pub mod types;
+mod waitgraph;
+mod weights;
 
-pub use manager::{AcquireOutcome, LockError, LockManager, LockManagerConfig, LockStats};
+pub use manager::{
+    default_shards, AcquireOutcome, LockError, LockManager, LockManagerConfig, LockStats,
+};
 pub use mode::LockMode;
 pub use policy::{Policy, VictimPolicy};
 pub use types::{ObjectId, TxnId, TxnToken};

@@ -1,10 +1,34 @@
 //! The lock manager: strict 2PL with pluggable grant scheduling.
 //!
-//! Architecture follows InnoDB 5.6, the system the paper studied: a single
-//! lock-system mutex guards every queue (`lock_sys->mutex`), waiters suspend
-//! on per-request condvars (`lock_wait_suspend_thread` / `os_event_wait` in
-//! MySQL — the paper's #1 variance source), and deadlock detection walks the
-//! wait-for relation directly over the queues at block time.
+//! Architecture follows InnoDB 5.6, the system the paper studied — waiters
+//! suspend on per-request condvars (`lock_wait_suspend_thread` /
+//! `os_event_wait` in MySQL, the paper's #1 variance source) and deadlock
+//! detection runs at block time — except that the single lock-system mutex
+//! (`lock_sys->mutex`) is replaced by a **sharded lock table**: the queues
+//! are partitioned over N shards by a hash of the object id, each shard
+//! under its own mutex, so lock traffic on unrelated objects no longer
+//! serializes. `shards = 1` reproduces the paper's single-mutex layout
+//! exactly (the paper experiments run with 1); the default is
+//! `min(16, cores)` floored to a power of two.
+//!
+//! Sharding forces the two cross-object features out of the (now
+//! nonexistent) global critical section:
+//!
+//! * **Deadlock detection** lives in a dedicated wait-for graph
+//!   ([`crate::waitgraph`]) under its own lock. Every queue mutation
+//!   republishes the affected waiters' blocking edges while still holding
+//!   the shard mutex, so the graph always mirrors the live queues; the
+//!   cycle search (DFS) then runs over the graph alone, holding no shard
+//!   mutex at all.
+//! * **CATS weights** (how many waiters each transaction directly blocks)
+//!   are maintained incrementally ([`crate::weights`]): each queue diffs
+//!   its contribution after every mutation and pushes deltas to a striped
+//!   weight board, replacing the previous O(queues × waiters × holders)
+//!   rescan on every grant pass — for every shard count, including 1.
+//!
+//! Lock ordering: shard → graph, shard → weight stripe, shard → wait slot.
+//! The graph and the board never take a shard mutex, and detection takes
+//! the graph lock only, so it runs concurrently with grant traffic.
 //!
 //! Grant discipline (shared by every policy; only the priority key differs):
 //!
@@ -39,6 +63,8 @@ use tpd_common::{now_nanos, Nanos};
 use crate::mode::LockMode;
 use crate::policy::{Policy, PriorityKey, SeqGen, VictimPolicy};
 use crate::types::{ObjectId, TxnId, TxnToken};
+use crate::waitgraph::WaitGraph;
+use crate::weights::WeightBoard;
 
 /// Lock manager configuration.
 #[derive(Debug, Clone)]
@@ -50,7 +76,13 @@ pub struct LockManagerConfig {
     /// Liveness fallback: a waiter that exceeds this bound is aborted with
     /// [`LockError::Timeout`]. `None` disables the fallback.
     pub wait_timeout: Option<Duration>,
-    /// Seed for the RS policy's random keys.
+    /// Number of lock-table shards. `0` means auto ([`default_shards`]);
+    /// other values are rounded up to a power of two and clamped to 256.
+    /// Use `1` for the paper-faithful single-mutex InnoDB 5.6 layout.
+    pub shards: usize,
+    /// Seed for the RS policy's random keys. Shard 0 is seeded with exactly
+    /// this value, so `shards = 1` reproduces the single-mutex manager's
+    /// random stream bit-for-bit.
     pub rng_seed: u64,
 }
 
@@ -60,6 +92,7 @@ impl Default for LockManagerConfig {
             policy: Policy::Fcfs,
             victim: VictimPolicy::Youngest,
             wait_timeout: Some(Duration::from_secs(10)),
+            shards: 0,
             rng_seed: 0x10C5,
         }
     }
@@ -72,6 +105,34 @@ impl LockManagerConfig {
             policy,
             ..Default::default()
         }
+    }
+
+    /// Set the shard count (builder style). See the `shards` field.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// The auto shard count: `min(16, available cores)`, floored to a power of
+/// two so the object-hash → shard mapping is a mask.
+pub fn default_shards() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    floor_pow2(cores.min(16))
+}
+
+fn floor_pow2(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Normalize a configured shard count: 0 = auto, otherwise round up to a
+/// power of two, clamped to 256.
+fn resolve_shards(requested: usize) -> usize {
+    if requested == 0 {
+        default_shards()
+    } else {
+        requested.next_power_of_two().min(256)
     }
 }
 
@@ -178,6 +239,18 @@ struct LockQueue {
     granted: Vec<(TxnToken, LockMode)>,
     /// Sorted: upgrades first (by key), then regular waiters by key.
     waiting: Vec<Waiter>,
+    /// The CATS contribution this queue last published to the weight board
+    /// (empty unless the policy is CATS). See [`crate::weights`].
+    contrib: HashMap<TxnId, i64>,
+    /// CATS only: the weight-ranked scan order captured at the last
+    /// [`LockManager::sync_queue`]. The grant pass replays THIS order
+    /// rather than re-sorting by live weights, so the grant rule and the
+    /// published wait-for edges always derive from the same snapshot — a
+    /// grant pass ranked differently from the graph can strand a waiter
+    /// in a cycle the detector cannot see (a high-weight X scanned ahead
+    /// of a storage-earlier S blocks it, but "ahead" by storage order
+    /// said nobody did).
+    rank: Vec<TxnId>,
 }
 
 impl LockQueue {
@@ -216,29 +289,51 @@ impl LockQueue {
             .iter()
             .any(|(t, m)| t.id != txn && !mode.compatible(*m))
     }
+
+    /// This queue's CATS contribution, recomputed from scratch: +1 to a
+    /// transaction's weight for every waiter here it directly blocks — the
+    /// one-hop form of the contention-aware priority (Huang et al.,
+    /// VLDB'18; adopted by MySQL 8.0 as the successor to VATS).
+    fn cats_contrib(&self) -> HashMap<TxnId, i64> {
+        let mut contrib: HashMap<TxnId, i64> = HashMap::new();
+        for (pos, w) in self.waiting.iter().enumerate() {
+            for (t, m) in &self.granted {
+                if t.id != w.txn.id && !w.mode.compatible(*m) {
+                    *contrib.entry(t.id).or_insert(0) += 1;
+                }
+            }
+            for ahead in &self.waiting[..pos] {
+                if !w.mode.compatible(ahead.mode) {
+                    *contrib.entry(ahead.txn.id).or_insert(0) += 1;
+                }
+            }
+        }
+        contrib
+    }
 }
 
+/// One lock-table partition: the queues whose objects hash here, the held
+/// sets of the transactions holding locks here, and this shard's RS rng.
 #[derive(Debug)]
-struct TxnInfo {
-    token: TxnToken,
-    held: Vec<ObjectId>,
-    waiting_on: Option<ObjectId>,
-}
-
-#[derive(Debug)]
-struct Inner {
+struct Shard {
     queues: HashMap<ObjectId, LockQueue>,
-    txns: HashMap<TxnId, TxnInfo>,
+    /// Objects in *this shard* each transaction holds locks on (release
+    /// walks the shards instead of a global per-txn registry).
+    held: HashMap<TxnId, Vec<ObjectId>>,
     rng: SmallRng,
 }
 
-/// The lock manager. See the module docs for the grant discipline.
+/// The lock manager. See the module docs for the grant discipline and the
+/// sharded layout.
 #[derive(Debug)]
 pub struct LockManager {
-    inner: Mutex<Inner>,
+    shards: Box<[Mutex<Shard>]>,
+    shard_mask: u64,
+    graph: WaitGraph,
+    weights: WeightBoard,
     seq: SeqGen,
     config: LockManagerConfig,
-    // Stats kept as atomics so reads don't take the big mutex.
+    // Stats kept as atomics so reads don't take any shard mutex.
     acquires: AtomicU64,
     immediate: AtomicU64,
     waited: AtomicU64,
@@ -250,13 +345,28 @@ pub struct LockManager {
 
 impl LockManager {
     /// A manager with the given configuration.
-    pub fn new(config: LockManagerConfig) -> Self {
+    pub fn new(mut config: LockManagerConfig) -> Self {
+        config.shards = resolve_shards(config.shards);
+        let shards: Box<[Mutex<Shard>]> = (0..config.shards)
+            .map(|i| {
+                Mutex::new(Shard {
+                    queues: HashMap::new(),
+                    held: HashMap::new(),
+                    // Shard 0 gets the configured seed unmixed so shards=1
+                    // reproduces the single-mutex manager's stream exactly.
+                    rng: SmallRng::seed_from_u64(
+                        config
+                            .rng_seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64)),
+                    ),
+                })
+            })
+            .collect();
         LockManager {
-            inner: Mutex::new(Inner {
-                queues: HashMap::new(),
-                txns: HashMap::new(),
-                rng: SmallRng::seed_from_u64(config.rng_seed),
-            }),
+            shard_mask: (shards.len() - 1) as u64,
+            shards,
+            graph: WaitGraph::new(),
+            weights: WeightBoard::new(),
             seq: SeqGen::new(),
             config,
             acquires: AtomicU64::new(0),
@@ -279,6 +389,22 @@ impl LockManager {
         self.config.policy
     }
 
+    /// The resolved number of lock-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an object's queue lives in (introspection for tests and
+    /// benchmarks that need to place objects in known shards).
+    pub fn shard_of(&self, obj: ObjectId) -> usize {
+        // fmix64: object keys are often sequential, so mix before masking.
+        let mut h = ((obj.space as u64) << 32) ^ obj.key;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h & self.shard_mask) as usize
+    }
+
     /// Acquire `mode` on `obj` for `txn`, suspending if necessary.
     ///
     /// Returns how long the caller was suspended, or a [`LockError`] if the
@@ -292,16 +418,11 @@ impl LockManager {
         mode: LockMode,
     ) -> Result<AcquireOutcome, LockError> {
         self.acquires.fetch_add(1, Ordering::Relaxed);
+        let sidx = self.shard_of(obj);
         let slot;
         {
-            let mut inner = self.inner.lock();
-            inner.txns.entry(txn.id).or_insert_with(|| TxnInfo {
-                token: txn,
-                held: Vec::new(),
-                waiting_on: None,
-            });
-
-            let queue = inner.queues.entry(obj).or_default();
+            let mut shard = self.shards[sidx].lock();
+            let queue = shard.queues.entry(obj).or_default();
             let held = queue.holder_mode(txn.id);
             if let Some(h) = held {
                 if h.covers(mode) {
@@ -322,6 +443,10 @@ impl LockManager {
                 Self::grant_in_place(queue, txn, effective, true);
                 self.upgrades.fetch_add(1, Ordering::Relaxed);
                 self.immediate.fetch_add(1, Ordering::Relaxed);
+                // The granted mode changed (e.g. S -> X), which can newly
+                // block waiters that were compatible with the old mode:
+                // republish their edges and this queue's CATS contribution.
+                self.sync_queue(&mut shard, obj);
                 return Ok(AcquireOutcome::Granted { waited: 0 });
             }
 
@@ -336,10 +461,10 @@ impl LockManager {
             // request would strand it forever, since no release would ever
             // re-run the grant pass.)
             let seq = self.seq.next();
-            let rand: u64 = inner.rng.gen();
+            let rand: u64 = shard.rng.gen();
             let key = self.config.policy.priority_key(&txn, seq, rand);
             slot = WaitSlot::new();
-            let queue = inner.queues.get_mut(&obj).expect("exists");
+            let queue = shard.queues.get_mut(&obj).expect("exists");
             queue.insert_waiter(Waiter {
                 txn,
                 mode: effective,
@@ -347,29 +472,61 @@ impl LockManager {
                 key,
                 slot: slot.clone(),
             });
-            inner
-                .txns
-                .get_mut(&txn.id)
-                .expect("registered above")
-                .waiting_on = Some(obj);
-            self.regrant(&mut inner, obj);
+            // CATS must publish the new request's contribution *before* the
+            // grant pass so the weight-ranked scan sees the post-insert
+            // queue, exactly as the from-scratch recompute did. The other
+            // policies don't read the graph or board during regrant, so
+            // they defer publishing to after the pass — an immediately
+            // granted request then never touches the graph at all.
+            let cats = self.config.policy == Policy::Cats;
+            if cats {
+                self.sync_queue(&mut shard, obj);
+            }
+            self.regrant(&mut shard, obj);
             if *slot.state.lock() == WaitState::Granted {
                 self.immediate.fetch_add(1, Ordering::Relaxed);
                 return Ok(AcquireOutcome::Granted { waited: 0 });
             }
-
-            // Deadlock detection at block time, walked over the live queues.
-            while let Some(cycle) = Self::find_cycle(&inner, txn.id) {
-                let victim = Self::choose_victim(&inner, &cycle, self.config.victim, txn.id);
-                self.deadlocks.fetch_add(1, Ordering::Relaxed);
-                if victim == txn.id {
-                    Self::remove_waiter(&mut inner, txn.id, obj);
-                    self.regrant(&mut inner, obj);
-                    return Err(LockError::Deadlock);
-                }
-                Self::abort_waiter(&mut inner, victim);
-                self.regrant_for_txn_removal(&mut inner, victim);
+            if !cats {
+                // Still blocked: publish our edges (and our effect on the
+                // waiters we queued ahead of) before releasing the shard.
+                self.sync_queue(&mut shard, obj);
             }
+        }
+
+        // Blocked: deadlock detection at block time, over the wait-for
+        // graph alone — no shard mutex is held while the cycle search runs.
+        // The graph mirrors the live queues (every mutation republishes
+        // edges under its shard mutex), so a cycle found here is real.
+        while let Some(victim) = self.graph.detect(txn.id, self.config.victim) {
+            if victim == txn.id {
+                let mut shard = self.shards[sidx].lock();
+                let state = *slot.state.lock();
+                match state {
+                    // Raced: granted (or victimized) between the shard
+                    // unlock and the detection pass.
+                    WaitState::Granted => {
+                        self.immediate.fetch_add(1, Ordering::Relaxed);
+                        return Ok(AcquireOutcome::Granted { waited: 0 });
+                    }
+                    WaitState::Victim => return Err(LockError::Deadlock),
+                    WaitState::Waiting => {
+                        *slot.state.lock() = WaitState::Victim;
+                        Self::remove_waiter(&mut shard, txn.id, obj);
+                        self.graph.clear_wait(txn.id);
+                        self.sync_queue(&mut shard, obj);
+                        self.regrant(&mut shard, obj);
+                        self.deadlocks.fetch_add(1, Ordering::Relaxed);
+                        return Err(LockError::Deadlock);
+                    }
+                }
+            } else if self.abort_waiter(victim) {
+                self.deadlocks.fetch_add(1, Ordering::Relaxed);
+            }
+            // Re-check: another cycle may remain, or the one we saw may
+            // have dissolved in a race (abort_waiter found the victim
+            // already granted/aborted) — the next detect() sees the
+            // current graph either way.
         }
 
         // Suspended: this is the paper's `lock_wait_suspend_thread` /
@@ -380,19 +537,21 @@ impl LockManager {
             WaitState::Victim => return Err(LockError::Deadlock),
             WaitState::Waiting => {
                 // Timed out while still queued: dequeue ourselves.
-                // Lock order: inner before slot.
-                let mut inner = self.inner.lock();
+                // Lock order: shard before slot.
+                let mut shard = self.shards[sidx].lock();
                 let mut st = slot.state.lock();
                 match *st {
                     WaitState::Waiting => {
                         *st = WaitState::Victim;
                         drop(st);
-                        Self::remove_waiter(&mut inner, txn.id, obj);
-                        self.regrant(&mut inner, obj);
+                        Self::remove_waiter(&mut shard, txn.id, obj);
+                        self.graph.clear_wait(txn.id);
+                        self.sync_queue(&mut shard, obj);
+                        self.regrant(&mut shard, obj);
                         self.timeouts.fetch_add(1, Ordering::Relaxed);
                         return Err(LockError::Timeout);
                     }
-                    // Resolved while we raced for the big lock.
+                    // Resolved while we raced for the shard lock.
                     WaitState::Granted => {}
                     WaitState::Victim => return Err(LockError::Deadlock),
                 }
@@ -408,74 +567,93 @@ impl LockManager {
     /// policy grants next. Also removes a pending wait if the transaction
     /// was aborted while enqueued.
     pub fn release_all(&self, txn: TxnId) {
-        let mut inner = self.inner.lock();
-        let Some(info) = inner.txns.remove(&txn) else {
-            return;
-        };
-        if let Some(obj) = info.waiting_on {
-            Self::remove_waiter(&mut inner, txn, obj);
-            self.regrant(&mut inner, obj);
-        }
-        for obj in info.held {
-            if let Some(queue) = inner.queues.get_mut(&obj) {
-                queue.granted.retain(|(t, _)| t.id != txn);
+        if let Some(obj) = self.graph.waiting_on(txn) {
+            let mut shard = self.shards[self.shard_of(obj)].lock();
+            let still_queued = shard
+                .queues
+                .get_mut(&obj)
+                .map(|q| {
+                    let before = q.waiting.len();
+                    q.waiting.retain(|w| w.txn.id != txn);
+                    q.waiting.len() != before
+                })
+                .unwrap_or(false);
+            if still_queued {
+                self.graph.clear_wait(txn);
+                self.sync_queue(&mut shard, obj);
+                self.regrant(&mut shard, obj);
             }
-            self.regrant(&mut inner, obj);
-            if inner.queues.get(&obj).is_some_and(LockQueue::is_empty) {
-                inner.queues.remove(&obj);
+        }
+        for shard_mutex in self.shards.iter() {
+            let mut shard = shard_mutex.lock();
+            let Some(objs) = shard.held.remove(&txn) else {
+                continue;
+            };
+            for obj in objs {
+                if let Some(queue) = shard.queues.get_mut(&obj) {
+                    queue.granted.retain(|(t, _)| t.id != txn);
+                }
+                self.sync_queue(&mut shard, obj);
+                self.regrant(&mut shard, obj);
+                if shard.queues.get(&obj).is_some_and(LockQueue::is_empty) {
+                    shard.queues.remove(&obj);
+                }
             }
         }
+        // A granted/aborted waiter always clears its node eagerly; this is
+        // a backstop so a dead transaction can never leak a graph node.
+        self.graph.clear_wait(txn);
+        #[cfg(debug_assertions)]
+        self.verify_cats_weights();
     }
 
     /// The mode `txn` currently holds on `obj`, if any.
     pub fn held_mode(&self, txn: TxnId, obj: ObjectId) -> Option<LockMode> {
-        let inner = self.inner.lock();
-        inner.queues.get(&obj).and_then(|q| q.holder_mode(txn))
+        let shard = self.shards[self.shard_of(obj)].lock();
+        shard.queues.get(&obj).and_then(|q| q.holder_mode(txn))
     }
 
     /// Number of transactions waiting on `obj` (introspection for tests and
     /// experiment instrumentation).
     pub fn waiting_count(&self, obj: ObjectId) -> usize {
-        let inner = self.inner.lock();
-        inner.queues.get(&obj).map_or(0, |q| q.waiting.len())
+        let shard = self.shards[self.shard_of(obj)].lock();
+        shard.queues.get(&obj).map_or(0, |q| q.waiting.len())
     }
 
     /// Number of granted locks on `obj`.
     pub fn granted_count(&self, obj: ObjectId) -> usize {
-        let inner = self.inner.lock();
-        inner.queues.get(&obj).map_or(0, |q| q.granted.len())
+        let shard = self.shards[self.shard_of(obj)].lock();
+        shard.queues.get(&obj).map_or(0, |q| q.granted.len())
     }
 
     /// Render the full lock-system state (diagnostics for tests).
     pub fn debug_dump(&self) -> String {
         use std::fmt::Write;
-        let inner = self.inner.lock();
         let mut out = String::new();
-        for (obj, q) in &inner.queues {
-            if q.is_empty() {
-                continue;
-            }
-            let _ = write!(out, "{obj}: granted[");
-            for (t, m) in &q.granted {
-                let _ = write!(out, "{}:{m} ", t.id);
-            }
-            let _ = write!(out, "] waiting[");
-            for w in &q.waiting {
-                let _ = write!(
-                    out,
-                    "{}:{}{} ",
-                    w.txn.id,
-                    w.mode,
-                    if w.upgrade { "(up)" } else { "" }
-                );
-            }
-            let _ = writeln!(out, "]");
-        }
-        for (t, info) in &inner.txns {
-            if let Some(obj) = info.waiting_on {
-                let _ = writeln!(out, "{t} waiting_on {obj} holds {:?}", info.held);
+        for (sidx, shard_mutex) in self.shards.iter().enumerate() {
+            let shard = shard_mutex.lock();
+            for (obj, q) in &shard.queues {
+                if q.is_empty() {
+                    continue;
+                }
+                let _ = write!(out, "[shard {sidx}] {obj}: granted[");
+                for (t, m) in &q.granted {
+                    let _ = write!(out, "{}:{m} ", t.id);
+                }
+                let _ = write!(out, "] waiting[");
+                for w in &q.waiting {
+                    let _ = write!(
+                        out,
+                        "{}:{}{} ",
+                        w.txn.id,
+                        w.mode,
+                        if w.upgrade { "(up)" } else { "" }
+                    );
+                }
+                let _ = writeln!(out, "]");
             }
         }
+        self.graph.dump(&mut out);
         out
     }
 
@@ -490,6 +668,31 @@ impl LockManager {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             wait_ns: self.wait_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Assert that the incrementally maintained CATS weights equal a
+    /// from-scratch recount over every queue. No-op unless the policy is
+    /// CATS. Takes every shard mutex (in index order, then the board), so
+    /// it sees a fully quiescent table; call with no shard lock held.
+    pub fn verify_cats_weights(&self) {
+        if self.config.policy != Policy::Cats {
+            return;
+        }
+        let guards: Vec<_> = self.shards.iter().map(|m| m.lock()).collect();
+        let mut expect: HashMap<TxnId, i64> = HashMap::new();
+        for shard in &guards {
+            for queue in shard.queues.values() {
+                for (t, c) in queue.cats_contrib() {
+                    *expect.entry(t).or_insert(0) += c;
+                }
+            }
+        }
+        expect.retain(|_, c| *c != 0);
+        let got = self.weights.snapshot();
+        assert_eq!(
+            expect, got,
+            "incremental CATS weights diverged from recount"
+        );
     }
 
     /// Block on the wait slot until granted, victimized, or (when a timeout
@@ -514,7 +717,7 @@ impl LockManager {
         }
     }
 
-    // ---- internals (all require the inner mutex held by the caller) ----
+    // ---- internals (all require the owning shard's mutex held) ----
 
     fn grant_in_place(queue: &mut LockQueue, txn: TxnToken, mode: LockMode, upgrade: bool) {
         if upgrade {
@@ -529,29 +732,110 @@ impl LockManager {
         }
     }
 
-    /// Walk the queue in priority order granting everything grantable.
-    fn regrant(&self, inner: &mut Inner, obj: ObjectId) {
-        // CATS needs a global view (how many waiters each transaction
-        // blocks), so compute weights before borrowing the queue mutably.
-        let weights = if self.config.policy == Policy::Cats {
-            Some(Self::cats_weights(inner))
-        } else {
-            None
+    /// Republish a queue's cross-object state after a mutation, while the
+    /// shard mutex is still held: diff its CATS contribution onto the
+    /// weight board, capture the scan order the next grant pass will use,
+    /// and refresh its waiters' blocking edges in the wait-for graph.
+    fn sync_queue(&self, shard: &mut Shard, obj: ObjectId) {
+        let Some(queue) = shard.queues.get_mut(&obj) else {
+            return;
         };
-        let Some(queue) = inner.queues.get_mut(&obj) else {
+        let cats = self.config.policy == Policy::Cats;
+        if cats {
+            let fresh = queue.cats_contrib();
+            let mut deltas = fresh.clone();
+            for (t, old) in &queue.contrib {
+                *deltas.entry(*t).or_insert(0) -= old;
+            }
+            deltas.retain(|_, d| *d != 0);
+            if !deltas.is_empty() {
+                self.weights.apply(&deltas);
+            }
+            queue.contrib = fresh;
+        }
+        // Nodes are only ever *removed* via clear_wait at the site that
+        // dequeues a waiter, so an empty waiter list has nothing to
+        // publish — skip the graph lock entirely (the uncontended path).
+        if queue.waiting.is_empty() {
+            queue.rank.clear();
+            return;
+        }
+        // The scan order the grant pass will replay: storage order, except
+        // CATS re-ranks by maintained weight (upgrades first; ties by
+        // position). Captured HERE so the edges below and the next
+        // regrant() agree on who is ahead of whom — see LockQueue::rank.
+        let mut order: Vec<usize> = (0..queue.waiting.len()).collect();
+        if cats {
+            let weights: HashMap<TxnId, i64> = queue
+                .waiting
+                .iter()
+                .map(|w| (w.txn.id, self.weights.get(w.txn.id)))
+                .collect();
+            order.sort_by_key(|&i| {
+                let w = &queue.waiting[i];
+                let weight = weights.get(&w.txn.id).copied().unwrap_or(0);
+                (!w.upgrade, std::cmp::Reverse(weight), i)
+            });
+            queue.rank = order.iter().map(|&i| queue.waiting[i].txn.id).collect();
+        }
+        // Blockers by scan order: incompatible holders plus incompatible
+        // waiters scanned ahead (for CATS that can include storage-later
+        // waiters — exactly the edges storage order would miss).
+        let entries: Vec<(TxnId, Nanos, Vec<TxnId>)> = order
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| {
+                let me = &queue.waiting[i];
+                let mut blockers: Vec<TxnId> = queue
+                    .granted
+                    .iter()
+                    .filter(|(t, m)| t.id != me.txn.id && !me.mode.compatible(*m))
+                    .map(|(t, _)| t.id)
+                    .collect();
+                for &j in &order[..k] {
+                    let other = &queue.waiting[j];
+                    if !me.mode.compatible(other.mode) {
+                        blockers.push(other.txn.id);
+                    }
+                }
+                (me.txn.id, me.txn.birth, blockers)
+            })
+            .collect();
+        self.graph.update_waiters(obj, entries);
+    }
+
+    /// Walk the queue in priority order granting everything grantable, then
+    /// republish the queue's state if anything changed.
+    fn regrant(&self, shard: &mut Shard, obj: ObjectId) {
+        let Some(queue) = shard.queues.get_mut(&obj) else {
             return;
         };
         if queue.waiting.is_empty() {
             return;
         }
-        // Scan order: queue (policy) order, except CATS re-ranks by weight
-        // (upgrades always first; ties fall back to queue position).
+        // CATS scans in the weight-ranked order captured at the last
+        // sync_queue (every regrant call site syncs first in the same
+        // critical section) — NOT a fresh sort over live weights. Using
+        // the captured snapshot keeps the grant rule and the published
+        // wait-for edges in agreement; the board lookups behind it replace
+        // the old whole-table rescan.
         let mut order: Vec<usize> = (0..queue.waiting.len()).collect();
-        if let Some(weights) = &weights {
+        if self.config.policy == Policy::Cats {
+            let pos: HashMap<TxnId, usize> = queue
+                .rank
+                .iter()
+                .enumerate()
+                .map(|(k, t)| (*t, k))
+                .collect();
             order.sort_by_key(|&i| {
-                let w = &queue.waiting[i];
-                let weight = weights.get(&w.txn.id).copied().unwrap_or(0);
-                (!w.upgrade, std::cmp::Reverse(weight), i)
+                // A waiter missing from the snapshot (impossible today;
+                // defensive) scans last, in storage order.
+                (
+                    pos.get(&queue.waiting[i].txn.id)
+                        .copied()
+                        .unwrap_or(usize::MAX),
+                    i,
+                )
             });
         }
         // Plan grants: each scanned waiter is granted iff compatible with
@@ -574,9 +858,23 @@ impl LockManager {
                 barrier.push((w.mode, w.txn.id));
             }
         }
-        // Apply: remove planned waiters (descending index), grant, wake.
+        if planned.is_empty() {
+            return;
+        }
+        // Apply: remove planned waiters (descending index), grant, then
+        // republish the queue's edges, and only THEN wake the grantees.
+        // Two orderings are load-bearing here:
+        //  * the graph node is cleared before the slot flips to Granted —
+        //    the woken thread can block on its next object immediately,
+        //    and a late clear would race with (and delete) the fresh node
+        //    it publishes there, hiding it from deadlock detection;
+        //  * sync_queue runs before any notify — a CATS grant can jump an
+        //    incompatible waiter T, creating a new edge T -> grantee, and
+        //    if the grantee woke first it could block on something T
+        //    holds and run its cycle check before that edge exists.
         planned.sort_by_key(|&(i, _, _)| std::cmp::Reverse(i));
         let mut granted_txns: Vec<TxnId> = Vec::new();
+        let mut to_wake: Vec<Arc<WaitSlot>> = Vec::new();
         for (i, _, _) in planned {
             let w = queue.waiting.remove(i);
             Self::grant_in_place(queue, w.txn, w.mode, w.upgrade);
@@ -584,175 +882,65 @@ impl LockManager {
                 self.upgrades.fetch_add(1, Ordering::Relaxed);
             }
             granted_txns.push(w.txn.id);
-            let mut st = w.slot.state.lock();
-            *st = WaitState::Granted;
-            w.slot.cv.notify_one();
+            self.graph.clear_wait(w.txn.id);
+            to_wake.push(w.slot);
         }
-        for t in granted_txns {
-            if let Some(info) = inner.txns.get_mut(&t) {
-                info.waiting_on = None;
-                if !info.held.contains(&obj) {
-                    info.held.push(obj);
-                }
+        for &t in &granted_txns {
+            let held = shard.held.entry(t).or_default();
+            if !held.contains(&obj) {
+                held.push(obj);
             }
         }
-    }
-
-    /// CATS weights: for every transaction, how many waiters (across all
-    /// queues) it directly blocks — the one-hop form of the
-    /// contention-aware priority (Huang et al., VLDB'18; adopted by MySQL
-    /// 8.0 as the successor to VATS).
-    fn cats_weights(inner: &Inner) -> HashMap<TxnId, usize> {
-        let mut weights: HashMap<TxnId, usize> = HashMap::new();
-        for (_, queue) in inner.queues.iter() {
-            for (pos, w) in queue.waiting.iter().enumerate() {
-                for (t, m) in &queue.granted {
-                    if t.id != w.txn.id && !w.mode.compatible(*m) {
-                        *weights.entry(t.id).or_insert(0) += 1;
-                    }
-                }
-                for ahead in &queue.waiting[..pos] {
-                    if !w.mode.compatible(ahead.mode) {
-                        *weights.entry(ahead.txn.id).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-        weights
-    }
-
-    /// Remove `txn`'s waiter entry from `obj`'s queue, if present.
-    fn remove_waiter(inner: &mut Inner, txn: TxnId, obj: ObjectId) {
-        if let Some(queue) = inner.queues.get_mut(&obj) {
-            queue.waiting.retain(|w| w.txn.id != txn);
-        }
-        if let Some(info) = inner.txns.get_mut(&txn) {
-            if info.waiting_on == Some(obj) {
-                info.waiting_on = None;
-            }
-        }
-    }
-
-    /// Mark a *waiting* transaction as a deadlock victim and dequeue it.
-    /// Its locks stay held until it observes the abort and releases.
-    fn abort_waiter(inner: &mut Inner, victim: TxnId) {
-        let Some(obj) = inner.txns.get(&victim).and_then(|i| i.waiting_on) else {
-            return;
-        };
-        let slot = inner.queues.get_mut(&obj).and_then(|queue| {
-            let pos = queue.waiting.iter().position(|w| w.txn.id == victim)?;
-            Some(queue.waiting.remove(pos).slot)
-        });
-        if let Some(info) = inner.txns.get_mut(&victim) {
-            info.waiting_on = None;
-        }
-        if let Some(slot) = slot {
+        self.sync_queue(shard, obj);
+        for slot in to_wake {
             let mut st = slot.state.lock();
-            *st = WaitState::Victim;
+            *st = WaitState::Granted;
             slot.cv.notify_one();
         }
     }
 
-    /// After removing a victim's waiter, its queue may be grantable.
-    fn regrant_for_txn_removal(&self, inner: &mut Inner, victim: TxnId) {
-        // The victim's former wait queue was already cleared of its entry;
-        // regrant every queue the victim participates in as a holder is NOT
-        // needed (it still holds its locks) — only the queue it waited on
-        // could have been unblocked by the dequeue. We cannot know it here
-        // (waiting_on was cleared), so regrant all queues where waiters
-        // exist but nothing blocks; cheap because queues are small.
-        let objs: Vec<ObjectId> = inner
-            .queues
-            .iter()
-            .filter(|(_, q)| !q.waiting.is_empty())
-            .map(|(o, _)| *o)
-            .collect();
-        let _ = victim;
-        for obj in objs {
-            self.regrant(inner, obj);
+    /// Remove `txn`'s waiter entry from `obj`'s queue, if present. The
+    /// caller clears the graph node and re-syncs the queue.
+    fn remove_waiter(shard: &mut Shard, txn: TxnId, obj: ObjectId) {
+        if let Some(queue) = shard.queues.get_mut(&obj) {
+            queue.waiting.retain(|w| w.txn.id != txn);
         }
     }
 
-    /// The transactions blocking `txn` at its wait queue: incompatible
-    /// holders plus incompatible waiters ahead of it in grant order.
-    fn blockers(inner: &Inner, txn: TxnId) -> Vec<TxnId> {
-        let Some(info) = inner.txns.get(&txn) else {
-            return Vec::new();
+    /// Mark a *waiting* transaction as a deadlock victim, dequeue it, and
+    /// wake it. Its locks stay held until it observes the abort and
+    /// releases. Returns false if the victim raced us and is no longer
+    /// waiting (granted, timed out, or already victimized).
+    fn abort_waiter(&self, victim: TxnId) -> bool {
+        let Some(obj) = self.graph.waiting_on(victim) else {
+            return false;
         };
-        let Some(obj) = info.waiting_on else {
-            return Vec::new();
+        let mut shard = self.shards[self.shard_of(obj)].lock();
+        let removed = shard.queues.get_mut(&obj).and_then(|queue| {
+            let pos = queue.waiting.iter().position(|w| w.txn.id == victim)?;
+            Some(queue.waiting.remove(pos))
+        });
+        let Some(w) = removed else {
+            return false;
         };
-        let Some(queue) = inner.queues.get(&obj) else {
-            return Vec::new();
-        };
-        let Some(me) = queue.waiting.iter().find(|w| w.txn.id == txn) else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        for (t, m) in &queue.granted {
-            if t.id != txn && !me.mode.compatible(*m) {
-                out.push(t.id);
-            }
+        // Clear the graph node before waking (see regrant): the woken
+        // victim releases and its successor may re-enter the graph.
+        self.graph.clear_wait(victim);
+        {
+            // While we hold the shard mutex nobody else can be dequeuing
+            // this waiter, so a queued entry implies a pending slot.
+            let mut st = w.slot.state.lock();
+            debug_assert_eq!(*st, WaitState::Waiting);
+            *st = WaitState::Victim;
+            w.slot.cv.notify_one();
         }
-        for w in &queue.waiting {
-            if w.txn.id == txn {
-                break;
-            }
-            if !me.mode.compatible(w.mode) {
-                out.push(w.txn.id);
-            }
-        }
-        out
-    }
-
-    /// DFS over the waits-for relation looking for a cycle containing
-    /// `start`. Returns the cycle's members if found.
-    fn find_cycle(inner: &Inner, start: TxnId) -> Option<Vec<TxnId>> {
-        // Iterative DFS with path tracking.
-        let mut path: Vec<TxnId> = vec![start];
-        let mut iters: Vec<std::vec::IntoIter<TxnId>> =
-            vec![Self::blockers(inner, start).into_iter()];
-        let mut visited: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
-        visited.insert(start);
-        while let Some(iter) = iters.last_mut() {
-            match iter.next() {
-                Some(next) => {
-                    if next == start {
-                        return Some(path.clone());
-                    }
-                    if visited.insert(next) {
-                        path.push(next);
-                        iters.push(Self::blockers(inner, next).into_iter());
-                    }
-                }
-                None => {
-                    iters.pop();
-                    path.pop();
-                }
-            }
-        }
-        None
-    }
-
-    fn choose_victim(
-        inner: &Inner,
-        cycle: &[TxnId],
-        policy: VictimPolicy,
-        requester: TxnId,
-    ) -> TxnId {
-        match policy {
-            VictimPolicy::Requester => requester,
-            VictimPolicy::Youngest => cycle
-                .iter()
-                .copied()
-                .max_by_key(|t| inner.txns.get(t).map_or(0, |i| i.token.birth))
-                .unwrap_or(requester),
-            VictimPolicy::Oldest => cycle
-                .iter()
-                .copied()
-                .min_by_key(|t| inner.txns.get(t).map_or(Nanos::MAX, |i| i.token.birth))
-                .unwrap_or(requester),
-        }
+        self.sync_queue(&mut shard, obj);
+        // Dequeuing the victim can unblock only this queue — it still
+        // holds its other locks until it observes the abort — so the
+        // regrant is targeted (the single-mutex manager rescanned every
+        // queue here).
+        self.regrant(&mut shard, obj);
+        true
     }
 }
 
@@ -770,6 +958,27 @@ mod tests {
 
     fn tok(id: u64, birth: Nanos) -> TxnToken {
         TxnToken::new(id, birth)
+    }
+
+    fn config(policy: Policy, victim: VictimPolicy, shards: usize) -> LockManagerConfig {
+        LockManagerConfig {
+            policy,
+            victim,
+            wait_timeout: Some(Duration::from_secs(30)),
+            shards,
+            rng_seed: 1,
+        }
+    }
+
+    /// Two objects guaranteed to live in different shards (panics if the
+    /// manager has only one shard).
+    fn cross_shard_pair(mgr: &LockManager) -> (ObjectId, ObjectId) {
+        let a = obj(0);
+        let b = (1..1024)
+            .map(obj)
+            .find(|o| mgr.shard_of(*o) != mgr.shard_of(a))
+            .expect("some key hashes to another shard");
+        (a, b)
     }
 
     /// Spawn a thread that acquires and reports, so tests can sequence
@@ -794,6 +1003,34 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "waiters never queued");
             thread::yield_now();
         }
+    }
+
+    #[test]
+    fn shard_resolution_rules() {
+        assert_eq!(resolve_shards(1), 1);
+        assert_eq!(resolve_shards(2), 2);
+        assert_eq!(resolve_shards(3), 4, "rounded up to a power of two");
+        assert_eq!(resolve_shards(16), 16);
+        assert_eq!(resolve_shards(1000), 256, "clamped");
+        let auto = resolve_shards(0);
+        assert!(auto.is_power_of_two() && auto <= 16);
+        assert_eq!(floor_pow2(1), 1);
+        assert_eq!(floor_pow2(6), 4);
+        assert_eq!(floor_pow2(16), 16);
+    }
+
+    #[test]
+    fn shard_mapping_is_stable_and_in_range() {
+        let mgr = LockManager::new(config(Policy::Fcfs, VictimPolicy::Youngest, 8));
+        assert_eq!(mgr.shard_count(), 8);
+        for k in 0..1000 {
+            let s = mgr.shard_of(obj(k));
+            assert!(s < 8);
+            assert_eq!(s, mgr.shard_of(obj(k)), "mapping is deterministic");
+        }
+        // The mix actually spreads sequential keys.
+        let hit: std::collections::HashSet<usize> = (0..64).map(|k| mgr.shard_of(obj(k))).collect();
+        assert!(hit.len() > 4, "sequential keys use multiple shards");
     }
 
     #[test]
@@ -979,6 +1216,7 @@ mod tests {
             ));
         }
         wait_for_waiters(&mgr, obj(2), 2);
+        mgr.verify_cats_weights();
 
         mgr.release_all(holder.id);
         let (first, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -1004,6 +1242,7 @@ mod tests {
         for d in dependents {
             d.join().unwrap();
         }
+        mgr.verify_cats_weights();
     }
 
     #[test]
@@ -1061,12 +1300,11 @@ mod tests {
 
     #[test]
     fn two_object_deadlock_resolves() {
-        let mgr = Arc::new(LockManager::new(LockManagerConfig {
-            policy: Policy::Fcfs,
-            victim: VictimPolicy::Youngest,
-            wait_timeout: Some(Duration::from_secs(30)),
-            rng_seed: 1,
-        }));
+        let mgr = Arc::new(LockManager::new(config(
+            Policy::Fcfs,
+            VictimPolicy::Youngest,
+            1,
+        )));
         let a = tok(1, 100); // elder
         let b = tok(2, 200); // younger -> victim
         mgr.acquire(a, obj(1), LockMode::X).unwrap();
@@ -1087,13 +1325,40 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_deadlock_resolves() {
+        // Same cycle as above, but the two objects live in different
+        // shards: the wait-for graph must see edges from both.
+        let mgr = Arc::new(LockManager::new(config(
+            Policy::Fcfs,
+            VictimPolicy::Youngest,
+            4,
+        )));
+        let (o1, o2) = cross_shard_pair(&mgr);
+        let a = tok(1, 100); // elder
+        let b = tok(2, 200); // younger -> victim
+        mgr.acquire(a, o1, LockMode::X).unwrap();
+        mgr.acquire(b, o2, LockMode::X).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let ha = acquire_async(&mgr, a, o2, LockMode::X, tx.clone());
+        wait_for_waiters(&mgr, o2, 1);
+        let rb = mgr.acquire(b, o1, LockMode::X);
+        assert_eq!(rb, Err(LockError::Deadlock));
+        mgr.release_all(b.id);
+        let (id, ra) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 1);
+        ra.unwrap();
+        mgr.release_all(a.id);
+        ha.join().unwrap();
+        assert_eq!(mgr.stats().deadlocks, 1);
+    }
+
+    #[test]
     fn requester_victim_policy_aborts_requester() {
-        let mgr = Arc::new(LockManager::new(LockManagerConfig {
-            policy: Policy::Fcfs,
-            victim: VictimPolicy::Requester,
-            wait_timeout: Some(Duration::from_secs(30)),
-            rng_seed: 1,
-        }));
+        let mgr = Arc::new(LockManager::new(config(
+            Policy::Fcfs,
+            VictimPolicy::Requester,
+            1,
+        )));
         let a = tok(1, 200);
         let b = tok(2, 100);
         mgr.acquire(a, obj(1), LockMode::X).unwrap();
@@ -1135,32 +1400,48 @@ mod tests {
     #[test]
     fn suspended_victim_is_woken_with_deadlock() {
         // a and b deadlock, but the victim is the *suspended* one.
-        let mgr = Arc::new(LockManager::new(LockManagerConfig {
-            policy: Policy::Fcfs,
-            victim: VictimPolicy::Youngest,
-            wait_timeout: Some(Duration::from_secs(30)),
-            rng_seed: 1,
-        }));
+        let mgr = Arc::new(LockManager::new(config(
+            Policy::Fcfs,
+            VictimPolicy::Youngest,
+            1,
+        )));
+        suspended_victim_scenario(&mgr, obj(1), obj(2));
+    }
+
+    #[test]
+    fn suspended_victim_is_woken_across_shards() {
+        // The suspended victim waits in one shard; the requester that
+        // closes the cycle runs in another.
+        let mgr = Arc::new(LockManager::new(config(
+            Policy::Fcfs,
+            VictimPolicy::Youngest,
+            8,
+        )));
+        let (o1, o2) = cross_shard_pair(&mgr);
+        suspended_victim_scenario(&mgr, o1, o2);
+    }
+
+    fn suspended_victim_scenario(mgr: &Arc<LockManager>, o1: ObjectId, o2: ObjectId) {
         let a = tok(1, 200); // younger -> victim, will be suspended first
         let b = tok(2, 100); // elder, closes the cycle
-        mgr.acquire(a, obj(1), LockMode::X).unwrap();
-        mgr.acquire(b, obj(2), LockMode::X).unwrap();
+        mgr.acquire(a, o1, LockMode::X).unwrap();
+        mgr.acquire(b, o2, LockMode::X).unwrap();
         let (tx, rx) = mpsc::channel();
         // a's thread must release on abort, or b (blocked below) never wakes.
         let ha = {
             let mgr = mgr.clone();
             let tx = tx.clone();
             thread::spawn(move || {
-                let r = mgr.acquire(a, obj(2), LockMode::X);
+                let r = mgr.acquire(a, o2, LockMode::X);
                 if r.is_err() {
                     mgr.release_all(a.id);
                 }
                 tx.send((a.id.0, r)).expect("report");
             })
         };
-        wait_for_waiters(&mgr, obj(2), 1);
+        wait_for_waiters(mgr, o2, 1);
         // b closes the cycle; a (younger) must be chosen and woken as victim.
-        let rb = mgr.acquire(b, obj(1), LockMode::X);
+        let rb = mgr.acquire(b, o1, LockMode::X);
         let (id, ra) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(id, 1);
         assert_eq!(ra, Err(LockError::Deadlock));
@@ -1175,6 +1456,7 @@ mod tests {
             policy: Policy::Fcfs,
             victim: VictimPolicy::Youngest,
             wait_timeout: Some(Duration::from_millis(50)),
+            shards: 1,
             rng_seed: 1,
         }));
         let a = tok(1, 0);
@@ -1231,5 +1513,73 @@ mod tests {
         assert!(s.wait_ns >= 4_000_000);
         mgr.release_all(TxnId(2));
         h.join().unwrap();
+    }
+
+    #[test]
+    fn cats_weights_stay_exact_across_churn() {
+        // Exercise every weight-mutating path — enqueue, grant, upgrade,
+        // release, cross-object piles — and recount after each step.
+        let mgr = Arc::new(LockManager::new(config(
+            Policy::Cats,
+            VictimPolicy::Youngest,
+            4,
+        )));
+        let (o1, o2) = cross_shard_pair(&mgr);
+        mgr.acquire(tok(1, 10), o1, LockMode::X).unwrap();
+        mgr.acquire(tok(2, 20), o2, LockMode::S).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        for (id, o, mode) in [
+            (3u64, o1, LockMode::S),
+            (4, o1, LockMode::S),
+            (5, o2, LockMode::X),
+            (6, o2, LockMode::X),
+        ] {
+            handles.push(acquire_async(&mgr, tok(id, id * 10), o, mode, tx.clone()));
+        }
+        wait_for_waiters(&mgr, o1, 2);
+        wait_for_waiters(&mgr, o2, 2);
+        mgr.verify_cats_weights();
+        // Holder 1 blocks two S waiters; holder 2 blocks two X waiters.
+        mgr.release_all(TxnId(1));
+        let (_, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        r.unwrap();
+        mgr.verify_cats_weights();
+        mgr.release_all(TxnId(2));
+        for _ in 0..3 {
+            let (id, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            r.unwrap();
+            mgr.release_all(TxnId(id));
+        }
+        mgr.verify_cats_weights();
+        for id in [3u64, 4] {
+            mgr.release_all(TxnId(id));
+        }
+        mgr.verify_cats_weights();
+        assert!(
+            mgr.weights.snapshot().is_empty(),
+            "quiescent board is empty"
+        );
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn basic_traffic_spreads_over_shards() {
+        let mgr = LockManager::new(config(Policy::Vats, VictimPolicy::Youngest, 8));
+        for k in 0..256 {
+            mgr.acquire(tok(k + 1, k), obj(k), LockMode::X).unwrap();
+        }
+        for k in 0..256 {
+            assert_eq!(mgr.held_mode(TxnId(k + 1), obj(k)), Some(LockMode::X));
+        }
+        for k in 0..256 {
+            mgr.release_all(TxnId(k + 1));
+        }
+        for k in 0..256 {
+            assert_eq!(mgr.granted_count(obj(k)), 0);
+        }
+        assert_eq!(mgr.stats().immediate, 256);
     }
 }

@@ -1,0 +1,232 @@
+//! The wait-for graph: cross-shard deadlock detection state.
+//!
+//! With the lock table sharded (see [`crate::manager`]), no single shard
+//! mutex sees the whole wait-for relation, so the blocking edges live in
+//! this dedicated component under its own lock. Every queue mutation
+//! updates the affected waiters' edges *while still holding the shard
+//! mutex*, so the graph always mirrors the union of the per-queue truths:
+//! a cycle found here is a real cycle at the instant the graph lock is
+//! held — there are no phantom deadlocks from stale edges.
+//!
+//! Lock ordering: shard → graph. Detection ([`WaitGraph::detect`]) takes
+//! only the graph lock, so it may run concurrently with grant traffic on
+//! every shard.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use tpd_common::Nanos;
+
+use crate::policy::VictimPolicy;
+use crate::types::{ObjectId, TxnId};
+
+/// A waiting transaction's node: what it waits on and who blocks it.
+#[derive(Debug, Clone)]
+struct WaitNode {
+    birth: Nanos,
+    waiting_on: ObjectId,
+    /// Transactions this waiter is directly blocked by: incompatible
+    /// holders plus incompatible waiters ahead of it in its queue.
+    blockers: Vec<TxnId>,
+}
+
+/// The wait-for graph. A node exists iff the transaction is enqueued as a
+/// waiter somewhere; edges point from a waiter to the transactions
+/// blocking it.
+#[derive(Debug, Default)]
+pub(crate) struct WaitGraph {
+    nodes: Mutex<HashMap<TxnId, WaitNode>>,
+    /// Node count, readable without the mutex: the uncontended fast paths
+    /// skip graph work entirely when nothing waits anywhere. Maintained
+    /// under the mutex; a reader that could observe a node it cares about
+    /// always has a happens-before edge to that node's insertion (its own
+    /// earlier call, or a shard mutex both sides held), so a zero read is
+    /// never stale for the queries the gates protect.
+    len: AtomicUsize,
+}
+
+impl WaitGraph {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Upsert the edges for every waiter of one queue. Called with the
+    /// queue's shard mutex held, after any mutation of that queue.
+    pub(crate) fn update_waiters(
+        &self,
+        obj: ObjectId,
+        entries: impl IntoIterator<Item = (TxnId, Nanos, Vec<TxnId>)>,
+    ) {
+        let mut nodes = self.nodes.lock();
+        for (txn, birth, blockers) in entries {
+            // Publish the count *before* the node (and conversely remove
+            // before decrementing in `clear_wait`): a gate that reads a
+            // transient overcount merely does redundant work, while an
+            // undercount could hide a just-formed cycle from `detect`.
+            if !nodes.contains_key(&txn) {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+            nodes.insert(
+                txn,
+                WaitNode {
+                    birth,
+                    waiting_on: obj,
+                    blockers,
+                },
+            );
+        }
+    }
+
+    /// Drop a transaction's node (granted, aborted, or dequeued).
+    pub(crate) fn clear_wait(&self, txn: TxnId) {
+        if self.len.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        if self.nodes.lock().remove(&txn).is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The object `txn` currently waits on, if any.
+    pub(crate) fn waiting_on(&self, txn: TxnId) -> Option<ObjectId> {
+        if self.len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.nodes.lock().get(&txn).map(|n| n.waiting_on)
+    }
+
+    /// Number of waiting transactions (introspection).
+    #[cfg(test)]
+    pub(crate) fn waiter_count(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// Render the graph for diagnostics.
+    pub(crate) fn dump(&self, out: &mut String) {
+        use std::fmt::Write;
+        let nodes = self.nodes.lock();
+        for (txn, node) in nodes.iter() {
+            let _ = writeln!(
+                out,
+                "{txn} waiting_on {} blocked_by {:?}",
+                node.waiting_on, node.blockers
+            );
+        }
+    }
+
+    /// Look for a wait-for cycle through `start`; if one exists, choose and
+    /// return the victim under `policy`. Cycle search and victim selection
+    /// run under one graph-lock acquisition so the choice is made against a
+    /// consistent snapshot.
+    ///
+    /// DFS follows blocker edges; transactions without a node (holders that
+    /// are not themselves waiting) are leaves and cannot be on a cycle, so
+    /// every cycle member has a node (and thus a birth for the victim
+    /// policies that need one).
+    pub(crate) fn detect(&self, start: TxnId, policy: VictimPolicy) -> Option<TxnId> {
+        // A cycle needs at least two nodes; callers are themselves waiting,
+        // so a sub-2 count means no cycle through `start` can exist.
+        if self.len.load(Ordering::Relaxed) < 2 {
+            return None;
+        }
+        let nodes = self.nodes.lock();
+        let blockers = |t: TxnId| -> Vec<TxnId> {
+            nodes
+                .get(&t)
+                .map(|n| n.blockers.clone())
+                .unwrap_or_default()
+        };
+        // Iterative DFS with path tracking (same discipline the
+        // single-mutex manager used).
+        let mut path: Vec<TxnId> = vec![start];
+        let mut iters: Vec<std::vec::IntoIter<TxnId>> = vec![blockers(start).into_iter()];
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        visited.insert(start);
+        let mut closed = false;
+        while let Some(iter) = iters.last_mut() {
+            match iter.next() {
+                Some(next) => {
+                    if next == start {
+                        closed = true;
+                        break;
+                    }
+                    if visited.insert(next) {
+                        path.push(next);
+                        iters.push(blockers(next).into_iter());
+                    }
+                }
+                None => {
+                    iters.pop();
+                    path.pop();
+                }
+            }
+        }
+        if !closed {
+            return None;
+        }
+        let cycle = path;
+        let victim = match policy {
+            VictimPolicy::Requester => start,
+            VictimPolicy::Youngest => cycle
+                .iter()
+                .copied()
+                .max_by_key(|t| nodes.get(t).map_or(0, |n| n.birth))
+                .unwrap_or(start),
+            VictimPolicy::Oldest => cycle
+                .iter()
+                .copied()
+                .min_by_key(|t| nodes.get(t).map_or(Nanos::MAX, |n| n.birth))
+                .unwrap_or(start),
+        };
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(k: u64) -> ObjectId {
+        ObjectId::new(1, k)
+    }
+
+    #[test]
+    fn no_cycle_means_no_victim() {
+        let g = WaitGraph::new();
+        g.update_waiters(obj(1), [(TxnId(1), 100, vec![TxnId(2)])]);
+        assert_eq!(g.detect(TxnId(1), VictimPolicy::Youngest), None);
+        assert_eq!(g.waiting_on(TxnId(1)), Some(obj(1)));
+        assert_eq!(g.waiter_count(), 1);
+    }
+
+    #[test]
+    fn two_cycle_picks_youngest() {
+        let g = WaitGraph::new();
+        g.update_waiters(obj(1), [(TxnId(1), 100, vec![TxnId(2)])]);
+        g.update_waiters(obj(2), [(TxnId(2), 200, vec![TxnId(1)])]);
+        assert_eq!(g.detect(TxnId(1), VictimPolicy::Youngest), Some(TxnId(2)));
+        assert_eq!(g.detect(TxnId(1), VictimPolicy::Oldest), Some(TxnId(1)));
+        assert_eq!(g.detect(TxnId(1), VictimPolicy::Requester), Some(TxnId(1)));
+    }
+
+    #[test]
+    fn clearing_a_node_breaks_the_cycle() {
+        let g = WaitGraph::new();
+        g.update_waiters(obj(1), [(TxnId(1), 100, vec![TxnId(2)])]);
+        g.update_waiters(obj(2), [(TxnId(2), 200, vec![TxnId(1)])]);
+        g.clear_wait(TxnId(2));
+        assert_eq!(g.detect(TxnId(1), VictimPolicy::Youngest), None);
+    }
+
+    #[test]
+    fn three_party_cycle_found_through_chain() {
+        let g = WaitGraph::new();
+        g.update_waiters(obj(1), [(TxnId(1), 300, vec![TxnId(2)])]);
+        g.update_waiters(obj(2), [(TxnId(2), 200, vec![TxnId(3)])]);
+        g.update_waiters(obj(3), [(TxnId(3), 100, vec![TxnId(1)])]);
+        // Youngest = largest birth = txn 1.
+        assert_eq!(g.detect(TxnId(2), VictimPolicy::Youngest), Some(TxnId(1)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Incrementally maintained CATS weights.
+//!
+//! CATS ranks waiters by how many other transactions each one directly
+//! blocks. The single-mutex manager recomputed that from scratch on every
+//! grant pass — O(queues × waiters × holders) per release. Sharding makes
+//! a global rescan impossible (it would need every shard mutex), so the
+//! weights are maintained incrementally instead: each lock queue remembers
+//! the contribution map it last published, and after any mutation the
+//! owning shard diffs the recomputed queue-local map against it and pushes
+//! only the deltas here. The board therefore always equals the from-scratch
+//! recount over all queues (asserted by
+//! `LockManager::verify_cats_weights`), and reading a waiter's weight is a
+//! single small-map lookup.
+//!
+//! The board itself is striped by transaction id so CATS weight traffic
+//! from different shards doesn't serialize on one mutex. Lock ordering:
+//! shard → board stripe; the board never takes any other lock.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::types::TxnId;
+
+const STRIPES: usize = 16;
+
+/// The global weight accounting: txn → number of waiters it blocks.
+#[derive(Debug)]
+pub(crate) struct WeightBoard {
+    stripes: Vec<Mutex<HashMap<TxnId, i64>>>,
+}
+
+impl WeightBoard {
+    pub(crate) fn new() -> Self {
+        WeightBoard {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stripe(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, i64>> {
+        // Multiplicative mix: txn ids are often sequential.
+        let h = txn.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.stripes[h as usize % STRIPES]
+    }
+
+    /// Apply a batch of deltas. Entries that reach zero are dropped so the
+    /// board stays proportional to the live contention, not to history.
+    pub(crate) fn apply(&self, deltas: &HashMap<TxnId, i64>) {
+        for (&txn, &delta) in deltas {
+            if delta == 0 {
+                continue;
+            }
+            let mut stripe = self.stripe(txn).lock();
+            let entry = stripe.entry(txn).or_insert(0);
+            *entry += delta;
+            debug_assert!(*entry >= 0, "negative CATS weight for {txn}");
+            if *entry == 0 {
+                stripe.remove(&txn);
+            }
+        }
+    }
+
+    /// The current weight of one transaction.
+    pub(crate) fn get(&self, txn: TxnId) -> i64 {
+        self.stripe(txn).lock().get(&txn).copied().unwrap_or(0)
+    }
+
+    /// All non-zero weights (for the recount assertion).
+    pub(crate) fn snapshot(&self) -> HashMap<TxnId, i64> {
+        let mut out = HashMap::new();
+        for stripe in &self.stripes {
+            for (&t, &w) in stripe.lock().iter() {
+                if w != 0 {
+                    out.insert(t, w);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate_and_zero_out() {
+        let b = WeightBoard::new();
+        b.apply(&HashMap::from([(TxnId(1), 2), (TxnId(2), 1)]));
+        b.apply(&HashMap::from([(TxnId(1), 1), (TxnId(2), -1)]));
+        assert_eq!(b.get(TxnId(1)), 3);
+        assert_eq!(b.get(TxnId(2)), 0);
+        assert_eq!(b.snapshot(), HashMap::from([(TxnId(1), 3)]));
+    }
+
+    #[test]
+    fn unknown_txn_reads_zero() {
+        let b = WeightBoard::new();
+        assert_eq!(b.get(TxnId(42)), 0);
+        assert!(b.snapshot().is_empty());
+    }
+}

@@ -31,6 +31,10 @@ pub struct EngineConfig {
     pub victim: VictimPolicy,
     /// Lock wait timeout (liveness fallback).
     pub lock_timeout: Option<Duration>,
+    /// Lock-table shards (`0` = auto: `min(16, cores)` as a power of two).
+    /// The paper presets pin this to `1` — the single lock-system-mutex
+    /// layout of the InnoDB 5.6 the paper profiled.
+    pub lock_shards: usize,
     /// Buffer-pool configuration (frames, old/young split, LLU).
     pub pool: PoolConfig,
     /// MySQL redo durability policy.
@@ -85,6 +89,7 @@ impl Default for EngineConfig {
             lock_policy: Policy::Fcfs,
             victim: VictimPolicy::Youngest,
             lock_timeout: Some(Duration::from_secs(10)),
+            lock_shards: 0,
             pool: PoolConfig::default(),
             flush_policy: FlushPolicy::Eager,
             flush_interval: Duration::from_millis(10),
@@ -159,6 +164,12 @@ impl EngineConfig {
         self
     }
 
+    /// Set the lock-table shard count (`0` = auto).
+    pub fn with_lock_shards(mut self, shards: usize) -> Self {
+        self.lock_shards = shards;
+        self
+    }
+
     /// Set the WAL block size (Postgres, Fig. 4 right).
     pub fn with_block_size(mut self, bytes: u64) -> Self {
         self.wal.block_size = bytes;
@@ -181,9 +192,11 @@ mod tests {
         let c = EngineConfig::mysql(Policy::Vats)
             .with_pool_frames(64)
             .with_llu(Duration::from_micros(10))
-            .with_flush_policy(FlushPolicy::LazyFlush);
+            .with_flush_policy(FlushPolicy::LazyFlush)
+            .with_lock_shards(4);
         assert_eq!(c.lock_policy, Policy::Vats);
         assert_eq!(c.pool.frames, 64);
+        assert_eq!(c.lock_shards, 4);
         assert!(matches!(c.pool.mutex_policy, MutexPolicy::Llu { .. }));
         assert_eq!(c.flush_policy, FlushPolicy::LazyFlush);
     }

@@ -142,6 +142,7 @@ impl Engine {
             policy: config.lock_policy,
             victim: config.victim,
             wait_timeout: config.lock_timeout,
+            shards: config.lock_shards,
             rng_seed: config.seed,
         });
         Arc::new(Engine {

@@ -1,0 +1,130 @@
+//! Theorem 1 by discrete-event simulation (the paper's Section 5.2):
+//! VATS (eldest-first) minimizes the expected Lp norm of transaction
+//! latencies, for every p >= 1, against any non-clairvoyant scheduler.
+//!
+//! Three demonstrations:
+//!  1. an *exact* check on a small menu — VATS beats every one of the n!
+//!     grant orders on every realization (the coupled-draws argument from
+//!     the proof, not just in expectation);
+//!  2. a p-sweep on random menus — the gap widens with p (variance is a
+//!     tail phenomenon; L1 is schedule-invariant, so p = 1 ties);
+//!  3. the coupling distinction — per-position coupling is the proof's
+//!     device, per-transaction coupling is the natural reading; VATS wins
+//!     under both.
+//!
+//! ```sh
+//! cargo run --release --example theorem1_simulation
+//! ```
+
+use predictadb::common::stats::lp_norm;
+use predictadb::core::des::{
+    p_performance, random_menu, simulate, Coupling, Fcfs, FixedOrder, MenuEntry, RandomSched, Vats,
+    YoungestFirst,
+};
+
+fn main() {
+    exact_small_menu();
+    p_sweep();
+    coupling_comparison();
+}
+
+/// Every permutation of a 5-transaction batch, one fixed draw vector:
+/// VATS's latency-vector norm is the minimum across all 120 orders.
+fn exact_small_menu() {
+    println!("-- exact: all queued at t=0, every grant order (n = 5) --");
+    let ages = [9.0, 1.0, 4.0, 7.0, 2.0];
+    let menu: Vec<MenuEntry> = ages
+        .iter()
+        .map(|&a| MenuEntry {
+            arrival: 0.0,
+            age_at_arrival: a,
+        })
+        .collect();
+    let draws = [3.0, 0.5, 2.0, 1.0, 4.0];
+    let p = 3.0;
+
+    let vats = lp_norm(
+        &simulate(&menu, &mut Vats, &draws, Coupling::PerPosition),
+        p,
+    );
+    let mut orders = vec![vec![0usize]];
+    for next in 1..menu.len() {
+        orders = orders
+            .into_iter()
+            .flat_map(|o| {
+                (0..=o.len()).map(move |i| {
+                    let mut o2 = o.clone();
+                    o2.insert(i, next);
+                    o2
+                })
+            })
+            .collect();
+    }
+    let mut best = f64::INFINITY;
+    let mut worst = f64::NEG_INFINITY;
+    for order in &orders {
+        let mut sched = FixedOrder::new(order);
+        let norm = lp_norm(
+            &simulate(&menu, &mut sched, &draws, Coupling::PerPosition),
+            p,
+        );
+        best = best.min(norm);
+        worst = worst.max(norm);
+    }
+    println!(
+        "  L{p} over {} orders: best {best:.3}, worst {worst:.3}",
+        orders.len()
+    );
+    println!("  VATS: {vats:.3}");
+    assert!(
+        vats <= best + 1e-9,
+        "Theorem 1 violated on an exact instance"
+    );
+    println!("  VATS attains the per-realization optimum.\n");
+}
+
+/// Expected Lp for p in {1, 2, 4, 8}: the eldest-first advantage is a tail
+/// effect — nothing at p = 1 (total latency is schedule-invariant for one
+/// work-conserving server), growing with p.
+fn p_sweep() {
+    println!("-- expected Lp, random menus (60 txns, 400 rounds) --");
+    let menu = random_menu(60, 2.0, 2.0, 11);
+    let rounds = 400;
+    println!("  {:>4}  {:>8}  {:>8}  {:>8}", "p", "VATS", "FCFS", "RS");
+    for p in [1.0, 2.0, 4.0, 8.0] {
+        let vats = p_performance(&menu, |_| Vats, p, 1.0, rounds, 1, Coupling::PerPosition);
+        let fcfs = p_performance(&menu, |_| Fcfs, p, 1.0, rounds, 1, Coupling::PerPosition);
+        let rs = p_performance(
+            &menu,
+            RandomSched::new,
+            p,
+            1.0,
+            rounds,
+            1,
+            Coupling::PerPosition,
+        );
+        println!("  {p:>4}  {vats:>8.2}  {fcfs:>8.2}  {rs:>8.2}");
+        assert!(vats <= fcfs * 1.001 && vats <= rs * 1.001);
+    }
+    println!("  p = 1 ties (L1 is schedule-invariant); the gap grows with p.\n");
+}
+
+/// Per-position coupling (the proof's device) vs per-transaction draws
+/// (the natural i.i.d. reading): VATS stays ahead under both, and
+/// youngest-first — the anti-VATS — is the worst of the bunch.
+fn coupling_comparison() {
+    println!("-- coupling: proof device vs natural i.i.d. (L2, 400 rounds) --");
+    let menu = random_menu(50, 2.5, 2.0, 23);
+    let rounds = 400;
+    for (name, coupling) in [
+        ("per-position", Coupling::PerPosition),
+        ("per-txn", Coupling::PerTxn),
+    ] {
+        let vats = p_performance(&menu, |_| Vats, 2.0, 1.0, rounds, 5, coupling);
+        let fcfs = p_performance(&menu, |_| Fcfs, 2.0, 1.0, rounds, 5, coupling);
+        let young = p_performance(&menu, |_| YoungestFirst, 2.0, 1.0, rounds, 5, coupling);
+        println!("  {name:>12}: VATS {vats:.2}  FCFS {fcfs:.2}  youngest-first {young:.2}");
+        assert!(vats <= fcfs * 1.001 && fcfs <= young * 1.001);
+    }
+    println!("  Eldest-first is optimal; youngest-first inverts the rule and pays for it.");
+}
