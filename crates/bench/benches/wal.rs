@@ -37,6 +37,7 @@ fn redo_commit_policies(c: &mut Criterion) {
                 RedoLogConfig {
                     policy,
                     flush_interval: Duration::from_millis(50),
+                    ..Default::default()
                 },
                 instant_disk(2),
                 None,
@@ -60,6 +61,7 @@ fn pg_commit_block_sizes(c: &mut Criterion) {
                     sets: 1,
                     block_size: block,
                     per_block_overhead: Duration::ZERO,
+                    faults: None,
                 },
                 vec![instant_disk(3)],
                 None,
@@ -80,6 +82,7 @@ fn pg_parallel_sets(c: &mut Criterion) {
                     sets,
                     block_size: 8192,
                     per_block_overhead: Duration::ZERO,
+                    faults: None,
                 },
                 disks,
                 None,

@@ -1,0 +1,185 @@
+//! The torture binary: seeded deterministic crash–recovery + isolation
+//! testing against the mini engine.
+//!
+//! ```text
+//! cargo run -p tpd-bench --bin torture -- --seed 42
+//! cargo run -p tpd-bench --bin torture -- --seeds 8 --faults
+//! ```
+//!
+//! One line per seed: digest, commit/abort/crash counts, verdict. On a
+//! violation the full report (seed + minimized trace) is printed and
+//! written to `torture-seed-<S>.trace.txt`, and the process exits 1 —
+//! CI uploads the trace file as the failing artifact.
+
+use tpd_harness::{run_torture, TortureConfig};
+use tpd_wal::FlushPolicy;
+
+#[derive(Debug, Clone)]
+struct TortureArgs {
+    /// Single seed to run (`--seed S`).
+    seed: u64,
+    /// Run seeds `seed..seed + seeds` (`--seeds N`).
+    seeds: u64,
+    /// Enable fault injection (`--faults`).
+    faults: bool,
+    /// Transactions per seed.
+    txns: u64,
+    /// Logical sessions.
+    sessions: usize,
+    /// Crash cadence (transactions; 0 = never).
+    crash_every: u64,
+    /// Flush policy: `eager`, `lazy-write`, or `lazy-flush`.
+    policy: FlushPolicy,
+    /// Seeded bug: skip lock acquisition.
+    chaos_locks: bool,
+    /// Seeded bug: acknowledge commits before the flush.
+    chaos_ack: bool,
+}
+
+impl Default for TortureArgs {
+    fn default() -> Self {
+        TortureArgs {
+            seed: 42,
+            seeds: 1,
+            faults: false,
+            txns: 400,
+            sessions: 4,
+            crash_every: 60,
+            policy: FlushPolicy::Eager,
+            chaos_locks: false,
+            chaos_ack: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: torture [--seed S] [--seeds N] [--faults] [--txns N] \
+[--sessions N] [--crash-every N] [--policy eager|lazy-write|lazy-flush] \
+[--chaos-locks] [--chaos-ack]";
+
+impl TortureArgs {
+    fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Result<TortureArgs, String> {
+        let mut args = TortureArgs::default();
+        let mut it = items.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            let num = |name: &str, v: String| -> Result<u64, String> {
+                v.parse::<u64>().map_err(|e| format!("{name}: {e}"))
+            };
+            match flag.as_str() {
+                "--seed" => args.seed = num("--seed", take("--seed")?)?,
+                "--seeds" => args.seeds = num("--seeds", take("--seeds")?)?.max(1),
+                "--faults" => args.faults = true,
+                "--txns" => args.txns = num("--txns", take("--txns")?)?.max(1),
+                "--sessions" => {
+                    args.sessions = num("--sessions", take("--sessions")?)?.max(1) as usize
+                }
+                "--crash-every" => args.crash_every = num("--crash-every", take("--crash-every")?)?,
+                "--policy" => {
+                    args.policy = match take("--policy")?.as_str() {
+                        "eager" => FlushPolicy::Eager,
+                        "lazy-write" => FlushPolicy::LazyWrite,
+                        "lazy-flush" => FlushPolicy::LazyFlush,
+                        other => return Err(format!("unknown policy {other}")),
+                    }
+                }
+                "--chaos-locks" => args.chaos_locks = true,
+                "--chaos-ack" => args.chaos_ack = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+
+    fn config(&self, seed: u64) -> TortureConfig {
+        TortureConfig {
+            seed,
+            txns: self.txns,
+            sessions: self.sessions,
+            crash_every: self.crash_every,
+            faults: self.faults,
+            flush_policy: self.policy,
+            skip_locking: self.chaos_locks,
+            ack_before_flush: self.chaos_ack,
+            ..Default::default()
+        }
+    }
+}
+
+fn main() {
+    let args = match TortureArgs::parse_from(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    for seed in args.seed..args.seed + args.seeds {
+        let report = run_torture(&args.config(seed));
+        println!(
+            "seed {seed:>6}  digest {:016x}  commits {:>5}  aborts {:>5}  crashes {:>2}  ops {:>6}  {}",
+            report.digest,
+            report.commits,
+            report.aborts,
+            report.crashes,
+            report.ops,
+            if report.ok() {
+                "OK".to_string()
+            } else {
+                format!("FAIL ({} violations)", report.violations.len())
+            }
+        );
+        if !report.ok() {
+            failed = true;
+            let rendered = report.render_failures();
+            eprint!("{rendered}");
+            let path = format!("torture-seed-{seed}.trace.txt");
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                eprintln!("trace written to {path}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<TortureArgs, String> {
+        TortureArgs::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = parse(&[]).expect("empty ok");
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.seeds, 1);
+        let a = parse(&[
+            "--seed",
+            "7",
+            "--seeds",
+            "3",
+            "--faults",
+            "--policy",
+            "lazy-write",
+        ])
+        .expect("parse");
+        assert_eq!((a.seed, a.seeds, a.faults), (7, 3, true));
+        assert_eq!(a.policy, FlushPolicy::LazyWrite);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--policy", "yolo"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

@@ -1,14 +1,37 @@
-//! Monotonic time utilities.
+//! Monotonic time utilities, with a pluggable real/virtual mode.
 //!
 //! All latencies in this workspace are nanoseconds measured from a single
 //! process-wide [`Instant`] origin, so timestamps taken on different threads
 //! are directly comparable and fit in a `u64` (584 years of range).
+//!
+//! # Virtual time
+//!
+//! The deterministic simulation harness (`tpd-harness`) runs with a
+//! *virtual* clock: [`now_nanos`] reads a logical counter, [`sleep_until`]
+//! jumps the counter to the deadline, and [`advance`] — the primitive the
+//! simulated devices call instead of `thread::sleep` — adds the service
+//! time to the counter. Simulated I/O then costs zero wall-clock time and
+//! the whole run is a pure function of its seed.
+//!
+//! The virtual clock is **thread-local**, enabled by holding a
+//! [`VirtualClock`] guard. This is deliberate: the torture driver is
+//! single-threaded (seeded interleaving of logical sessions on one OS
+//! thread is what makes runs replayable), and a thread-local switch cannot
+//! perturb unrelated tests or benchmark threads running in the same
+//! process. Components that must work under simulation therefore do all
+//! their timing on the caller's thread (see `RedoLogConfig::manual_flush`).
 
+use std::cell::Cell;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// A monotonic timestamp or duration in nanoseconds.
 pub type Nanos = u64;
+
+thread_local! {
+    /// `Some(now)` while this thread runs on virtual time.
+    static VIRTUAL_NOW: Cell<Option<Nanos>> = const { Cell::new(None) };
+}
 
 fn origin() -> Instant {
     static ORIGIN: OnceLock<Instant> = OnceLock::new();
@@ -16,21 +39,91 @@ fn origin() -> Instant {
 }
 
 /// Nanoseconds elapsed since the first call to any clock function in this
-/// process. Monotonic and comparable across threads.
+/// process. Monotonic and comparable across threads — unless the calling
+/// thread holds a [`VirtualClock`] guard, in which case this is the logical
+/// simulation time.
 #[inline]
 pub fn now_nanos() -> Nanos {
-    origin().elapsed().as_nanos() as Nanos
+    match VIRTUAL_NOW.with(Cell::get) {
+        Some(t) => t,
+        None => origin().elapsed().as_nanos() as Nanos,
+    }
+}
+
+/// Whether the calling thread is on virtual time.
+#[inline]
+pub fn is_virtual() -> bool {
+    VIRTUAL_NOW.with(Cell::get).is_some()
 }
 
 /// Sleep until the given process-relative deadline (in nanoseconds).
 ///
 /// Used by the open-loop harness to pace arrivals. Uses `thread::sleep`,
 /// which on Linux has ~50 µs granularity; that is adequate because simulated
-/// device times are calibrated to be an order of magnitude larger.
+/// device times are calibrated to be an order of magnitude larger. Under a
+/// [`VirtualClock`] the logical clock jumps straight to the deadline.
 pub fn sleep_until(deadline: Nanos) {
+    if let Some(t) = VIRTUAL_NOW.with(Cell::get) {
+        if deadline > t {
+            VIRTUAL_NOW.with(|v| v.set(Some(deadline)));
+        }
+        return;
+    }
     let now = now_nanos();
     if deadline > now {
         std::thread::sleep(Duration::from_nanos(deadline - now));
+    }
+}
+
+/// Let `ns` nanoseconds of *modeled* time pass.
+///
+/// This is the primitive simulated devices use to charge service time:
+/// in real mode it is `thread::sleep` (yielding the CPU, preserving
+/// concurrency effects); under a [`VirtualClock`] it advances the logical
+/// clock and returns immediately.
+pub fn advance(ns: Nanos) {
+    if let Some(t) = VIRTUAL_NOW.with(Cell::get) {
+        VIRTUAL_NOW.with(|v| v.set(Some(t.saturating_add(ns))));
+        return;
+    }
+    if ns > 0 {
+        std::thread::sleep(Duration::from_nanos(ns));
+    }
+}
+
+/// Guard that switches the *current thread* onto virtual time for its
+/// lifetime. Dropping it restores the real clock.
+///
+/// Nesting is a bug (two simulations would fight over one counter), so
+/// enabling twice on the same thread panics.
+#[derive(Debug)]
+pub struct VirtualClock {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl VirtualClock {
+    /// Switch this thread to virtual time, starting the logical clock at
+    /// `start` nanoseconds.
+    ///
+    /// # Panics
+    /// If the thread is already on virtual time.
+    pub fn enable(start: Nanos) -> VirtualClock {
+        VIRTUAL_NOW.with(|v| {
+            assert!(
+                v.get().is_none(),
+                "virtual clock already enabled on this thread"
+            );
+            v.set(Some(start));
+        });
+        VirtualClock {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for VirtualClock {
+    fn drop(&mut self) {
+        VIRTUAL_NOW.with(|v| v.set(None));
     }
 }
 
@@ -81,5 +174,41 @@ mod tests {
         assert_eq!(cpu_work(100), cpu_work(100));
         // Different unit counts produce different results (no constant fold).
         assert_ne!(cpu_work(100), cpu_work(101));
+    }
+
+    #[test]
+    fn virtual_clock_advances_without_sleeping() {
+        let wall = Instant::now();
+        {
+            let _guard = VirtualClock::enable(1_000);
+            assert!(is_virtual());
+            assert_eq!(now_nanos(), 1_000);
+            advance(5_000_000_000); // 5 virtual seconds
+            assert_eq!(now_nanos(), 5_000_001_000);
+            sleep_until(7_000_000_000);
+            assert_eq!(now_nanos(), 7_000_000_000);
+            sleep_until(1); // past deadline: no-op
+            assert_eq!(now_nanos(), 7_000_000_000);
+        }
+        assert!(!is_virtual());
+        // The 7 virtual seconds cost (much) less than 1 real second.
+        assert!(wall.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn virtual_clock_is_thread_local() {
+        let _guard = VirtualClock::enable(0);
+        let handle = std::thread::spawn(is_virtual);
+        assert!(
+            !handle.join().expect("spawned thread"),
+            "other threads stay real"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already enabled")]
+    fn virtual_clock_rejects_nesting() {
+        let _a = VirtualClock::enable(0);
+        let _b = VirtualClock::enable(0);
     }
 }

@@ -5,18 +5,23 @@
 //! (Postgres). We stand in a [`SimDisk`]: a device that services one request
 //! at a time (requests queue on the device mutex, exactly like a disk queue),
 //! where each request costs a base service time drawn from a configurable
-//! distribution plus a per-byte transfer cost. "Service" is `thread::sleep`,
+//! distribution plus a per-byte transfer cost. "Service" is charged through
+//! [`clock::advance`](crate::clock::advance): `thread::sleep` in real mode —
 //! which yields the CPU, so concurrency effects (other transactions making
-//! progress during I/O) are preserved even on a single-core host.
+//! progress during I/O) are preserved even on a single-core host — and a
+//! free logical-clock bump under the harness's virtual clock.
+//!
+//! A device may additionally carry a seeded [`FaultPlan`] (write stalls,
+//! latency spikes); see [`SimDisk::with_faults`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::dist::ServiceTime;
+use crate::fault::FaultPlan;
 use crate::{now_nanos, Nanos};
 
 /// Configuration for one simulated device.
@@ -59,6 +64,10 @@ pub struct DiskStats {
     pub bytes: u64,
     /// Total nanoseconds spent in service (not counting queueing).
     pub busy_ns: u64,
+    /// Injected write stalls that fired (fault plan).
+    pub stalls: u64,
+    /// Injected latency spikes that fired (fault plan).
+    pub spikes: u64,
 }
 
 /// A single simulated device. One request in service at a time; callers
@@ -67,11 +76,16 @@ pub struct DiskStats {
 pub struct SimDisk {
     channel: Mutex<SmallRng>,
     config: DiskConfig,
+    /// Fault plan with its own RNG, so enabling faults never shifts the
+    /// base service-time sequence.
+    faults: Option<Mutex<(FaultPlan, SmallRng)>>,
     reads: AtomicU64,
     writes: AtomicU64,
     flushes: AtomicU64,
     bytes: AtomicU64,
     busy_ns: AtomicU64,
+    stalls: AtomicU64,
+    spikes: AtomicU64,
 }
 
 /// What kind of request a caller issued (affects only accounting).
@@ -88,14 +102,25 @@ pub enum IoKind {
 impl SimDisk {
     /// A new device with the given configuration.
     pub fn new(config: DiskConfig) -> Self {
+        Self::with_faults(config, None)
+    }
+
+    /// A new device that perturbs service times with the given fault plan.
+    pub fn with_faults(config: DiskConfig, plan: Option<FaultPlan>) -> Self {
         SimDisk {
             channel: Mutex::new(SmallRng::seed_from_u64(config.seed)),
+            faults: plan.map(|p| {
+                let rng = SmallRng::seed_from_u64(p.seed);
+                Mutex::new((p, rng))
+            }),
             config,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            spikes: AtomicU64::new(0),
         }
     }
 
@@ -114,8 +139,19 @@ impl SimDisk {
             // us queue here, exactly like a disk queue.
             let mut rng = self.channel.lock();
             let base = self.config.service.sample(&mut *rng);
-            let service = base + (bytes as f64 * self.config.ns_per_byte) as Nanos;
-            std::thread::sleep(Duration::from_nanos(service));
+            let mut service = base + (bytes as f64 * self.config.ns_per_byte) as Nanos;
+            if let Some(faults) = &self.faults {
+                let (plan, fault_rng) = &mut *faults.lock();
+                let (extra, stalled, spiked) = plan.perturb(fault_rng, kind, base);
+                service = service.saturating_add(extra);
+                if stalled {
+                    self.stalls.fetch_add(1, Ordering::Relaxed);
+                }
+                if spiked {
+                    self.spikes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            crate::clock::advance(service);
             self.busy_ns.fetch_add(service, Ordering::Relaxed);
         }
         match kind {
@@ -150,6 +186,8 @@ impl SimDisk {
             flushes: self.flushes.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            spikes: self.spikes.load(Ordering::Relaxed),
         }
     }
 
@@ -202,6 +240,65 @@ mod tests {
         });
         let t = disk.write(1000); // = 1 ms transfer
         assert!(t >= 1_000_000, "took {t} ns");
+    }
+
+    #[test]
+    fn faults_fire_and_are_counted() {
+        let disk = SimDisk::with_faults(
+            DiskConfig {
+                service: ServiceTime::Fixed(1_000),
+                ns_per_byte: 0.0,
+                seed: 7,
+            },
+            Some(FaultPlan {
+                seed: 11,
+                stall_prob: 1.0,
+                stall_ns: 50_000,
+                spike_prob: 0.0,
+                spike_mult: 1,
+            }),
+        );
+        disk.read(0); // reads never stall
+        disk.write(0);
+        let s = disk.stats();
+        assert_eq!(s.stalls, 1);
+        assert_eq!(s.spikes, 0);
+        assert!(s.busy_ns >= 51_000 + 1_000, "stall charged: {}", s.busy_ns);
+    }
+
+    #[test]
+    fn virtual_clock_makes_io_free_and_deterministic() {
+        let run = || {
+            let _guard = crate::clock::VirtualClock::enable(0);
+            let disk = SimDisk::with_faults(
+                DiskConfig {
+                    service: ServiceTime::LogNormal {
+                        median: 200_000,
+                        sigma: 0.4,
+                    },
+                    ns_per_byte: 2.0,
+                    seed: 99,
+                },
+                Some(FaultPlan::chaos(3)),
+            );
+            for i in 0..200 {
+                match i % 3 {
+                    0 => disk.read(512),
+                    1 => disk.write(4096),
+                    _ => disk.flush(0),
+                };
+            }
+            (now_nanos(), disk.stats())
+        };
+        let wall = std::time::Instant::now();
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!(t1, t2, "same seed, same virtual elapsed time");
+        assert_eq!(s1, s2, "same seed, same stats (incl. fault counters)");
+        assert!(s1.busy_ns > 0 && t1 >= s1.busy_ns);
+        // 200 requests at ~200 µs each is ~40 ms of modeled time; the
+        // virtual runs must cost far less wall time than that.
+        assert!(wall.elapsed() < std::time::Duration::from_millis(40));
     }
 
     #[test]

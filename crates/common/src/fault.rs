@@ -1,0 +1,149 @@
+//! Seeded fault plans for the simulated devices.
+//!
+//! A [`FaultPlan`] perturbs a [`SimDisk`](crate::SimDisk)'s service times
+//! with two failure shapes the variance studies single out: *write stalls*
+//! (a write or flush occasionally blocks for a long, fixed hiccup — the
+//! `fil_flush` pathology) and *latency spikes* (any request occasionally
+//! takes a multiple of its drawn service time — a background-GC style
+//! tail). Faults draw from their own seeded RNG, so enabling a plan never
+//! shifts the base service-time sequence, and the same seed always yields
+//! the same fault schedule.
+//!
+//! WAL-level faults (torn tail records, crash-at-LSN points, ack-before-
+//! flush bugs) are modeled separately in `tpd-wal`, where log structure is
+//! known.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::disk::IoKind;
+use crate::Nanos;
+
+/// A seeded schedule of device-level faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG (independent of the device's service RNG).
+    pub seed: u64,
+    /// Probability that a write or flush stalls.
+    pub stall_prob: f64,
+    /// Added service time when a stall fires.
+    pub stall_ns: Nanos,
+    /// Probability that any request's service time spikes.
+    pub spike_prob: f64,
+    /// Multiplier applied to the drawn service time on a spike.
+    pub spike_mult: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never fires; useful as an explicit "faults off".
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            stall_prob: 0.0,
+            stall_ns: 0,
+            spike_prob: 0.0,
+            spike_mult: 1,
+        }
+    }
+
+    /// The default torture-grade plan: 3% write stalls of 2 ms, 5% spikes
+    /// at 8x service time.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            stall_prob: 0.03,
+            stall_ns: 2_000_000,
+            spike_prob: 0.05,
+            spike_mult: 8,
+        }
+    }
+
+    /// Extra service time charged to a request whose base service time is
+    /// `base`, plus which fault classes fired: `(extra, stalled, spiked)`.
+    pub fn perturb(&self, rng: &mut SmallRng, kind: IoKind, base: Nanos) -> (Nanos, bool, bool) {
+        let mut extra: Nanos = 0;
+        let mut stalled = false;
+        let mut spiked = false;
+        if matches!(kind, IoKind::Write | IoKind::Flush)
+            && self.stall_prob > 0.0
+            && rng.gen_bool(self.stall_prob)
+        {
+            extra = extra.saturating_add(self.stall_ns);
+            stalled = true;
+        }
+        if self.spike_prob > 0.0 && rng.gen_bool(self.spike_prob) {
+            extra = extra.saturating_add(base.saturating_mul(self.spike_mult.saturating_sub(1)));
+            spiked = true;
+        }
+        (extra, stalled, spiked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let plan = FaultPlan::quiet(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (extra, stalled, spiked) = plan.perturb(&mut rng, IoKind::Flush, 1_000);
+            assert_eq!((extra, stalled, spiked), (0, false, false));
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_seed_deterministic() {
+        let plan = FaultPlan::chaos(42);
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..1000)
+                .map(|i| {
+                    let kind = if i % 2 == 0 {
+                        IoKind::Write
+                    } else {
+                        IoKind::Read
+                    };
+                    plan.perturb(&mut rng, kind, 100_000)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds, different schedules");
+    }
+
+    #[test]
+    fn stalls_only_hit_writes_and_flushes() {
+        let plan = FaultPlan {
+            seed: 0,
+            stall_prob: 1.0,
+            stall_ns: 500,
+            spike_prob: 0.0,
+            spike_mult: 1,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (extra, stalled, _) = plan.perturb(&mut rng, IoKind::Read, 100);
+        assert_eq!((extra, stalled), (0, false));
+        let (extra, stalled, _) = plan.perturb(&mut rng, IoKind::Write, 100);
+        assert_eq!((extra, stalled), (500, true));
+        let (extra, stalled, _) = plan.perturb(&mut rng, IoKind::Flush, 100);
+        assert_eq!((extra, stalled), (500, true));
+    }
+
+    #[test]
+    fn spike_multiplies_base_service() {
+        let plan = FaultPlan {
+            seed: 0,
+            stall_prob: 0.0,
+            stall_ns: 0,
+            spike_prob: 1.0,
+            spike_mult: 8,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (extra, _, spiked) = plan.perturb(&mut rng, IoKind::Read, 1_000);
+        assert_eq!(extra, 7_000, "8x total = base + 7x extra");
+        assert!(spiked);
+    }
+}

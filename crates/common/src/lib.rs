@@ -12,17 +12,22 @@
 //!   and service-time distributions for the simulated devices.
 //! * [`disk`] — [`disk::SimDisk`], a single-channel device with a
 //!   configurable service-time model; stands in for the paper's real disks.
-//! * [`clock`] — monotonic nanosecond timestamps relative to process start.
+//! * [`fault`] — seeded [`fault::FaultPlan`]s (write stalls, latency
+//!   spikes) the harness injects into the simulated devices.
+//! * [`clock`] — monotonic nanosecond timestamps relative to process start,
+//!   switchable per-thread to a virtual clock for deterministic simulation.
 //! * [`table`] — fixed-width ASCII table rendering for experiment output.
 
 pub mod clock;
 pub mod disk;
 pub mod dist;
+pub mod fault;
 pub mod latency;
 pub mod stats;
 pub mod table;
 
-pub use clock::{now_nanos, Nanos};
+pub use clock::{now_nanos, Nanos, VirtualClock};
 pub use disk::{DiskConfig, DiskStats, SimDisk};
+pub use fault::FaultPlan;
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use stats::{lp_norm, pearson, percentile, Covariance, OnlineStats, SampleSummary};

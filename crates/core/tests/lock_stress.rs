@@ -208,6 +208,36 @@ fn stress_vats_oldest_sharded() {
     stress(Policy::Vats, VictimPolicy::Oldest, 0x1D4, 8);
 }
 
+/// Long soak: 300 stress runs cycling every policy × victim rule × shard
+/// count with fresh seeds. Run with `TPD_SOAK=1 cargo test -p tpd-core --
+/// --ignored`.
+#[test]
+#[ignore = "long soak; enable with TPD_SOAK=1"]
+fn lock_stress_soak_300_runs() {
+    if std::env::var("TPD_SOAK").as_deref() != Ok("1") {
+        eprintln!("lock_stress_soak_300_runs: set TPD_SOAK=1 to run");
+        return;
+    }
+    let policies = [Policy::Fcfs, Policy::Vats, Policy::Cats, Policy::Random];
+    let victims = [
+        VictimPolicy::Youngest,
+        VictimPolicy::Oldest,
+        VictimPolicy::Requester,
+    ];
+    let shard_counts = [1usize, 4, 8];
+    for run in 0..300u64 {
+        let policy = policies[run as usize % policies.len()];
+        let victim = victims[(run as usize / policies.len()) % victims.len()];
+        let shards = shard_counts[run as usize % shard_counts.len()];
+        stress(
+            policy,
+            victim,
+            0x50AC ^ run.wrapping_mul(0x9E37_79B9),
+            shards,
+        );
+    }
+}
+
 /// Single-object hammer: maximal queue churn on one hot object.
 #[test]
 fn hot_object_hammer() {

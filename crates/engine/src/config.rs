@@ -5,10 +5,10 @@ use std::time::Duration;
 
 use tpd_core::{Policy, VictimPolicy};
 use tpd_storage::{MutexPolicy, PoolConfig};
-use tpd_wal::{FlushPolicy, WalWriterConfig};
+use tpd_wal::{FlushPolicy, WalFaultPlan, WalWriterConfig};
 
 use tpd_common::dist::ServiceTime;
-use tpd_common::DiskConfig;
+use tpd_common::{DiskConfig, FaultPlan};
 
 /// Which system the engine imitates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,21 @@ pub struct EngineConfig {
     pub record_age_remaining: bool,
     /// Rng seed for the engine's internal randomness.
     pub seed: u64,
+    /// Fault plan for the data device (stalls, spikes).
+    pub data_faults: Option<FaultPlan>,
+    /// Fault plan for the log device(s).
+    pub log_faults: Option<FaultPlan>,
+    /// WAL-level faults (crash-at-LSN, torn tails, ack-before-flush).
+    pub wal_faults: Option<WalFaultPlan>,
+    /// Suppress the redo log's background flusher; the harness flushes at
+    /// seeded points via [`crate::Engine::wal_flush_now`] so lazy-policy
+    /// runs stay deterministic.
+    pub wal_manual_flush: bool,
+    /// Seeded bug: bypass all lock acquisition. Statements execute with no
+    /// isolation whatsoever, so interleaved transactions produce lost
+    /// updates and dirty reads. Exists so the torture harness can prove
+    /// its serializability checker catches real violations.
+    pub skip_locking: bool,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +126,11 @@ impl Default for EngineConfig {
             statement_rtt: None,
             record_age_remaining: false,
             seed: 0x5EED,
+            data_faults: None,
+            log_faults: None,
+            wal_faults: None,
+            wal_manual_flush: false,
+            skip_locking: false,
         }
     }
 }
@@ -179,6 +199,27 @@ impl EngineConfig {
     /// Enable the per-statement round-trip model with a fixed delay.
     pub fn with_statement_rtt(mut self, rtt: std::time::Duration) -> Self {
         self.statement_rtt = Some(ServiceTime::Fixed(rtt.as_nanos() as u64));
+        self
+    }
+
+    /// Inject device faults: `data` perturbs the data disk, `log` every
+    /// log disk.
+    pub fn with_disk_faults(mut self, data: Option<FaultPlan>, log: Option<FaultPlan>) -> Self {
+        self.data_faults = data;
+        self.log_faults = log;
+        self
+    }
+
+    /// Inject WAL-level faults (crash points, torn tails, commit-ack bugs).
+    pub fn with_wal_faults(mut self, plan: WalFaultPlan) -> Self {
+        self.wal_faults = Some(plan);
+        self
+    }
+
+    /// Disable the redo log's background flusher (deterministic harness
+    /// mode); flush via [`crate::Engine::wal_flush_now`].
+    pub fn with_manual_wal_flush(mut self) -> Self {
+        self.wal_manual_flush = true;
         self
     }
 }

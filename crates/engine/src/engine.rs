@@ -97,7 +97,10 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Arc<Self> {
         let (profiler, probes) = EngineProbes::build();
         let profiler = Arc::new(profiler);
-        let data_disk = Arc::new(SimDisk::new(config.data_disk.clone()));
+        let data_disk = Arc::new(SimDisk::with_faults(
+            config.data_disk.clone(),
+            config.data_faults.clone(),
+        ));
         let pool = BufferPool::new(
             config.pool.clone(),
             data_disk,
@@ -109,11 +112,16 @@ impl Engine {
         );
         let wal = match config.personality {
             Personality::Mysql => {
-                let disk = Arc::new(SimDisk::new(config.log_disks[0].clone()));
+                let disk = Arc::new(SimDisk::with_faults(
+                    config.log_disks[0].clone(),
+                    config.log_faults.clone(),
+                ));
                 WalBackend::Mysql(RedoLog::new(
                     RedoLogConfig {
                         policy: config.flush_policy,
                         flush_interval: config.flush_interval,
+                        faults: config.wal_faults.clone(),
+                        manual_flush: config.wal_manual_flush,
                     },
                     disk,
                     Some(MysqlWalProbes {
@@ -126,10 +134,12 @@ impl Engine {
                 let disks = config
                     .log_disks
                     .iter()
-                    .map(|d| Arc::new(SimDisk::new(d.clone())))
+                    .map(|d| Arc::new(SimDisk::with_faults(d.clone(), config.log_faults.clone())))
                     .collect();
+                let mut wal_config = config.wal.clone();
+                wal_config.faults = config.wal_faults.clone();
                 WalBackend::Pg(WalWriter::new(
-                    config.wal.clone(),
+                    wal_config,
                     disks,
                     Some(PgWalProbes {
                         profiler: profiler.clone(),
@@ -245,11 +255,36 @@ impl Engine {
         }
     }
 
+    /// Flush pending redo now (MySQL personality; no-op for Postgres,
+    /// whose commits flush synchronously). The deterministic harness calls
+    /// this at seeded points in place of the background flusher — see
+    /// [`EngineConfig::wal_manual_flush`].
+    pub fn wal_flush_now(&self) {
+        if let WalBackend::Mysql(redo) = &self.wal {
+            redo.flush_now();
+        }
+    }
+
+    /// Whether an injected crash-at-LSN point has been reached (see
+    /// [`tpd_wal::WalFaultPlan::crash_at_lsn`]). The harness polls this
+    /// between operations and crashes the engine when it fires.
+    pub fn wal_crash_armed(&self) -> bool {
+        match &self.wal {
+            WalBackend::Mysql(redo) => redo.crash_armed(),
+            WalBackend::Pg(_) => false,
+        }
+    }
+
     /// Replay a durable log prefix into this (freshly created, same-schema)
     /// engine: apply every record of every transaction whose commit marker
     /// survived. Physical redo with full after-images, so replay is
     /// idempotent.
+    ///
+    /// A torn tail record ends the readable log: replay stops at the tear
+    /// (a checksum-verifying reader cannot see past it) and everything
+    /// before it is applied normally. Never panics on a torn input.
     pub fn recover_from(&self, records: &[StampedRecord]) -> RecoveryReport {
+        let records = tpd_wal::durable_prefix(records);
         let committed = committed_txns(records);
         let mut applied = 0u64;
         let mut skipped = 0u64;
@@ -275,6 +310,8 @@ impl Engine {
                     }
                 }
                 LogRecord::Commit { .. } => {}
+                // durable_prefix cuts before the first tear; nothing to do.
+                LogRecord::Torn { .. } => {}
             }
         }
         RecoveryReport {
@@ -383,6 +420,10 @@ impl Txn {
     /// Acquire a lock, mapping failures to engine errors (with rollback)
     /// and feeding wait time to the `os_event_wait` probe.
     fn acquire(&mut self, obj: ObjectId, mode: LockMode) -> Result<(), EngineError> {
+        if self.engine.config.skip_locking {
+            // Seeded bug (EngineConfig::skip_locking): no isolation at all.
+            return Ok(());
+        }
         let e = self.engine.clone();
         let result = {
             let _suspend = e.profiler.probe(e.probes.lock_wait_suspend_thread);

@@ -152,6 +152,44 @@ fn aborted_transactions_never_reach_the_durable_log() {
 }
 
 #[test]
+fn torn_tail_recovery_stops_at_the_tear_without_panicking() {
+    // Manual-flush lazy-write log with torn tails armed: flush after the
+    // first few transfers, leave the rest in flight, crash.
+    let mut cfg = config(FlushPolicy::LazyWrite, Duration::from_secs(3600));
+    cfg.wal_manual_flush = true;
+    cfg.wal_faults = Some(tpd_wal::WalFaultPlan {
+        torn_tail: true,
+        ..Default::default()
+    });
+    let engine = Engine::new(cfg.clone());
+    let (accounts, journal) = run_transfers(&engine, 3);
+    engine.wal_flush_now(); // setup + 3 transfers durable
+    for i in 0..4 {
+        let mut txn = engine.begin(0);
+        txn.update(accounts, 0, |r| r[0] -= 1).expect("debit");
+        txn.update(accounts, 1, |r| r[0] += 1).expect("credit");
+        txn.insert(journal, vec![100 + i]).expect("journal");
+        txn.commit().expect("commit");
+    }
+    let log = engine.simulate_crash();
+    let last = log.last().expect("snapshot not empty");
+    assert!(
+        matches!(last.record, tpd_wal::LogRecord::Torn { .. }),
+        "in-flight records leave a torn tail: {last:?}"
+    );
+
+    let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    recovered.catalog().create_table("accounts", 16);
+    recovered.catalog().create_table("journal", 16);
+    let report = recovered.recover_from(&log);
+    assert_eq!(report.committed_txns, 4, "setup + 3 pre-tear transfers");
+    let acc = recovered.catalog().table(accounts);
+    assert_eq!(acc.get(0).expect("a")[0], 997, "post-tear debits lost");
+    assert_eq!(acc.get(1).expect("b")[0], 1003);
+    assert_eq!(recovered.catalog().table(journal).len(), 3);
+}
+
+#[test]
 fn recovery_is_idempotent() {
     let engine = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
     let (accounts, _) = run_transfers(&engine, 5);

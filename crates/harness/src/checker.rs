@@ -1,0 +1,595 @@
+//! Cycle-based serializability checking over recorded histories.
+//!
+//! Builds the direct serialization graph (DSG) of one epoch's committed
+//! transactions. Because every write records its in-place before-image and
+//! every written value is unique to its writer, the version order of each
+//! key is fully recoverable from the history alone:
+//!
+//! * **WW** — transaction `T` overwrote a version written by `U` ⇒ `U → T`;
+//! * **WR** — `T` read a version written by `U` ⇒ `U → T`;
+//! * **RW** — `T` read a version that `U` later overwrote ⇒ `T → U`
+//!   (anti-dependency, found via the write whose before-image is the value
+//!   `T` read).
+//!
+//! A cycle in this graph means the committed transactions admit no serial
+//! order (Adya's G2; the lost-update cycle is the two-node case). The
+//! checker additionally flags Adya's G1a (read of an aborted transaction's
+//! value) and G1b (read of a non-final, intermediate value), and dirty
+//! overwrites of aborted data. Values unknown to the epoch (carried in by
+//! recovery from an earlier epoch) are attributed to the virtual initial
+//! transaction, which participates in no edges.
+//!
+//! All internal maps are ordered so the verdict — including *which* cycle
+//! is reported — is deterministic for a given history.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::history::{OpKind, OpRecord, INIT_TXN};
+
+/// DSG edge flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `from`'s version was overwritten by `to`.
+    WriteWrite,
+    /// `to` read `from`'s version.
+    WriteRead,
+    /// `from` read a version that `to` overwrote (anti-dependency).
+    ReadWrite,
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EdgeKind::WriteWrite => "ww",
+            EdgeKind::WriteRead => "wr",
+            EdgeKind::ReadWrite => "rw",
+        })
+    }
+}
+
+/// Why an edge exists: the key and version that induced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeWitness {
+    /// Source transaction serial.
+    pub from: u64,
+    /// Destination transaction serial.
+    pub to: u64,
+    /// Dependency flavour.
+    pub kind: EdgeKind,
+    /// Table the conflict is on.
+    pub table: usize,
+    /// Key the conflict is on.
+    pub key: u64,
+    /// The version (value) that witnesses the dependency.
+    pub value: i64,
+}
+
+impl std::fmt::Display for EdgeWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "T{} -{}-> T{} on t{}[{}] (value {})",
+            self.from, self.kind, self.to, self.table, self.key, self.value
+        )
+    }
+}
+
+/// A checker finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckerViolation {
+    /// G1a: a committed transaction read a value written by an aborted one.
+    AbortedRead {
+        /// The committed reader.
+        reader: u64,
+        /// The aborted writer.
+        writer: u64,
+        /// Table read.
+        table: usize,
+        /// Key read.
+        key: u64,
+        /// The aborted value observed.
+        value: i64,
+    },
+    /// A committed transaction overwrote an aborted transaction's value
+    /// (it observed dirty data as its before-image).
+    DirtyOverwrite {
+        /// The committed overwriter.
+        writer: u64,
+        /// The aborted transaction whose value was observed.
+        aborted: u64,
+        /// Table written.
+        table: usize,
+        /// Key written.
+        key: u64,
+        /// The aborted before-image observed.
+        value: i64,
+    },
+    /// G1b: a committed transaction read a value that was not the writer's
+    /// final write to that key.
+    IntermediateRead {
+        /// The committed reader.
+        reader: u64,
+        /// The committed writer whose intermediate version leaked.
+        writer: u64,
+        /// Table read.
+        table: usize,
+        /// Key read.
+        key: u64,
+        /// The intermediate value observed.
+        value: i64,
+    },
+    /// G2: a dependency cycle among committed transactions.
+    Cycle {
+        /// The transactions on the cycle, in edge order.
+        txns: Vec<u64>,
+        /// One witness per cycle edge.
+        edges: Vec<EdgeWitness>,
+    },
+}
+
+impl std::fmt::Display for CheckerViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckerViolation::AbortedRead {
+                reader,
+                writer,
+                table,
+                key,
+                value,
+            } => write!(
+                f,
+                "G1a aborted read: T{reader} read t{table}[{key}] = {value}, written by aborted T{writer}"
+            ),
+            CheckerViolation::DirtyOverwrite {
+                writer,
+                aborted,
+                table,
+                key,
+                value,
+            } => write!(
+                f,
+                "dirty overwrite: T{writer} overwrote t{table}[{key}] = {value}, written by aborted T{aborted}"
+            ),
+            CheckerViolation::IntermediateRead {
+                reader,
+                writer,
+                table,
+                key,
+                value,
+            } => write!(
+                f,
+                "G1b intermediate read: T{reader} read t{table}[{key}] = {value}, a non-final write of T{writer}"
+            ),
+            CheckerViolation::Cycle { txns, edges } => {
+                write!(f, "G2 serialization cycle: ")?;
+                for (i, t) in txns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "T{t}")?;
+                }
+                write!(f, " -> T{}", txns[0])?;
+                for e in edges {
+                    write!(f, "; {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The checker's verdict on one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct CheckerReport {
+    /// Everything found, in detection order (G1 findings first, then the
+    /// first cycle).
+    pub violations: Vec<CheckerViolation>,
+}
+
+impl CheckerReport {
+    /// No anomalies found.
+    pub fn is_serializable(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Committed,
+    Aborted,
+}
+
+/// Check one epoch's history. Transactions with no commit record (cut off
+/// by a crash or the end of the run) count as aborted.
+pub fn check(history: &[OpRecord]) -> CheckerReport {
+    let mut status: BTreeMap<u64, Status> = BTreeMap::new();
+    // (table, key, value) -> writer serial.
+    let mut writer_of: BTreeMap<(usize, u64, i64), u64> = BTreeMap::new();
+    // Writer's final value per (txn, table, key), for G1b.
+    let mut final_write: BTreeMap<(u64, usize, u64), i64> = BTreeMap::new();
+
+    for r in history {
+        status.entry(r.txn).or_insert(Status::Aborted);
+        match r.kind {
+            OpKind::Write {
+                table, key, value, ..
+            }
+            | OpKind::Insert { table, key, value } => {
+                writer_of.insert((table, key, value), r.txn);
+                final_write.insert((r.txn, table, key), value);
+            }
+            OpKind::Commit => {
+                status.insert(r.txn, Status::Committed);
+            }
+            _ => {}
+        }
+    }
+
+    let committed = |t: u64| t == INIT_TXN || status.get(&t) == Some(&Status::Committed);
+    // Version successor: value v of (table, key) was overwritten by the
+    // committed transaction whose before-image is v.
+    let mut successor: BTreeMap<(usize, u64, i64), u64> = BTreeMap::new();
+    for r in history {
+        if let OpKind::Write {
+            table, key, prev, ..
+        } = r.kind
+        {
+            if committed(r.txn) {
+                successor.entry((table, key, prev)).or_insert(r.txn);
+            }
+        }
+    }
+
+    let lookup_writer = |table: usize, key: u64, value: i64| -> u64 {
+        // Values not written this epoch were carried in by recovery (or are
+        // the initial 0s): attribute them to the virtual initial txn.
+        writer_of
+            .get(&(table, key, value))
+            .copied()
+            .unwrap_or(INIT_TXN)
+    };
+
+    let mut violations = Vec::new();
+    let mut adj: BTreeMap<u64, BTreeMap<u64, EdgeWitness>> = BTreeMap::new();
+    let mut edge = |from: u64, to: u64, kind: EdgeKind, table: usize, key: u64, value: i64| {
+        if from == to || from == INIT_TXN || to == INIT_TXN {
+            return;
+        }
+        adj.entry(from)
+            .or_default()
+            .entry(to)
+            .or_insert(EdgeWitness {
+                from,
+                to,
+                kind,
+                table,
+                key,
+                value,
+            });
+    };
+
+    for r in history {
+        if !committed(r.txn) {
+            continue; // only committed transactions enter the DSG
+        }
+        match r.kind {
+            OpKind::Write {
+                table, key, prev, ..
+            } => {
+                let w = lookup_writer(table, key, prev);
+                if w != INIT_TXN && w != r.txn {
+                    if committed(w) {
+                        edge(w, r.txn, EdgeKind::WriteWrite, table, key, prev);
+                    } else {
+                        violations.push(CheckerViolation::DirtyOverwrite {
+                            writer: r.txn,
+                            aborted: w,
+                            table,
+                            key,
+                            value: prev,
+                        });
+                    }
+                }
+            }
+            OpKind::Read { table, key, value } => {
+                let w = lookup_writer(table, key, value);
+                if w != INIT_TXN && w != r.txn {
+                    if committed(w) {
+                        if final_write.get(&(w, table, key)) != Some(&value) {
+                            violations.push(CheckerViolation::IntermediateRead {
+                                reader: r.txn,
+                                writer: w,
+                                table,
+                                key,
+                                value,
+                            });
+                        }
+                        edge(w, r.txn, EdgeKind::WriteRead, table, key, value);
+                    } else {
+                        violations.push(CheckerViolation::AbortedRead {
+                            reader: r.txn,
+                            writer: w,
+                            table,
+                            key,
+                            value,
+                        });
+                    }
+                }
+                if let Some(&s) = successor.get(&(table, key, value)) {
+                    if s != r.txn {
+                        edge(r.txn, s, EdgeKind::ReadWrite, table, key, value);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&adj) {
+        let edges = cycle_edges(&adj, &cycle);
+        violations.push(CheckerViolation::Cycle { txns: cycle, edges });
+    }
+
+    CheckerReport { violations }
+}
+
+/// First cycle in deterministic (sorted-node) DFS order, as the node list
+/// along the cycle.
+fn find_cycle(adj: &BTreeMap<u64, BTreeMap<u64, EdgeWitness>>) -> Option<Vec<u64>> {
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let neighbors: BTreeMap<u64, Vec<u64>> = adj
+        .iter()
+        .map(|(&u, vs)| (u, vs.keys().copied().collect()))
+        .collect();
+    let mut color: BTreeMap<u64, u8> = BTreeMap::new();
+    let roots: Vec<u64> = neighbors.keys().copied().collect();
+    for start in roots {
+        if color.get(&start).copied().unwrap_or(WHITE) != WHITE {
+            continue;
+        }
+        let mut stack: Vec<(u64, usize)> = vec![(start, 0)];
+        color.insert(start, GREY);
+        while let Some(&(u, i)) = stack.last() {
+            let nbrs = neighbors.get(&u).map(Vec::as_slice).unwrap_or(&[]);
+            if i < nbrs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let v = nbrs[i];
+                match color.get(&v).copied().unwrap_or(WHITE) {
+                    WHITE => {
+                        color.insert(v, GREY);
+                        stack.push((v, 0));
+                    }
+                    GREY => {
+                        // Back edge u -> v closes the cycle v ... u.
+                        let at = stack
+                            .iter()
+                            .position(|&(n, _)| n == v)
+                            .expect("grey node is on the stack");
+                        return Some(stack[at..].iter().map(|&(n, _)| n).collect());
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(u, BLACK);
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+fn cycle_edges(adj: &BTreeMap<u64, BTreeMap<u64, EdgeWitness>>, cycle: &[u64]) -> Vec<EdgeWitness> {
+    (0..cycle.len())
+        .map(|i| {
+            let from = cycle[i];
+            let to = cycle[(i + 1) % cycle.len()];
+            adj[&from][&to]
+        })
+        .collect()
+}
+
+/// The smallest slice of the history that exhibits `violation`: only the
+/// implicated transactions, only the conflicting keys (plus their
+/// commit/abort records), rendered one op per line.
+pub fn minimized_trace(history: &[OpRecord], violation: &CheckerViolation) -> Vec<String> {
+    let (txns, keys): (BTreeSet<u64>, BTreeSet<(usize, u64)>) = match violation {
+        CheckerViolation::AbortedRead {
+            reader,
+            writer,
+            table,
+            key,
+            ..
+        }
+        | CheckerViolation::IntermediateRead {
+            reader,
+            writer,
+            table,
+            key,
+            ..
+        } => (
+            [*reader, *writer].into_iter().collect(),
+            [(*table, *key)].into_iter().collect(),
+        ),
+        CheckerViolation::DirtyOverwrite {
+            writer,
+            aborted,
+            table,
+            key,
+            ..
+        } => (
+            [*writer, *aborted].into_iter().collect(),
+            [(*table, *key)].into_iter().collect(),
+        ),
+        CheckerViolation::Cycle { txns, edges } => (
+            txns.iter().copied().collect(),
+            edges.iter().map(|e| (e.table, e.key)).collect(),
+        ),
+    };
+    history
+        .iter()
+        .filter(|r| {
+            txns.contains(&r.txn)
+                && match r.kind {
+                    OpKind::Read { table, key, .. }
+                    | OpKind::Write { table, key, .. }
+                    | OpKind::Insert { table, key, .. } => keys.contains(&(table, key)),
+                    OpKind::Commit | OpKind::Abort => true,
+                }
+        })
+        .map(|r| r.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(txn: u64, seq: u32, kind: OpKind) -> OpRecord {
+        OpRecord {
+            epoch: 0,
+            session: txn as usize,
+            txn,
+            seq,
+            kind,
+        }
+    }
+
+    fn read(txn: u64, seq: u32, key: u64, value: i64) -> OpRecord {
+        rec(
+            txn,
+            seq,
+            OpKind::Read {
+                table: 0,
+                key,
+                value,
+            },
+        )
+    }
+
+    fn write(txn: u64, seq: u32, key: u64, prev: i64, value: i64) -> OpRecord {
+        rec(
+            txn,
+            seq,
+            OpKind::Write {
+                table: 0,
+                key,
+                prev,
+                value,
+            },
+        )
+    }
+
+    fn commit(txn: u64) -> OpRecord {
+        rec(txn, 99, OpKind::Commit)
+    }
+
+    #[test]
+    fn serial_history_is_clean() {
+        let h = vec![
+            read(1, 0, 5, 0),
+            write(1, 1, 5, 0, 100),
+            commit(1),
+            read(2, 0, 5, 100),
+            write(2, 1, 5, 100, 200),
+            commit(2),
+        ];
+        assert!(check(&h).is_serializable());
+    }
+
+    #[test]
+    fn lost_update_is_a_cycle() {
+        // Both read v0, then both write: T2's RW to T1 and T1's WW to T2.
+        let h = vec![
+            read(1, 0, 5, 0),
+            read(2, 0, 5, 0),
+            write(1, 1, 5, 0, 100),
+            write(2, 1, 5, 100, 200),
+            commit(1),
+            commit(2),
+        ];
+        let report = check(&h);
+        let cycle = report
+            .violations
+            .iter()
+            .find(|v| matches!(v, CheckerViolation::Cycle { .. }))
+            .expect("lost update detected");
+        if let CheckerViolation::Cycle { txns, edges } = cycle {
+            assert_eq!(txns.len(), 2);
+            assert_eq!(edges.len(), 2);
+        }
+        let trace = minimized_trace(&h, cycle);
+        assert!(trace.len() >= 4, "trace shows the interleaving: {trace:?}");
+    }
+
+    #[test]
+    fn aborted_read_is_g1a() {
+        let h = vec![
+            write(1, 0, 5, 0, 100),
+            read(2, 0, 5, 100),
+            commit(2),
+            rec(1, 1, OpKind::Abort),
+        ];
+        let report = check(&h);
+        assert!(matches!(
+            report.violations[0],
+            CheckerViolation::AbortedRead {
+                reader: 2,
+                writer: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unfinished_txn_counts_as_aborted() {
+        let h = vec![write(1, 0, 5, 0, 100), read(2, 0, 5, 100), commit(2)];
+        let report = check(&h);
+        assert!(!report.is_serializable());
+    }
+
+    #[test]
+    fn carried_in_values_attribute_to_init() {
+        // Value 777 was never written this epoch (recovered state).
+        let h = vec![read(1, 0, 5, 777), commit(1)];
+        assert!(check(&h).is_serializable());
+    }
+
+    #[test]
+    fn write_skew_style_three_cycle() {
+        // T1 -wr-> T2 -wr-> T3 -rw-> T1 (T3 read what T1 overwrote).
+        let h = vec![
+            read(3, 0, 1, 0),
+            write(1, 0, 1, 0, 10),
+            read(2, 0, 1, 10),
+            write(2, 1, 2, 0, 20),
+            read(3, 1, 2, 20),
+            commit(1),
+            commit(2),
+            commit(3),
+        ];
+        let report = check(&h);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, CheckerViolation::Cycle { .. })),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn reading_own_write_is_fine() {
+        let h = vec![
+            write(1, 0, 5, 0, 100),
+            read(1, 1, 5, 100),
+            write(1, 2, 5, 100, 101),
+            commit(1),
+            read(2, 0, 5, 101),
+            commit(2),
+        ];
+        assert!(check(&h).is_serializable());
+    }
+}

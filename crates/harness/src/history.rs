@@ -1,0 +1,189 @@
+//! Operation histories: the complete, replayable record of everything a
+//! torture run did.
+//!
+//! Every statement the driver executes appends one [`OpRecord`]. The
+//! history is the single source of truth for the run: the serializability
+//! checker consumes it, the durability audit cross-references it against
+//! crash snapshots, and the FNV [`digest`] over it is the
+//! bit-for-bit-reproducibility witness (same seed ⇒ same digest).
+
+/// Transaction serial `0` denotes the initial database state: every key
+/// starts at value `0`, "written" by this virtual transaction.
+pub const INIT_TXN: u64 = 0;
+
+/// What one statement did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Observed `value` at `(table, key)`.
+    Read {
+        /// Torture-table index.
+        table: usize,
+        /// Row key.
+        key: u64,
+        /// Value observed (column 0).
+        value: i64,
+    },
+    /// Overwrote `(table, key)`: saw `prev`, installed `value`.
+    ///
+    /// `prev` is the in-place before-image, so the write records capture
+    /// the *actual* version order of every key — exactly what the checker
+    /// needs to build direct serialization-graph edges.
+    Write {
+        /// Torture-table index.
+        table: usize,
+        /// Row key.
+        key: u64,
+        /// Before-image (column 0).
+        prev: i64,
+        /// Installed value (column 0).
+        value: i64,
+    },
+    /// Inserted a fresh row at engine-assigned `key` with `value`.
+    Insert {
+        /// Torture-table index.
+        table: usize,
+        /// Assigned row key.
+        key: u64,
+        /// Inserted value (column 0).
+        value: i64,
+    },
+    /// The transaction committed (acknowledged to the "client").
+    Commit,
+    /// The transaction aborted: voluntarily, as a deadlock/timeout victim,
+    /// or because a crash cut it off.
+    Abort,
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Crash epoch (incremented at every simulated crash).
+    pub epoch: u32,
+    /// Logical session that issued the statement.
+    pub session: usize,
+    /// Run-unique transaction serial (1-based; `0` is [`INIT_TXN`]).
+    pub txn: u64,
+    /// Statement index within the transaction.
+    pub seq: u32,
+    /// The operation.
+    pub kind: OpKind,
+}
+
+impl std::fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "e{} s{} T{}#{} ",
+            self.epoch, self.session, self.txn, self.seq
+        )?;
+        match self.kind {
+            OpKind::Read { table, key, value } => write!(f, "R t{table}[{key}] -> {value}"),
+            OpKind::Write {
+                table,
+                key,
+                prev,
+                value,
+            } => write!(f, "W t{table}[{key}] {prev} -> {value}"),
+            OpKind::Insert { table, key, value } => write!(f, "I t{table}[{key}] = {value}"),
+            OpKind::Commit => write!(f, "COMMIT"),
+            OpKind::Abort => write!(f, "ABORT"),
+        }
+    }
+}
+
+/// The unique value transaction `txn` writes at its `seq`-th statement.
+/// Uniqueness across the whole run makes every observed value attributable
+/// to exactly one writer.
+pub fn encode_value(txn: u64, seq: u32) -> i64 {
+    (txn as i64) << 12 | (seq as i64 & 0xFFF)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a digest of a history. Two runs with the same seed must produce
+/// the same digest — this is the reproducibility contract CI checks.
+pub fn digest(history: &[OpRecord]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for r in history {
+        h = fnv(h, r.epoch as u64);
+        h = fnv(h, r.session as u64);
+        h = fnv(h, r.txn);
+        h = fnv(h, r.seq as u64);
+        let (tag, a, b, c, d) = match r.kind {
+            OpKind::Read { table, key, value } => (1, table as u64, key, value as u64, 0),
+            OpKind::Write {
+                table,
+                key,
+                prev,
+                value,
+            } => (2, table as u64, key, prev as u64, value as u64),
+            OpKind::Insert { table, key, value } => (3, table as u64, key, value as u64, 0),
+            OpKind::Commit => (4, 0, 0, 0, 0),
+            OpKind::Abort => (5, 0, 0, 0, 0),
+        };
+        for w in [tag, a, b, c, d] {
+            h = fnv(h, w);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_values_are_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for txn in 1..200u64 {
+            for seq in 0..10u32 {
+                assert!(seen.insert(encode_value(txn, seq)));
+            }
+        }
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = OpRecord {
+            epoch: 0,
+            session: 0,
+            txn: 1,
+            seq: 0,
+            kind: OpKind::Read {
+                table: 0,
+                key: 3,
+                value: 0,
+            },
+        };
+        let b = OpRecord { txn: 2, ..a };
+        assert_ne!(digest(&[a, b]), digest(&[b, a]));
+        assert_eq!(digest(&[a, b]), digest(&[a, b]));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = OpRecord {
+            epoch: 1,
+            session: 2,
+            txn: 7,
+            seq: 3,
+            kind: OpKind::Write {
+                table: 0,
+                key: 9,
+                prev: 4,
+                value: 5,
+            },
+        };
+        assert_eq!(r.to_string(), "e1 s2 T7#3 W t0[9] 4 -> 5");
+    }
+}

@@ -1,0 +1,35 @@
+//! # tpd-harness — deterministic simulation testing for the mini engines
+//!
+//! FoundationDB-style simulation testing applied to this repo's engines:
+//! run real transactions against a real [`Engine`](tpd_engine::Engine), but
+//! make *time*, *scheduling*, and *failure* all functions of one seed so
+//! that any failure replays exactly.
+//!
+//! The pieces:
+//!
+//! * [`history`] — the recorded operation stream and its FNV digest (the
+//!   bit-for-bit reproducibility witness);
+//! * [`checker`] — a direct-serialization-graph cycle checker plus G1a/G1b
+//!   detection over one epoch's history, with minimized failure traces;
+//! * [`torture`] — the seeded driver: statement-level interleaving across
+//!   logical sessions, periodic [`simulate_crash`] / [`recover_from`]
+//!   cycles, durability auditing of every acknowledged commit, and fault
+//!   injection (device stalls/spikes, torn WAL tails, commit-ack bugs).
+//!
+//! The driver deliberately supports two *seeded bugs* —
+//! `skip_locking` and `ack_before_flush` — so the harness can prove its
+//! own checkers catch real violations (a checker that never fires is
+//! untested).
+//!
+//! [`simulate_crash`]: tpd_engine::Engine::simulate_crash
+//! [`recover_from`]: tpd_engine::Engine::recover_from
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod history;
+pub mod torture;
+
+pub use checker::{check, minimized_trace, CheckerReport, CheckerViolation, EdgeKind, EdgeWitness};
+pub use history::{digest, encode_value, OpKind, OpRecord, INIT_TXN};
+pub use torture::{run_torture, TortureConfig, TortureReport, TortureViolation};

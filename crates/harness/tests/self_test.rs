@@ -1,0 +1,204 @@
+//! Harness self-tests: the checkers must be deterministic, quiet on a
+//! correct engine, and *loud* on the two seeded bugs.
+
+use tpd_harness::{run_torture, CheckerViolation, TortureConfig, TortureReport, TortureViolation};
+use tpd_wal::FlushPolicy;
+
+fn run(cfg: &TortureConfig) -> TortureReport {
+    run_torture(cfg)
+}
+
+#[test]
+fn same_seed_same_digest_and_verdict() {
+    let cfg = TortureConfig {
+        seed: 0xDEAD_BEEF,
+        txns: 150,
+        faults: true,
+        ..Default::default()
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.digest, b.digest, "same seed must replay bit-for-bit");
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.commits, b.commits);
+    assert_eq!(a.aborts, b.aborts);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.violations.len(), b.violations.len());
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run(&TortureConfig {
+        seed: 1,
+        txns: 100,
+        ..Default::default()
+    });
+    let b = run(&TortureConfig {
+        seed: 2,
+        txns: 100,
+        ..Default::default()
+    });
+    assert_ne!(a.digest, b.digest, "seeds must actually steer the run");
+}
+
+#[test]
+fn clean_engine_passes_with_faults_and_crashes() {
+    for seed in [3, 17, 99] {
+        let report = run(&TortureConfig {
+            seed,
+            txns: 200,
+            crash_every: 50,
+            faults: true,
+            ..Default::default()
+        });
+        assert!(
+            report.ok(),
+            "correct engine must be violation-free:\n{}",
+            report.render_failures()
+        );
+        assert!(report.crashes >= 2, "crashes exercised: {}", report.crashes);
+        assert!(report.commits > 0);
+    }
+}
+
+#[test]
+fn lazy_flush_losses_are_not_violations() {
+    // Lazy policies lose unflushed commits at a crash by design; only
+    // commits covered by a flush claim durability, so the audit stays
+    // quiet.
+    let report = run(&TortureConfig {
+        seed: 7,
+        txns: 200,
+        crash_every: 45,
+        flush_every: 11,
+        flush_policy: FlushPolicy::LazyWrite,
+        faults: true,
+        ..Default::default()
+    });
+    assert!(
+        report.ok(),
+        "expected lazy losses, not violations:\n{}",
+        report.render_failures()
+    );
+}
+
+#[test]
+fn skip_locking_bug_is_caught_by_the_checker() {
+    // The seeded isolation bug: no locks at all. Interleaved sessions on a
+    // tiny keyspace must produce lost updates / dirty reads, and the
+    // checker must flag them with the seed and a minimized trace.
+    let cfg = TortureConfig {
+        seed: 42,
+        txns: 250,
+        sessions: 6,
+        crash_every: 0,
+        abort_prob: 0.1,
+        skip_locking: true,
+        ..Default::default()
+    };
+    let report = run(&cfg);
+    assert!(!report.ok(), "checker must catch the isolation bug");
+    let serializability: Vec<&TortureViolation> = report
+        .violations
+        .iter()
+        .filter(|v| matches!(v, TortureViolation::Serializability { .. }))
+        .collect();
+    assert!(
+        !serializability.is_empty(),
+        "expected serializability findings:\n{}",
+        report.render_failures()
+    );
+    // The failure artifact names the seed and shows a minimized trace.
+    let rendered = report.render_failures();
+    assert!(rendered.contains("seed 42"), "{rendered}");
+    let has_trace = serializability
+        .iter()
+        .any(|v| matches!(v, TortureViolation::Serializability { trace, .. } if !trace.is_empty()));
+    assert!(has_trace, "violations carry a minimized trace:\n{rendered}");
+    // And the verdict itself replays.
+    let again = run(&cfg);
+    assert_eq!(report.digest, again.digest);
+    assert_eq!(report.violations.len(), again.violations.len());
+}
+
+#[test]
+fn ack_before_flush_bug_is_caught_by_the_durability_audit() {
+    // The seeded durability bug: commits acknowledged before the WAL
+    // flush. A crash must reveal acknowledged-then-lost commits.
+    let report = run(&TortureConfig {
+        seed: 5,
+        txns: 200,
+        crash_every: 40,
+        ack_before_flush: true,
+        ..Default::default()
+    });
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, TortureViolation::DurabilityLoss { .. })),
+        "expected durability losses:\n{}",
+        report.render_failures()
+    );
+}
+
+#[test]
+fn checker_cycle_reports_offending_transactions() {
+    let report = run(&TortureConfig {
+        seed: 42,
+        txns: 250,
+        sessions: 6,
+        crash_every: 0,
+        skip_locking: true,
+        ..Default::default()
+    });
+    let cycle = report.violations.iter().find_map(|v| match v {
+        TortureViolation::Serializability {
+            violation: CheckerViolation::Cycle { txns, edges },
+            ..
+        } => Some((txns, edges)),
+        _ => None,
+    });
+    if let Some((txns, edges)) = cycle {
+        assert!(txns.len() >= 2);
+        assert_eq!(txns.len(), edges.len(), "one witness per cycle edge");
+    } else {
+        // Lost updates can also surface purely as G1 findings on some
+        // seeds; any finding satisfies the contract, but this seed is
+        // known to produce cycles — keep it honest.
+        panic!(
+            "seed 42 should produce a cycle:\n{}",
+            report.render_failures()
+        );
+    }
+}
+
+/// Long soak: many seeds, faults on, lazy flush, frequent crashes. Run
+/// with `TPD_SOAK=1 cargo test -p tpd-harness -- --ignored`.
+#[test]
+#[ignore = "long soak; enable with TPD_SOAK=1"]
+fn torture_soak() {
+    if std::env::var("TPD_SOAK").as_deref() != Ok("1") {
+        eprintln!("torture_soak: set TPD_SOAK=1 to run");
+        return;
+    }
+    for seed in 0..25u64 {
+        for policy in [FlushPolicy::Eager, FlushPolicy::LazyWrite] {
+            let report = run(&TortureConfig {
+                seed,
+                txns: 1_000,
+                sessions: 6,
+                crash_every: 80,
+                flush_every: 9,
+                flush_policy: policy,
+                faults: true,
+                ..Default::default()
+            });
+            assert!(
+                report.ok(),
+                "seed {seed} policy {policy:?}:\n{}",
+                report.render_failures()
+            );
+        }
+    }
+}

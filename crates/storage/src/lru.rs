@@ -239,6 +239,34 @@ impl LruList {
             self.old_len -= 1;
             self.young_len += 1;
         }
+        self.debug_assert_band();
+    }
+
+    /// Debug-build invariant: after every rebalance the old sublist sits
+    /// exactly on the configured (3/8-by-default) target — the only slack
+    /// allowed is an all-old list when there are no young pages to take
+    /// from. Compiled out of release builds; exercised continuously by the
+    /// torture driver's debug test runs.
+    #[inline]
+    fn debug_assert_band(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let target = self.old_target();
+            debug_assert!(
+                self.old_len <= target,
+                "old sublist above target band: old_len={} target={} len={}",
+                self.old_len,
+                target,
+                self.len()
+            );
+            debug_assert!(
+                self.old_len == target || self.young_len == 0,
+                "old sublist below target band: old_len={} target={} young_len={}",
+                self.old_len,
+                target,
+                self.young_len
+            );
+        }
     }
 
     /// The list order from head (MRU) to tail (LRU), for tests.

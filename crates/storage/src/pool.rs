@@ -172,12 +172,21 @@ pub struct BufferPool {
     deferred: AtomicU64,
     backlog_applied: AtomicU64,
     mutex_wait_ns: AtomicU64,
+    /// Debug-build frame pin counts: incremented while a frame's contents
+    /// are being used, decremented after. The invariant checked is that a
+    /// count never goes negative (an unpin without a matching pin would
+    /// mean a frame was reused while still referenced). Compiled out of
+    /// release builds.
+    #[cfg(debug_assertions)]
+    pins: Vec<std::sync::atomic::AtomicI64>,
 }
 
 impl BufferPool {
     /// A pool backed by `disk`, optionally instrumented.
     pub fn new(config: PoolConfig, disk: Arc<SimDisk>, probes: Option<PoolProbes>) -> Self {
         assert!(config.frames >= 2, "pool needs at least two frames");
+        #[cfg(debug_assertions)]
+        let nframes = config.frames;
         let frames = vec![
             Frame {
                 page: None,
@@ -209,7 +218,35 @@ impl BufferPool {
             deferred: AtomicU64::new(0),
             backlog_applied: AtomicU64::new(0),
             mutex_wait_ns: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            pins: (0..nframes)
+                .map(|_| std::sync::atomic::AtomicI64::new(0))
+                .collect(),
         }
+    }
+
+    /// Pin a frame (debug builds only): record that its contents are in use.
+    #[inline]
+    fn debug_pin(&self, f: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let now = self.pins[f].fetch_add(1, Ordering::SeqCst) + 1;
+            debug_assert!(now >= 1, "frame {f} pin count corrupted: {now}");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = f;
+    }
+
+    /// Unpin a frame (debug builds only): the count must never go negative.
+    #[inline]
+    fn debug_unpin(&self, f: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let now = self.pins[f].fetch_sub(1, Ordering::SeqCst) - 1;
+            debug_assert!(now >= 0, "frame {f} pin count went negative: {now}");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = f;
     }
 
     /// The pool configuration.
@@ -227,7 +264,9 @@ impl BufferPool {
             let frame = self.page_table.read().get(&pid).copied();
             if let Some(f) = frame {
                 if self.try_hit(pid, f, write) {
+                    self.debug_pin(f);
                     cpu_work(self.config.access_work);
+                    self.debug_unpin(f);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return AccessKind::Hit;
                 }
@@ -352,6 +391,7 @@ impl BufferPool {
 
         // Obtain a frame: free list or evict the LRU tail.
         let (frame, writeback) = self.obtain_frame(pid);
+        self.debug_pin(frame);
 
         // Disk I/O outside the mutex.
         let io_start = now_nanos();
@@ -382,6 +422,7 @@ impl BufferPool {
         *done = true;
         waiter.cv.notify_all();
         drop(done);
+        self.debug_unpin(frame);
 
         self.misses.fetch_add(1, Ordering::Relaxed);
         Some(AccessKind::Miss)
@@ -471,6 +512,27 @@ impl BufferPool {
     /// Whether a page is currently resident.
     pub fn is_resident(&self, pid: PageId) -> bool {
         self.page_table.read().contains_key(&pid)
+    }
+
+    /// Sorted resident page set (test/inspection hook).
+    pub fn resident_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.page_table.read().keys().copied().collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// `(young_len, old_len)` of the LRU list, read under the pool mutex.
+    pub fn lru_lens(&self) -> (usize, usize) {
+        let state = self.lru.lock();
+        (state.lru.young_len(), state.lru.old_len())
+    }
+
+    /// Run `f` while holding the pool's LRU mutex. Test hook: lets a test
+    /// make the mutex contended from the outside, forcing the LLU path to
+    /// defer make-young updates (the condition Section 6.1 targets).
+    pub fn with_lru_held<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.lru.lock();
+        f()
     }
 
     /// Number of resident pages.

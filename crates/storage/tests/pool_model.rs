@@ -92,6 +92,82 @@ proptest! {
         }
     }
 
+    /// Deferral + drain convergence: hold the LRU mutex so the LLU pool is
+    /// forced to defer its make-young updates, apply the same accesses to a
+    /// baseline blocking pool, then drain the backlog and check the two
+    /// pools converge — same resident-page set, same young/old sublist
+    /// lengths, every deferred update eventually applied. (All on one
+    /// thread: the backlog is thread-local, and held-phase accesses must be
+    /// hits — a miss would need the mutex we are holding.)
+    #[test]
+    fn llu_converges_with_baseline_after_backlog_drain(
+        frames in 8usize..24,
+        extra in 4usize..12,
+        picks in proptest::collection::vec(0usize..64, 1..60),
+        tail in proptest::collection::vec(0u64..8, 0..12),
+    ) {
+        let llu = pool(frames, MutexPolicy::Llu { spin_budget: Duration::from_micros(1) });
+        let base = pool(frames, MutexPolicy::Blocking);
+
+        // Fill past capacity so the resident set is a non-trivial subset.
+        let keyspace = (frames + extra) as u64;
+        for k in 0..keyspace {
+            llu.access(PageId(k), false);
+            base.access(PageId(k), false);
+        }
+        let resident = llu.resident_pages();
+        prop_assert_eq!(&resident, &base.resident_pages(),
+            "identical uncontended histories fill identically");
+        prop_assert_eq!(resident.len(), frames);
+
+        // Contention phase: random resident picks plus one full sweep (the
+        // sweep guarantees at least every old page is touched), all read
+        // hits. The LLU pool sees them with its mutex held and must defer;
+        // the baseline applies them directly.
+        let mut touches: Vec<PageId> =
+            picks.iter().map(|&i| resident[i % resident.len()]).collect();
+        touches.extend(resident.iter().copied());
+        llu.with_lru_held(|| {
+            for &pid in &touches {
+                prop_assert_eq!(llu.access(pid, false), AccessKind::Hit);
+            }
+        });
+        for &pid in &touches {
+            prop_assert_eq!(base.access(pid, false), AccessKind::Hit);
+        }
+        let deferred = llu.stats().deferred_updates;
+        prop_assert!(deferred > 0, "the sweep must touch an old page");
+
+        // Drain: with the mutex free again, one sweep re-touches the
+        // deferred (still old-flagged) pages, which acquire the mutex and
+        // process the whole thread-local backlog. Applied can trail the
+        // deferral count — duplicate deferrals of one page apply once, and
+        // the boundary rebalance may have promoted an entry already — but
+        // at least one deferred move must land.
+        for &pid in &resident {
+            llu.access(pid, false);
+            base.access(pid, false);
+        }
+        let applied = llu.stats().backlog_applied;
+        prop_assert!(applied >= 1 && applied <= deferred,
+            "backlog must drain: applied {} of {} deferred", applied, deferred);
+        prop_assert_eq!(llu.resident_pages(), base.resident_pages(),
+            "after the backlog drains the pools hold the same pages");
+        prop_assert_eq!(llu.lru_lens(), base.lru_lens(),
+            "young/old split converges too");
+
+        // Eviction tail with fresh pages: capacity and MRU residency hold
+        // in both pools and the new pages land in both resident sets.
+        for &k in &tail {
+            let pid = PageId(keyspace + k);
+            llu.access(pid, false);
+            base.access(pid, false);
+            prop_assert!(llu.is_resident(pid) && base.is_resident(pid));
+            prop_assert!(llu.resident_count() <= frames);
+            prop_assert!(base.resident_count() <= frames);
+        }
+    }
+
     /// LLU and blocking policies agree on residency semantics (they differ
     /// only in LRU *ordering* precision, never in what is cached when).
     #[test]

@@ -1,0 +1,39 @@
+//! Log-structure-aware fault injection.
+//!
+//! Device-level faults (stalls, spikes) live in `tpd_common::fault`; this
+//! module models the failures that only make sense with knowledge of the
+//! log: a crash cut at a chosen LSN, a torn record at the tail of the
+//! durable prefix, and the classic durability *bug* of acknowledging a
+//! commit before its flush completed. The harness arms these through
+//! `RedoLogConfig::faults` / `WalWriterConfig::faults` and the engine
+//! config, and the torture driver checks that recovery honors (or, for the
+//! seeded bug, visibly violates) the durability contract.
+
+/// A plan of WAL-level faults. `Default` is all-off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalFaultPlan {
+    /// Arm a crash once the log grows past this LSN; the harness polls
+    /// [`crate::RedoLog::crash_armed`] and triggers `simulate_crash` when
+    /// it fires.
+    pub crash_at_lsn: Option<u64>,
+    /// On crash, the first record past the flushed prefix is returned as a
+    /// partial [`crate::LogRecord::Torn`] tail instead of being dropped
+    /// cleanly — recovery must stop at the tear without panicking.
+    pub torn_tail: bool,
+    /// Seeded bug: acknowledge commits after the log *write* but before
+    /// the fsync (so an "eager" log silently behaves like lazy-flush).
+    /// Exists so the torture checker can prove it catches durability
+    /// violations.
+    pub ack_before_flush: bool,
+}
+
+impl WalFaultPlan {
+    /// Plan with a crash armed at `lsn` and a torn tail at the cut.
+    pub fn crash_with_torn_tail(lsn: u64) -> WalFaultPlan {
+        WalFaultPlan {
+            crash_at_lsn: Some(lsn),
+            torn_tail: true,
+            ack_before_flush: false,
+        }
+    }
+}

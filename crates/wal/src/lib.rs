@@ -15,13 +15,15 @@
 //!   two devices; a transaction only waits when both are busy, and then on
 //!   the one with fewer waiters).
 
+pub mod fault;
 pub mod mysql;
 pub mod pg;
 pub mod record;
 
+pub use fault::WalFaultPlan;
 pub use mysql::{FlushPolicy, MysqlWalProbes, RedoLog, RedoLogConfig, RedoStats};
 pub use pg::{PgWalProbes, WalWriter, WalWriterConfig, WalWriterStats};
-pub use record::{committed_txns, LogRecord, StampedRecord};
+pub use record::{committed_txns, durable_prefix, LogRecord, StampedRecord};
 
 /// A log sequence number (logical byte offset in the redo stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

@@ -49,6 +49,13 @@ pub struct RedoLogConfig {
     /// Background flusher period for the lazy policies (MySQL uses ~1 s;
     /// scaled down to suit microsecond-scale transactions).
     pub flush_interval: Duration,
+    /// Injected WAL faults (crash points, torn tails, ack-before-flush).
+    pub faults: Option<crate::WalFaultPlan>,
+    /// Suppress the background flusher for the lazy policies; the owner
+    /// drives flushing via [`RedoLog::flush_now`]. The deterministic
+    /// harness needs this: with no second thread, every flush happens at a
+    /// seeded point on the driver thread and the run is replayable.
+    pub manual_flush: bool,
 }
 
 impl Default for RedoLogConfig {
@@ -56,6 +63,8 @@ impl Default for RedoLogConfig {
         RedoLogConfig {
             policy: FlushPolicy::Eager,
             flush_interval: Duration::from_millis(10),
+            faults: None,
+            manual_flush: false,
         }
     }
 }
@@ -144,7 +153,7 @@ impl RedoLog {
             bytes_written: AtomicU64::new(0),
             commit_wait_ns: AtomicU64::new(0),
         };
-        if matches!(config.policy, FlushPolicy::Eager) {
+        if matches!(config.policy, FlushPolicy::Eager) || config.manual_flush {
             return Arc::new(log);
         }
         // Lazy policies: cyclic Arc via a placeholder then spawn.
@@ -217,13 +226,46 @@ impl RedoLog {
     /// (end-LSN within the flushed prefix) at this instant. Lazy policies
     /// can lose recently-committed transactions — the trade-off the
     /// paper's flush-policy tuning accepts.
+    ///
+    /// With [`crate::WalFaultPlan::torn_tail`] armed and a record in
+    /// flight past the flushed prefix, the snapshot ends with a partial
+    /// [`LogRecord::Torn`] tail: the crash interrupted that record's write,
+    /// and a recovery reader sees garbage where its checksum should be.
     pub fn simulate_crash(&self) -> Vec<StampedRecord> {
         let st = self.state.lock();
-        st.records
+        let mut durable: Vec<StampedRecord> = st
+            .records
             .iter()
             .filter(|r| r.end.0 <= st.flushed_lsn)
             .cloned()
-            .collect()
+            .collect();
+        if self.config.faults.as_ref().is_some_and(|f| f.torn_tail) {
+            if let Some(first_lost) = st.records.iter().find(|r| r.end.0 > st.flushed_lsn) {
+                // Half the record (header included) made it to the device.
+                let bytes = (first_lost.record.encoded_len() / 2).max(1);
+                durable.push(StampedRecord {
+                    end: Lsn(st.flushed_lsn + bytes),
+                    record: LogRecord::Torn { bytes },
+                });
+            }
+        }
+        durable
+    }
+
+    /// Whether an armed [`crate::WalFaultPlan::crash_at_lsn`] point has
+    /// been reached. The harness polls this between operations and calls
+    /// the engine's crash path when it fires.
+    pub fn crash_armed(&self) -> bool {
+        match self.config.faults.as_ref().and_then(|f| f.crash_at_lsn) {
+            Some(lsn) => self.state.lock().next_lsn >= lsn,
+            None => false,
+        }
+    }
+
+    /// Write + fsync everything pending. The manual-flush analogue of one
+    /// background-flusher tick, called by the harness at seeded points.
+    pub fn flush_now(&self) {
+        self.write_and_flush_pending();
     }
 
     /// Commit: make `lsn` durable according to the policy. Returns the time
@@ -233,7 +275,18 @@ impl RedoLog {
         let start = now_nanos();
         match self.config.policy {
             FlushPolicy::Eager => {
-                self.ensure_flushed(lsn);
+                if self
+                    .config
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.ack_before_flush)
+                {
+                    // Seeded bug: write, skip the fsync, acknowledge. The
+                    // torture checker must flag the resulting losses.
+                    self.ensure_written(lsn);
+                } else {
+                    self.ensure_flushed(lsn);
+                }
             }
             FlushPolicy::LazyFlush => {
                 // Write into the OS cache on the commit path; no fsync.
@@ -440,6 +493,7 @@ mod tests {
             RedoLogConfig {
                 policy: FlushPolicy::LazyFlush,
                 flush_interval: Duration::from_millis(5),
+                ..Default::default()
             },
             fast_disk(),
             None,
@@ -464,6 +518,7 @@ mod tests {
             RedoLogConfig {
                 policy: FlushPolicy::LazyWrite,
                 flush_interval: Duration::from_millis(5),
+                ..Default::default()
             },
             disk.clone(),
             None,
@@ -486,6 +541,7 @@ mod tests {
             RedoLogConfig {
                 policy: FlushPolicy::LazyWrite,
                 flush_interval: Duration::from_secs(3600), // effectively never
+                ..Default::default()
             },
             fast_disk(),
             None,
@@ -501,6 +557,126 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "final flush missing");
             std::thread::sleep(Duration::from_millis(2));
         }
+    }
+
+    #[test]
+    fn manual_flush_spawns_no_thread_and_flushes_on_demand() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::LazyWrite,
+                flush_interval: Duration::from_micros(1), // would race if spawned
+                manual_flush: true,
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        let lsn = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
+        log.commit(lsn);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(log.flushed_lsn(), Lsn(0), "nothing flushes on its own");
+        log.flush_now();
+        assert!(log.flushed_lsn() >= lsn);
+        assert_eq!(log.simulate_crash().len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_appears_past_flushed_prefix() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::LazyWrite,
+                manual_flush: true,
+                faults: Some(crate::WalFaultPlan {
+                    torn_tail: true,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        let flushed = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
+        log.flush_now();
+        log.append_records(
+            vec![
+                LogRecord::Update {
+                    txn: 2,
+                    table: 0,
+                    key: 9,
+                    after: vec![1, 2],
+                },
+                LogRecord::Commit { txn: 2 },
+            ],
+            0,
+        );
+        let snap = log.simulate_crash();
+        assert_eq!(snap.len(), 2, "flushed commit + torn tail");
+        assert!(matches!(snap[1].record, LogRecord::Torn { .. }));
+        assert!(snap[1].end > flushed);
+        let c = crate::committed_txns(&snap);
+        assert!(c.contains(&1) && !c.contains(&2));
+    }
+
+    #[test]
+    fn no_torn_tail_when_everything_flushed() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                faults: Some(crate::WalFaultPlan {
+                    torn_tail: true,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        let lsn = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
+        log.commit(lsn);
+        let snap = log.simulate_crash();
+        assert_eq!(snap.len(), 1, "no record in flight, no tear");
+    }
+
+    #[test]
+    fn crash_at_lsn_arms_when_log_grows_past_it() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                faults: Some(crate::WalFaultPlan {
+                    crash_at_lsn: Some(50),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        assert!(!log.crash_armed());
+        log.append(40);
+        assert!(!log.crash_armed());
+        log.append(40);
+        assert!(log.crash_armed());
+    }
+
+    #[test]
+    fn ack_before_flush_bug_loses_acked_commits() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::Eager,
+                faults: Some(crate::WalFaultPlan {
+                    ack_before_flush: true,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        let lsn = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
+        log.commit(lsn); // "eager" commit acks without fsync
+        assert!(log.flushed_lsn() < lsn, "fsync was skipped");
+        assert!(
+            crate::committed_txns(&log.simulate_crash()).is_empty(),
+            "the acked commit is gone after a crash"
+        );
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub struct WalWriterConfig {
     /// overhead), spent on the flush critical path. This is what larger
     /// blocks amortize in the Fig. 4 sweep.
     pub per_block_overhead: std::time::Duration,
+    /// Injected WAL faults. Only `ack_before_flush` applies to this
+    /// personality: commit takes its ticket and returns without flushing,
+    /// so acked bytes sit in the pending batch until someone else's
+    /// commit flushes them.
+    pub faults: Option<crate::WalFaultPlan>,
 }
 
 impl Default for WalWriterConfig {
@@ -45,6 +50,7 @@ impl Default for WalWriterConfig {
             sets: 1,
             block_size: 8 * 1024,
             per_block_overhead: std::time::Duration::from_micros(150),
+            faults: None,
         }
     }
 }
@@ -156,6 +162,17 @@ impl WalWriter {
             st.next_ticket
         };
 
+        if self
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.ack_before_flush)
+        {
+            // Seeded bug: acknowledge with the bytes still pending.
+            let _ = my_ticket;
+            return now_nanos() - start;
+        }
+
         // LWLockAcquireOrWait: either we acquire and flush, or we wait and
         // discover the holder flushed us.
         let lock_start = now_nanos();
@@ -188,7 +205,10 @@ impl WalWriter {
         let blocks = to_flush.div_ceil(self.config.block_size).max(1);
         set.disk.write(blocks * self.config.block_size);
         if !self.config.per_block_overhead.is_zero() {
-            std::thread::sleep(self.config.per_block_overhead * blocks as u32);
+            // Modeled time: real sleep normally, logical-clock bump under
+            // the harness's virtual clock.
+            let cost = self.config.per_block_overhead * blocks as u32;
+            tpd_common::clock::advance(cost.as_nanos() as u64);
         }
         set.disk.flush(0);
         self.flushes.fetch_add(1, Ordering::Relaxed);
@@ -260,6 +280,7 @@ mod tests {
                 sets,
                 block_size: block,
                 per_block_overhead: std::time::Duration::ZERO,
+                faults: None,
             },
             disks,
             None,
@@ -343,9 +364,32 @@ mod tests {
                 sets: 2,
                 block_size: 8192,
                 per_block_overhead: std::time::Duration::ZERO,
+                faults: None,
             },
             vec![fast_disk(1)],
             None,
         );
+    }
+
+    #[test]
+    fn ack_before_flush_bug_leaves_bytes_pending() {
+        let w = WalWriter::new(
+            WalWriterConfig {
+                sets: 1,
+                block_size: 8192,
+                per_block_overhead: std::time::Duration::ZERO,
+                faults: Some(crate::WalFaultPlan {
+                    ack_before_flush: true,
+                    ..Default::default()
+                }),
+            },
+            vec![fast_disk(1)],
+            None,
+        );
+        let t = w.commit(100);
+        assert!(t < 25_000, "no flush on the commit path: {t} ns");
+        let s = w.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.flushes, 0, "the acked bytes were never made durable");
     }
 }

@@ -41,6 +41,14 @@ pub enum LogRecord {
         /// Transaction id.
         txn: u64,
     },
+    /// A torn tail: the crash interrupted a record mid-write, leaving
+    /// `bytes` garbage bytes on the device. Recovery must stop here (the
+    /// record's checksum would fail) and must never panic. Only ever the
+    /// last element of a crash snapshot.
+    Torn {
+        /// Bytes of the partial record that made it to the device.
+        bytes: u64,
+    },
 }
 
 impl LogRecord {
@@ -50,15 +58,18 @@ impl LogRecord {
             LogRecord::Update { after, .. } => 24 + after.len() as u64 * 8,
             LogRecord::Insert { row, .. } => 24 + row.len() as u64 * 8,
             LogRecord::Commit { .. } => 16,
+            LogRecord::Torn { bytes } => *bytes,
         }
     }
 
-    /// The transaction this record belongs to.
-    pub fn txn(&self) -> u64 {
+    /// The transaction this record belongs to (`None` for a torn tail,
+    /// whose header never made it to the device intact).
+    pub fn txn(&self) -> Option<u64> {
         match self {
             LogRecord::Update { txn, .. }
             | LogRecord::Insert { txn, .. }
-            | LogRecord::Commit { txn } => *txn,
+            | LogRecord::Commit { txn } => Some(*txn),
+            LogRecord::Torn { .. } => None,
         }
     }
 }
@@ -72,10 +83,22 @@ pub struct StampedRecord {
     pub record: LogRecord,
 }
 
+/// The replayable prefix of a crash snapshot: everything before the first
+/// torn record. A checksum-verifying reader stops at the tear; anything at
+/// or after it is unreadable garbage.
+pub fn durable_prefix(records: &[StampedRecord]) -> &[StampedRecord] {
+    let cut = records
+        .iter()
+        .position(|r| matches!(r.record, LogRecord::Torn { .. }))
+        .unwrap_or(records.len());
+    &records[..cut]
+}
+
 /// The set of transactions whose commit marker survived in `records`
-/// (which must be a durable log prefix).
+/// (which must be a durable log prefix). Commit markers at or beyond a
+/// torn tail are unreadable and do not count.
 pub fn committed_txns(records: &[StampedRecord]) -> std::collections::HashSet<u64> {
-    records
+    durable_prefix(records)
         .iter()
         .filter_map(|r| match &r.record {
             LogRecord::Commit { txn } => Some(*txn),
@@ -108,7 +131,7 @@ mod tests {
 
     #[test]
     fn txn_accessor() {
-        assert_eq!(LogRecord::Commit { txn: 7 }.txn(), 7);
+        assert_eq!(LogRecord::Commit { txn: 7 }.txn(), Some(7));
         assert_eq!(
             LogRecord::Insert {
                 txn: 9,
@@ -117,8 +140,32 @@ mod tests {
                 row: vec![]
             }
             .txn(),
-            9
+            Some(9)
         );
+        assert_eq!(LogRecord::Torn { bytes: 12 }.txn(), None);
+    }
+
+    #[test]
+    fn durable_prefix_stops_at_tear() {
+        let records = vec![
+            StampedRecord {
+                end: Lsn(16),
+                record: LogRecord::Commit { txn: 1 },
+            },
+            StampedRecord {
+                end: Lsn(20),
+                record: LogRecord::Torn { bytes: 4 },
+            },
+            StampedRecord {
+                end: Lsn(36),
+                record: LogRecord::Commit { txn: 2 },
+            },
+        ];
+        assert_eq!(durable_prefix(&records).len(), 1);
+        let c = committed_txns(&records);
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2), "commit beyond the tear is unreadable");
+        assert_eq!(durable_prefix(&[]).len(), 0);
     }
 
     #[test]

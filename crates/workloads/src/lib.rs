@@ -18,6 +18,7 @@ pub mod epinions;
 pub mod seats;
 pub mod spec;
 pub mod tatp;
+pub mod torture;
 pub mod tpcc;
 pub mod ycsb;
 
@@ -25,5 +26,6 @@ pub use epinions::Epinions;
 pub use seats::Seats;
 pub use spec::{TxnSpec, Workload, WorkloadKind};
 pub use tatp::Tatp;
+pub use torture::{install_torture_schema, TortureMix, TortureOp, TortureTxn};
 pub use tpcc::TpcC;
 pub use ycsb::Ycsb;

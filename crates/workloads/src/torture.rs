@@ -1,0 +1,261 @@
+//! Op-level transaction plans for the deterministic torture harness.
+//!
+//! The regular [`Workload`](crate::Workload) drivers execute a whole
+//! transaction behind one call, which is right for throughput benchmarks
+//! but useless for a serializability checker: the harness must interleave
+//! *statements* from concurrent sessions at seeded points and record every
+//! read and write. This module samples transaction shapes — TATP-like
+//! (read-then-update the same key, multi-table) and YCSB-like (uniform
+//! single-row ops) — as plain data the harness executes one op at a time.
+//!
+//! Values are deliberately absent from the plans: the harness writes
+//! checker-chosen unique values so every version is attributable to the
+//! transaction that wrote it.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use std::sync::Arc;
+
+use tpd_engine::{Engine, TableId};
+
+/// One statement of a torture transaction. `table` indexes into the table
+/// list returned by [`install_torture_schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TortureOp {
+    /// Read a row (shared lock).
+    Read {
+        /// Table index.
+        table: usize,
+        /// Row key.
+        key: u64,
+    },
+    /// Read a row the transaction will later update (exclusive lock up
+    /// front — the TATP `UpdateSubscriberData` shape).
+    ReadForUpdate {
+        /// Table index.
+        table: usize,
+        /// Row key.
+        key: u64,
+    },
+    /// Overwrite a row with a harness-chosen unique value.
+    Update {
+        /// Table index.
+        table: usize,
+        /// Row key.
+        key: u64,
+    },
+    /// Append a fresh row (key assigned by the engine).
+    Insert {
+        /// Table index.
+        table: usize,
+    },
+    /// Read a short contiguous key range (shared locks).
+    Scan {
+        /// Table index.
+        table: usize,
+        /// First key of the range.
+        start: u64,
+        /// Number of keys.
+        len: u64,
+    },
+}
+
+/// A sampled transaction plan: an ordered statement list plus a label for
+/// trace output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TortureTxn {
+    /// Shape name, shown in failure traces.
+    pub label: &'static str,
+    /// Statements, executed in order with seeded interleaving between them.
+    pub ops: Vec<TortureOp>,
+}
+
+/// Mix parameters for the torture sampler.
+#[derive(Debug, Clone)]
+pub struct TortureMix {
+    /// Fraction of TATP-shaped (multi-statement, contended) transactions;
+    /// the rest are YCSB-shaped single-row ops.
+    pub tatp_fraction: f64,
+    /// Keys per table. Small values (≤ 32) force the write-write conflicts
+    /// a checker needs to see.
+    pub keyspace: u64,
+    /// Number of tables (≥ 1).
+    pub tables: usize,
+}
+
+impl Default for TortureMix {
+    fn default() -> Self {
+        TortureMix {
+            tatp_fraction: 0.6,
+            keyspace: 16,
+            tables: 2,
+        }
+    }
+}
+
+impl TortureMix {
+    /// A mix over `keyspace` keys with the default shape proportions.
+    pub fn with_keyspace(keyspace: u64) -> Self {
+        TortureMix {
+            keyspace,
+            ..Default::default()
+        }
+    }
+
+    /// Sample one transaction plan.
+    pub fn sample(&self, rng: &mut SmallRng) -> TortureTxn {
+        debug_assert!(self.tables >= 1 && self.keyspace >= 2);
+        let t = rng.gen_range(0..self.tables);
+        let k = rng.gen_range(0..self.keyspace);
+        if rng.gen_bool(self.tatp_fraction) {
+            match rng.gen_range(0..5u8) {
+                // UpdateSubscriberData: read a key, then update that same
+                // key — the canonical lost-update shape.
+                0 | 1 => TortureTxn {
+                    label: "read-modify-write",
+                    ops: vec![
+                        TortureOp::ReadForUpdate { table: t, key: k },
+                        TortureOp::Update { table: t, key: k },
+                    ],
+                },
+                // Transfer: update two keys in one table (WW cycles when
+                // two sessions order the pair differently).
+                2 => {
+                    let k2 = (k + 1 + rng.gen_range(0..self.keyspace - 1)) % self.keyspace;
+                    TortureTxn {
+                        label: "transfer",
+                        ops: vec![
+                            TortureOp::Update { table: t, key: k },
+                            TortureOp::Update { table: t, key: k2 },
+                        ],
+                    }
+                }
+                // GetNewDestination: two reads across tables.
+                3 => TortureTxn {
+                    label: "multi-read",
+                    ops: vec![
+                        TortureOp::Read { table: t, key: k },
+                        TortureOp::Read {
+                            table: (t + 1) % self.tables,
+                            key: k,
+                        },
+                    ],
+                },
+                // InsertCallForwarding: read a parent row, append a child.
+                _ => TortureTxn {
+                    label: "read-insert",
+                    ops: vec![
+                        TortureOp::Read { table: t, key: k },
+                        TortureOp::Insert {
+                            table: (t + 1) % self.tables,
+                        },
+                    ],
+                },
+            }
+        } else {
+            match rng.gen_range(0..10u8) {
+                0..=4 => TortureTxn {
+                    label: "ycsb-read",
+                    ops: vec![TortureOp::Read { table: t, key: k }],
+                },
+                5..=8 => TortureTxn {
+                    label: "ycsb-update",
+                    ops: vec![TortureOp::Update { table: t, key: k }],
+                },
+                _ => {
+                    let len = rng.gen_range(2u64..=4).min(self.keyspace);
+                    TortureTxn {
+                        label: "ycsb-scan",
+                        ops: vec![TortureOp::Scan {
+                            table: t,
+                            start: k.min(self.keyspace - len),
+                            len,
+                        }],
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Create the torture tables (`torture_0` … `torture_{n-1}`) and seed every
+/// key with value `0`. Returns the table ids in table-index order; insert
+/// targets grow past `keyspace`.
+pub fn install_torture_schema(engine: &Arc<Engine>, mix: &TortureMix) -> Vec<TableId> {
+    (0..mix.tables)
+        .map(|i| {
+            let tid = engine
+                .catalog()
+                .create_table(&format!("torture_{i}"), mix.keyspace.max(16));
+            let table = engine.catalog().table(tid);
+            for k in 0..mix.keyspace {
+                table.put(k, vec![0]);
+            }
+            tid
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mix = TortureMix::default();
+        let a: Vec<TortureTxn> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| mix.sample(&mut rng)).collect()
+        };
+        let b: Vec<TortureTxn> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| mix.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plans_stay_in_bounds() {
+        let mix = TortureMix {
+            tatp_fraction: 0.5,
+            keyspace: 8,
+            tables: 3,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            for op in &mix.sample(&mut rng).ops {
+                match *op {
+                    TortureOp::Read { table, key }
+                    | TortureOp::ReadForUpdate { table, key }
+                    | TortureOp::Update { table, key } => {
+                        assert!(table < 3 && key < 8);
+                    }
+                    TortureOp::Insert { table } => assert!(table < 3),
+                    TortureOp::Scan { table, start, len } => {
+                        assert!(table < 3);
+                        assert!(start + len <= 8, "scan [{start}, {start}+{len}) overruns");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_produces_conflicting_shapes() {
+        let mix = TortureMix::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rmw = 0;
+        let mut transfer = 0;
+        for _ in 0..1000 {
+            match mix.sample(&mut rng).label {
+                "read-modify-write" => rmw += 1,
+                "transfer" => transfer += 1,
+                _ => {}
+            }
+        }
+        assert!(rmw > 100, "rmw shape present: {rmw}");
+        assert!(transfer > 50, "transfer shape present: {transfer}");
+    }
+}
