@@ -19,6 +19,12 @@ pub struct Args {
     pub shards: Option<usize>,
     /// RNG seed.
     pub seed: u64,
+    /// Print an engine metrics snapshot after each run, in Prometheus
+    /// text format (`--metrics`).
+    pub metrics: bool,
+    /// Print an engine metrics snapshot after each run, as JSON
+    /// (`--metrics-json`).
+    pub metrics_json: bool,
 }
 
 impl Default for Args {
@@ -30,6 +36,8 @@ impl Default for Args {
             clients: None,
             shards: None,
             seed: 42,
+            metrics: false,
+            metrics_json: false,
         }
     }
 }
@@ -56,9 +64,11 @@ impl Args {
                 "--clients" => args.clients = Some(take("--clients")? as usize),
                 "--shards" => args.shards = Some(take("--shards")? as usize),
                 "--seed" => args.seed = take("--seed")? as u64,
+                "--metrics" => args.metrics = true,
+                "--metrics-json" => args.metrics_json = true,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--quick] [--secs N] [--rate TPS] [--clients N] [--shards N] [--seed N]"
+                        "usage: [--quick] [--secs N] [--rate TPS] [--clients N] [--shards N] [--seed N] [--metrics] [--metrics-json]"
                             .to_string(),
                     )
                 }
@@ -103,6 +113,22 @@ impl Args {
     /// Warmup: a fraction of the window, capped at 2 s.
     pub fn warmup(&self) -> Duration {
         Duration::from_secs_f64((self.secs * 0.25).min(2.0))
+    }
+
+    /// If `--metrics` / `--metrics-json` was given, print the engine's
+    /// metric snapshot under a `label` header. Experiments call this once
+    /// per engine they build.
+    pub fn emit_metrics(&self, label: &str, engine: &tpd_engine::Engine) {
+        if !(self.metrics || self.metrics_json) {
+            return;
+        }
+        let snap = engine.metrics_snapshot();
+        println!("-- metrics [{label}] --");
+        if self.metrics_json {
+            print!("{}", snap.to_json());
+        } else {
+            print!("{}", snap.to_prometheus());
+        }
     }
 }
 
@@ -156,6 +182,16 @@ mod tests {
         let a = parse(&["--shards", "0"]).expect("0 = auto-size");
         assert_eq!(a.shards, Some(0));
         assert_eq!(parse(&[]).expect("default").shards, None);
+    }
+
+    #[test]
+    fn metrics_flags_apply() {
+        let a = parse(&["--metrics"]).expect("parse");
+        assert!(a.metrics && !a.metrics_json);
+        let a = parse(&["--metrics-json"]).expect("parse");
+        assert!(!a.metrics && a.metrics_json);
+        let a = parse(&[]).expect("empty");
+        assert!(!a.metrics && !a.metrics_json);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! written to `torture-seed-<S>.trace.txt`, and the process exits 1 —
 //! CI uploads the trace file as the failing artifact.
 
+use tpd_common::dist::ServiceTime;
 use tpd_harness::{run_torture, TortureConfig};
 use tpd_wal::FlushPolicy;
 
@@ -34,6 +35,14 @@ struct TortureArgs {
     chaos_locks: bool,
     /// Seeded bug: acknowledge commits before the flush.
     chaos_ack: bool,
+    /// Print a per-seed metrics summary (`--metrics`).
+    metrics: bool,
+    /// Print the full per-seed metrics snapshot as JSON (`--metrics-json`).
+    /// Byte-identical across same-seed runs; CI diffs it.
+    metrics_json: bool,
+    /// Median of a lognormal client round trip before each statement, in
+    /// ns (`--rtt NS`; 0 = off).
+    rtt_ns: u64,
 }
 
 impl Default for TortureArgs {
@@ -48,13 +57,16 @@ impl Default for TortureArgs {
             policy: FlushPolicy::Eager,
             chaos_locks: false,
             chaos_ack: false,
+            metrics: false,
+            metrics_json: false,
+            rtt_ns: 0,
         }
     }
 }
 
 const USAGE: &str = "usage: torture [--seed S] [--seeds N] [--faults] [--txns N] \
 [--sessions N] [--crash-every N] [--policy eager|lazy-write|lazy-flush] \
-[--chaos-locks] [--chaos-ack]";
+[--chaos-locks] [--chaos-ack] [--metrics] [--metrics-json] [--rtt NS]";
 
 impl TortureArgs {
     fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Result<TortureArgs, String> {
@@ -86,6 +98,9 @@ impl TortureArgs {
                 }
                 "--chaos-locks" => args.chaos_locks = true,
                 "--chaos-ack" => args.chaos_ack = true,
+                "--metrics" => args.metrics = true,
+                "--metrics-json" => args.metrics_json = true,
+                "--rtt" => args.rtt_ns = num("--rtt", take("--rtt")?)?,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -103,6 +118,10 @@ impl TortureArgs {
             flush_policy: self.policy,
             skip_locking: self.chaos_locks,
             ack_before_flush: self.chaos_ack,
+            statement_rtt: (self.rtt_ns > 0).then_some(ServiceTime::LogNormal {
+                median: self.rtt_ns,
+                sigma: 0.6,
+            }),
             ..Default::default()
         }
     }
@@ -132,6 +151,33 @@ fn main() {
                 format!("FAIL ({} violations)", report.violations.len())
             }
         );
+        if args.metrics {
+            let m = &report.metrics;
+            let g = |k: &str| m.counters.get(k).copied().unwrap_or(0);
+            println!(
+                "  lock: acquires {} waits {} deadlocks {} timeouts {}  wait p99 {} ns",
+                g("lock.acquires"),
+                g("lock.waits"),
+                g("lock.deadlocks"),
+                g("lock.timeouts"),
+                m.histograms.get("lock.wait_ns").map_or(0, |h| h.p99()),
+            );
+            println!(
+                "  pool: hits {} misses {} evictions {}  wal: flushes {} group {}  fsync p99 {} ns",
+                g("pool.hits"),
+                g("pool.misses"),
+                g("pool.evictions"),
+                g("wal.flushes"),
+                g("wal.group_commits"),
+                m.histograms.get("wal.fsync_ns").map_or(0, |h| h.p99()),
+            );
+        }
+        if args.metrics_json {
+            // Byte-deterministic for a fixed seed: the CI torture matrix
+            // runs each seed twice and diffs the full stdout, so this
+            // JSON doubles as a reproducibility witness.
+            print!("{}", report.metrics.to_json());
+        }
         if !report.ok() {
             failed = true;
             let rendered = report.render_failures();
@@ -174,6 +220,19 @@ mod tests {
         .expect("parse");
         assert_eq!((a.seed, a.seeds, a.faults), (7, 3, true));
         assert_eq!(a.policy, FlushPolicy::LazyWrite);
+    }
+
+    #[test]
+    fn metrics_and_rtt_flags() {
+        let a = parse(&["--metrics", "--metrics-json", "--rtt", "25000"]).expect("parse");
+        assert!(a.metrics && a.metrics_json);
+        assert_eq!(a.rtt_ns, 25_000);
+        assert!(matches!(
+            a.config(1).statement_rtt,
+            Some(ServiceTime::LogNormal { median: 25_000, .. })
+        ));
+        let b = parse(&[]).expect("empty");
+        assert!(b.config(1).statement_rtt.is_none());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub fn run(args: &Args) {
     println!("{}", report.render(engine.profiler().graph(), 8));
     println!("variance tree (Figure 1 form):");
     println!("{}", report.render_tree(engine.profiler().graph()));
+    args.emit_metrics("mysql-inmemory", &engine);
 
     // 2-WH-like: memory-pressured.
     let engine2 = Engine::new(presets::mysql_pressured(
@@ -74,6 +75,7 @@ pub fn run(args: &Args) {
         tpd_profiler::naive_run_count(engine2.profiler().graph())
     );
     println!("{}", report2.render(engine2.profiler().graph(), 8));
+    args.emit_metrics("mysql-pressured", &engine2);
     println!(
         "paper: 128-WH -> os_event_wait [A] 37.5%, [B] 21.7%, row_ins_clust_index_entry_low 9.3%;\n\
          2-WH   -> buf_pool_mutex_enter 32.9%, btr_cur_search_to_nth_level 8.3%, fil_flush 5%\n"

@@ -33,5 +33,6 @@ pub fn run(args: &Args) {
             s.lock_wait_ns as f64 / 1e6
         );
     }
+    args.emit_metrics("postgres", &engine);
     println!("paper: LWLockAcquireOrWait 76.8%, ReleasePredicateLocks 6%\n");
 }

@@ -59,6 +59,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tpd_common::{now_nanos, Nanos};
+use tpd_metrics::{Histogram, HistogramSnapshot};
 
 use crate::mode::LockMode;
 use crate::policy::{Policy, PriorityKey, SeqGen, VictimPolicy};
@@ -341,6 +342,12 @@ pub struct LockManager {
     deadlocks: AtomicU64,
     timeouts: AtomicU64,
     wait_ns: AtomicU64,
+    /// Always-on suspension-latency histogram (ns per suspension).
+    wait_hist: Histogram,
+    /// Per-shard contention: suspensions charged to the shard whose queue
+    /// blocked the request. Atomics outside the shard mutexes so snapshot
+    /// reads stay lock-free.
+    shard_waits: Box<[AtomicU64]>,
 }
 
 impl LockManager {
@@ -364,6 +371,7 @@ impl LockManager {
             .collect();
         LockManager {
             shard_mask: (shards.len() - 1) as u64,
+            shard_waits: (0..shards.len()).map(|_| AtomicU64::new(0)).collect(),
             shards,
             graph: WaitGraph::new(),
             weights: WeightBoard::new(),
@@ -376,6 +384,7 @@ impl LockManager {
             deadlocks: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             wait_ns: AtomicU64::new(0),
+            wait_hist: Histogram::new(),
         }
     }
 
@@ -560,6 +569,8 @@ impl LockManager {
         let waited = now_nanos() - wait_start;
         self.waited.fetch_add(1, Ordering::Relaxed);
         self.wait_ns.fetch_add(waited, Ordering::Relaxed);
+        self.wait_hist.record(waited);
+        self.shard_waits[sidx].fetch_add(1, Ordering::Relaxed);
         Ok(AcquireOutcome::Granted { waited })
     }
 
@@ -668,6 +679,19 @@ impl LockManager {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             wait_ns: self.wait_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the suspension-latency histogram (ns per suspension).
+    pub fn wait_histogram(&self) -> HistogramSnapshot {
+        self.wait_hist.snapshot()
+    }
+
+    /// Suspension counts per lock-table shard, index = shard id.
+    pub fn shard_wait_counts(&self) -> Vec<u64> {
+        self.shard_waits
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Assert that the incrementally maintained CATS weights equal a

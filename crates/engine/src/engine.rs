@@ -7,10 +7,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use tpd_common::clock::{cpu_work, now_nanos};
 use tpd_common::disk::SimDisk;
 use tpd_common::Nanos;
 use tpd_core::{LockError, LockManager, LockManagerConfig, LockMode, ObjectId, TxnToken};
+use tpd_metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 use tpd_profiler::{OwnedSpanGuard, OwnedTxnGuard, Profiler};
 use tpd_storage::{BufferPool, PoolProbes};
 use tpd_wal::{
@@ -90,6 +93,21 @@ pub struct Engine {
     aborts: AtomicU64,
     deadlock_aborts: AtomicU64,
     timeout_aborts: AtomicU64,
+    /// Per-[`TxnType`] end-to-end latency histograms (begin → commit and
+    /// begin → rollback), indexed by type clamped to the last slot. Fixed
+    /// arrays so the commit path records without locks or lookups.
+    commit_latency: [Histogram; TXN_TYPE_SLOTS],
+    abort_latency: [Histogram; TXN_TYPE_SLOTS],
+    /// Named instruments beyond the built-in families (callers may hang
+    /// their own counters/histograms off the engine).
+    registry: MetricsRegistry,
+}
+
+/// Distinct [`TxnType`] latency slots; types ≥ 15 share the last slot.
+const TXN_TYPE_SLOTS: usize = 16;
+
+fn txn_type_slot(ty: TxnType) -> usize {
+    (ty as usize).min(TXN_TYPE_SLOTS - 1)
 }
 
 impl Engine {
@@ -169,6 +187,9 @@ impl Engine {
             aborts: AtomicU64::new(0),
             deadlock_aborts: AtomicU64::new(0),
             timeout_aborts: AtomicU64::new(0),
+            commit_latency: std::array::from_fn(|_| Histogram::new()),
+            abort_latency: std::array::from_fn(|_| Histogram::new()),
+            registry: MetricsRegistry::new(),
             config,
         })
     }
@@ -233,6 +254,102 @@ impl Engine {
             deadlock_aborts: self.deadlock_aborts.load(Ordering::Relaxed),
             timeout_aborts: self.timeout_aborts.load(Ordering::Relaxed),
         }
+    }
+
+    /// The engine's metrics registry, for caller-defined instruments.
+    /// Anything registered here appears in [`Engine::metrics_snapshot`].
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Assemble one snapshot of every metric family the engine exposes:
+    /// `lock.*` (acquires, waits, deadlocks, per-shard contention, wait
+    /// latency), `pool.*` (hits, misses, evictions, LLU backlog depth),
+    /// `wal.*` (appends, flushes, group commits, fsync latency, flush
+    /// batch sizes), `txn.*` (commit/abort latency per [`TxnType`]), plus
+    /// anything registered via [`Engine::metrics_registry`].
+    ///
+    /// Under the virtual clock every recorded duration is logical, so for
+    /// a fixed seed the snapshot (and its JSON rendering) is
+    /// byte-deterministic — the torture harness diffs it across doubled
+    /// runs as a reproducibility witness.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut m = self.registry.snapshot();
+
+        let ls = self.locks.stats();
+        m.set_counter("lock.acquires", ls.acquires);
+        m.set_counter("lock.immediate", ls.immediate);
+        m.set_counter("lock.waits", ls.waited);
+        m.set_counter("lock.upgrades", ls.upgrades);
+        m.set_counter("lock.deadlocks", ls.deadlocks);
+        m.set_counter("lock.timeouts", ls.timeouts);
+        m.set_counter("lock.wait_ns_total", ls.wait_ns);
+        m.set_histogram("lock.wait_ns", self.locks.wait_histogram());
+        for (i, n) in self.locks.shard_wait_counts().into_iter().enumerate() {
+            m.set_counter(format!("lock.shard{i:02}.waits"), n);
+        }
+
+        let ps = self.pool.stats();
+        m.set_counter("pool.hits", ps.hits);
+        m.set_counter("pool.misses", ps.misses);
+        m.set_counter("pool.evictions", ps.evictions);
+        m.set_counter("pool.dirty_writebacks", ps.dirty_writebacks);
+        m.set_counter("pool.make_young", ps.make_young);
+        m.set_counter("pool.deferred_updates", ps.deferred_updates);
+        m.set_counter("pool.backlog_applied", ps.backlog_applied);
+        m.set_counter("pool.mutex_wait_ns_total", ps.mutex_wait_ns);
+        m.set_histogram("pool.backlog_depth", self.pool.backlog_depth_histogram());
+
+        match &self.wal {
+            WalBackend::Mysql(r) => {
+                let s = r.stats();
+                m.set_counter("wal.bytes_appended", s.bytes_appended);
+                m.set_counter("wal.commits", s.commits);
+                m.set_counter("wal.flushes", s.flushes);
+                m.set_counter("wal.group_commits", s.group_commits);
+                m.set_counter("wal.bytes_written", s.bytes_written);
+                m.set_counter("wal.commit_wait_ns_total", s.commit_wait_ns);
+                m.set_histogram("wal.fsync_ns", r.fsync_histogram());
+                m.set_histogram("wal.flush_batch_bytes", r.batch_histogram());
+            }
+            WalBackend::Pg(w) => {
+                let s = w.stats();
+                m.set_counter("wal.commits", s.commits);
+                m.set_counter("wal.flushes", s.flushes);
+                m.set_counter("wal.group_commits", s.group_commits);
+                m.set_counter("wal.blocks_written", s.blocks_written);
+                m.set_counter("wal.bytes_requested", s.bytes_requested);
+                m.set_counter("wal.lock_wait_ns_total", s.lock_wait_ns);
+                m.set_histogram("wal.lwlock_wait_ns", w.lock_wait_histogram());
+                m.set_histogram("wal.flush_batch_blocks", w.batch_histogram());
+            }
+        }
+
+        m.set_counter("txn.commits", self.commits.load(Ordering::Relaxed));
+        m.set_counter("txn.aborts", self.aborts.load(Ordering::Relaxed));
+        m.set_counter(
+            "txn.deadlock_aborts",
+            self.deadlock_aborts.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "txn.timeout_aborts",
+            self.timeout_aborts.load(Ordering::Relaxed),
+        );
+        // Only types that ran: 16 always-empty families per personality
+        // would be noise in the JSON and the Prometheus scrape alike.
+        for (i, h) in self.commit_latency.iter().enumerate() {
+            let snap = h.snapshot();
+            if snap.count > 0 {
+                m.set_histogram(format!("txn.type{i:02}.commit_ns"), snap);
+            }
+        }
+        for (i, h) in self.abort_latency.iter().enumerate() {
+            let snap = h.snapshot();
+            if snap.count > 0 {
+                m.set_histogram(format!("txn.type{i:02}.abort_ns"), snap);
+            }
+        }
+        m
     }
 
     /// Drain the Fig. 8 (age, remaining) samples.
@@ -327,12 +444,21 @@ impl Engine {
         let token = TxnToken::new(id, now_nanos());
         let txn_guard = self.profiler.begin_txn_arc(ty);
         let root_span = self.profiler.probe_arc(self.probes.execute_transaction);
+        // Per-txn RNG derived from (engine seed, txn id): statement timing
+        // is then a pure function of the seed, independent of which OS
+        // thread runs the transaction.
+        let rng = SmallRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
         Txn {
             _root_span: Some(root_span),
             _txn_guard: Some(txn_guard),
             engine: self.clone(),
             token,
             ty,
+            rng,
             undo: Vec::new(),
             predicate_buckets: Vec::new(),
             redo_bytes: 0,
@@ -367,6 +493,8 @@ pub struct Txn {
     engine: Arc<Engine>,
     token: TxnToken,
     ty: TxnType,
+    /// Seeded from (engine seed, txn id); drives statement-RTT sampling.
+    rng: SmallRng,
     undo: Vec<Undo>,
     predicate_buckets: Vec<(TableId, u64)>,
     redo_bytes: u64,
@@ -397,14 +525,18 @@ impl Txn {
 
     /// Model the client round trip that precedes each statement. Attributed
     /// to `net_read_packet` so TProfiler sees it as client-side time.
-    fn statement_rtt(&self) {
+    ///
+    /// Draws from the per-txn seeded RNG and advances via the clock layer,
+    /// so under the virtual clock the delay is a deterministic logical bump
+    /// rather than a wall-clock sleep — same seed, same trace, same
+    /// metrics.
+    fn statement_rtt(&mut self) {
         if let Some(st) = &self.engine.config.statement_rtt {
             let e = &self.engine;
             let _span = e.profiler.probe(e.probes.net_read_packet);
-            let mut rng = rand::thread_rng();
-            let ns = st.sample(&mut rng);
+            let ns = st.sample(&mut self.rng);
             if ns > 0 {
-                std::thread::sleep(std::time::Duration::from_nanos(ns));
+                tpd_common::clock::advance(ns);
             }
         }
     }
@@ -650,6 +782,8 @@ impl Txn {
             }
         }
         e.commits.fetch_add(1, Ordering::Relaxed);
+        e.commit_latency[txn_type_slot(self.ty)]
+            .record(commit_time.saturating_sub(self.token.birth));
         self.finished = true;
         Ok(())
     }
@@ -709,6 +843,8 @@ impl Txn {
         }
         e.locks.release_all(self.token.id);
         e.aborts.fetch_add(1, Ordering::Relaxed);
+        e.abort_latency[txn_type_slot(self.ty)]
+            .record(now_nanos().saturating_sub(self.token.birth));
         self.finished = true;
     }
 }

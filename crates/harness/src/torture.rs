@@ -28,8 +28,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tpd_common::clock::VirtualClock;
+use tpd_common::dist::ServiceTime;
 use tpd_common::FaultPlan;
 use tpd_engine::{Engine, EngineConfig, Policy, TableId, Txn};
+use tpd_metrics::MetricsSnapshot;
 use tpd_wal::{FlushPolicy, WalFaultPlan};
 use tpd_workloads::{install_torture_schema, TortureMix, TortureOp, TortureTxn};
 
@@ -64,6 +66,11 @@ pub struct TortureConfig {
     /// Seeded bug: acknowledge commits before the WAL flush completes (the
     /// durability audit must catch the loss after a crash).
     pub ack_before_flush: bool,
+    /// Simulated client round trip before each statement. Under the
+    /// harness's virtual clock this is a deterministic logical-time bump
+    /// drawn from each transaction's seeded RNG, so enabling it must not
+    /// perturb replay determinism.
+    pub statement_rtt: Option<ServiceTime>,
 }
 
 impl Default for TortureConfig {
@@ -80,6 +87,7 @@ impl Default for TortureConfig {
             mix: TortureMix::default(),
             skip_locking: false,
             ack_before_flush: false,
+            statement_rtt: None,
         }
     }
 }
@@ -162,6 +170,10 @@ pub struct TortureReport {
     pub ops: usize,
     /// Violations found (empty = the run passed).
     pub violations: Vec<TortureViolation>,
+    /// Engine metrics merged across every crash epoch. Under the virtual
+    /// clock this is a pure function of the seed; its JSON rendering is a
+    /// second reproducibility witness alongside [`TortureReport::digest`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl TortureReport {
@@ -224,6 +236,8 @@ struct Driver<'a> {
     commits: u64,
     aborts: u64,
     crashes: u32,
+    /// Metrics folded in from engines retired at each crash.
+    metrics: MetricsSnapshot,
 }
 
 fn build_engine(cfg: &TortureConfig) -> (Arc<Engine>, Vec<TableId>) {
@@ -242,6 +256,7 @@ fn build_engine(cfg: &TortureConfig) -> (Arc<Engine>, Vec<TableId>) {
     ec.wal_manual_flush = true;
     ec.seed = cfg.seed;
     ec.skip_locking = cfg.skip_locking;
+    ec.statement_rtt = cfg.statement_rtt.clone();
     if cfg.faults {
         ec.data_faults = Some(FaultPlan::chaos(cfg.seed ^ 0xD15C));
         ec.log_faults = Some(FaultPlan::chaos(cfg.seed ^ 0x10D1));
@@ -280,6 +295,7 @@ impl<'a> Driver<'a> {
             commits: 0,
             aborts: 0,
             crashes: 0,
+            metrics: MetricsSnapshot::new(),
         }
     }
 
@@ -446,6 +462,9 @@ impl<'a> Driver<'a> {
         }
 
         self.check_epoch();
+        // The crashed engine is about to be dropped; fold its metrics into
+        // the whole-run view first.
+        self.metrics.merge(&self.engine.metrics_snapshot());
         self.checkpoint = expected;
         self.engine = engine;
         self.tables = tables;
@@ -579,6 +598,7 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         }
     }
     d.check_epoch();
+    d.metrics.merge(&d.engine.metrics_snapshot());
 
     TortureReport {
         seed: cfg.seed,
@@ -588,5 +608,6 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         crashes: d.crashes,
         ops: d.history.len(),
         violations: d.violations,
+        metrics: d.metrics,
     }
 }

@@ -1,6 +1,7 @@
 //! Harness self-tests: the checkers must be deterministic, quiet on a
 //! correct engine, and *loud* on the two seeded bugs.
 
+use tpd_common::dist::ServiceTime;
 use tpd_harness::{run_torture, CheckerViolation, TortureConfig, TortureReport, TortureViolation};
 use tpd_wal::FlushPolicy;
 
@@ -24,6 +25,71 @@ fn same_seed_same_digest_and_verdict() {
     assert_eq!(a.aborts, b.aborts);
     assert_eq!(a.crashes, b.crashes);
     assert_eq!(a.violations.len(), b.violations.len());
+}
+
+#[test]
+fn metrics_snapshot_is_a_reproducibility_witness() {
+    // Same seed ⇒ byte-identical metrics JSON, across crash epochs and
+    // faults. This is stronger than the digest: the digest only covers the
+    // op history, while the metrics cover every recorded latency.
+    let cfg = TortureConfig {
+        seed: 0xFEED,
+        txns: 150,
+        crash_every: 40,
+        faults: true,
+        ..Default::default()
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    // The families are actually populated.
+    assert_eq!(a.metrics.counters["txn.commits"], a.commits);
+    assert!(a.metrics.counters["lock.acquires"] > 0);
+    assert!(a.metrics.counters["wal.flushes"] > 0);
+    assert!(a.metrics.counters["pool.hits"] + a.metrics.counters["pool.misses"] > 0);
+    assert!(a.metrics.histograms.contains_key("wal.fsync_ns"));
+    assert!(a.metrics.histograms["txn.type00.commit_ns"].count > 0);
+}
+
+#[test]
+fn statement_rtt_is_deterministic() {
+    // Regression: statement_rtt used to draw from thread_rng and sleep on
+    // the OS clock, so enabling it destroyed replay determinism (and
+    // burned wall time). It now draws from the per-txn seeded RNG and
+    // advances the virtual clock.
+    let cfg = TortureConfig {
+        seed: 0xC0FFEE,
+        txns: 120,
+        crash_every: 50,
+        statement_rtt: Some(ServiceTime::LogNormal {
+            median: 20_000,
+            sigma: 0.6,
+        }),
+        ..Default::default()
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(
+        a.digest, b.digest,
+        "identical seeds must replay with RTT on"
+    );
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "RTT sampling must be virtual-time deterministic"
+    );
+    // And the RTT must actually influence the run: commit latency includes
+    // the injected client round trips.
+    let without = run(&TortureConfig {
+        statement_rtt: None,
+        ..cfg.clone()
+    });
+    let with_rtt = a.metrics.histograms["txn.type00.commit_ns"].mean();
+    let base = without.metrics.histograms["txn.type00.commit_ns"].mean();
+    assert!(
+        with_rtt > base,
+        "RTT should lengthen commits: {with_rtt} vs {base}"
+    );
 }
 
 #[test]

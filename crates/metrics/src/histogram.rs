@@ -1,0 +1,316 @@
+//! Fixed-bucket, lock-free latency histograms.
+//!
+//! Buckets are log₂-scaled with [`SUB`] (4) sub-buckets per octave —
+//! HdrHistogram's layout at its coarsest setting. The bucket holding a
+//! value is never more than 25% wider than the value itself, which is
+//! plenty for p50/p95/p99/p99.9 readouts on latencies spanning nanoseconds
+//! to minutes, and it keeps the whole histogram a fixed 252-slot array of
+//! atomics: recording is two shifts, a mask, and three relaxed atomic adds.
+//! No allocation, no locks, no resizing, ever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket bits per octave.
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per octave (values below `SUB` get exact unit buckets).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: values 0..4 exact, then 62 octaves × 4 sub-buckets
+/// (indices 4..=251 for leading-bit positions 2..=63).
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB as usize;
+
+/// The bucket index for a value. Monotonic in `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // position of the leading bit, >= SUB_BITS
+        let mantissa = (v >> (exp - SUB_BITS)) & (SUB - 1);
+        ((exp - SUB_BITS + 1) as u64 * SUB + mantissa) as usize
+    }
+}
+
+/// The smallest value mapping to bucket `i` (the inverse of
+/// [`bucket_index`] on bucket lower bounds).
+fn bucket_floor(i: usize) -> u64 {
+    if i < SUB as usize {
+        i as u64
+    } else {
+        let exp = (i as u32 / SUB as u32) - 1 + SUB_BITS;
+        let mantissa = (i as u64) % SUB;
+        (1u64 << exp) | (mantissa << (exp - SUB_BITS))
+    }
+}
+
+/// A lock-free histogram of `u64` values (latencies in ns, depths, bytes).
+///
+/// Thread-safe: record from any number of threads while others snapshot.
+/// A snapshot taken concurrently with recording sees some prefix of the
+/// recording — counts are monotone, never torn per-bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_floor(i), n))
+            })
+            .collect();
+        // Derive count/sum from the buckets where possible so a snapshot
+        // racing a `record` stays internally consistent (sum is only
+        // approximate under races; exact when quiescent).
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        }
+    }
+}
+
+/// An immutable, mergeable histogram snapshot.
+///
+/// `buckets` holds `(bucket_floor, count)` pairs for non-empty buckets,
+/// sorted by floor. Percentile readout returns the *floor* of the bucket
+/// containing the requested rank — a deterministic under-estimate with at
+/// most 25% relative error, which is what makes same-seed snapshots
+/// byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (exact when quiescent at snapshot time).
+    pub sum: u64,
+    /// `(bucket lower bound, count)` for each non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the floor of the bucket
+    /// containing the `ceil(q · count)`-th smallest recording (0 if empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(floor, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return floor;
+            }
+        }
+        self.buckets.last().map_or(0, |&(floor, _)| floor)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another snapshot into this one. Associative and commutative:
+    /// bucket floors come from one shared fixed layout, so merging is a
+    /// sorted union summing counts. `sum` wraps on overflow, matching the
+    /// recording path's relaxed `fetch_add` (wrapping keeps the merge
+    /// associative even for adversarial values).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(fa, na)), Some(&(fb, nb))) => {
+                    if fa == fb {
+                        merged.push((fa, na + nb));
+                        i += 1;
+                        j += 1;
+                    } else if fa < fb {
+                        merged.push((fa, na));
+                        i += 1;
+                    } else {
+                        merged.push((fb, nb));
+                        j += 1;
+                    }
+                }
+                (Some(&a), None) => {
+                    merged.push(a);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    merged.push(b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_floor_inverts() {
+        let mut last = 0usize;
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            15,
+            16,
+            100,
+            1_000,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i >= last, "monotone at {v}");
+            assert!(i < BUCKETS, "in range at {v}: {i}");
+            let floor = bucket_floor(i);
+            assert!(floor <= v, "floor {floor} <= {v}");
+            assert_eq!(bucket_index(floor), i, "floor of bucket {i} maps back");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_bounded() {
+        // The next bucket's floor is at most 25% above this bucket's floor
+        // (for values >= SUB), bounding percentile under-estimates.
+        for v in [10u64, 100, 10_000, 123_456_789] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(
+                (v - floor) as f64 / v as f64 <= 0.25,
+                "error at {v}: floor {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_small_values() {
+        for v in 0..SUB {
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        // p50 within one bucket (25%) of 500µs, from below.
+        assert!(
+            s.p50() <= 500_000 && s.p50() >= 375_000,
+            "p50 = {}",
+            s.p50()
+        );
+        assert!(
+            s.p99() <= 990_000 && s.p99() >= 742_500,
+            "p99 = {}",
+            s.p99()
+        );
+        assert!(s.p999() >= s.p99());
+        assert!((s.mean() - 500_500_000.0 / 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7);
+            all.record(v * 7);
+        }
+        for v in 0..300u64 {
+            b.record(v * 131);
+            all.record(v * 131);
+        }
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa, all.snapshot());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # tpd-metrics — always-on observability for the predictability study
+//!
+//! The paper's method rests on trustworthy measurement of tail latency and
+//! variance; outside TProfiler the engines were black boxes. This crate is
+//! the continuous, low-overhead counterpart to the profiler's sampled
+//! traces: counters and latency histograms that are cheap enough to leave
+//! on in every run — benchmarks, torture runs, CI — so regressions in the
+//! tails show up without re-running full experiments.
+//!
+//! Design constraints, in order:
+//!
+//! * **No locks on the hot path.** Recording is a handful of relaxed
+//!   atomic operations. [`Counter`] stripes its cells across cache lines
+//!   so concurrent writers don't bounce one line; [`Histogram`] uses a
+//!   fixed array of atomic buckets (log₂-scaled with 4 sub-buckets per
+//!   octave, ≤ 25% relative bucket error) — no allocation, no locking,
+//!   no resizing, ever.
+//! * **Virtual-clock aware.** Nothing in this crate reads a clock: callers
+//!   measure durations with [`tpd_common::clock::now_nanos`], which the
+//!   deterministic harness switches to a virtual clock. Under the torture
+//!   driver a metrics snapshot is therefore a pure function of the seed —
+//!   the harness diffs snapshots across same-seed runs as an additional
+//!   reproducibility witness.
+//! * **Mergeable snapshots.** [`HistogramSnapshot`] and [`MetricsSnapshot`]
+//!   merge associatively, so per-epoch (or per-shard) snapshots can be
+//!   combined offline. Snapshot maps are ordered (`BTreeMap`) and the JSON
+//!   / Prometheus renderings are byte-deterministic.
+//!
+//! [`MetricsRegistry`] is the named-family container an engine owns:
+//! subsystems either register instruments through it or expose their own
+//! snapshots that the engine folds into one [`MetricsSnapshot`].
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::MetricsRegistry;
+pub use snapshot::MetricsSnapshot;

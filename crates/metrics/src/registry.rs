@@ -1,0 +1,105 @@
+//! The named-instrument registry an engine owns.
+//!
+//! Registration is cold (a mutex-guarded map lookup at construction time);
+//! recording is hot and goes through the returned `Arc` handles without
+//! touching the registry at all — the registry is never on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::Counter;
+use crate::histogram::Histogram;
+use crate::snapshot::MetricsSnapshot;
+
+#[derive(Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named counters and histograms.
+///
+/// Names are dot-separated families (`txn.commit_ns.t0`). Registering the
+/// same name twice returns the same instrument; registering a name as two
+/// different kinds panics (a config bug worth failing loudly on).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    items: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut items = self.items.lock().expect("registry poisoned");
+        match items
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => c.clone(),
+            Instrument::Histogram(_) => panic!("metric {name} already registered as a histogram"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut items = self.items.lock().expect("registry poisoned");
+        match items
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            Instrument::Counter(_) => panic!("metric {name} already registered as a counter"),
+        }
+    }
+
+    /// Snapshot every registered instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let items = self.items.lock().expect("registry poisoned");
+        let mut snap = MetricsSnapshot::new();
+        for (name, inst) in items.iter() {
+            match inst {
+                Instrument::Counter(c) => snap.set_counter(name.clone(), c.get()),
+                Instrument::Histogram(h) => snap.set_histogram(name.clone(), h.snapshot()),
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instrument() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counters["x"], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_contains_all() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(3);
+        r.histogram("b").record(42);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 3);
+        assert_eq!(s.histograms["b"].count, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Mergeable metric snapshots with deterministic JSON and Prometheus
+//! text renderings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::histogram::HistogramSnapshot;
+
+/// A point-in-time view of every metric an engine (or subsystem) exposes.
+///
+/// Keys are dot-separated family names (`lock.acquires`,
+/// `wal.fsync_ns`). Both maps are ordered, and every rendering walks them
+/// in order, so two snapshots with equal contents render byte-identically
+/// — the property the torture harness uses as a reproducibility witness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (or overwrite) a counter.
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// Set (or overwrite) a histogram.
+    pub fn set_histogram(&mut self, name: impl Into<String>, h: HistogramSnapshot) {
+        self.histograms.insert(name.into(), h);
+    }
+
+    /// Merge another snapshot into this one: counters add, histograms
+    /// merge bucket-wise. Associative and commutative, so per-epoch
+    /// snapshots fold into a whole-run view in any order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Render as JSON. Counters become `"name": value`; each histogram
+    /// becomes an object with count, sum, the percentile readout, and the
+    /// non-empty `[floor, count]` buckets. Key order is map order
+    /// (lexicographic), output has no float formatting (all integers), so
+    /// equal snapshots render byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{k}\": {v}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{k}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.p999()
+            );
+            for (j, &(floor, n)) in h.buckets.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}[{floor}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Render in the Prometheus text exposition format. Dots in names
+    /// become underscores; counters get a `_total` suffix, histograms
+    /// expose `_count`, `_sum`, and cumulative `_bucket{le="..."}` series
+    /// (the native Prometheus histogram shape) using each bucket's floor
+    /// as its `le` boundary plus a final `+Inf`.
+    pub fn to_prometheus(&self) -> String {
+        let sanitize = |name: &str| name.replace(['.', '-'], "_");
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = sanitize(k);
+            let _ = writeln!(out, "# TYPE {name}_total counter");
+            let _ = writeln!(out, "{name}_total {v}");
+        }
+        for (k, h) in &self.histograms {
+            let name = sanitize(k);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for &(floor, n) in &h.buckets {
+                cum += n;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{floor}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("lock.acquires", 10);
+        m.set_counter("pool.hits", 7);
+        let h = Histogram::new();
+        h.record(100);
+        h.record(200_000);
+        m.set_histogram("wal.fsync_ns", h.snapshot());
+        m
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        // Lexicographic key order.
+        let lock = a.find("lock.acquires").expect("lock key");
+        let pool = a.find("pool.hits").expect("pool key");
+        assert!(lock < pool);
+        assert!(a.contains("\"count\": 2"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.counters["lock.acquires"], 20);
+        assert_eq!(a.histograms["wal.fsync_ns"].count, 4);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (sample(), sample(), sample());
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.to_json(), a_bc.to_json());
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("lock_acquires_total 10"));
+        assert!(p.contains("# TYPE wal_fsync_ns histogram"));
+        assert!(p.contains("wal_fsync_ns_count 2"));
+        assert!(p.contains("le=\"+Inf\"}} 2") || p.contains("le=\"+Inf\"} 2"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Integration and property tests for tpd-metrics: concurrent recording
+//! against snapshots, merge algebra, bucket-boundary invariants, and
+//! virtual-clock determinism of the JSON rendering.
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tpd_common::clock::{now_nanos, VirtualClock};
+use tpd_metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, BUCKETS};
+
+/// Many writer threads hammer a histogram and a counter while a reader
+/// thread snapshots continuously. Snapshots must never observe more mass
+/// than recorded, and the final totals must be exact.
+#[test]
+fn concurrent_recording_vs_snapshot_stress() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let hist = Arc::new(Histogram::new());
+    let count = Arc::new(Counter::new());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let reader = {
+        let (hist, count, stop) = (hist.clone(), count.clone(), stop.clone());
+        thread::spawn(move || {
+            let mut snaps = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let s = hist.snapshot();
+                let bucket_total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+                assert!(
+                    s.count <= THREADS * PER_THREAD,
+                    "count never exceeds recorded mass"
+                );
+                // Bucket mass and count race benignly (relaxed atomics),
+                // but neither can exceed the true total.
+                assert!(bucket_total <= THREADS * PER_THREAD);
+                assert!(count.get() <= THREADS * PER_THREAD);
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let (hist, count) = (hist.clone(), count.clone());
+            thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t + 1);
+                for _ in 0..PER_THREAD {
+                    hist.record(rng.gen_range(0..1u64 << 40));
+                    count.inc();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let snaps = reader.join().expect("reader");
+    assert!(snaps > 0, "reader actually snapshotted");
+
+    // Quiescent: totals are exact.
+    let s = hist.snapshot();
+    assert_eq!(s.count, THREADS * PER_THREAD);
+    let bucket_total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, THREADS * PER_THREAD);
+    assert_eq!(count.get(), THREADS * PER_THREAD);
+}
+
+/// Same seed ⇒ byte-identical JSON, with every duration drawn from the
+/// virtual clock. This is the crate-level form of the witness the torture
+/// harness relies on.
+#[test]
+fn virtual_clock_runs_render_identical_json() {
+    fn one_run(seed: u64) -> String {
+        let _clock = VirtualClock::enable(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let reg = MetricsRegistry::new();
+        let lat = reg.histogram("op.latency_ns");
+        let ops = reg.counter("op.count");
+        for _ in 0..500 {
+            let t0 = now_nanos();
+            tpd_common::clock::advance(rng.gen_range(1..50_000));
+            lat.record(now_nanos() - t0);
+            ops.inc();
+        }
+        reg.snapshot().to_json()
+    }
+    let a = one_run(99);
+    let b = one_run(99);
+    assert_eq!(a, b, "same seed must render byte-identically");
+    assert_ne!(a, one_run(100), "different seeds must diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging snapshots is associative and commutative, and bucket mass
+    /// is conserved, for arbitrary recorded values.
+    #[test]
+    fn merge_is_associative_and_conserves_mass(
+        xs in proptest::collection::vec(any::<u64>(), 0..40),
+        ys in proptest::collection::vec(any::<u64>(), 0..40),
+        zs in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            let mut m = MetricsSnapshot::new();
+            m.set_counter("n", vals.len() as u64);
+            m.set_histogram("h", h.snapshot());
+            m
+        };
+        let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+        prop_assert_eq!(ab_c.to_json(), a_bc.to_json());
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        let total = (xs.len() + ys.len() + zs.len()) as u64;
+        prop_assert_eq!(ab_c.counters["n"], total);
+        prop_assert_eq!(ab_c.histograms["h"].count, total);
+        let mass: u64 = ab_c.histograms["h"].buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(mass, total, "no bucket mass lost in merge");
+    }
+
+    /// Every u64 lands in a valid bucket whose floor bounds it from below
+    /// within the log₂/4-sub-bucket relative-error contract (≤ 25%).
+    #[test]
+    fn bucket_boundaries_bound_values(v in any::<u64>()) {
+        let h = Histogram::new();
+        h.record(v);
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, 1);
+        prop_assert_eq!(s.buckets.len(), 1);
+        let (floor, n) = s.buckets[0];
+        prop_assert_eq!(n, 1);
+        prop_assert!(floor <= v, "floor {} <= value {}", floor, v);
+        // Relative bucket error ≤ 25%: floor > v − v/4 − 1.
+        prop_assert!(
+            v - floor <= v / 4,
+            "floor {} too far below {}",
+            floor,
+            v
+        );
+        // Quantiles report the bucket floor.
+        prop_assert_eq!(s.quantile(1.0), floor);
+    }
+
+    /// Quantiles are monotone in q and bounded by the recorded extremes'
+    /// bucket floors, for any sample set.
+    #[test]
+    fn quantiles_monotone(vals in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0];
+        let mut last = 0u64;
+        for &q in &qs {
+            let x = s.quantile(q);
+            prop_assert!(x >= last, "quantile monotone at {}", q);
+            last = x;
+        }
+        let max = vals.iter().copied().max().expect("nonempty");
+        prop_assert!(s.quantile(1.0) <= max);
+    }
+}
+
+/// The fixed bucket count covers the full u64 range: the largest value
+/// maps to the last bucket, index BUCKETS − 1.
+#[test]
+fn bucket_count_covers_u64() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(0);
+    let s = h.snapshot();
+    assert_eq!(s.count, 2);
+    assert_eq!(s.buckets.len(), 2);
+    // u64::MAX maps into the top octave of the fixed layout: its bucket
+    // floor keeps the leading bit, so the 252-slot table covers all of u64.
+    let (top_floor, top_n) = *s.buckets.last().expect("nonempty");
+    assert_eq!(top_n, 1);
+    assert!(top_floor >= 1 << 63, "top bucket floor {top_floor}");
+    const _: () = assert!(BUCKETS == 252);
+}

@@ -35,7 +35,24 @@ pub struct FactorScore {
     /// Total variance (or |2·covariance|) mass attributed to the factor, ns².
     pub variance: f64,
     /// Fraction of the overall transaction-latency variance.
+    ///
+    /// For a `Func` factor this is *inclusive*: an enclosing span's
+    /// variance contains its instrumented children's, so these fractions
+    /// deliberately overlap (and a span whose duration swings harder than
+    /// the end-to-end latency can exceed 100% on its own). Use
+    /// [`FactorScore::exclusive_fraction`] for a non-double-counting view.
     pub fraction_of_total: f64,
+    /// Variance of the factor's *exclusive* time — its duration minus the
+    /// time of its instrumented children, per transaction. Nested spans no
+    /// longer re-attribute their children's variance, so exclusive
+    /// fractions don't double-count. Equals [`FactorScore::variance`] for
+    /// leaves, covariances, and bodies.
+    pub exclusive_variance: f64,
+    /// `exclusive_variance` as a fraction of the overall variance.
+    pub exclusive_fraction: f64,
+    /// Whether this function's span ever enclosed an instrumented child —
+    /// i.e. whether `fraction_of_total` overlaps with some child's.
+    pub has_child_overlap: bool,
     /// The ranking score: specificity × variance mass.
     pub score: f64,
     /// Per-call-site variance breakdown `(parent, variance)` for `Func`
@@ -74,6 +91,12 @@ impl VarianceReport {
         // Column per function body: func -> per-txn (own − children) durations.
         let mut body_col_of: HashMap<FuncId, usize> = HashMap::new();
         let mut body_cols: Vec<Vec<f64>> = Vec::new();
+        // Column per function of *exclusive* time: own − instrumented
+        // children, every function (leaves included, where it equals own).
+        let mut excl_col_of: HashMap<FuncId, usize> = HashMap::new();
+        let mut excl_cols: Vec<Vec<f64>> = Vec::new();
+        // Functions whose span enclosed an instrumented child in any trace.
+        let mut has_children: std::collections::HashSet<FuncId> = std::collections::HashSet::new();
 
         for (ti, trace) in traces.iter().enumerate() {
             // Per-txn sums per call site and per function.
@@ -97,12 +120,18 @@ impl VarianceReport {
             for (f, own) in &func_sum {
                 let kids = child_sum.get(f).copied().unwrap_or(0.0);
                 if kids > 0.0 {
+                    has_children.insert(*f);
                     let col = *body_col_of.entry(*f).or_insert_with(|| {
                         body_cols.push(vec![0.0; n]);
                         body_cols.len() - 1
                     });
                     body_cols[col][ti] = (own - kids).max(0.0);
                 }
+                let col = *excl_col_of.entry(*f).or_insert_with(|| {
+                    excl_cols.push(vec![0.0; n]);
+                    excl_cols.len() - 1
+                });
+                excl_cols[col][ti] = (own - kids).max(0.0);
             }
         }
 
@@ -125,6 +154,9 @@ impl VarianceReport {
                 kind: FactorKind::Func(f),
                 variance: 0.0,
                 fraction_of_total: 0.0,
+                exclusive_variance: 0.0,
+                exclusive_fraction: 0.0,
+                has_child_overlap: false,
                 score: 0.0,
                 call_sites: Vec::new(),
                 mean_ns: 0.0,
@@ -157,6 +189,9 @@ impl VarianceReport {
                     kind: FactorKind::Cov(key.0, key.1),
                     variance: 0.0,
                     fraction_of_total: 0.0,
+                    exclusive_variance: 0.0,
+                    exclusive_fraction: 0.0,
+                    has_child_overlap: false,
                     score: 0.0,
                     call_sites: Vec::new(),
                     mean_ns: 0.0,
@@ -178,6 +213,9 @@ impl VarianceReport {
                     kind: FactorKind::Body(f),
                     variance: s.variance(),
                     fraction_of_total: 0.0,
+                    exclusive_variance: s.variance(),
+                    exclusive_fraction: 0.0,
+                    has_child_overlap: false,
                     score: 0.0,
                     call_sites: vec![(Some(f), s.variance())],
                     mean_ns: s.mean(),
@@ -196,6 +234,15 @@ impl VarianceReport {
                 unreachable!()
             };
             fs.fraction_of_total = safe_frac(fs.variance, total_variance);
+            fs.has_child_overlap = has_children.contains(&f);
+            fs.exclusive_variance = excl_col_of.get(&f).map_or(fs.variance, |&col| {
+                let mut s = OnlineStats::new();
+                for &v in &excl_cols[col] {
+                    s.push(v);
+                }
+                s.variance()
+            });
+            fs.exclusive_fraction = safe_frac(fs.exclusive_variance, total_variance);
             fs.score = graph.specificity(f) * fs.variance;
             factors.push(fs);
         }
@@ -204,11 +251,14 @@ impl VarianceReport {
                 unreachable!()
             };
             fs.fraction_of_total = safe_frac(fs.variance, total_variance);
+            fs.exclusive_variance = fs.variance;
+            fs.exclusive_fraction = fs.fraction_of_total;
             fs.score = graph.pair_specificity(a, b) * fs.variance.abs();
             factors.push(fs);
         }
         for fs in &mut body_factors {
             fs.fraction_of_total = safe_frac(fs.variance, total_variance);
+            fs.exclusive_fraction = fs.fraction_of_total;
             // A body is terminal: maximally specific.
             fs.score = leaf_spec * fs.variance;
         }
@@ -237,25 +287,47 @@ impl VarianceReport {
 
     /// Render the top-`k` factors as a text table (the paper's Table 1/2
     /// format: function, % of overall variance).
+    ///
+    /// Spans that enclose instrumented children are marked `*`: their
+    /// inclusive share counts their children's variance again, so the
+    /// inclusive column can legitimately sum past 100%. The `% excl`
+    /// column subtracts instrumented-child time and does not overlap.
     pub fn render(&self, graph: &CallGraph, k: usize) -> String {
-        let mut t = TextTable::new(["factor", "% of overall variance", "mean (us)", "score"]);
+        let mut t = TextTable::new([
+            "factor",
+            "% of overall variance",
+            "% excl",
+            "mean (us)",
+            "score",
+        ]);
+        let mut any_overlap = false;
         for fs in self.top_k(k) {
-            let name = match fs.kind {
+            let mut name = match fs.kind {
                 FactorKind::Func(f) => graph.name(f).to_string(),
                 FactorKind::Cov(a, b) => {
                     format!("cov({}, {})", graph.name(a), graph.name(b))
                 }
                 FactorKind::Body(f) => format!("body({})", graph.name(f)),
             };
+            if fs.has_child_overlap {
+                any_overlap = true;
+                name.push_str(" *");
+            }
             t.row([
                 name,
                 pct(fs.fraction_of_total),
+                pct(fs.exclusive_fraction),
                 format!("{:.1}", fs.mean_ns / 1000.0),
                 format!("{:.3e}", fs.score),
             ]);
         }
+        let footnote = if any_overlap {
+            "* span encloses instrumented children; its inclusive % counts their variance again\n"
+        } else {
+            ""
+        };
         format!(
-            "{} transactions, mean {:.2} ms, variance {:.3e} ns^2\n{}",
+            "{} transactions, mean {:.2} ms, variance {:.3e} ns^2\n{}{footnote}",
             self.txn_count,
             self.mean_total_ns / 1e6,
             self.total_variance,
@@ -521,6 +593,88 @@ mod tests {
         // body(root) = total − a − b = 100, constant → zero variance.
         assert_eq!(body.variance, 0.0);
         assert!((body.mean_ns - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_span_variance_not_double_attributed() {
+        // Regression for the >100% factor-table rows: a nested chain
+        // root → mid → leaf where mid is just leaf plus a constant. The
+        // inclusive view attributes leaf's variance to BOTH mid and leaf
+        // (each ≈100% of the total), which is how the old table printed
+        // impossible shares. The exclusive view must charge mid ≈ 0.
+        let mut gb = CallGraphBuilder::new();
+        let root = gb.register("root", None);
+        let mid = gb.register("mid", Some(root));
+        let leaf = gb.register("leaf", Some(mid));
+        let g = gb.build();
+        let traces: Vec<TxnTrace> = (0..100)
+            .map(|i| {
+                let w = (i % 10) * 1000;
+                let total = w + 700;
+                TxnTrace {
+                    txn_type: 0,
+                    total,
+                    events: vec![
+                        Event {
+                            func: root,
+                            parent: None,
+                            start: 0,
+                            dur: total,
+                        },
+                        Event {
+                            func: mid,
+                            parent: Some(root),
+                            start: 100,
+                            dur: w + 500,
+                        },
+                        Event {
+                            func: leaf,
+                            parent: Some(mid),
+                            start: 200,
+                            dur: w,
+                        },
+                    ],
+                }
+            })
+            .collect();
+        let report = VarianceReport::analyze(&g, &traces);
+        let fm = report.func_factor(mid).expect("mid analyzed");
+        let fl = report.func_factor(leaf).expect("leaf analyzed");
+
+        // Inclusive fractions still overlap: both carry the full variance.
+        assert!(fm.fraction_of_total > 0.95, "{}", fm.fraction_of_total);
+        assert!(fl.fraction_of_total > 0.95, "{}", fl.fraction_of_total);
+
+        // Exclusive fractions must not: mid − leaf is a constant 500 ns.
+        assert!(fm.has_child_overlap, "mid encloses leaf");
+        assert!(!fl.has_child_overlap, "leaf is terminal");
+        assert!(
+            fm.exclusive_fraction < 0.01,
+            "mid's exclusive share must vanish: {}",
+            fm.exclusive_fraction
+        );
+        assert!(
+            (fl.exclusive_fraction - fl.fraction_of_total).abs() < 1e-9,
+            "leaf exclusive == inclusive"
+        );
+        // The non-overlapping shares stay within 100% (up to overhead).
+        let excl_sum: f64 = report
+            .factors
+            .iter()
+            .filter(|f| matches!(f.kind, FactorKind::Func(_)))
+            .map(|f| f.exclusive_fraction)
+            .sum();
+        assert!(
+            excl_sum < 1.05,
+            "exclusive shares must not exceed total: {excl_sum}"
+        );
+
+        // The rendered table marks the overlapping span and explains it.
+        let s = report.render(&g, 8);
+        assert!(s.contains("mid *"), "{s}");
+        assert!(s.contains("% excl"), "{s}");
+        assert!(s.contains("counts their variance again"), "{s}");
+        assert!(!s.contains("leaf *"), "{s}");
     }
 
     #[test]

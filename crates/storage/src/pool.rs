@@ -26,6 +26,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use tpd_common::clock::{cpu_work, now_nanos};
 use tpd_common::disk::SimDisk;
+use tpd_metrics::{Histogram, HistogramSnapshot};
 use tpd_profiler::{FuncId, Profiler};
 
 use crate::lru::LruList;
@@ -171,6 +172,9 @@ pub struct BufferPool {
     make_young_n: AtomicU64,
     deferred: AtomicU64,
     backlog_applied: AtomicU64,
+    /// LLU backlog depth observed at each drain (pages deferred while the
+    /// LRU mutex was contended).
+    backlog_depth_hist: Histogram,
     mutex_wait_ns: AtomicU64,
     /// Debug-build frame pin counts: incremented while a frame's contents
     /// are being used, decremented after. The invariant checked is that a
@@ -217,6 +221,7 @@ impl BufferPool {
             make_young_n: AtomicU64::new(0),
             deferred: AtomicU64::new(0),
             backlog_applied: AtomicU64::new(0),
+            backlog_depth_hist: Histogram::new(),
             mutex_wait_ns: AtomicU64::new(0),
             #[cfg(debug_assertions)]
             pins: (0..nframes)
@@ -324,6 +329,7 @@ impl BufferPool {
                         // deferred pages before the triggering page).
                         let backlog =
                             BACKLOG.with(|b| b.borrow_mut().remove(&self.id).unwrap_or_default());
+                        self.backlog_depth_hist.record(backlog.len() as u64);
                         for bpid in backlog {
                             let bf = self.page_table.read().get(&bpid).copied();
                             if let Some(bf) = bf {
@@ -552,6 +558,11 @@ impl BufferPool {
             backlog_applied: self.backlog_applied.load(Ordering::Relaxed),
             mutex_wait_ns: self.mutex_wait_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the LLU backlog-depth histogram (pages per drain).
+    pub fn backlog_depth_histogram(&self) -> HistogramSnapshot {
+        self.backlog_depth_hist.snapshot()
     }
 }
 

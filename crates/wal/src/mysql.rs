@@ -25,6 +25,7 @@ use parking_lot::{Condvar, Mutex};
 
 use tpd_common::clock::now_nanos;
 use tpd_common::disk::SimDisk;
+use tpd_metrics::{Histogram, HistogramSnapshot};
 use tpd_profiler::{FuncId, Profiler};
 
 use crate::record::{LogRecord, StampedRecord};
@@ -126,6 +127,10 @@ pub struct RedoLog {
     group_commits: AtomicU64,
     bytes_written: AtomicU64,
     commit_wait_ns: AtomicU64,
+    /// Fsync latency per flush (ns).
+    fsync_hist: Histogram,
+    /// Bytes written to the device per flush batch.
+    batch_hist: Histogram,
 }
 
 impl RedoLog {
@@ -152,6 +157,8 @@ impl RedoLog {
             group_commits: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             commit_wait_ns: AtomicU64::new(0),
+            fsync_hist: Histogram::new(),
+            batch_hist: Histogram::new(),
         };
         if matches!(config.policy, FlushPolicy::Eager) || config.manual_flush {
             return Arc::new(log);
@@ -373,6 +380,7 @@ impl RedoLog {
                 return;
             }
         }
+        self.batch_hist.record(to_write);
         // The fsync: the paper's `fil_flush`.
         let t0 = now_nanos();
         self.disk.flush(0);
@@ -380,6 +388,7 @@ impl RedoLog {
         if let Some(p) = &self.probes {
             p.profiler.add_event(p.fil_flush, t0, dur);
         }
+        self.fsync_hist.record(dur);
         self.flushes.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
         st.flushed_lsn = st.flushed_lsn.max(target_lsn);
@@ -388,6 +397,16 @@ impl RedoLog {
     /// Durable LSN (for tests and recovery assertions).
     pub fn flushed_lsn(&self) -> Lsn {
         Lsn(self.state.lock().flushed_lsn)
+    }
+
+    /// Snapshot of the fsync-latency histogram (ns per flush).
+    pub fn fsync_histogram(&self) -> HistogramSnapshot {
+        self.fsync_hist.snapshot()
+    }
+
+    /// Snapshot of the flush batch-size histogram (bytes per flush).
+    pub fn batch_histogram(&self) -> HistogramSnapshot {
+        self.batch_hist.snapshot()
     }
 
     /// Statistics snapshot.

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 
 use tpd_common::clock::now_nanos;
 use tpd_common::disk::SimDisk;
+use tpd_metrics::{Histogram, HistogramSnapshot};
 use tpd_profiler::{FuncId, Profiler};
 
 /// Configuration for the WAL writer.
@@ -112,6 +113,10 @@ pub struct WalWriter {
     blocks_written: AtomicU64,
     bytes_requested: AtomicU64,
     lock_wait_ns: AtomicU64,
+    /// WALWriteLock wait per commit (ns).
+    lock_wait_hist: Histogram,
+    /// Blocks written per flush batch (including padding).
+    batch_hist: Histogram,
 }
 
 impl WalWriter {
@@ -142,6 +147,8 @@ impl WalWriter {
             blocks_written: AtomicU64::new(0),
             bytes_requested: AtomicU64::new(0),
             lock_wait_ns: AtomicU64::new(0),
+            lock_wait_hist: Histogram::new(),
+            batch_hist: Histogram::new(),
         }
     }
 
@@ -181,6 +188,7 @@ impl WalWriter {
         set.waiters.fetch_sub(1, Ordering::Relaxed);
         let lock_wait = now_nanos() - lock_start;
         self.lock_wait_ns.fetch_add(lock_wait, Ordering::Relaxed);
+        self.lock_wait_hist.record(lock_wait);
         if let Some(p) = &self.probes {
             p.profiler
                 .add_event(p.lwlock_acquire, lock_start, lock_wait);
@@ -213,6 +221,7 @@ impl WalWriter {
         set.disk.flush(0);
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.blocks_written.fetch_add(blocks, Ordering::Relaxed);
+        self.batch_hist.record(blocks);
         {
             let mut st = set.state.lock();
             st.flushed_ticket = st.flushed_ticket.max(flush_upto);
@@ -256,6 +265,16 @@ impl WalWriter {
             bytes_requested: self.bytes_requested.load(Ordering::Relaxed),
             lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the WALWriteLock wait histogram (ns per commit).
+    pub fn lock_wait_histogram(&self) -> HistogramSnapshot {
+        self.lock_wait_hist.snapshot()
+    }
+
+    /// Snapshot of the flush batch-size histogram (blocks per flush).
+    pub fn batch_histogram(&self) -> HistogramSnapshot {
+        self.batch_hist.snapshot()
     }
 }
 
