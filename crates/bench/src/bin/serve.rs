@@ -1,0 +1,70 @@
+//! Stand-alone TATP server: install the workload, listen on a TCP port,
+//! and serve the tpd wire protocol until killed (or for `--secs N`).
+//!
+//! ```text
+//! cargo run --release --bin serve -- --addr 127.0.0.1:7878 --slots 32
+//! ```
+
+use std::time::Duration;
+
+use tpd_bench::netbench::{start_tatp_server, NetArgs};
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--subscribers N] [--slots N] \
+[--admission-cap N] [--deadline-ms N] [--max-conns N] [--secs N (0 = forever)] [--seed N]";
+
+fn main() {
+    let args = match NetArgs::parse_from(std::env::args().skip(1), USAGE) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into());
+    let (engine, mut handle, wire) = match start_tatp_server(&args, Some(&addr)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("serve: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let adm = args.admission();
+    println!(
+        "listening on {} (subscribers={}, tables={:?}, slots={}, queue_cap={}, deadline={:?}, max_conns={})",
+        handle.local_addr(),
+        args.subscribers,
+        [
+            wire.subscriber,
+            wire.access_info,
+            wire.special_facility,
+            wire.call_forwarding
+        ],
+        adm.slots,
+        adm.queue_cap,
+        adm.queue_deadline,
+        args.max_conns,
+    );
+
+    if args.secs > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(args.secs));
+        handle.shutdown();
+        let snap = handle.metrics_snapshot();
+        let commits = snap.counters.get("txn.commits").copied().unwrap_or(0);
+        let sheds = snap.counters.get("server.shed_total").copied().unwrap_or(0);
+        println!(
+            "served for {:.0}s: commits={commits} sheds={sheds} protocol_errors={}",
+            args.secs,
+            handle.protocol_errors()
+        );
+        let (granted, waiting) = engine.locks().outstanding();
+        if (granted, waiting) != (0, 0) {
+            eprintln!("serve: leaked locks at shutdown: granted={granted} waiting={waiting}");
+            std::process::exit(1);
+        }
+    } else {
+        // Run until killed; park the main thread forever.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}

@@ -15,6 +15,7 @@
 pub mod args;
 pub mod experiments;
 pub mod harness;
+pub mod netbench;
 pub mod presets;
 
 pub use args::Args;

@@ -1,0 +1,267 @@
+//! Shared plumbing for the network front-end binaries (`serve`,
+//! `loadgen`): flag parsing and the engine/TATP/server bring-up both
+//! sides need. Kept in the library so the flag grammar is unit-tested.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::DiskConfig;
+use tpd_engine::{Engine, EngineConfig, Personality, Policy};
+use tpd_server::{spawn, AdmissionConfig, ServerConfig, ServerHandle, WireTatp};
+use tpd_workloads::Tatp;
+
+/// Flags shared by `serve` and `loadgen`. Each binary uses the subset
+/// that applies and rejects the rest via [`NetArgs::parse_from`]'s
+/// `allow` list.
+#[derive(Debug, Clone)]
+pub struct NetArgs {
+    /// Listen / connect address. `None` on `loadgen` means "spawn an
+    /// in-process server" (also enables the leaked-lock check).
+    pub addr: Option<String>,
+    /// TATP subscriber rows installed at startup.
+    pub subscribers: u64,
+    /// Admission slots (concurrently executing transactions).
+    pub slots: usize,
+    /// Admission queue capacity (`--admission-cap`).
+    pub admission_cap: usize,
+    /// Admission queue deadline.
+    pub deadline: Duration,
+    /// Connection bound at accept.
+    pub max_conns: usize,
+    /// Run length in seconds; `0` on `serve` means "until killed".
+    pub secs: f64,
+    /// Closed-loop client connections (`loadgen`).
+    pub conns: usize,
+    /// Aggregate target rate in txn/s; `0` = as fast as the loop goes.
+    pub rate: f64,
+    /// Engine + client RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetArgs {
+    fn default() -> Self {
+        NetArgs {
+            addr: None,
+            subscribers: 10_000,
+            slots: 64,
+            admission_cap: 256,
+            deadline: Duration::from_millis(500),
+            max_conns: 1024,
+            secs: 10.0,
+            conns: 8,
+            rate: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl NetArgs {
+    /// Parse from an iterator; `usage` is printed on `--help` or error.
+    pub fn parse_from<I: IntoIterator<Item = String>>(
+        items: I,
+        usage: &str,
+    ) -> Result<NetArgs, String> {
+        let mut args = NetArgs::default();
+        let mut it = items.into_iter();
+        while let Some(flag) = it.next() {
+            let mut raw = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--addr" => args.addr = Some(raw("--addr")?),
+                "--subscribers" => args.subscribers = num(&raw("--subscribers")?, "--subscribers")?,
+                "--slots" => args.slots = num(&raw("--slots")?, "--slots")? as usize,
+                "--admission-cap" => {
+                    args.admission_cap = num(&raw("--admission-cap")?, "--admission-cap")? as usize
+                }
+                "--deadline-ms" => {
+                    args.deadline =
+                        Duration::from_millis(num(&raw("--deadline-ms")?, "--deadline-ms")?)
+                }
+                "--max-conns" => {
+                    args.max_conns = num(&raw("--max-conns")?, "--max-conns")? as usize
+                }
+                "--secs" | "--duration" => {
+                    args.secs = raw(&flag)?
+                        .parse::<f64>()
+                        .map_err(|e| format!("{flag}: {e}"))?;
+                    if args.secs < 0.0 {
+                        return Err(format!("{flag} must be >= 0"));
+                    }
+                }
+                "--conns" => {
+                    args.conns = num(&raw("--conns")?, "--conns")? as usize;
+                    if args.conns == 0 {
+                        return Err("--conns must be >= 1".to_string());
+                    }
+                }
+                "--rate" => {
+                    args.rate = raw("--rate")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--rate: {e}"))?;
+                    if args.rate < 0.0 {
+                        return Err("--rate must be >= 0".to_string());
+                    }
+                }
+                "--seed" => args.seed = num(&raw("--seed")?, "--seed")?,
+                "--help" | "-h" => return Err(usage.to_string()),
+                other => return Err(format!("unknown flag {other}\n{usage}")),
+            }
+        }
+        if args.subscribers == 0 {
+            return Err("--subscribers must be >= 1".to_string());
+        }
+        Ok(args)
+    }
+
+    /// The admission configuration these flags describe.
+    pub fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            slots: self.slots,
+            queue_cap: self.admission_cap,
+            queue_deadline: self.deadline,
+        }
+    }
+}
+
+fn num(s: &str, name: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|e| format!("{name}: {e}"))
+}
+
+/// An engine tuned for serving live network traffic: fast fixed devices
+/// (the network path is the experiment here, not the disk model) and no
+/// modeled statement round-trip — the wire provides the real one.
+pub fn served_engine(seed: u64) -> Arc<Engine> {
+    let disk = DiskConfig {
+        service: ServiceTime::Fixed(20_000),
+        ns_per_byte: 0.0,
+        seed,
+    };
+    Engine::new(EngineConfig {
+        personality: Personality::Mysql,
+        data_disk: disk.clone(),
+        log_disks: vec![disk],
+        statement_rtt: None,
+        lock_timeout: Some(Duration::from_secs(5)),
+        lock_shards: 0,
+        seed,
+        ..EngineConfig::mysql(Policy::Fcfs)
+    })
+}
+
+/// Build the engine, install TATP, and start the server; returns the
+/// wire-side table map alongside. `addr` of `None` binds an ephemeral
+/// port.
+pub fn start_tatp_server(
+    args: &NetArgs,
+    addr: Option<&str>,
+) -> std::io::Result<(Arc<Engine>, ServerHandle, WireTatp)> {
+    let engine = served_engine(args.seed);
+    let tatp = Tatp::install(&engine, args.subscribers);
+    let ids = tatp.table_ids();
+    let wire = WireTatp {
+        subscriber: ids[0].0,
+        access_info: ids[1].0,
+        special_facility: ids[2].0,
+        call_forwarding: ids[3].0,
+        subscribers: args.subscribers,
+    };
+    let handle = spawn(
+        engine.clone(),
+        ServerConfig {
+            addr: addr.unwrap_or("127.0.0.1:0").to_string(),
+            admission: args.admission(),
+            max_conns: args.max_conns,
+            ..ServerConfig::default()
+        },
+    )?;
+    Ok((engine, handle, wire))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<NetArgs, String> {
+        NetArgs::parse_from(v.iter().map(|s| s.to_string()), "usage")
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse(&[]).expect("empty ok");
+        assert!(a.addr.is_none());
+        assert_eq!(a.conns, 8);
+        assert_eq!(a.admission().queue_cap, 256);
+    }
+
+    #[test]
+    fn all_flags_apply() {
+        let a = parse(&[
+            "--addr",
+            "127.0.0.1:9999",
+            "--subscribers",
+            "500",
+            "--slots",
+            "4",
+            "--admission-cap",
+            "2",
+            "--deadline-ms",
+            "50",
+            "--max-conns",
+            "16",
+            "--secs",
+            "3",
+            "--conns",
+            "32",
+            "--rate",
+            "1000",
+            "--seed",
+            "7",
+        ])
+        .expect("parse");
+        assert_eq!(a.addr.as_deref(), Some("127.0.0.1:9999"));
+        assert_eq!(a.subscribers, 500);
+        let adm = a.admission();
+        assert_eq!(adm.slots, 4);
+        assert_eq!(adm.queue_cap, 2);
+        assert_eq!(adm.queue_deadline, Duration::from_millis(50));
+        assert_eq!(a.max_conns, 16);
+        assert_eq!(a.secs, 3.0);
+        assert_eq!(a.conns, 32);
+        assert_eq!(a.rate, 1000.0);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn duration_is_an_alias_for_secs() {
+        let a = parse(&["--duration", "12"]).expect("parse");
+        assert_eq!(a.secs, 12.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--conns", "0"]).is_err());
+        assert!(parse(&["--subscribers", "0"]).is_err());
+        assert!(parse(&["--rate", "-1"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn in_process_server_comes_up_and_serves() {
+        let args = parse(&["--subscribers", "64", "--slots", "8"]).expect("parse");
+        let (engine, mut handle, wire) = start_tatp_server(&args, None).expect("spawn");
+        let mut conn = tpd_server::Conn::connect(handle.local_addr()).expect("connect");
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+        let spec = wire.sample(&mut rng);
+        let outcome = wire.execute(&mut conn, &spec).expect("no protocol errors");
+        assert!(matches!(
+            outcome,
+            tpd_server::Outcome::Committed | tpd_server::Outcome::Aborted
+        ));
+        drop(conn);
+        handle.shutdown();
+        assert_eq!(engine.locks().outstanding(), (0, 0));
+    }
+}

@@ -637,6 +637,23 @@ impl LockManager {
         shard.queues.get(&obj).map_or(0, |q| q.granted.len())
     }
 
+    /// Total `(granted, waiting)` entries across every shard — the
+    /// leak check for "a dead connection must leave the lock table
+    /// clean". Takes each shard mutex in turn, so call it only when the
+    /// workload has quiesced.
+    pub fn outstanding(&self) -> (usize, usize) {
+        let mut granted = 0;
+        let mut waiting = 0;
+        for shard_mutex in &self.shards {
+            let shard = shard_mutex.lock();
+            for q in shard.queues.values() {
+                granted += q.granted.len();
+                waiting += q.waiting.len();
+            }
+        }
+        (granted, waiting)
+    }
+
     /// Render the full lock-system state (diagnostics for tests).
     pub fn debug_dump(&self) -> String {
         use std::fmt::Write;

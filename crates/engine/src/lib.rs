@@ -23,12 +23,14 @@ pub mod catalog;
 pub mod config;
 pub mod engine;
 pub mod probes;
+pub mod session;
 pub mod types;
 
 pub use catalog::{Catalog, TableInfo};
 pub use config::{EngineConfig, Personality};
 pub use engine::{AgeRemainingSample, Engine, EngineStats, RecoveryReport, Txn};
 pub use probes::EngineProbes;
+pub use session::{Session, SessionError};
 pub use types::{EngineError, Row, RowKey, TableId, TxnType};
 
 // Re-exports so workloads and binaries need not depend on tpd-core directly.

@@ -1,0 +1,33 @@
+//! The networked front end (`tpd-server`).
+//!
+//! Everything before this crate calls [`tpd_engine::Engine::begin`]
+//! in-process; the paper's latency-variance story, though, lives at the
+//! boundary where concurrent clients meet a server — connection
+//! scheduling, queueing, and overload. This crate makes "traffic" a real
+//! thing:
+//!
+//! * [`protocol`] — a small length-prefixed binary protocol
+//!   (`BEGIN/READ/UPDATE/INSERT/COMMIT/ABORT/METRICS`) with a versioned
+//!   header and total, panic-free decoding;
+//! * [`admission`] — the admission controller between accept and
+//!   execute: bounded execution slots, a FIFO/deadline queue with a
+//!   configurable cap, and typed `RETRY_LATER` load shedding;
+//! * [`server`] — the thread-per-connection TCP server translating
+//!   frames into [`tpd_engine::Session`] calls, with `server.*` metrics
+//!   (`admission_wait_ns`, `shed_total`, `open_conns`, ...) wired into
+//!   the engine's snapshot;
+//! * [`client`] — a blocking typed client;
+//! * [`wire_tatp`] — the TATP mix replayed over the wire for the
+//!   closed-loop load generator and the end-to-end suite.
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod wire_tatp;
+
+pub use admission::{AdmissionConfig, AdmissionController, Permit, Shed};
+pub use client::{BeginOutcome, ClientError, Conn, MetricsReply};
+pub use protocol::{ErrorCode, Frame, FrameReadError, HistSummary, WireError, VERSION};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use wire_tatp::{Outcome, WireSpec, WireTatp};

@@ -1,0 +1,424 @@
+//! The TCP front end: accept loop, thread-per-connection execution, and
+//! the frame → [`Session`] dispatch with admission control on BEGIN.
+//!
+//! Concurrency model (deliberately the paper's: MySQL's
+//! thread-per-connection): the accept thread spawns one OS thread per
+//! connection; that thread owns the connection's [`Session`] — and
+//! therefore its open transaction — for the connection's lifetime, which
+//! keeps the engine's thread-local profiler attribution valid. The
+//! admission controller sits between accept and execute: a BEGIN frame
+//! must win an execution slot (or survive the FIFO/deadline queue) before
+//! the engine sees it; overload is answered with a typed `RETRY_LATER`
+//! instead of an ever-deeper queue. Connection death in any state rolls
+//! back the open transaction (dropping the `Session`) and frees the slot
+//! (dropping the [`Permit`]) — no lock-queue entry survives a dead
+//! client.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tpd_engine::{Engine, EngineError, Session, SessionError, TableId};
+use tpd_metrics::MetricsSnapshot;
+
+use crate::admission::{AdmissionConfig, AdmissionController, Permit, Shed};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, FrameReadError, HistSummary, MAX_ROW_COLS,
+};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Admission control between accept and execute.
+    pub admission: AdmissionConfig,
+    /// Maximum simultaneously open connections; excess connections get a
+    /// `RETRY_LATER` error frame and an immediate close.
+    pub max_conns: usize,
+    /// Per-connection socket read timeout: an idle or dead client that
+    /// sends nothing for this long has its session rolled back and the
+    /// connection closed. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admission: AdmissionConfig::default(),
+            max_conns: 1024,
+            read_timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// A running server; dropping the handle shuts it down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    admission: Arc<AdmissionController>,
+    shutdown: AtomicBool,
+    open_conns: AtomicU64,
+    conns_opened: AtomicU64,
+    conn_rejects: AtomicU64,
+    protocol_errors: AtomicU64,
+    frames: AtomicU64,
+}
+
+impl Shared {
+    /// The engine snapshot plus the server's own families. `server.*`
+    /// names are part of the protocol surface: loadgen reads
+    /// `server.shed_total` / `server.open_conns` out of the METRICS reply.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut m = self.engine.metrics_snapshot();
+        m.set_counter("server.open_conns", self.open_conns.load(Ordering::Relaxed));
+        m.set_counter(
+            "server.conns_opened",
+            self.conns_opened.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "server.conn_rejects",
+            self.conn_rejects.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "server.protocol_errors",
+            self.protocol_errors.load(Ordering::Relaxed),
+        );
+        m.set_counter("server.frames_total", self.frames.load(Ordering::Relaxed));
+        m
+    }
+}
+
+/// Spawn a server for `engine` per `config`. The listener is bound (and
+/// the address resolvable via [`ServerHandle::local_addr`]) before this
+/// returns.
+pub fn spawn(engine: Arc<Engine>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let registry = engine.metrics_registry();
+    let admission = AdmissionController::new(
+        config.admission.clone(),
+        registry.counter("server.shed_total"),
+        registry.histogram("server.admission_wait_ns"),
+    );
+    let shared = Arc::new(Shared {
+        engine,
+        config,
+        admission,
+        shutdown: AtomicBool::new(false),
+        open_conns: AtomicU64::new(0),
+        conns_opened: AtomicU64::new(0),
+        conn_rejects: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+        frames: AtomicU64::new(0),
+    });
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("tpd-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Currently open connections.
+    pub fn open_conns(&self) -> u64 {
+        self.shared.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// Protocol-level errors (malformed frames, bad versions) seen so far.
+    pub fn protocol_errors(&self) -> u64 {
+        self.shared.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// The server-side metrics snapshot (engine + `server.*` families) —
+    /// the same data a METRICS frame returns.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Stop accepting, wake the accept thread, and wait for it to exit.
+    /// Live connection threads notice the flag at their next frame (or
+    /// read timeout) and unwind, rolling back open transactions.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.open_conns.load(Ordering::SeqCst) >= shared.config.max_conns as u64 {
+            shared.conn_rejects.fetch_add(1, Ordering::Relaxed);
+            let mut w = BufWriter::new(&stream);
+            let _ = write_frame(
+                &mut w,
+                &Frame::Error {
+                    code: ErrorCode::RetryLater,
+                    detail: "connection limit reached".to_string(),
+                },
+            );
+            let _ = w.flush();
+            continue; // stream drops ⇒ closed
+        }
+        shared.open_conns.fetch_add(1, Ordering::SeqCst);
+        shared.conns_opened.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = shared.clone();
+        let res = std::thread::Builder::new()
+            .name("tpd-conn".to_string())
+            .spawn(move || {
+                serve_conn(stream, &conn_shared);
+                conn_shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        if res.is_err() {
+            shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Per-connection state: the session plus the admission permit held
+/// while its transaction is open.
+struct Conn {
+    session: Session,
+    permit: Option<Permit>,
+}
+
+fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    let mut conn = Conn {
+        session: Session::new(shared.engine.clone()),
+        permit: None,
+    };
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Error {
+                    code: ErrorCode::Shutdown,
+                    detail: "server shutting down".to_string(),
+                },
+            );
+            let _ = writer.flush();
+            return;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            // Clean close, torn close, or I/O error (incl. read timeout):
+            // drop the connection; `conn` unwinds the txn and the permit.
+            Ok(None) | Err(FrameReadError::Eof) | Err(FrameReadError::Io(_)) => return,
+            Err(FrameReadError::Wire(e)) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::Malformed,
+                        detail: e.to_string(),
+                    },
+                );
+                let _ = writer.flush();
+                if e.recoverable() {
+                    continue;
+                }
+                return; // framing lost; the stream cannot be resynced
+            }
+        };
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        let reply = handle_frame(frame, &mut conn, shared);
+        if write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn engine_error_reply(e: EngineError) -> Frame {
+    let (code, detail) = match e {
+        EngineError::Deadlock => (ErrorCode::Deadlock, e.to_string()),
+        EngineError::LockTimeout => (ErrorCode::LockTimeout, e.to_string()),
+        EngineError::RowNotFound { .. } => (ErrorCode::RowNotFound, e.to_string()),
+        EngineError::TxnFinished => (ErrorCode::TxnState, e.to_string()),
+    };
+    Frame::Error { code, detail }
+}
+
+fn session_error_reply(e: SessionError) -> Frame {
+    match e {
+        SessionError::Engine(inner) => engine_error_reply(inner),
+        SessionError::NoActiveTxn | SessionError::TxnAlreadyActive => Frame::Error {
+            code: ErrorCode::TxnState,
+            detail: e.to_string(),
+        },
+    }
+}
+
+/// Whether this session error terminated the transaction (engine-side
+/// rollback) — if so the admission slot must be released.
+fn error_ended_txn(e: &SessionError) -> bool {
+    matches!(
+        e,
+        SessionError::Engine(EngineError::Deadlock | EngineError::LockTimeout)
+    )
+}
+
+fn handle_frame(frame: Frame, conn: &mut Conn, shared: &Arc<Shared>) -> Frame {
+    match frame {
+        Frame::Begin { ty } => {
+            if conn.session.in_txn() {
+                return session_error_reply(SessionError::TxnAlreadyActive);
+            }
+            match shared.admission.admit() {
+                Ok(permit) => match conn.session.begin(ty) {
+                    Ok(txn_id) => {
+                        conn.permit = Some(permit);
+                        Frame::TxnBegun { txn_id }
+                    }
+                    Err(e) => session_error_reply(e), // permit drops here
+                },
+                Err(shed @ (Shed::QueueFull | Shed::DeadlineExpired)) => Frame::Error {
+                    code: ErrorCode::RetryLater,
+                    detail: shed.to_string(),
+                },
+            }
+        }
+        Frame::Read { table, key } => stmt_reply(conn, |s| {
+            s.read(TableId(table), key).map(|row| Frame::Row { row })
+        }),
+        Frame::Update { table, key, row } => {
+            if row.len() > MAX_ROW_COLS {
+                return Frame::Error {
+                    code: ErrorCode::Malformed,
+                    detail: "row too wide".to_string(),
+                };
+            }
+            stmt_reply(conn, |s| {
+                s.update_row(TableId(table), key, row)
+                    .map(|()| Frame::Updated)
+            })
+        }
+        Frame::Insert { table, row } => {
+            if row.len() > MAX_ROW_COLS {
+                return Frame::Error {
+                    code: ErrorCode::Malformed,
+                    detail: "row too wide".to_string(),
+                };
+            }
+            stmt_reply(conn, |s| {
+                s.insert(TableId(table), row)
+                    .map(|key| Frame::Inserted { key })
+            })
+        }
+        Frame::Commit => {
+            let reply = match conn.session.commit() {
+                Ok(()) => Frame::Committed,
+                Err(e) => session_error_reply(e),
+            };
+            drop(conn.permit.take()); // slot freed whatever the outcome
+            reply
+        }
+        Frame::Abort => {
+            let reply = match conn.session.abort() {
+                Ok(()) => Frame::Aborted,
+                Err(e) => session_error_reply(e),
+            };
+            drop(conn.permit.take());
+            reply
+        }
+        Frame::Metrics => {
+            let snap = shared.snapshot();
+            let counters = snap.counters.into_iter().collect();
+            let histograms = snap
+                .histograms
+                .into_iter()
+                .map(|(name, h)| {
+                    (
+                        name,
+                        HistSummary {
+                            count: h.count,
+                            sum: h.sum,
+                            p50: h.p50(),
+                            p95: h.p95(),
+                            p99: h.p99(),
+                            p999: h.p999(),
+                        },
+                    )
+                })
+                .collect();
+            Frame::MetricsSnapshot {
+                counters,
+                histograms,
+            }
+        }
+        // A reply frame arriving as a request is a protocol violation,
+        // but a well-formed one: answer with a typed error, keep the
+        // connection.
+        other => {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            Frame::Error {
+                code: ErrorCode::Malformed,
+                detail: format!("frame kind 0x{:02x} is not a request", other.kind()),
+            }
+        }
+    }
+}
+
+/// Run one statement; on an error that killed the transaction, release
+/// the admission slot too.
+fn stmt_reply(
+    conn: &mut Conn,
+    op: impl FnOnce(&mut Session) -> Result<Frame, SessionError>,
+) -> Frame {
+    match op(&mut conn.session) {
+        Ok(reply) => reply,
+        Err(e) => {
+            if error_ended_txn(&e) {
+                drop(conn.permit.take());
+            }
+            session_error_reply(e)
+        }
+    }
+}

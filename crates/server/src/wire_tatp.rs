@@ -1,0 +1,217 @@
+//! TATP replayed over the wire: the standard seven-transaction mix
+//! expressed as protocol frames, so the closed-loop load generator and
+//! the end-to-end tests drive the server the way OLTP-Bench drives a
+//! real DBMS — one statement per round trip, locks held across round
+//! trips (the regime where admission wait and lock scheduling dominate
+//! latency variance).
+//!
+//! Read-modify-write transactions (UpdateSubscriberData's bit flip)
+//! READ first and UPDATE with the derived row, which exercises the lock
+//! manager's S→X upgrade path over the network.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::client::{BeginOutcome, ClientError, Conn};
+
+/// Access-info rows per subscriber (mirrors `tpd_workloads::tatp`).
+pub const AI_PER_SUB: u64 = 4;
+/// Special-facility rows per subscriber.
+pub const SF_PER_SUB: u64 = 4;
+
+/// TATP transaction types, by wire driver convention (identical to the
+/// in-process driver's numbering).
+pub mod txn_type {
+    /// Read one subscriber row.
+    pub const GET_SUBSCRIBER: u8 = 0;
+    /// Read special-facility + call-forwarding.
+    pub const GET_NEW_DEST: u8 = 1;
+    /// Read one access-info row.
+    pub const GET_ACCESS: u8 = 2;
+    /// RMW subscriber bit + overwrite special-facility data.
+    pub const UPD_SUBSCRIBER: u8 = 3;
+    /// Overwrite the subscriber's VLR location.
+    pub const UPD_LOCATION: u8 = 4;
+    /// Two reads + an insert into call-forwarding.
+    pub const INS_CALL_FWD: u8 = 5;
+    /// Logical delete: clear a call-forwarding active flag.
+    pub const DEL_CALL_FWD: u8 = 6;
+}
+
+/// One sampled wire transaction, parameters drawn up front so retries
+/// re-run identical logical work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSpec {
+    /// Transaction type (see [`txn_type`]).
+    pub ty: u8,
+    /// Subscriber id.
+    pub s: u64,
+    /// Special-facility index within the subscriber (0..4).
+    pub sf: u64,
+    /// Payload value.
+    pub val: i64,
+}
+
+/// Terminal outcome of one driven transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Committed.
+    Committed,
+    /// Shed by admission control at BEGIN (`RETRY_LATER`).
+    Shed,
+    /// Aborted by the engine (deadlock victim or lock timeout); already
+    /// rolled back server-side.
+    Aborted,
+}
+
+/// The TATP schema as the wire client addresses it: table ids in install
+/// order plus the subscriber count (both must match the serving engine).
+#[derive(Debug, Clone, Copy)]
+pub struct WireTatp {
+    /// `subscriber` table id.
+    pub subscriber: u32,
+    /// `access_info` table id.
+    pub access_info: u32,
+    /// `special_facility` table id.
+    pub special_facility: u32,
+    /// `call_forwarding` table id.
+    pub call_forwarding: u32,
+    /// Installed subscriber count.
+    pub subscribers: u64,
+}
+
+impl WireTatp {
+    /// The conventional layout: TATP installed first on a fresh engine,
+    /// so tables get ids 0..=3 in install order.
+    pub fn fresh_install(subscribers: u64) -> WireTatp {
+        WireTatp {
+            subscriber: 0,
+            access_info: 1,
+            special_facility: 2,
+            call_forwarding: 3,
+            subscribers,
+        }
+    }
+
+    /// Draw the next transaction with the standard TATP mix over a
+    /// uniform subscriber space.
+    pub fn sample(&self, rng: &mut SmallRng) -> WireSpec {
+        use txn_type::*;
+        let roll = rng.gen_range(0..100);
+        let ty = match roll {
+            0..=34 => GET_SUBSCRIBER,
+            35..=44 => GET_NEW_DEST,
+            45..=79 => GET_ACCESS,
+            80..=81 => UPD_SUBSCRIBER,
+            82..=95 => UPD_LOCATION,
+            96..=97 => INS_CALL_FWD,
+            _ => DEL_CALL_FWD,
+        };
+        WireSpec {
+            ty,
+            s: rng.gen_range(0..self.subscribers),
+            sf: rng.gen_range(0..SF_PER_SUB),
+            val: rng.gen_range(0..1000),
+        }
+    }
+
+    /// Drive one transaction to a terminal outcome over `conn`.
+    ///
+    /// Engine aborts (deadlock/timeout) and admission sheds are expected
+    /// outcomes, not errors; everything else (I/O, protocol violations,
+    /// unexpected frames) is an `Err`.
+    pub fn execute(&self, conn: &mut Conn, spec: &WireSpec) -> Result<Outcome, ClientError> {
+        use txn_type::*;
+        match conn.begin(spec.ty)? {
+            BeginOutcome::Shed => return Ok(Outcome::Shed),
+            BeginOutcome::Started { .. } => {}
+        }
+        let body = (|| -> Result<(), ClientError> {
+            let (s, sf, val) = (spec.s, spec.sf, spec.val);
+            match spec.ty {
+                GET_SUBSCRIBER => {
+                    conn.read(self.subscriber, s)?;
+                }
+                GET_NEW_DEST => {
+                    conn.read(self.special_facility, s * SF_PER_SUB + sf)?;
+                    conn.read(self.call_forwarding, s * SF_PER_SUB + sf)?;
+                }
+                GET_ACCESS => {
+                    conn.read(self.access_info, s * AI_PER_SUB + (sf % AI_PER_SUB))?;
+                }
+                UPD_SUBSCRIBER => {
+                    let mut row = conn.read(self.subscriber, s)?;
+                    if row.len() > 1 {
+                        row[1] ^= 1;
+                    }
+                    conn.update(self.subscriber, s, row)?;
+                    let mut fac = conn.read(self.special_facility, s * SF_PER_SUB + sf)?;
+                    if fac.len() > 2 {
+                        fac[2] = val;
+                    }
+                    conn.update(self.special_facility, s * SF_PER_SUB + sf, fac)?;
+                }
+                UPD_LOCATION => {
+                    let mut row = conn.read(self.subscriber, s)?;
+                    if row.len() > 3 {
+                        row[3] = val;
+                    }
+                    conn.update(self.subscriber, s, row)?;
+                }
+                INS_CALL_FWD => {
+                    conn.read(self.subscriber, s)?;
+                    conn.read(self.special_facility, s * SF_PER_SUB + sf)?;
+                    conn.insert(self.call_forwarding, vec![s as i64, sf as i64, 1])?;
+                }
+                DEL_CALL_FWD => {
+                    let mut row = conn.read(self.call_forwarding, s * SF_PER_SUB + sf)?;
+                    if row.len() > 2 {
+                        row[2] = 0;
+                    }
+                    conn.update(self.call_forwarding, s * SF_PER_SUB + sf, row)?;
+                }
+                other => panic!("unknown TATP wire txn type {other}"),
+            }
+            Ok(())
+        })();
+        match body {
+            Ok(()) => {
+                conn.commit()?;
+                Ok(Outcome::Committed)
+            }
+            Err(e) if e.is_txn_abort() => Ok(Outcome::Aborted),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_proportions_match_tatp() {
+        let w = WireTatp::fresh_install(100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 7];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut rng).ty as usize] += 1;
+        }
+        let frac = |i: usize| counts[i] as f64 / 10_000.0;
+        assert!((frac(0) - 0.35).abs() < 0.03);
+        assert!((frac(2) - 0.35).abs() < 0.03);
+        assert!((frac(4) - 0.14).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_stays_in_subscriber_space() {
+        let w = WireTatp::fresh_install(10);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let spec = w.sample(&mut rng);
+            assert!(spec.s < 10);
+            assert!(spec.sf < SF_PER_SUB);
+        }
+    }
+}

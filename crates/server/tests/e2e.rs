@@ -1,0 +1,534 @@
+//! End-to-end protocol tests: a live server on an ephemeral port, real
+//! TCP clients, mixed TATP traffic, and a single-threaded replay oracle
+//! over the committed transactions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::DiskConfig;
+use tpd_engine::{Engine, EngineConfig, Policy, Session, TableId};
+use tpd_server::wire_tatp::{txn_type, SF_PER_SUB};
+use tpd_server::{
+    spawn, AdmissionConfig, BeginOutcome, Conn, ErrorCode, Frame, Outcome, ServerConfig,
+    ServerHandle, WireSpec, WireTatp,
+};
+use tpd_workloads::Tatp;
+
+fn quick_engine(seed: u64) -> Arc<Engine> {
+    let quick = DiskConfig {
+        service: ServiceTime::Fixed(10_000),
+        ns_per_byte: 0.0,
+        seed,
+    };
+    Engine::new(EngineConfig {
+        data_disk: quick.clone(),
+        log_disks: vec![quick],
+        lock_timeout: Some(Duration::from_secs(5)),
+        seed,
+        ..EngineConfig::mysql(Policy::Fcfs)
+    })
+}
+
+fn start_server(
+    subscribers: u64,
+    admission: AdmissionConfig,
+) -> (Arc<Engine>, Tatp, ServerHandle, WireTatp) {
+    let engine = quick_engine(0xE2E);
+    let tatp = Tatp::install(&engine, subscribers);
+    let ids = tatp.table_ids();
+    let wire = WireTatp {
+        subscriber: ids[0].0,
+        access_info: ids[1].0,
+        special_facility: ids[2].0,
+        call_forwarding: ids[3].0,
+        subscribers,
+    };
+    let handle = spawn(
+        engine.clone(),
+        ServerConfig {
+            admission,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    (engine, tatp, handle, wire)
+}
+
+/// Replay one wire spec directly against an engine — the oracle's
+/// single-threaded equivalent of `WireTatp::execute`.
+fn apply_direct(session: &mut Session, w: &WireTatp, spec: &WireSpec) {
+    use txn_type::*;
+    let t = |id: u32| TableId(id);
+    let (s, sf, val) = (spec.s, spec.sf, spec.val);
+    session.begin(spec.ty).expect("oracle begin");
+    match spec.ty {
+        GET_SUBSCRIBER => {
+            session.read(t(w.subscriber), s).expect("oracle read");
+        }
+        GET_NEW_DEST => {
+            session
+                .read(t(w.special_facility), s * SF_PER_SUB + sf)
+                .expect("oracle read");
+            session
+                .read(t(w.call_forwarding), s * SF_PER_SUB + sf)
+                .expect("oracle read");
+        }
+        GET_ACCESS => {
+            session
+                .read(t(w.access_info), s * 4 + (sf % 4))
+                .expect("oracle read");
+        }
+        UPD_SUBSCRIBER => {
+            let mut row = session.read(t(w.subscriber), s).expect("oracle read");
+            row[1] ^= 1;
+            session
+                .update_row(t(w.subscriber), s, row)
+                .expect("oracle update");
+            let mut fac = session
+                .read(t(w.special_facility), s * SF_PER_SUB + sf)
+                .expect("oracle read");
+            fac[2] = val;
+            session
+                .update_row(t(w.special_facility), s * SF_PER_SUB + sf, fac)
+                .expect("oracle update");
+        }
+        UPD_LOCATION => {
+            let mut row = session.read(t(w.subscriber), s).expect("oracle read");
+            row[3] = val;
+            session
+                .update_row(t(w.subscriber), s, row)
+                .expect("oracle update");
+        }
+        INS_CALL_FWD => {
+            session.read(t(w.subscriber), s).expect("oracle read");
+            session
+                .read(t(w.special_facility), s * SF_PER_SUB + sf)
+                .expect("oracle read");
+            session
+                .insert(t(w.call_forwarding), vec![s as i64, sf as i64, 1])
+                .expect("oracle insert");
+        }
+        DEL_CALL_FWD => {
+            let mut row = session
+                .read(t(w.call_forwarding), s * SF_PER_SUB + sf)
+                .expect("oracle read");
+            row[2] = 0;
+            session
+                .update_row(t(w.call_forwarding), s * SF_PER_SUB + sf, row)
+                .expect("oracle update");
+        }
+        other => panic!("unknown type {other}"),
+    }
+    session.commit().expect("oracle commit");
+}
+
+fn table_rows(engine: &Arc<Engine>, id: u32) -> BTreeMap<u64, Vec<i64>> {
+    let t = engine.catalog().table(TableId(id));
+    t.range_keys(0, u64::MAX, usize::MAX)
+        .into_iter()
+        .map(|k| (k, t.get(k).expect("row")))
+        .collect()
+}
+
+/// The tentpole e2e: N concurrent client threads of mixed TATP over the
+/// wire, every request accounted for (commit + abort + shed == issued),
+/// engine row state equal to a single-threaded replay of the committed
+/// transactions, and a METRICS frame whose commit counters match the
+/// client-side tally.
+#[test]
+fn concurrent_tatp_matches_replay_oracle_and_metrics() {
+    const THREADS: u64 = 6;
+    const SLICE: u64 = 8;
+    const TXNS_PER_THREAD: u64 = 30;
+    // One extra subscriber shared by every thread as a write hotspot; its
+    // updates use a constant value, so any serialization order yields the
+    // same final state (toggle parity + constant overwrite) and the
+    // oracle may replay commits in any order.
+    const HOT: u64 = THREADS * SLICE;
+    const HOT_VAL: i64 = 7;
+
+    let (engine, _tatp, handle, wire) = start_server(
+        HOT + 1,
+        AdmissionConfig {
+            slots: 3,
+            queue_cap: 4,
+            queue_deadline: Duration::from_millis(200),
+        },
+    );
+    let addr = handle.local_addr();
+
+    struct ThreadReport {
+        committed: Vec<WireSpec>,
+        commits: u64,
+        aborts: u64,
+        sheds: u64,
+        issued: u64,
+    }
+
+    let mut workers = Vec::new();
+    for ti in 0..THREADS {
+        workers.push(std::thread::spawn(move || {
+            let mut conn = Conn::connect(addr).expect("connect");
+            let mut rng = SmallRng::seed_from_u64(0xC11E47 + ti);
+            let mut report = ThreadReport {
+                committed: Vec::new(),
+                commits: 0,
+                aborts: 0,
+                sheds: 0,
+                issued: 0,
+            };
+            for i in 0..TXNS_PER_THREAD {
+                // Mostly traffic on this thread's private slice (an exact
+                // oracle needs per-row total order; disjoint slices give
+                // it for free), plus a shared hotspot every 5th txn.
+                let spec = if i % 5 == 4 {
+                    WireSpec {
+                        ty: txn_type::UPD_SUBSCRIBER,
+                        s: HOT,
+                        sf: ti % SF_PER_SUB,
+                        val: HOT_VAL,
+                    }
+                } else {
+                    let mut spec = wire.sample(&mut rng);
+                    spec.s = ti * SLICE + (spec.s % SLICE);
+                    spec
+                };
+                let mut attempts = 0;
+                loop {
+                    attempts += 1;
+                    assert!(attempts < 1000, "txn never terminated: {spec:?}");
+                    report.issued += 1;
+                    match wire.execute(&mut conn, &spec).expect("no protocol errors") {
+                        Outcome::Committed => {
+                            report.commits += 1;
+                            report.committed.push(spec);
+                            break;
+                        }
+                        Outcome::Aborted => report.aborts += 1,
+                        Outcome::Shed => {
+                            report.sheds += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            }
+            report
+        }));
+    }
+    let reports: Vec<ThreadReport> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    // Every issued request reached exactly one terminal outcome.
+    let commits: u64 = reports.iter().map(|r| r.commits).sum();
+    let aborts: u64 = reports.iter().map(|r| r.aborts).sum();
+    let sheds: u64 = reports.iter().map(|r| r.sheds).sum();
+    let issued: u64 = reports.iter().map(|r| r.issued).sum();
+    assert_eq!(commits + aborts + sheds, issued);
+    assert_eq!(commits, THREADS * TXNS_PER_THREAD);
+
+    // The METRICS frame agrees with the client-side tally.
+    let mut conn = Conn::connect(addr).expect("metrics conn");
+    let metrics = conn.metrics().expect("metrics frame parses");
+    assert_eq!(metrics.counter("txn.commits"), commits);
+    assert_eq!(metrics.counter("txn.aborts"), aborts);
+    assert_eq!(metrics.counter("server.shed_total"), sheds);
+    let wait = metrics
+        .histograms
+        .get("server.admission_wait_ns")
+        .expect("admission wait histogram present");
+    assert!(
+        wait.count >= commits,
+        "every admitted BEGIN recorded a wait sample"
+    );
+
+    // No lock-queue entry outlived its transaction.
+    assert_eq!(engine.locks().outstanding(), (0, 0), "no leaked locks");
+    assert_eq!(handle.protocol_errors(), 0);
+
+    // Single-threaded replay oracle: same install, every committed spec
+    // replayed thread-by-thread (disjoint slices make cross-thread order
+    // irrelevant; the hotspot is order-independent by construction).
+    let oracle_engine = quick_engine(0x0AC1E);
+    let _oracle_tatp = Tatp::install(&oracle_engine, HOT + 1);
+    let mut oracle = Session::new(oracle_engine.clone());
+    for r in &reports {
+        for spec in &r.committed {
+            apply_direct(&mut oracle, &wire, spec);
+        }
+    }
+    for id in [wire.subscriber, wire.access_info, wire.special_facility] {
+        assert_eq!(
+            table_rows(&engine, id),
+            table_rows(&oracle_engine, id),
+            "table {id} diverged from the oracle"
+        );
+    }
+    // call_forwarding receives inserts whose keys depend on arrival
+    // order; compare it as a multiset of rows.
+    let mut served: Vec<Vec<i64>> = table_rows(&engine, wire.call_forwarding)
+        .into_values()
+        .collect();
+    let mut replayed: Vec<Vec<i64>> = table_rows(&oracle_engine, wire.call_forwarding)
+        .into_values()
+        .collect();
+    served.sort();
+    replayed.sort();
+    assert_eq!(served, replayed, "call_forwarding multiset diverged");
+}
+
+/// A killed client (socket dropped mid-transaction) must roll back and
+/// leak no lock-queue entries — the regression test for the `Txn`
+/// drop/abort audit.
+#[test]
+fn killed_client_releases_locks_and_rolls_back() {
+    let (engine, _tatp, handle, wire) = start_server(16, AdmissionConfig::default());
+    let addr = handle.local_addr();
+
+    let mut victim = Conn::connect(addr).expect("connect");
+    assert!(matches!(
+        victim.begin(0).expect("begin"),
+        BeginOutcome::Started { .. }
+    ));
+    // Take an X lock and leave the transaction open.
+    let mut row = victim.read(wire.subscriber, 3).expect("read");
+    row[3] = 999;
+    victim.update(wire.subscriber, 3, row).expect("update");
+    let aborts_before = engine.stats().aborts;
+    assert_ne!(engine.locks().outstanding(), (0, 0), "locks held");
+
+    // Kill the client without COMMIT/ABORT.
+    drop(victim);
+
+    // The server must notice, roll back, and drain the lock table.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while engine.locks().outstanding() != (0, 0) {
+        assert!(
+            Instant::now() < deadline,
+            "lock-queue entries leaked: {}",
+            { engine.locks().debug_dump() }
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(engine.stats().aborts, aborts_before + 1, "rolled back");
+
+    // The row is untouched and immediately writable by a new client.
+    let mut fresh = Conn::connect(addr).expect("connect");
+    assert!(matches!(
+        fresh.begin(0).expect("begin"),
+        BeginOutcome::Started { .. }
+    ));
+    let row = fresh.read(wire.subscriber, 3).expect("read");
+    assert_eq!(row[3], 0, "dead client's update rolled back");
+    fresh
+        .update(wire.subscriber, 3, vec![3, 1, 0, 5])
+        .expect("row lock free for the next client");
+    fresh.commit().expect("commit");
+    assert_eq!(engine.locks().outstanding(), (0, 0));
+}
+
+/// Admission behaviour observed over the wire: with one slot and no
+/// queue, a second concurrent BEGIN is shed with `RETRY_LATER`, and the
+/// slot frees on COMMIT.
+#[test]
+fn admission_sheds_over_the_wire() {
+    let (_engine, _tatp, handle, _wire) = start_server(
+        8,
+        AdmissionConfig {
+            slots: 1,
+            queue_cap: 0,
+            queue_deadline: Duration::from_millis(100),
+        },
+    );
+    let addr = handle.local_addr();
+
+    let mut a = Conn::connect(addr).expect("connect a");
+    let mut b = Conn::connect(addr).expect("connect b");
+    assert!(matches!(
+        a.begin(0).expect("begin a"),
+        BeginOutcome::Started { .. }
+    ));
+    assert_eq!(b.begin(0).expect("begin b"), BeginOutcome::Shed);
+    a.commit().expect("commit a");
+    assert!(matches!(
+        b.begin(0).expect("begin b after slot freed"),
+        BeginOutcome::Started { .. }
+    ));
+    b.commit().expect("commit b");
+
+    let metrics = a.metrics().expect("metrics");
+    assert_eq!(metrics.counter("server.shed_total"), 1);
+}
+
+/// The malformed / truncated / oversized corpus, fired at a live server:
+/// each entry must produce a typed error (or a clean close) — never a
+/// crash — and the server must keep serving well-formed clients.
+#[test]
+fn malformed_corpus_never_kills_the_server() {
+    let (_engine, _tatp, handle, _wire) = start_server(8, AdmissionConfig::default());
+    let addr = handle.local_addr();
+
+    // (name, raw bytes, server may keep the connection)
+    let corpus: Vec<(&str, Vec<u8>, bool)> = vec![
+        ("zero length prefix", 0u32.to_le_bytes().to_vec(), false),
+        (
+            "one-byte payload",
+            {
+                let mut b = 1u32.to_le_bytes().to_vec();
+                b.push(1);
+                b
+            },
+            false,
+        ),
+        (
+            "oversized length prefix",
+            (u32::MAX).to_le_bytes().to_vec(),
+            false,
+        ),
+        (
+            "over-cap length prefix",
+            ((1u32 << 20) + 1).to_le_bytes().to_vec(),
+            false,
+        ),
+        (
+            "bad version",
+            {
+                let mut b = 2u32.to_le_bytes().to_vec();
+                b.extend_from_slice(&[99, 0x05]); // version 99, COMMIT
+                b
+            },
+            true,
+        ),
+        (
+            "unknown kind",
+            {
+                let mut b = 2u32.to_le_bytes().to_vec();
+                b.extend_from_slice(&[1, 0x55]);
+                b
+            },
+            true,
+        ),
+        (
+            "trailing bytes after commit",
+            {
+                let mut b = 3u32.to_le_bytes().to_vec();
+                b.extend_from_slice(&[1, 0x05, 0xAB]);
+                b
+            },
+            true,
+        ),
+        (
+            "truncated read body",
+            {
+                let mut b = 4u32.to_le_bytes().to_vec();
+                b.extend_from_slice(&[1, 0x02, 0x01, 0x00]); // READ with 2 body bytes
+                b
+            },
+            true,
+        ),
+        (
+            "insert with lying row count",
+            {
+                // INSERT, table 0, claims 1000 columns, carries none.
+                let mut body = vec![1u8, 0x04];
+                body.extend_from_slice(&0u32.to_le_bytes());
+                body.extend_from_slice(&1000u32.to_le_bytes());
+                let mut b = (body.len() as u32).to_le_bytes().to_vec();
+                b.extend_from_slice(&body);
+                b
+            },
+            true,
+        ),
+        (
+            "insert with absurd row count",
+            {
+                let mut body = vec![1u8, 0x04];
+                body.extend_from_slice(&0u32.to_le_bytes());
+                body.extend_from_slice(&u32::MAX.to_le_bytes());
+                let mut b = (body.len() as u32).to_le_bytes().to_vec();
+                b.extend_from_slice(&body);
+                b
+            },
+            true,
+        ),
+        (
+            "reply frame as request",
+            {
+                let mut b = Vec::new();
+                Frame::Committed.encode(&mut b);
+                b
+            },
+            true,
+        ),
+    ];
+
+    for (name, bytes, conn_survives) in corpus {
+        let mut conn = Conn::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        conn.send_raw(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: send: {e}"));
+        match conn.recv() {
+            Ok(Frame::Error { code, .. }) => {
+                assert_eq!(code, ErrorCode::Malformed, "{name}: typed error code");
+            }
+            Ok(other) => panic!("{name}: unexpected reply {other:?}"),
+            // A torn stream may only close; that is acceptable for
+            // length-layer poison but not for recoverable errors.
+            Err(_) if !conn_survives => {}
+            Err(e) => panic!("{name}: expected typed error, got {e}"),
+        }
+        if conn_survives {
+            // The same connection still serves well-formed traffic.
+            let m = conn
+                .metrics()
+                .unwrap_or_else(|e| panic!("{name}: follow-up: {e}"));
+            assert!(m.counters.contains_key("txn.commits"), "{name}: snapshot");
+        }
+    }
+
+    // A partial frame followed by a hangup must not wedge anything.
+    {
+        let mut conn = Conn::connect(addr).expect("connect");
+        conn.send_raw(&[10, 0, 0]).expect("partial length prefix");
+        drop(conn);
+    }
+
+    // The server still accepts and serves full transactions.
+    let mut conn = Conn::connect(addr).expect("connect after corpus");
+    assert!(matches!(
+        conn.begin(0).expect("begin"),
+        BeginOutcome::Started { .. }
+    ));
+    conn.read(0, 1).expect("read");
+    conn.commit().expect("commit");
+    assert!(handle.protocol_errors() > 0, "corpus was counted");
+}
+
+/// Versioned header: today's decoder must reject a frame from a
+/// hypothetical future protocol version with a typed error, keeping the
+/// path open for version negotiation instead of silent misparses.
+#[test]
+fn future_version_is_rejected_not_misparsed() {
+    let (_engine, _tatp, handle, _wire) = start_server(8, AdmissionConfig::default());
+    let mut conn = Conn::connect(handle.local_addr()).expect("connect");
+    let mut bytes = 2u32.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[tpd_server::VERSION + 1, 0x05]);
+    conn.send_raw(&bytes).expect("send");
+    match conn.recv() {
+        Ok(Frame::Error { code, detail }) => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert!(
+                detail.contains("version"),
+                "detail names the version: {detail}"
+            );
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+}

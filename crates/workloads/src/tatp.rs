@@ -67,6 +67,23 @@ impl Tatp {
         }
         t
     }
+
+    /// Number of installed subscribers.
+    pub fn subscribers(&self) -> u64 {
+        self.subscribers
+    }
+
+    /// Table ids in install order: `[subscriber, access_info,
+    /// special_facility, call_forwarding]` — the schema contract a wire
+    /// client needs to address tables by id.
+    pub fn table_ids(&self) -> [TableId; 4] {
+        [
+            self.subscriber,
+            self.access_info,
+            self.special_facility,
+            self.call_forwarding,
+        ]
+    }
 }
 
 impl Workload for Tatp {
