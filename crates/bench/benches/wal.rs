@@ -62,6 +62,7 @@ fn pg_commit_block_sizes(c: &mut Criterion) {
                     block_size: block,
                     per_block_overhead: Duration::ZERO,
                     faults: None,
+                    ..Default::default()
                 },
                 vec![instant_disk(3)],
                 None,
@@ -83,6 +84,7 @@ fn pg_parallel_sets(c: &mut Criterion) {
                     block_size: 8192,
                     per_block_overhead: Duration::ZERO,
                     faults: None,
+                    ..Default::default()
                 },
                 disks,
                 None,

@@ -1,0 +1,162 @@
+//! Multi-threaded WAL append microbench: the mutex-serialized append path
+//! vs the reserve-then-copy lockfree buffer, across thread counts and
+//! flush policies.
+//!
+//! Two outputs:
+//!
+//! * A plain-text *fsyncs-per-commit* report (printed before Criterion
+//!   runs): fixed commit count per config, `flushes / commits` and the
+//!   group-commit batch mean straight from [`RedoLog::stats`].
+//! * Criterion `wal_append/<mode>_<policy>` groups parameterized by
+//!   thread count: wall-clock append+commit throughput on instant disks,
+//!   i.e. pure synchronization overhead.
+//!
+//! Disks are `Fixed(0)` so the contended lock/atomic path is the only
+//! cost. Numbers from a run of this bench are recorded in DESIGN.md §10.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, BenchmarkId, Criterion};
+
+use tpd_common::dist::ServiceTime;
+use tpd_common::{DiskConfig, SimDisk};
+use tpd_wal::{AppendMode, FlushPolicy, RedoLog, RedoLogConfig};
+
+fn instant_disk(seed: u64) -> Arc<SimDisk> {
+    Arc::new(SimDisk::new(DiskConfig {
+        service: ServiceTime::Fixed(0),
+        ns_per_byte: 0.0,
+        seed,
+    }))
+}
+
+fn build_log(append: AppendMode, policy: FlushPolicy, writers: usize) -> Arc<RedoLog> {
+    let disks = (0..writers.max(1))
+        .map(|i| instant_disk(1 + i as u64))
+        .collect();
+    RedoLog::with_disks(
+        RedoLogConfig {
+            policy,
+            append,
+            writers: writers.max(1),
+            // No background flusher: keep the bench single-process
+            // deterministic; eager commits flush inline anyway.
+            manual_flush: true,
+            ..Default::default()
+        },
+        disks,
+        None,
+    )
+}
+
+/// Run `per_thread` append+commit pairs on each of `threads` threads.
+fn drive(log: &Arc<RedoLog>, threads: usize, per_thread: u64) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let log = Arc::clone(log);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let lsn = log.append(64 + ((t as u64 + i) % 7) * 32);
+                    black_box(log.commit(lsn));
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+const MODES: [(AppendMode, &str); 2] = [
+    (AppendMode::Mutex, "mutex"),
+    (AppendMode::Lockfree, "lockfree"),
+];
+const POLICIES: [(FlushPolicy, &str); 2] = [
+    (FlushPolicy::Eager, "eager"),
+    (FlushPolicy::LazyWrite, "lazy_write"),
+];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Fixed-work comparison: fsyncs per commit and group-commit sharing.
+fn fsync_report() {
+    const PER_THREAD: u64 = 2_000;
+    println!("wal_append fsyncs-per-commit (instant disks, {PER_THREAD} commits/thread)");
+    println!(
+        "{:<28} {:>8} {:>9} {:>10} {:>13}",
+        "config", "threads", "commits", "flushes", "fsync/commit"
+    );
+    for (mode, mode_name) in MODES {
+        for (policy, policy_name) in POLICIES {
+            let writer_counts: &[usize] = if mode == AppendMode::Lockfree {
+                &[1, 2]
+            } else {
+                &[1]
+            };
+            for &writers in writer_counts {
+                for threads in THREADS {
+                    let log = build_log(mode, policy, writers);
+                    drive(&log, threads, PER_THREAD);
+                    let stats = log.stats();
+                    println!(
+                        "{:<28} {:>8} {:>9} {:>10} {:>13.4}",
+                        format!("{mode_name}/{policy_name}/k{writers}"),
+                        threads,
+                        stats.commits,
+                        stats.flushes,
+                        stats.flushes as f64 / stats.commits.max(1) as f64,
+                    );
+                    log.shutdown();
+                }
+            }
+        }
+    }
+}
+
+/// Single-threaded append-only cost (no commit): the reservation path
+/// itself, mutex vs fetch_add+publish.
+fn append_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append/append_only");
+    for (mode, mode_name) in MODES {
+        group.bench_with_input(BenchmarkId::from_parameter(mode_name), &mode, |b, &mode| {
+            let log = build_log(mode, FlushPolicy::LazyWrite, 1);
+            b.iter(|| black_box(log.append(256)));
+            log.shutdown();
+        });
+    }
+    group.finish();
+}
+
+fn append_commit(c: &mut Criterion) {
+    for (mode, mode_name) in MODES {
+        for (policy, policy_name) in POLICIES {
+            let mut group = c.benchmark_group(format!("wal_append/{mode_name}_{policy_name}"));
+            for threads in THREADS {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter_custom(|iters| {
+                            let log = build_log(mode, policy, 1);
+                            let elapsed =
+                                drive(&log, threads, iters.div_ceil(threads as u64).max(1));
+                            log.shutdown();
+                            elapsed
+                        });
+                    },
+                );
+            }
+            group.finish();
+        }
+    }
+}
+
+fn main() {
+    // `cargo bench -- --help`-style flag probing shouldn't trigger the
+    // fixed-work report; only real runs print it.
+    if std::env::args().all(|a| a != "--help" && a != "--version") {
+        fsync_report();
+    }
+    let mut c = Criterion::default().sample_size(10);
+    append_only(&mut c);
+    append_commit(&mut c);
+}

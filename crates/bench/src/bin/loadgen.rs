@@ -26,7 +26,8 @@ use tpd_server::{Conn, Outcome, WireTatp};
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT (default: in-process server)] \
 [--conns N] [--rate TPS (0 = max)] [--secs N | --duration N] [--subscribers N] \
-[--slots N] [--admission-cap N] [--deadline-ms N] [--seed N]";
+[--slots N] [--admission-cap N] [--deadline-ms N] [--seed N] \
+[--wal-append mutex|lockfree] [--log-writers K]";
 
 #[derive(Default)]
 struct Tally {
@@ -200,6 +201,27 @@ fn main() {
             .histograms
             .get("server.admission_wait_ns")
             .map(|h| h.count)
+            .unwrap_or(0),
+    );
+    // WAL scalability: how many commits each fsync acknowledged (group
+    // commit sharing), fsyncs per commit, and the append reservation tail.
+    let hist_mean = |name: &str| {
+        metrics
+            .histograms
+            .get(name)
+            .filter(|h| h.count > 0)
+            .map(|h| h.sum as f64 / h.count as f64)
+    };
+    let commits = metrics.counter("txn.commits").max(1);
+    println!(
+        "wal: flushes={} flushes/commit={:.3} group_commit_batch mean={:.2} reserve p99={} ns",
+        metrics.counter("wal.flushes"),
+        metrics.counter("wal.flushes") as f64 / commits as f64,
+        hist_mean("wal.group_commit_batch").unwrap_or(0.0),
+        metrics
+            .histograms
+            .get("wal.reserve_ns")
+            .map(|h| h.p99)
             .unwrap_or(0),
     );
 

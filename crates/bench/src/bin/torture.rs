@@ -13,7 +13,7 @@
 
 use tpd_common::dist::ServiceTime;
 use tpd_harness::{run_torture, TortureConfig};
-use tpd_wal::FlushPolicy;
+use tpd_wal::{AppendMode, FlushPolicy};
 
 #[derive(Debug, Clone)]
 struct TortureArgs {
@@ -43,6 +43,10 @@ struct TortureArgs {
     /// Median of a lognormal client round trip before each statement, in
     /// ns (`--rtt NS`; 0 = off).
     rtt_ns: u64,
+    /// WAL append path: `mutex` or `lockfree` (`--wal-append MODE`).
+    wal_append: AppendMode,
+    /// Parallel redo logs (`--log-writers K`; lockfree append only).
+    log_writers: usize,
 }
 
 impl Default for TortureArgs {
@@ -60,13 +64,16 @@ impl Default for TortureArgs {
             metrics: false,
             metrics_json: false,
             rtt_ns: 0,
+            wal_append: AppendMode::Lockfree,
+            log_writers: 1,
         }
     }
 }
 
 const USAGE: &str = "usage: torture [--seed S] [--seeds N] [--faults] [--txns N] \
 [--sessions N] [--crash-every N] [--policy eager|lazy-write|lazy-flush] \
-[--chaos-locks] [--chaos-ack] [--metrics] [--metrics-json] [--rtt NS]";
+[--chaos-locks] [--chaos-ack] [--metrics] [--metrics-json] [--rtt NS] \
+[--wal-append mutex|lockfree] [--log-writers K]";
 
 impl TortureArgs {
     fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Result<TortureArgs, String> {
@@ -101,6 +108,14 @@ impl TortureArgs {
                 "--metrics" => args.metrics = true,
                 "--metrics-json" => args.metrics_json = true,
                 "--rtt" => args.rtt_ns = num("--rtt", take("--rtt")?)?,
+                "--wal-append" => {
+                    args.wal_append = take("--wal-append")?
+                        .parse::<AppendMode>()
+                        .map_err(|e| format!("--wal-append: {e}"))?
+                }
+                "--log-writers" => {
+                    args.log_writers = num("--log-writers", take("--log-writers")?)?.max(1) as usize
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -122,6 +137,8 @@ impl TortureArgs {
                 median: self.rtt_ns,
                 sigma: 0.6,
             }),
+            wal_append: self.wal_append,
+            log_writers: self.log_writers,
             ..Default::default()
         }
     }
@@ -233,6 +250,17 @@ mod tests {
         ));
         let b = parse(&[]).expect("empty");
         assert!(b.config(1).statement_rtt.is_none());
+    }
+
+    #[test]
+    fn wal_append_flags() {
+        let a = parse(&["--wal-append", "mutex"]).expect("parse");
+        assert_eq!(a.wal_append, AppendMode::Mutex);
+        assert_eq!(a.config(1).wal_append, AppendMode::Mutex);
+        let a = parse(&["--log-writers", "2"]).expect("parse");
+        assert_eq!(a.wal_append, AppendMode::Lockfree);
+        assert_eq!(a.config(1).log_writers, 2);
+        assert!(parse(&["--wal-append", "spinlock"]).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use tpd_common::dist::ServiceTime;
 use tpd_common::DiskConfig;
-use tpd_engine::{Engine, EngineConfig, Personality, Policy};
+use tpd_engine::{AppendMode, Engine, EngineConfig, Personality, Policy};
 use tpd_server::{spawn, AdmissionConfig, ServerConfig, ServerHandle, WireTatp};
 use tpd_workloads::Tatp;
 
@@ -37,6 +37,10 @@ pub struct NetArgs {
     pub rate: f64,
     /// Engine + client RNG seed.
     pub seed: u64,
+    /// WAL append path for the in-process engine (`--wal-append`).
+    pub wal_append: AppendMode,
+    /// Parallel redo logs for the in-process engine (`--log-writers`).
+    pub log_writers: usize,
 }
 
 impl Default for NetArgs {
@@ -52,6 +56,8 @@ impl Default for NetArgs {
             conns: 8,
             rate: 0.0,
             seed: 42,
+            wal_append: AppendMode::Lockfree,
+            log_writers: 1,
         }
     }
 }
@@ -105,6 +111,15 @@ impl NetArgs {
                     }
                 }
                 "--seed" => args.seed = num(&raw("--seed")?, "--seed")?,
+                "--wal-append" => {
+                    args.wal_append = raw("--wal-append")?
+                        .parse::<AppendMode>()
+                        .map_err(|e| format!("--wal-append: {e}"))?
+                }
+                "--log-writers" => {
+                    args.log_writers =
+                        (num(&raw("--log-writers")?, "--log-writers")? as usize).max(1)
+                }
                 "--help" | "-h" => return Err(usage.to_string()),
                 other => return Err(format!("unknown flag {other}\n{usage}")),
             }
@@ -133,21 +148,35 @@ fn num(s: &str, name: &str) -> Result<u64, String> {
 /// (the network path is the experiment here, not the disk model) and no
 /// modeled statement round-trip — the wire provides the real one.
 pub fn served_engine(seed: u64) -> Arc<Engine> {
+    served_engine_with(seed, AppendMode::Lockfree, 1)
+}
+
+/// [`served_engine`] with the WAL append path and parallel-log count
+/// chosen by `--wal-append` / `--log-writers`.
+pub fn served_engine_with(seed: u64, wal_append: AppendMode, log_writers: usize) -> Arc<Engine> {
     let disk = DiskConfig {
         service: ServiceTime::Fixed(20_000),
         ns_per_byte: 0.0,
         seed,
     };
-    Engine::new(EngineConfig {
-        personality: Personality::Mysql,
-        data_disk: disk.clone(),
-        log_disks: vec![disk],
-        statement_rtt: None,
-        lock_timeout: Some(Duration::from_secs(5)),
-        lock_shards: 0,
-        seed,
-        ..EngineConfig::mysql(Policy::Fcfs)
-    })
+    Engine::new(
+        EngineConfig {
+            personality: Personality::Mysql,
+            data_disk: disk.clone(),
+            log_disks: vec![disk],
+            statement_rtt: None,
+            lock_timeout: Some(Duration::from_secs(5)),
+            lock_shards: 0,
+            seed,
+            ..EngineConfig::mysql(Policy::Fcfs)
+        }
+        .with_wal_append(wal_append)
+        .with_log_writers(if wal_append == AppendMode::Mutex {
+            1
+        } else {
+            log_writers
+        }),
+    )
 }
 
 /// Build the engine, install TATP, and start the server; returns the
@@ -157,7 +186,7 @@ pub fn start_tatp_server(
     args: &NetArgs,
     addr: Option<&str>,
 ) -> std::io::Result<(Arc<Engine>, ServerHandle, WireTatp)> {
-    let engine = served_engine(args.seed);
+    let engine = served_engine_with(args.seed, args.wal_append, args.log_writers);
     let tatp = Tatp::install(&engine, args.subscribers);
     let ids = tatp.table_ids();
     let wire = WireTatp {

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use tpd_common::dist::ServiceTime;
 use tpd_common::DiskConfig;
-use tpd_engine::{Engine, EngineConfig, Policy};
+use tpd_engine::{AppendMode, Engine, EngineConfig, Policy};
 use tpd_workloads::TpcC;
 
 /// The data-disk model shared by the engine experiments: heavy-tailed
@@ -59,6 +59,9 @@ pub fn mysql_inmemory(policy: Policy, seed: u64) -> EngineConfig {
     cfg.data_disk = data_disk(seed);
     cfg.log_disks = vec![log_disk(seed ^ 0xA5)];
     cfg.statement_rtt = Some(statement_rtt());
+    // Paper-faithful: the profiled systems serialized appends on the log
+    // mutex; the lockfree path is the fix, not the reproduction.
+    cfg.wal_append = AppendMode::Mutex;
     cfg.seed = seed;
     cfg
 }
@@ -81,6 +84,9 @@ pub fn mysql_pressured(policy: Policy, frames: usize, seed: u64) -> EngineConfig
     cfg.data_disk = hdd_disk(seed);
     cfg.log_disks = vec![log_disk(seed ^ 0xA5)];
     cfg.statement_rtt = Some(statement_rtt());
+    // Paper-faithful: the profiled systems serialized appends on the log
+    // mutex; the lockfree path is the fix, not the reproduction.
+    cfg.wal_append = AppendMode::Mutex;
     cfg.seed = seed;
     cfg
 }
@@ -97,6 +103,9 @@ pub fn postgres(seed: u64) -> EngineConfig {
     cfg.log_disks = vec![pg_log_disk(seed ^ 0xA5)];
     cfg.redo_amplification = 32;
     cfg.statement_rtt = Some(statement_rtt());
+    // Paper-faithful: the profiled systems serialized appends on the log
+    // mutex; the lockfree path is the fix, not the reproduction.
+    cfg.wal_append = AppendMode::Mutex;
     cfg.seed = seed;
     cfg
 }
@@ -170,6 +179,15 @@ mod tests {
         let e = Engine::new(mysql_inmemory(Policy::Vats, 1));
         assert_eq!(e.config().lock_policy, Policy::Vats);
         assert_eq!(e.config().lock_shards, 1, "paper presets pin one shard");
+        assert_eq!(
+            e.config().wal_append,
+            AppendMode::Mutex,
+            "paper presets pin the serialized append path"
+        );
+        assert_eq!(
+            Engine::new(postgres(9)).config().wal_append,
+            AppendMode::Mutex
+        );
         let e2 = Engine::new(postgres(2));
         assert!(e2.pg_wal_stats().is_some());
         let e3 = Engine::new(mysql_pressured(Policy::Fcfs, 64, 3));

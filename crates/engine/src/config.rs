@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use tpd_core::{Policy, VictimPolicy};
 use tpd_storage::{MutexPolicy, PoolConfig};
-use tpd_wal::{FlushPolicy, WalFaultPlan, WalWriterConfig};
+use tpd_wal::{AppendMode, FlushPolicy, WalFaultPlan, WalWriterConfig};
 
 use tpd_common::dist::ServiceTime;
 use tpd_common::{DiskConfig, FaultPlan};
@@ -41,6 +41,17 @@ pub struct EngineConfig {
     pub flush_policy: FlushPolicy,
     /// Background flusher period for lazy policies.
     pub flush_interval: Duration,
+    /// WAL append path (both personalities): `Mutex` reproduces the
+    /// paper's serialized append, `Lockfree` the reserve-then-copy
+    /// buffer. The paper-faithful presets pin `Mutex`.
+    pub wal_append: AppendMode,
+    /// Parallel redo logs for the MySQL personality (lockfree path only;
+    /// records stripe by txn id, epoch-ordered commit acks). The
+    /// Postgres analogue is [`WalWriterConfig::sets`].
+    pub log_writers: usize,
+    /// Let committers park and share another committer's fsync
+    /// (lockfree path only).
+    pub wal_group_commit: bool,
     /// Postgres WAL configuration (sets, block size).
     pub wal: WalWriterConfig,
     /// Data device model.
@@ -108,6 +119,9 @@ impl Default for EngineConfig {
             pool: PoolConfig::default(),
             flush_policy: FlushPolicy::Eager,
             flush_interval: Duration::from_millis(10),
+            wal_append: AppendMode::Lockfree,
+            log_writers: 1,
+            wal_group_commit: true,
             wal: WalWriterConfig::default(),
             data_disk: DiskConfig {
                 service: ServiceTime::LogNormal {
@@ -181,6 +195,24 @@ impl EngineConfig {
             self.log_disks.push(d);
         }
         self.log_disks.truncate(sets.max(1));
+        self
+    }
+
+    /// Select the WAL append path (both personalities).
+    pub fn with_wal_append(mut self, mode: AppendMode) -> Self {
+        self.wal_append = mode;
+        self
+    }
+
+    /// Run `k` parallel redo logs (MySQL personality, lockfree append),
+    /// provisioning one log device per writer.
+    pub fn with_log_writers(mut self, k: usize) -> Self {
+        self.log_writers = k.max(1);
+        while self.log_disks.len() < self.log_writers {
+            let mut d = self.log_disks[0].clone();
+            d.seed = d.seed.wrapping_add(self.log_disks.len() as u64 * 7919);
+            self.log_disks.push(d);
+        }
         self
     }
 

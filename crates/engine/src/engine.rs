@@ -71,7 +71,7 @@ pub struct EngineStats {
 #[derive(Debug)]
 enum WalBackend {
     Mysql(Arc<RedoLog>),
-    Pg(WalWriter),
+    Pg(Box<WalWriter>),
 }
 
 /// The engine. Construct with [`Engine::new`], create schema through
@@ -130,18 +130,35 @@ impl Engine {
         );
         let wal = match config.personality {
             Personality::Mysql => {
-                let disk = Arc::new(SimDisk::with_faults(
-                    config.log_disks[0].clone(),
-                    config.log_faults.clone(),
-                ));
-                WalBackend::Mysql(RedoLog::new(
+                // One device per parallel log writer (the mutex append
+                // path always runs one log). Extra devices are derived
+                // deterministically when the config lists too few.
+                let writers = match config.wal_append {
+                    tpd_wal::AppendMode::Mutex => 1,
+                    tpd_wal::AppendMode::Lockfree => config.log_writers.max(1),
+                };
+                let mut disk_configs = config.log_disks.clone();
+                while disk_configs.len() < writers {
+                    let mut d = disk_configs[0].clone();
+                    d.seed = d.seed.wrapping_add(disk_configs.len() as u64 * 7919);
+                    disk_configs.push(d);
+                }
+                let disks = disk_configs
+                    .into_iter()
+                    .take(writers)
+                    .map(|d| Arc::new(SimDisk::with_faults(d, config.log_faults.clone())))
+                    .collect();
+                WalBackend::Mysql(RedoLog::with_disks(
                     RedoLogConfig {
                         policy: config.flush_policy,
                         flush_interval: config.flush_interval,
                         faults: config.wal_faults.clone(),
                         manual_flush: config.wal_manual_flush,
+                        append: config.wal_append,
+                        writers,
+                        group_commit: config.wal_group_commit,
                     },
-                    disk,
+                    disks,
                     Some(MysqlWalProbes {
                         profiler: profiler.clone(),
                         fil_flush: probes.fil_flush,
@@ -156,14 +173,16 @@ impl Engine {
                     .collect();
                 let mut wal_config = config.wal.clone();
                 wal_config.faults = config.wal_faults.clone();
-                WalBackend::Pg(WalWriter::new(
+                wal_config.append = config.wal_append;
+                wal_config.group_commit = config.wal_group_commit;
+                WalBackend::Pg(Box::new(WalWriter::new(
                     wal_config,
                     disks,
                     Some(PgWalProbes {
                         profiler: profiler.clone(),
                         lwlock_acquire: probes.lwlock_acquire_or_wait,
                     }),
-                ))
+                )))
             }
         };
         let locks = LockManager::new(LockManagerConfig {
@@ -309,8 +328,11 @@ impl Engine {
                 m.set_counter("wal.group_commits", s.group_commits);
                 m.set_counter("wal.bytes_written", s.bytes_written);
                 m.set_counter("wal.commit_wait_ns_total", s.commit_wait_ns);
+                m.set_counter("wal.log_writers", r.writers() as u64);
                 m.set_histogram("wal.fsync_ns", r.fsync_histogram());
                 m.set_histogram("wal.flush_batch_bytes", r.batch_histogram());
+                m.set_histogram("wal.reserve_ns", r.reserve_histogram());
+                m.set_histogram("wal.group_commit_batch", r.group_commit_batch_histogram());
             }
             WalBackend::Pg(w) => {
                 let s = w.stats();
@@ -322,6 +344,8 @@ impl Engine {
                 m.set_counter("wal.lock_wait_ns_total", s.lock_wait_ns);
                 m.set_histogram("wal.lwlock_wait_ns", w.lock_wait_histogram());
                 m.set_histogram("wal.flush_batch_blocks", w.batch_histogram());
+                m.set_histogram("wal.reserve_ns", w.reserve_histogram());
+                m.set_histogram("wal.group_commit_batch", w.group_commit_batch_histogram());
             }
         }
 

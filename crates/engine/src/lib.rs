@@ -35,3 +35,4 @@ pub use types::{EngineError, Row, RowKey, TableId, TxnType};
 
 // Re-exports so workloads and binaries need not depend on tpd-core directly.
 pub use tpd_core::{LockMode, Policy, VictimPolicy};
+pub use tpd_wal::AppendMode;

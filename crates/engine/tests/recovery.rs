@@ -203,3 +203,52 @@ fn recovery_is_idempotent() {
     let twice = recovered.catalog().table(accounts).get(0);
     assert_eq!(once, twice, "physical redo replays idempotently");
 }
+
+#[test]
+fn two_log_writers_recover_every_eager_commit() {
+    let engine =
+        Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)).with_log_writers(2));
+    let (accounts, journal) = run_transfers(&engine, 25);
+    let log = engine.simulate_crash();
+
+    let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+    recovered.catalog().create_table("accounts", 16);
+    recovered.catalog().create_table("journal", 16);
+    let report = recovered.recover_from(&log);
+    assert_eq!(
+        report.committed_txns, 26,
+        "setup + 25 transfers across 2 logs"
+    );
+    assert_eq!(report.records_skipped, 0);
+
+    let acc = recovered.catalog().table(accounts);
+    assert_eq!(acc.get(0).expect("a")[0], 1000 - 25);
+    assert_eq!(acc.get(1).expect("b")[0], 1000 + 25);
+    assert_eq!(recovered.catalog().table(journal).len(), 25);
+}
+
+#[test]
+fn mutex_append_mode_recovers_the_same_state_as_lockfree() {
+    let run = |mode: tpd_engine::AppendMode| {
+        let engine = Engine::new(
+            config(FlushPolicy::Eager, Duration::from_millis(10)).with_wal_append(mode),
+        );
+        let (accounts, journal) = run_transfers(&engine, 12);
+        let log = engine.simulate_crash();
+        let recovered = Engine::new(config(FlushPolicy::Eager, Duration::from_millis(10)));
+        recovered.catalog().create_table("accounts", 16);
+        recovered.catalog().create_table("journal", 16);
+        let report = recovered.recover_from(&log);
+        let acc = recovered.catalog().table(accounts);
+        (
+            report.committed_txns,
+            acc.get(0).expect("a")[0],
+            acc.get(1).expect("b")[0],
+            recovered.catalog().table(journal).len(),
+        )
+    };
+    let mutex = run(tpd_engine::AppendMode::Mutex);
+    let lockfree = run(tpd_engine::AppendMode::Lockfree);
+    assert_eq!(mutex, lockfree, "both append paths recover identical state");
+    assert_eq!(mutex.0, 13, "setup + 12 transfers");
+}

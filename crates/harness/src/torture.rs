@@ -32,7 +32,7 @@ use tpd_common::dist::ServiceTime;
 use tpd_common::FaultPlan;
 use tpd_engine::{Engine, EngineConfig, Policy, TableId, Txn};
 use tpd_metrics::MetricsSnapshot;
-use tpd_wal::{FlushPolicy, WalFaultPlan};
+use tpd_wal::{AppendMode, FlushPolicy, WalFaultPlan};
 use tpd_workloads::{install_torture_schema, TortureMix, TortureOp, TortureTxn};
 
 use crate::checker::{self, CheckerViolation};
@@ -71,6 +71,10 @@ pub struct TortureConfig {
     /// drawn from each transaction's seeded RNG, so enabling it must not
     /// perturb replay determinism.
     pub statement_rtt: Option<ServiceTime>,
+    /// WAL append path under test (mutex vs reserve-then-copy).
+    pub wal_append: AppendMode,
+    /// Parallel redo logs (lockfree append only; MySQL personality).
+    pub log_writers: usize,
 }
 
 impl Default for TortureConfig {
@@ -88,6 +92,8 @@ impl Default for TortureConfig {
             skip_locking: false,
             ack_before_flush: false,
             statement_rtt: None,
+            wal_append: AppendMode::Lockfree,
+            log_writers: 1,
         }
     }
 }
@@ -257,6 +263,10 @@ fn build_engine(cfg: &TortureConfig) -> (Arc<Engine>, Vec<TableId>) {
     ec.seed = cfg.seed;
     ec.skip_locking = cfg.skip_locking;
     ec.statement_rtt = cfg.statement_rtt.clone();
+    ec = ec.with_wal_append(cfg.wal_append);
+    if cfg.wal_append == AppendMode::Lockfree {
+        ec = ec.with_log_writers(cfg.log_writers);
+    }
     if cfg.faults {
         ec.data_faults = Some(FaultPlan::chaos(cfg.seed ^ 0xD15C));
         ec.log_faults = Some(FaultPlan::chaos(cfg.seed ^ 0x10D1));

@@ -248,6 +248,22 @@ fn concurrent_tatp_matches_replay_oracle_and_metrics() {
         "every admitted BEGIN recorded a wait sample"
     );
 
+    // The scalable-WAL instruments ride the same frame.
+    let reserve = metrics
+        .histograms
+        .get("wal.reserve_ns")
+        .expect("wal.reserve_ns histogram present");
+    assert!(reserve.count > 0, "appends recorded reservation timings");
+    let batch = metrics
+        .histograms
+        .get("wal.group_commit_batch")
+        .expect("wal.group_commit_batch histogram present");
+    assert!(batch.count > 0, "eager commits recorded fsync batch sizes");
+    assert!(
+        batch.sum >= batch.count,
+        "each fsync acknowledged at least one commit"
+    );
+
     // No lock-queue entry outlived its transaction.
     assert_eq!(engine.locks().outstanding(), (0, 0), "no leaked locks");
     assert_eq!(handle.protocol_errors(), 0);

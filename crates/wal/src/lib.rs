@@ -16,11 +16,13 @@
 //!   the one with fewer waiters).
 
 pub mod fault;
+pub mod lockfree;
 pub mod mysql;
 pub mod pg;
 pub mod record;
 
 pub use fault::WalFaultPlan;
+pub use lockfree::AppendMode;
 pub use mysql::{FlushPolicy, MysqlWalProbes, RedoLog, RedoLogConfig, RedoStats};
 pub use pg::{PgWalProbes, WalWriter, WalWriterConfig, WalWriterStats};
 pub use record::{committed_txns, durable_prefix, LogRecord, StampedRecord};

@@ -6,7 +6,7 @@
 //!
 //! * [`FlushPolicy::Eager`] — the committing thread writes and fsyncs
 //!   before acknowledging. The fsync is the paper's `fil_flush` probe site.
-//!   Concurrent committers group-commit: whoever holds the flush lock
+//!   Concurrent committers group-commit: whoever holds the flush baton
 //!   flushes everything buffered, and the rest observe their LSN is already
 //!   durable.
 //! * [`FlushPolicy::LazyFlush`] — the committer writes (into the OS cache)
@@ -16,6 +16,20 @@
 //!
 //! Both lazy modes risk losing the last interval's commits on a crash, as
 //! the paper notes.
+//!
+//! Two append paths coexist (see [`AppendMode`]):
+//!
+//! * **Mutex** — every append serializes through `Mutex<BufferState>`,
+//!   faithful to the contention pathology the paper measured (Table 1).
+//! * **Lockfree** — reserve-then-copy (see [`crate::lockfree`]): appends
+//!   claim LSN ranges with one `fetch_add` and publish through a
+//!   sequence-word ring; committers share fsyncs via a flush baton and a
+//!   parked waiter list. [`RedoLogConfig::writers`] > 1 stripes records
+//!   across K parallel logs by transaction id, with **epoch-ordered
+//!   commit acks**: each fsync closes a global epoch, and a commit is
+//!   acknowledged only once every stripe's flush epoch has caught up with
+//!   the epoch observed at its own flush — so an ack implies every
+//!   earlier-epoch commit on every log is durable.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,6 +42,7 @@ use tpd_common::disk::SimDisk;
 use tpd_metrics::{Histogram, HistogramSnapshot};
 use tpd_profiler::{FuncId, Profiler};
 
+use crate::lockfree::{make_lsn, offset_of, stripe_of, AppendMode, Reservation, Stripe};
 use crate::record::{LogRecord, StampedRecord};
 use crate::Lsn;
 
@@ -57,6 +72,16 @@ pub struct RedoLogConfig {
     /// harness needs this: with no second thread, every flush happens at a
     /// seeded point on the driver thread and the run is replayable.
     pub manual_flush: bool,
+    /// Append path: mutex-serialized (paper-faithful) or reserve-then-copy.
+    pub append: AppendMode,
+    /// Parallel log count for the lockfree path (records striped by txn
+    /// id, one flush baton each). Ignored by the mutex path, which always
+    /// runs a single log.
+    pub writers: usize,
+    /// Allow committers to park and share another committer's fsync. When
+    /// false, a committer that loses the baton race spins for the baton
+    /// and flushes itself (still correct, no batching).
+    pub group_commit: bool,
 }
 
 impl Default for RedoLogConfig {
@@ -66,6 +91,9 @@ impl Default for RedoLogConfig {
             flush_interval: Duration::from_millis(10),
             faults: None,
             manual_flush: false,
+            append: AppendMode::Lockfree,
+            writers: 1,
+            group_commit: true,
         }
     }
 }
@@ -108,15 +136,33 @@ struct BufferState {
     records: Vec<StampedRecord>,
 }
 
+/// One parallel log: its device plus the lock-free stripe state.
+#[derive(Debug)]
+struct StripeLog {
+    disk: Arc<SimDisk>,
+    stripe: Stripe,
+}
+
+/// The append-path implementation behind a [`RedoLog`].
+#[derive(Debug)]
+enum Backend {
+    /// Mutex-serialized buffer (paper-faithful pathology).
+    Mutex {
+        disk: Arc<SimDisk>,
+        state: Mutex<BufferState>,
+        /// Serializes device write+fsync so committers group-commit
+        /// behind the current flusher.
+        flush_lock: Mutex<()>,
+    },
+    /// Reserve-then-copy stripes (see [`crate::lockfree`]).
+    Lockfree { stripes: Vec<StripeLog> },
+}
+
 /// The redo log. See module docs.
 #[derive(Debug)]
 pub struct RedoLog {
-    disk: Arc<SimDisk>,
     config: RedoLogConfig,
-    state: Mutex<BufferState>,
-    /// Serializes device write+fsync so committers group-commit behind the
-    /// current flusher.
-    flush_lock: Mutex<()>,
+    backend: Backend,
     shutdown: Arc<AtomicBool>,
     shutdown_cv: Arc<(Mutex<bool>, Condvar)>,
     flusher: Option<std::thread::JoinHandle<()>>,
@@ -127,28 +173,81 @@ pub struct RedoLog {
     group_commits: AtomicU64,
     bytes_written: AtomicU64,
     commit_wait_ns: AtomicU64,
+    /// Eager committers waiting on durability (mutex backend; the
+    /// lockfree backend tracks this per stripe). Swapped to zero at each
+    /// fsync to size the group-commit batch.
+    acks_pending: AtomicU64,
+    /// Global append sequence, stamped on every typed record so crash
+    /// snapshots merge stripes in true append order.
+    global_seq: AtomicU64,
+    /// Global flush epoch: bumped once per fsync (any stripe). Drives the
+    /// K-way epoch-ordered commit-ack rule.
+    epoch: AtomicU64,
+    /// Round-robin cursor for striping record-less appends.
+    append_rr: AtomicU64,
     /// Fsync latency per flush (ns).
     fsync_hist: Histogram,
-    /// Bytes written to the device per flush batch.
+    /// Bytes made durable per flush batch.
     batch_hist: Histogram,
+    /// Append-path reservation latency (ns) — the cost of claiming and
+    /// publishing log space, in either append mode.
+    reserve_hist: Histogram,
+    /// Commits acknowledged per fsync (group-commit batch size).
+    group_batch_hist: Histogram,
 }
 
 impl RedoLog {
-    /// Create a redo log; lazy policies spawn the background flusher.
+    /// Create a single-log redo log; lazy policies spawn the background
+    /// flusher unless `manual_flush` is set.
     pub fn new(
         config: RedoLogConfig,
         disk: Arc<SimDisk>,
         probes: Option<MysqlWalProbes>,
     ) -> Arc<Self> {
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_cv = Arc::new((Mutex::new(false), Condvar::new()));
+        Self::with_disks(config, vec![disk], probes)
+    }
+
+    /// Create a redo log over one device per parallel log writer. The
+    /// mutex append path always runs a single log (extra devices are
+    /// rejected); the lockfree path requires `disks.len() == writers`.
+    pub fn with_disks(
+        config: RedoLogConfig,
+        disks: Vec<Arc<SimDisk>>,
+        probes: Option<MysqlWalProbes>,
+    ) -> Arc<Self> {
+        let writers = config.writers.max(1);
+        let backend = match config.append {
+            AppendMode::Mutex => {
+                assert_eq!(
+                    disks.len(),
+                    1,
+                    "the mutex append path runs a single log (one device)"
+                );
+                Backend::Mutex {
+                    disk: disks.into_iter().next().expect("one device"),
+                    state: Mutex::new(BufferState::default()),
+                    flush_lock: Mutex::new(()),
+                }
+            }
+            AppendMode::Lockfree => {
+                assert!(writers <= 256, "stripe index must fit the LSN top byte");
+                assert_eq!(disks.len(), writers, "one device per log writer required");
+                Backend::Lockfree {
+                    stripes: disks
+                        .into_iter()
+                        .map(|disk| StripeLog {
+                            disk,
+                            stripe: Stripe::new(),
+                        })
+                        .collect(),
+                }
+            }
+        };
         let mut log = RedoLog {
-            disk,
             config: config.clone(),
-            state: Mutex::new(BufferState::default()),
-            flush_lock: Mutex::new(()),
-            shutdown,
-            shutdown_cv,
+            backend,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown_cv: Arc::new((Mutex::new(false), Condvar::new())),
             flusher: None,
             probes,
             bytes_appended: AtomicU64::new(0),
@@ -157,14 +256,20 @@ impl RedoLog {
             group_commits: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             commit_wait_ns: AtomicU64::new(0),
+            acks_pending: AtomicU64::new(0),
+            global_seq: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            append_rr: AtomicU64::new(0),
             fsync_hist: Histogram::new(),
             batch_hist: Histogram::new(),
+            reserve_hist: Histogram::new(),
+            group_batch_hist: Histogram::new(),
         };
         if matches!(config.policy, FlushPolicy::Eager) || config.manual_flush {
             return Arc::new(log);
         }
         // Lazy policies: cyclic Arc via a placeholder then spawn.
-        let arc = Arc::new_cyclic(|weak: &std::sync::Weak<RedoLog>| {
+        Arc::new_cyclic(|weak: &std::sync::Weak<RedoLog>| {
             let weak = weak.clone();
             let shutdown = log.shutdown.clone();
             let cv = log.shutdown_cv.clone();
@@ -191,8 +296,7 @@ impl RedoLog {
                 }
             }));
             log
-        });
-        arc
+        })
     }
 
     /// The active policy.
@@ -200,63 +304,191 @@ impl RedoLog {
         self.config.policy
     }
 
+    /// The active append mode.
+    pub fn append_mode(&self) -> AppendMode {
+        self.config.append
+    }
+
+    /// Number of parallel logs (1 for the mutex path).
+    pub fn writers(&self) -> usize {
+        match &self.backend {
+            Backend::Mutex { .. } => 1,
+            Backend::Lockfree { stripes } => stripes.len(),
+        }
+    }
+
     /// Append `bytes` of redo for a transaction; returns the end LSN that
     /// commit must make durable (eager) or acknowledge (lazy).
     pub fn append(&self, bytes: u64) -> Lsn {
-        let mut st = self.state.lock();
-        st.next_lsn += bytes;
-        st.unwritten += bytes;
+        let t0 = now_nanos();
+        let lsn = match &self.backend {
+            Backend::Mutex { state, .. } => {
+                let mut st = state.lock();
+                st.next_lsn += bytes;
+                st.unwritten += bytes;
+                Lsn(st.next_lsn)
+            }
+            Backend::Lockfree { stripes } => {
+                let idx = if stripes.len() == 1 {
+                    0
+                } else {
+                    self.append_rr.fetch_add(1, Ordering::Relaxed) as usize % stripes.len()
+                };
+                self.append_to_stripe(stripes, idx, Vec::new(), bytes)
+            }
+        };
         self.bytes_appended.fetch_add(bytes, Ordering::Relaxed);
-        Lsn(st.next_lsn)
+        self.reserve_hist.record(now_nanos() - t0);
+        lsn
     }
 
     /// Append typed records (retained for recovery) plus `extra_bytes` of
     /// untyped payload (e.g. amplification modeling index/page images).
-    /// Returns the end LSN of the batch.
+    /// Returns the end LSN of the batch. With parallel logs the whole
+    /// batch lands on one stripe chosen by the records' transaction id,
+    /// so a transaction's redo (and its commit marker) share a log.
     pub fn append_records(&self, records: Vec<LogRecord>, extra_bytes: u64) -> Lsn {
-        let mut st = self.state.lock();
-        let mut bytes = extra_bytes;
-        for r in records {
-            let len = r.encoded_len();
-            bytes += len;
-            st.next_lsn += len;
-            let end = Lsn(st.next_lsn);
-            st.records.push(StampedRecord { end, record: r });
+        let t0 = now_nanos();
+        let mut total = extra_bytes;
+        for r in &records {
+            total += r.encoded_len();
         }
-        st.next_lsn += extra_bytes;
-        st.unwritten += bytes;
-        self.bytes_appended.fetch_add(bytes, Ordering::Relaxed);
-        Lsn(st.next_lsn)
+        let lsn = match &self.backend {
+            Backend::Mutex { state, .. } => {
+                let mut st = state.lock();
+                for r in records {
+                    st.next_lsn += r.encoded_len();
+                    let end = Lsn(st.next_lsn);
+                    st.records.push(StampedRecord { end, record: r });
+                }
+                st.next_lsn += extra_bytes;
+                st.unwritten += total;
+                Lsn(st.next_lsn)
+            }
+            Backend::Lockfree { stripes } => {
+                let idx = if stripes.len() == 1 {
+                    0
+                } else {
+                    match records.iter().find_map(|r| r.txn()) {
+                        Some(txn) => txn as usize % stripes.len(),
+                        None => {
+                            self.append_rr.fetch_add(1, Ordering::Relaxed) as usize % stripes.len()
+                        }
+                    }
+                };
+                self.append_to_stripe(stripes, idx, records, extra_bytes)
+            }
+        };
+        self.bytes_appended.fetch_add(total, Ordering::Relaxed);
+        self.reserve_hist.record(now_nanos() - t0);
+        lsn
+    }
+
+    /// Lockfree append: reserve the range with one `fetch_add`, stamp the
+    /// records against it outside any lock, publish through the ring.
+    fn append_to_stripe(
+        &self,
+        stripes: &[StripeLog],
+        idx: usize,
+        records: Vec<LogRecord>,
+        extra_bytes: u64,
+    ) -> Lsn {
+        let s = &stripes[idx];
+        let typed: u64 = records.iter().map(|r| r.encoded_len()).sum();
+        let bytes = typed + extra_bytes;
+        let start = s.stripe.reserve(bytes);
+        // Copy phase: no lock held. Stamp each record with its end offset
+        // inside the claimed range and a global sequence number (crash
+        // snapshots merge stripes by it).
+        let mut off = start;
+        let stamped: Vec<(u64, StampedRecord)> = records
+            .into_iter()
+            .map(|record| {
+                off += record.encoded_len();
+                let seq = self.global_seq.fetch_add(1, Ordering::SeqCst);
+                (
+                    seq,
+                    StampedRecord {
+                        end: make_lsn(idx, off),
+                        record,
+                    },
+                )
+            })
+            .collect();
+        s.stripe.publish(Reservation {
+            start,
+            end: start + bytes,
+            records: stamped,
+        });
+        make_lsn(idx, start + bytes)
     }
 
     /// Simulate a crash: return exactly the records that were durable
-    /// (end-LSN within the flushed prefix) at this instant. Lazy policies
-    /// can lose recently-committed transactions — the trade-off the
-    /// paper's flush-policy tuning accepts.
+    /// (end-LSN within the flushed prefix) at this instant, merged across
+    /// stripes in append order. Lazy policies can lose recently-committed
+    /// transactions — the trade-off the paper's flush-policy tuning
+    /// accepts.
     ///
     /// With [`crate::WalFaultPlan::torn_tail`] armed and a record in
-    /// flight past the flushed prefix, the snapshot ends with a partial
-    /// [`LogRecord::Torn`] tail: the crash interrupted that record's write,
-    /// and a recovery reader sees garbage where its checksum should be.
+    /// flight past a flushed prefix, the snapshot ends with partial
+    /// [`LogRecord::Torn`] tails (one per affected stripe): the crash
+    /// interrupted those records' writes, and a recovery reader sees
+    /// garbage where their checksums should be.
     pub fn simulate_crash(&self) -> Vec<StampedRecord> {
-        let st = self.state.lock();
-        let mut durable: Vec<StampedRecord> = st
-            .records
-            .iter()
-            .filter(|r| r.end.0 <= st.flushed_lsn)
-            .cloned()
-            .collect();
-        if self.config.faults.as_ref().is_some_and(|f| f.torn_tail) {
-            if let Some(first_lost) = st.records.iter().find(|r| r.end.0 > st.flushed_lsn) {
-                // Half the record (header included) made it to the device.
-                let bytes = (first_lost.record.encoded_len() / 2).max(1);
-                durable.push(StampedRecord {
-                    end: Lsn(st.flushed_lsn + bytes),
-                    record: LogRecord::Torn { bytes },
-                });
+        let torn = self.config.faults.as_ref().is_some_and(|f| f.torn_tail);
+        match &self.backend {
+            Backend::Mutex { state, .. } => {
+                let st = state.lock();
+                let mut durable: Vec<StampedRecord> = st
+                    .records
+                    .iter()
+                    .filter(|r| r.end.0 <= st.flushed_lsn)
+                    .cloned()
+                    .collect();
+                if torn {
+                    if let Some(first_lost) = st.records.iter().find(|r| r.end.0 > st.flushed_lsn) {
+                        // Half the record (header included) made it out.
+                        let bytes = (first_lost.record.encoded_len() / 2).max(1);
+                        durable.push(StampedRecord {
+                            end: Lsn(st.flushed_lsn + bytes),
+                            record: LogRecord::Torn { bytes },
+                        });
+                    }
+                }
+                durable
+            }
+            Backend::Lockfree { stripes } => {
+                let mut durable: Vec<(u64, StampedRecord)> = Vec::new();
+                let mut tears: Vec<(u64, StampedRecord)> = Vec::new();
+                for (idx, s) in stripes.iter().enumerate() {
+                    let flushed = s.stripe.flushed();
+                    s.stripe.with_records(|records| {
+                        for (seq, r) in records {
+                            if offset_of(r.end) <= flushed {
+                                durable.push((*seq, r.clone()));
+                            } else {
+                                if torn {
+                                    let bytes = (r.record.encoded_len() / 2).max(1);
+                                    tears.push((
+                                        *seq,
+                                        StampedRecord {
+                                            end: make_lsn(idx, flushed + bytes),
+                                            record: LogRecord::Torn { bytes },
+                                        },
+                                    ));
+                                }
+                                break;
+                            }
+                        }
+                    });
+                }
+                // Durable records in append order; tears last so readers
+                // stop at the first unreadable record.
+                durable.sort_by_key(|(seq, _)| *seq);
+                tears.sort_by_key(|(seq, _)| *seq);
+                durable.into_iter().chain(tears).map(|(_, r)| r).collect()
             }
         }
-        durable
     }
 
     /// Whether an armed [`crate::WalFaultPlan::crash_at_lsn`] point has
@@ -264,7 +496,7 @@ impl RedoLog {
     /// the engine's crash path when it fires.
     pub fn crash_armed(&self) -> bool {
         match self.config.faults.as_ref().and_then(|f| f.crash_at_lsn) {
-            Some(lsn) => self.state.lock().next_lsn >= lsn,
+            Some(lsn) => self.bytes_appended.load(Ordering::SeqCst) >= lsn,
             None => false,
         }
     }
@@ -293,6 +525,7 @@ impl RedoLog {
                     self.ensure_written(lsn);
                 } else {
                     self.ensure_flushed(lsn);
+                    self.epoch_ordered_ack(lsn);
                 }
             }
             FlushPolicy::LazyFlush => {
@@ -310,72 +543,177 @@ impl RedoLog {
 
     /// Write buffered bytes up to at least `lsn` into the device cache.
     fn ensure_written(&self, lsn: Lsn) {
-        loop {
-            let to_write = {
-                let mut st = self.state.lock();
+        match &self.backend {
+            Backend::Mutex { state, disk, .. } => loop {
+                let to_write = {
+                    let mut st = state.lock();
+                    if st.written_lsn >= lsn.0 {
+                        return;
+                    }
+                    let n = st.unwritten;
+                    st.written_lsn = st.next_lsn;
+                    st.unwritten = 0;
+                    n
+                };
+                if to_write > 0 {
+                    disk.write(to_write);
+                    self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
+                }
+                // Loop re-checks in case new bytes raced in below our lsn —
+                // cannot happen since lsn was assigned before, but stay safe.
+                let st = state.lock();
                 if st.written_lsn >= lsn.0 {
                     return;
                 }
-                let n = st.unwritten;
-                st.written_lsn = st.next_lsn;
-                st.unwritten = 0;
-                n
-            };
-            if to_write > 0 {
-                self.disk.write(to_write);
-                self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
-            }
-            // Loop re-checks in case new bytes raced in below our lsn —
-            // cannot happen since lsn was assigned before, but stay safe.
-            let st = self.state.lock();
-            if st.written_lsn >= lsn.0 {
-                return;
+            },
+            Backend::Lockfree { stripes } => {
+                let s = &stripes[stripe_of(lsn)];
+                let off = offset_of(lsn);
+                loop {
+                    if s.stripe.written() >= off {
+                        return;
+                    }
+                    if let Some(_baton) = s.stripe.try_baton() {
+                        // May fall short if an unpublished lower
+                        // reservation blocks the watermark; loop.
+                        self.write_stripe_pending(s);
+                    } else {
+                        // The baton holder may have drained before our
+                        // publish; retry after it releases.
+                        std::thread::yield_now();
+                    }
+                }
             }
         }
     }
 
     /// Write + fsync everything up to at least `lsn` (group commit).
     fn ensure_flushed(&self, lsn: Lsn) {
-        {
-            let st = self.state.lock();
-            if st.flushed_lsn >= lsn.0 {
-                self.group_commits.fetch_add(1, Ordering::Relaxed);
-                return;
+        match &self.backend {
+            Backend::Mutex {
+                state, flush_lock, ..
+            } => {
+                {
+                    let st = state.lock();
+                    if st.flushed_lsn >= lsn.0 {
+                        self.group_commits.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                self.acks_pending.fetch_add(1, Ordering::SeqCst);
+                let _g = flush_lock.lock();
+                // Re-check: the previous holder may have flushed us.
+                {
+                    let st = state.lock();
+                    if st.flushed_lsn >= lsn.0 {
+                        self.group_commits.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                self.flush_mutex_locked();
+            }
+            Backend::Lockfree { stripes } => {
+                let s = &stripes[stripe_of(lsn)];
+                let off = offset_of(lsn);
+                if s.stripe.flushed() >= off {
+                    self.group_commits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                s.stripe.acks_pending.fetch_add(1, Ordering::SeqCst);
+                // A flush round (even our own) may not cover our bytes: a
+                // concurrent appender holding a lower reservation that has
+                // not yet published blocks the watermark below us. Loop
+                // until some round lands past our offset.
+                let mut flushed_self = false;
+                loop {
+                    if s.stripe.flushed() >= off {
+                        if !flushed_self {
+                            self.group_commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    }
+                    if let Some(_baton) = s.stripe.try_baton() {
+                        self.flush_stripe_round(s);
+                        flushed_self = true;
+                    } else if self.config.group_commit {
+                        // Lose the baton race → park; the holder wakes us
+                        // when its round completes. Re-check and retry: the
+                        // round only covers publishes it drained.
+                        s.stripe.park_round(|| s.stripe.flushed() >= off);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
             }
         }
-        let _g = self.flush_lock.lock();
-        // Re-check: the previous holder may have flushed us (group commit).
-        {
-            let st = self.state.lock();
-            if st.flushed_lsn >= lsn.0 {
-                self.group_commits.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-        self.write_and_flush_pending_locked();
     }
 
-    /// Background entry point: take the flush lock and flush pending bytes.
+    /// K-way epoch rule: a commit is acknowledged only when every other
+    /// stripe's flush epoch has reached the epoch current at (or after)
+    /// this commit's own flush — so the ack implies every commit flushed
+    /// in an earlier epoch, on any log, is durable. Single-threaded
+    /// callers flush lagging stripes themselves (the baton is free);
+    /// concurrent callers usually just observe other committers' rounds.
+    fn epoch_ordered_ack(&self, lsn: Lsn) {
+        let Backend::Lockfree { stripes } = &self.backend else {
+            return;
+        };
+        if stripes.len() == 1 {
+            return;
+        }
+        let my = stripe_of(lsn);
+        let e0 = self.epoch.load(Ordering::SeqCst);
+        for (i, s) in stripes.iter().enumerate() {
+            if i == my {
+                continue;
+            }
+            loop {
+                if s.stripe.flushed_epoch() >= e0 {
+                    break;
+                }
+                if let Some(_baton) = s.stripe.try_baton() {
+                    self.flush_stripe_round(s);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Background entry point: flush all pending bytes on every log.
     fn write_and_flush_pending(&self) {
-        let _g = self.flush_lock.lock();
-        self.write_and_flush_pending_locked();
+        match &self.backend {
+            Backend::Mutex { flush_lock, .. } => {
+                let _g = flush_lock.lock();
+                self.flush_mutex_locked();
+            }
+            Backend::Lockfree { stripes } => {
+                for s in stripes {
+                    let _baton = s.stripe.baton();
+                    self.flush_stripe_round(s);
+                }
+            }
+        }
     }
 
     /// Requires the flush lock. Writes all unwritten bytes, then fsyncs.
-    fn write_and_flush_pending_locked(&self) {
+    fn flush_mutex_locked(&self) {
+        let Backend::Mutex { disk, state, .. } = &self.backend else {
+            unreachable!("mutex flush on lockfree backend");
+        };
         let (to_write, target_lsn) = {
-            let mut st = self.state.lock();
+            let mut st = state.lock();
             let n = st.unwritten;
             st.written_lsn = st.next_lsn;
             st.unwritten = 0;
             (n, st.next_lsn)
         };
         if to_write > 0 {
-            self.disk.write(to_write);
+            disk.write(to_write);
             self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
         }
         {
-            let st = self.state.lock();
+            let st = state.lock();
             if st.flushed_lsn >= target_lsn {
                 return;
             }
@@ -383,20 +721,90 @@ impl RedoLog {
         self.batch_hist.record(to_write);
         // The fsync: the paper's `fil_flush`.
         let t0 = now_nanos();
-        self.disk.flush(0);
+        disk.flush(0);
         let dur = now_nanos() - t0;
         if let Some(p) = &self.probes {
             p.profiler.add_event(p.fil_flush, t0, dur);
         }
         self.fsync_hist.record(dur);
         self.flushes.fetch_add(1, Ordering::Relaxed);
-        let mut st = self.state.lock();
-        st.flushed_lsn = st.flushed_lsn.max(target_lsn);
+        {
+            let mut st = state.lock();
+            st.flushed_lsn = st.flushed_lsn.max(target_lsn);
+        }
+        let acked = self.acks_pending.swap(0, Ordering::SeqCst);
+        if acked > 0 {
+            self.group_batch_hist.record(acked);
+        }
     }
 
-    /// Durable LSN (for tests and recovery assertions).
+    /// Requires the stripe's baton: write `published − written`, fsync if
+    /// anything new, account the group-commit batch, close an epoch, and
+    /// wake parked committers.
+    fn write_stripe_pending(&self, s: &StripeLog) {
+        s.stripe.drain();
+        let target = s.stripe.published();
+        let written = s.stripe.written();
+        if target > written {
+            s.disk.write(target - written);
+            self.bytes_written
+                .fetch_add(target - written, Ordering::Relaxed);
+            s.stripe.set_written(target);
+        }
+    }
+
+    /// Requires the stripe's baton. One full flush round.
+    fn flush_stripe_round(&self, s: &StripeLog) {
+        self.write_stripe_pending(s);
+        let target = s.stripe.written();
+        if s.stripe.flushed() >= target {
+            // Clean round: nothing new to fsync, but the stripe is now
+            // provably caught up with every epoch closed before this
+            // point — no fsync needed to advance its epoch.
+            s.stripe
+                .raise_flushed_epoch(self.epoch.load(Ordering::SeqCst));
+            s.stripe.wake_all();
+            return;
+        }
+        self.batch_hist.record(target - s.stripe.flushed());
+        // The fsync: the paper's `fil_flush`.
+        let t0 = now_nanos();
+        s.disk.flush(0);
+        let dur = now_nanos() - t0;
+        if let Some(p) = &self.probes {
+            p.profiler.add_event(p.fil_flush, t0, dur);
+        }
+        self.fsync_hist.record(dur);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        s.stripe.set_flushed(target);
+        let acked = s.stripe.acks_pending.swap(0, Ordering::SeqCst);
+        if acked > 0 {
+            self.group_batch_hist.record(acked);
+        }
+        // Every fsync closes a global epoch; this stripe is caught up to
+        // the epoch it just closed.
+        let e = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        s.stripe.raise_flushed_epoch(e);
+        s.stripe.wake_all();
+    }
+
+    /// Durable LSN (for tests and recovery assertions). With parallel
+    /// logs this reports stripe 0's durable offset; per-stripe cursors
+    /// are available via [`RedoLog::stripe_cursors`].
     pub fn flushed_lsn(&self) -> Lsn {
-        Lsn(self.state.lock().flushed_lsn)
+        match &self.backend {
+            Backend::Mutex { state, .. } => Lsn(state.lock().flushed_lsn),
+            Backend::Lockfree { stripes } => make_lsn(0, stripes[0].stripe.flushed()),
+        }
+    }
+
+    /// Per-stripe `(reserved, published, written, flushed)` cursors for
+    /// invariant checks (empty for the mutex backend).
+    pub fn stripe_cursors(&self) -> Vec<(u64, u64, u64, u64)> {
+        match &self.backend {
+            Backend::Mutex { .. } => Vec::new(),
+            Backend::Lockfree { stripes } => stripes.iter().map(|s| s.stripe.cursors()).collect(),
+        }
     }
 
     /// Snapshot of the fsync-latency histogram (ns per flush).
@@ -407,6 +815,16 @@ impl RedoLog {
     /// Snapshot of the flush batch-size histogram (bytes per flush).
     pub fn batch_histogram(&self) -> HistogramSnapshot {
         self.batch_hist.snapshot()
+    }
+
+    /// Snapshot of the append-path reservation latency histogram (ns).
+    pub fn reserve_histogram(&self) -> HistogramSnapshot {
+        self.reserve_hist.snapshot()
+    }
+
+    /// Snapshot of the commits-acked-per-fsync histogram.
+    pub fn group_commit_batch_histogram(&self) -> HistogramSnapshot {
+        self.group_batch_hist.snapshot()
     }
 
     /// Statistics snapshot.
@@ -454,56 +872,70 @@ mod tests {
         }))
     }
 
+    fn seeded_disk(seed: u64) -> Arc<SimDisk> {
+        Arc::new(SimDisk::new(DiskConfig {
+            service: ServiceTime::Fixed(50_000),
+            ns_per_byte: 0.0,
+            seed,
+        }))
+    }
+
     #[test]
     fn eager_commit_is_durable() {
-        let log = RedoLog::new(
-            RedoLogConfig {
-                policy: FlushPolicy::Eager,
-                ..Default::default()
-            },
-            fast_disk(),
-            None,
-        );
-        let lsn = log.append(100);
-        let waited = log.commit(lsn);
-        assert!(waited >= 50_000, "commit waited for I/O: {waited}");
-        assert!(log.flushed_lsn() >= lsn);
-        let s = log.stats();
-        assert_eq!(s.commits, 1);
-        assert_eq!(s.flushes, 1);
-        assert_eq!(s.bytes_written, 100);
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let log = RedoLog::new(
+                RedoLogConfig {
+                    policy: FlushPolicy::Eager,
+                    append,
+                    ..Default::default()
+                },
+                fast_disk(),
+                None,
+            );
+            let lsn = log.append(100);
+            let waited = log.commit(lsn);
+            assert!(waited >= 50_000, "commit waited for I/O: {waited}");
+            assert!(log.flushed_lsn() >= lsn);
+            let s = log.stats();
+            assert_eq!(s.commits, 1);
+            assert_eq!(s.flushes, 1);
+            assert_eq!(s.bytes_written, 100);
+        }
     }
 
     #[test]
     fn group_commit_batches_concurrent_flushes() {
-        let log = RedoLog::new(
-            RedoLogConfig {
-                policy: FlushPolicy::Eager,
-                ..Default::default()
-            },
-            fast_disk(),
-            None,
-        );
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let log = log.clone();
-            handles.push(std::thread::spawn(move || {
-                let lsn = log.append(64);
-                log.commit(lsn);
-                assert!(log.flushed_lsn() >= lsn);
-            }));
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let log = RedoLog::new(
+                RedoLogConfig {
+                    policy: FlushPolicy::Eager,
+                    append,
+                    ..Default::default()
+                },
+                fast_disk(),
+                None,
+            );
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let log = log.clone();
+                handles.push(std::thread::spawn(move || {
+                    let lsn = log.append(64);
+                    log.commit(lsn);
+                    assert!(log.flushed_lsn() >= lsn);
+                }));
+            }
+            for h in handles {
+                h.join().expect("committer");
+            }
+            let s = log.stats();
+            assert_eq!(s.commits, 8);
+            assert!(
+                s.flushes < 8,
+                "grouping must reduce flushes ({append:?}): {} flushes",
+                s.flushes
+            );
+            assert!(s.flushes + s.group_commits >= 8 - s.flushes);
         }
-        for h in handles {
-            h.join().expect("committer");
-        }
-        let s = log.stats();
-        assert_eq!(s.commits, 8);
-        assert!(
-            s.flushes < 8,
-            "grouping must reduce flushes: {} flushes",
-            s.flushes
-        );
-        assert!(s.flushes + s.group_commits >= 8 - s.flushes);
     }
 
     #[test]
@@ -601,39 +1033,42 @@ mod tests {
 
     #[test]
     fn torn_tail_appears_past_flushed_prefix() {
-        let log = RedoLog::new(
-            RedoLogConfig {
-                policy: FlushPolicy::LazyWrite,
-                manual_flush: true,
-                faults: Some(crate::WalFaultPlan {
-                    torn_tail: true,
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let log = RedoLog::new(
+                RedoLogConfig {
+                    policy: FlushPolicy::LazyWrite,
+                    manual_flush: true,
+                    faults: Some(crate::WalFaultPlan {
+                        torn_tail: true,
+                        ..Default::default()
+                    }),
+                    append,
                     ..Default::default()
-                }),
-                ..Default::default()
-            },
-            fast_disk(),
-            None,
-        );
-        let flushed = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
-        log.flush_now();
-        log.append_records(
-            vec![
-                LogRecord::Update {
-                    txn: 2,
-                    table: 0,
-                    key: 9,
-                    after: vec![1, 2],
                 },
-                LogRecord::Commit { txn: 2 },
-            ],
-            0,
-        );
-        let snap = log.simulate_crash();
-        assert_eq!(snap.len(), 2, "flushed commit + torn tail");
-        assert!(matches!(snap[1].record, LogRecord::Torn { .. }));
-        assert!(snap[1].end > flushed);
-        let c = crate::committed_txns(&snap);
-        assert!(c.contains(&1) && !c.contains(&2));
+                fast_disk(),
+                None,
+            );
+            let flushed = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
+            log.flush_now();
+            log.append_records(
+                vec![
+                    LogRecord::Update {
+                        txn: 2,
+                        table: 0,
+                        key: 9,
+                        after: vec![1, 2],
+                    },
+                    LogRecord::Commit { txn: 2 },
+                ],
+                0,
+            );
+            let snap = log.simulate_crash();
+            assert_eq!(snap.len(), 2, "flushed commit + torn tail ({append:?})");
+            assert!(matches!(snap[1].record, LogRecord::Torn { .. }));
+            assert!(snap[1].end > flushed);
+            let c = crate::committed_txns(&snap);
+            assert!(c.contains(&1) && !c.contains(&2));
+        }
     }
 
     #[test]
@@ -677,25 +1112,28 @@ mod tests {
 
     #[test]
     fn ack_before_flush_bug_loses_acked_commits() {
-        let log = RedoLog::new(
-            RedoLogConfig {
-                policy: FlushPolicy::Eager,
-                faults: Some(crate::WalFaultPlan {
-                    ack_before_flush: true,
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let log = RedoLog::new(
+                RedoLogConfig {
+                    policy: FlushPolicy::Eager,
+                    faults: Some(crate::WalFaultPlan {
+                        ack_before_flush: true,
+                        ..Default::default()
+                    }),
+                    append,
                     ..Default::default()
-                }),
-                ..Default::default()
-            },
-            fast_disk(),
-            None,
-        );
-        let lsn = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
-        log.commit(lsn); // "eager" commit acks without fsync
-        assert!(log.flushed_lsn() < lsn, "fsync was skipped");
-        assert!(
-            crate::committed_txns(&log.simulate_crash()).is_empty(),
-            "the acked commit is gone after a crash"
-        );
+                },
+                fast_disk(),
+                None,
+            );
+            let lsn = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
+            log.commit(lsn); // "eager" commit acks without fsync
+            assert!(log.flushed_lsn() < lsn, "fsync was skipped ({append:?})");
+            assert!(
+                crate::committed_txns(&log.simulate_crash()).is_empty(),
+                "the acked commit is gone after a crash"
+            );
+        }
     }
 
     #[test]
@@ -715,5 +1153,118 @@ mod tests {
         let waited = log.commit(lsn); // second commit of same lsn
         assert!(waited < 1_000_000, "no second flush: {waited}");
         assert_eq!(log.stats().group_commits, 1);
+    }
+
+    #[test]
+    fn group_commit_batch_histogram_counts_acks() {
+        let log = RedoLog::new(RedoLogConfig::default(), fast_disk(), None);
+        for _ in 0..3 {
+            let lsn = log.append(32);
+            log.commit(lsn);
+        }
+        let h = log.group_commit_batch_histogram();
+        assert_eq!(h.count, 3, "each solo commit is a batch of one");
+        assert_eq!(h.sum, 3);
+        assert!(log.reserve_histogram().count >= 3);
+    }
+
+    #[test]
+    fn two_writers_stripe_by_txn_and_recover_everything() {
+        let log = RedoLog::with_disks(
+            RedoLogConfig {
+                policy: FlushPolicy::Eager,
+                writers: 2,
+                ..Default::default()
+            },
+            vec![seeded_disk(1), seeded_disk(2)],
+            None,
+        );
+        assert_eq!(log.writers(), 2);
+        // Odd txns land on stripe 1, even on stripe 0.
+        for txn in 1..=6u64 {
+            let lsn = log.append_records(
+                vec![
+                    LogRecord::Update {
+                        txn,
+                        table: 0,
+                        key: txn,
+                        after: vec![txn as i64],
+                    },
+                    LogRecord::Commit { txn },
+                ],
+                0,
+            );
+            assert_eq!(
+                crate::lockfree::stripe_of(lsn),
+                txn as usize % 2,
+                "records stripe by txn id"
+            );
+            log.commit(lsn);
+        }
+        let committed = crate::committed_txns(&log.simulate_crash());
+        assert_eq!(committed, (1..=6).collect());
+        let cursors = log.stripe_cursors();
+        assert_eq!(cursors.len(), 2);
+        for (reserved, published, written, flushed) in cursors {
+            assert!(flushed <= written && written <= published && published <= reserved);
+            assert!(flushed > 0, "both stripes saw commits");
+        }
+    }
+
+    #[test]
+    fn epoch_ack_makes_other_stripes_durable() {
+        // Txn 2's records land on stripe 0, txn 1's on stripe 1. Only
+        // txn 1 commits — but its epoch-ordered ack must force stripe 0
+        // to catch up, so txn 2's already-appended commit record becomes
+        // durable too.
+        let log = RedoLog::with_disks(
+            RedoLogConfig {
+                policy: FlushPolicy::Eager,
+                writers: 2,
+                ..Default::default()
+            },
+            vec![seeded_disk(3), seeded_disk(4)],
+            None,
+        );
+        let l2 = log.append_records(vec![LogRecord::Commit { txn: 2 }], 0);
+        assert_eq!(crate::lockfree::stripe_of(l2), 0);
+        let l1 = log.append_records(vec![LogRecord::Commit { txn: 1 }], 0);
+        assert_eq!(crate::lockfree::stripe_of(l1), 1);
+        log.commit(l1);
+        let committed = crate::committed_txns(&log.simulate_crash());
+        assert!(committed.contains(&1));
+        assert!(
+            committed.contains(&2),
+            "epoch rule: stripe 0 must be flushed before txn 1's ack"
+        );
+    }
+
+    #[test]
+    fn group_commit_disabled_still_durable() {
+        let log = RedoLog::new(
+            RedoLogConfig {
+                policy: FlushPolicy::Eager,
+                group_commit: false,
+                ..Default::default()
+            },
+            fast_disk(),
+            None,
+        );
+        let lsn = log.append(64);
+        log.commit(lsn);
+        assert!(log.flushed_lsn() >= lsn);
+    }
+
+    #[test]
+    #[should_panic(expected = "one device per log writer")]
+    fn wrong_disk_count_rejected() {
+        RedoLog::with_disks(
+            RedoLogConfig {
+                writers: 2,
+                ..Default::default()
+            },
+            vec![fast_disk()],
+            None,
+        );
     }
 }

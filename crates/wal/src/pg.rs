@@ -15,6 +15,19 @@
 //! (Section 6.2): multiple independent log sets, each with its own device
 //! and lock. A committer takes any free set; when all are busy it waits on
 //! the set with the fewest waiters.
+//!
+//! Two append paths coexist (see [`AppendMode`]):
+//!
+//! * **Mutex** — backends serialize ticket issue on the set's state mutex
+//!   and flushing on the `WALWriteLock`, faithful to the measured
+//!   pathology.
+//! * **Lockfree** — reserve-then-copy (see [`crate::lockfree`]): a
+//!   backend claims its WAL bytes with one `fetch_add` on the set's
+//!   reserved cursor, publishes through the sequence-word ring, and
+//!   either grabs the set's flush baton or parks until a flush round
+//!   covers its bytes. The durability wait is still charged to the
+//!   `LWLockAcquireOrWait` probe — it is the same wait, minus the
+//!   append-side serialization.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -25,6 +38,8 @@ use tpd_common::clock::now_nanos;
 use tpd_common::disk::SimDisk;
 use tpd_metrics::{Histogram, HistogramSnapshot};
 use tpd_profiler::{FuncId, Profiler};
+
+use crate::lockfree::{AppendMode, Reservation, Stripe};
 
 /// Configuration for the WAL writer.
 #[derive(Debug, Clone)]
@@ -43,6 +58,12 @@ pub struct WalWriterConfig {
     /// so acked bytes sit in the pending batch until someone else's
     /// commit flushes them.
     pub faults: Option<crate::WalFaultPlan>,
+    /// Append path: mutex-serialized (paper-faithful) or reserve-then-copy.
+    pub append: AppendMode,
+    /// Allow committers to park and share another backend's fsync
+    /// (lockfree path only; the mutex path always groups behind the
+    /// WALWriteLock).
+    pub group_commit: bool,
 }
 
 impl Default for WalWriterConfig {
@@ -52,6 +73,8 @@ impl Default for WalWriterConfig {
             block_size: 8 * 1024,
             per_block_overhead: std::time::Duration::from_micros(150),
             faults: None,
+            append: AppendMode::Lockfree,
+            group_commit: true,
         }
     }
 }
@@ -95,10 +118,13 @@ struct SetState {
 #[derive(Debug)]
 struct LogSet {
     disk: Arc<SimDisk>,
-    /// The WALWriteLock for this set.
+    /// The WALWriteLock for this set (mutex append path).
     write_lock: Mutex<()>,
     state: Mutex<SetState>,
     waiters: AtomicUsize,
+    /// Lock-free reservation state (lockfree append path; the typed
+    /// record machinery is unused here — pg commits are byte-counted).
+    stripe: Stripe,
 }
 
 /// The WAL writer. See module docs.
@@ -117,6 +143,10 @@ pub struct WalWriter {
     lock_wait_hist: Histogram,
     /// Blocks written per flush batch (including padding).
     batch_hist: Histogram,
+    /// Append-path reservation latency (ns).
+    reserve_hist: Histogram,
+    /// Commits acknowledged per fsync (group-commit batch size).
+    group_batch_hist: Histogram,
 }
 
 impl WalWriter {
@@ -137,6 +167,7 @@ impl WalWriter {
                     write_lock: Mutex::new(()),
                     state: Mutex::new(SetState::default()),
                     waiters: AtomicUsize::new(0),
+                    stripe: Stripe::new(),
                 })
                 .collect(),
             config,
@@ -149,6 +180,8 @@ impl WalWriter {
             lock_wait_ns: AtomicU64::new(0),
             lock_wait_hist: Histogram::new(),
             batch_hist: Histogram::new(),
+            reserve_hist: Histogram::new(),
+            group_batch_hist: Histogram::new(),
         }
     }
 
@@ -156,6 +189,15 @@ impl WalWriter {
     pub fn commit(&self, bytes: u64) -> u64 {
         self.commits.fetch_add(1, Ordering::Relaxed);
         self.bytes_requested.fetch_add(bytes, Ordering::Relaxed);
+        match self.config.append {
+            AppendMode::Mutex => self.commit_mutex(bytes),
+            AppendMode::Lockfree => self.commit_lockfree(bytes),
+        }
+    }
+
+    /// Paper-faithful commit path: ticket under the state mutex, flush
+    /// under the WALWriteLock.
+    fn commit_mutex(&self, bytes: u64) -> u64 {
         let start = now_nanos();
 
         let set_idx = self.choose_set();
@@ -230,6 +272,103 @@ impl WalWriter {
         now_nanos() - start
     }
 
+    /// Reserve-then-copy commit path: claim bytes with one `fetch_add`,
+    /// publish, then either flush (baton) or park until flushed.
+    fn commit_lockfree(&self, bytes: u64) -> u64 {
+        let start = now_nanos();
+
+        let set_idx = self.choose_set_lockfree();
+        let set = &self.sets[set_idx];
+
+        // Even a "zero-byte" commit carries a commit record on the wire.
+        let bytes = bytes.max(1);
+        let res_start = set.stripe.reserve(bytes);
+        let end = res_start + bytes;
+        set.stripe.publish(Reservation {
+            start: res_start,
+            end,
+            records: Vec::new(),
+        });
+        self.reserve_hist.record(now_nanos() - start);
+
+        if self
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.ack_before_flush)
+        {
+            // Seeded bug: acknowledge with the bytes still pending.
+            return now_nanos() - start;
+        }
+
+        // The durability wait — the same wait LWLockAcquireOrWait charged,
+        // minus the append-side serialization.
+        let wait_start = now_nanos();
+        if set.stripe.flushed() >= end {
+            self.group_commits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            set.stripe.acks_pending.fetch_add(1, Ordering::SeqCst);
+            // A flush round (even our own) may not cover our bytes: a
+            // concurrent backend holding a lower reservation that has not
+            // yet published blocks the watermark below us. Loop until
+            // some round lands past our bytes.
+            let mut flushed_self = false;
+            loop {
+                if set.stripe.flushed() >= end {
+                    if !flushed_self {
+                        self.group_commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                if let Some(_baton) = set.stripe.try_baton() {
+                    self.flush_set_round(set);
+                    flushed_self = true;
+                } else if self.config.group_commit {
+                    set.stripe.park_round(|| set.stripe.flushed() >= end);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let lock_wait = now_nanos() - wait_start;
+        self.lock_wait_ns.fetch_add(lock_wait, Ordering::Relaxed);
+        self.lock_wait_hist.record(lock_wait);
+        if let Some(p) = &self.probes {
+            p.profiler
+                .add_event(p.lwlock_acquire, wait_start, lock_wait);
+        }
+        now_nanos() - start
+    }
+
+    /// Requires the set's baton: drain, write the padded block batch for
+    /// `published − flushed`, fsync, account the batch, wake waiters.
+    fn flush_set_round(&self, set: &LogSet) {
+        set.stripe.drain();
+        let target = set.stripe.published();
+        let flushed = set.stripe.flushed();
+        if target <= flushed {
+            set.stripe.wake_all();
+            return;
+        }
+        let blocks = (target - flushed).div_ceil(self.config.block_size).max(1);
+        set.disk.write(blocks * self.config.block_size);
+        if !self.config.per_block_overhead.is_zero() {
+            let cost = self.config.per_block_overhead * blocks as u32;
+            tpd_common::clock::advance(cost.as_nanos() as u64);
+        }
+        set.disk.flush(0);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.blocks_written.fetch_add(blocks, Ordering::Relaxed);
+        self.batch_hist.record(blocks);
+        set.stripe.set_written(target);
+        set.stripe.set_flushed(target);
+        let acked = set.stripe.acks_pending.swap(0, Ordering::SeqCst);
+        if acked > 0 {
+            self.group_batch_hist.record(acked);
+        }
+        set.stripe.wake_all();
+    }
+
     /// Pick a log set: any immediately free one, else the one with the
     /// fewest waiters (the paper's rule).
     fn choose_set(&self) -> usize {
@@ -250,9 +389,34 @@ impl WalWriter {
             .expect("at least one set")
     }
 
+    /// Lockfree analogue of [`WalWriter::choose_set`]: a set whose flush
+    /// baton is free, else the one with the fewest parked committers.
+    fn choose_set_lockfree(&self) -> usize {
+        if self.sets.len() == 1 {
+            return 0;
+        }
+        for (i, set) in self.sets.iter().enumerate() {
+            if let Some(g) = set.stripe.try_baton() {
+                drop(g); // probing only
+                return i;
+            }
+        }
+        self.sets
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.stripe.acks_pending.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .expect("at least one set")
+    }
+
     /// Number of configured log sets.
     pub fn set_count(&self) -> usize {
         self.sets.len()
+    }
+
+    /// The active append mode.
+    pub fn append_mode(&self) -> AppendMode {
+        self.config.append
     }
 
     /// Statistics snapshot.
@@ -276,6 +440,16 @@ impl WalWriter {
     pub fn batch_histogram(&self) -> HistogramSnapshot {
         self.batch_hist.snapshot()
     }
+
+    /// Snapshot of the append-path reservation latency histogram (ns).
+    pub fn reserve_histogram(&self) -> HistogramSnapshot {
+        self.reserve_hist.snapshot()
+    }
+
+    /// Snapshot of the commits-acked-per-fsync histogram.
+    pub fn group_commit_batch_histogram(&self) -> HistogramSnapshot {
+        self.group_batch_hist.snapshot()
+    }
 }
 
 #[cfg(test)]
@@ -292,56 +466,67 @@ mod tests {
         }))
     }
 
-    fn writer(sets: usize, block: u64) -> WalWriter {
+    fn writer_with(sets: usize, block: u64, append: AppendMode) -> WalWriter {
         let disks = (0..sets).map(|i| fast_disk(i as u64)).collect();
         WalWriter::new(
             WalWriterConfig {
                 sets,
                 block_size: block,
                 per_block_overhead: std::time::Duration::ZERO,
-                faults: None,
+                append,
+                ..Default::default()
             },
             disks,
             None,
         )
     }
 
+    fn writer(sets: usize, block: u64) -> WalWriter {
+        writer_with(sets, block, AppendMode::Lockfree)
+    }
+
     #[test]
     fn single_commit_flushes_one_padded_block() {
-        let w = writer(1, 8192);
-        let t = w.commit(100);
-        assert!(t >= 100_000, "write + flush, got {t}");
-        let s = w.stats();
-        assert_eq!(s.commits, 1);
-        assert_eq!(s.flushes, 1);
-        assert_eq!(s.blocks_written, 1, "100 bytes pads to one block");
-        assert_eq!(s.bytes_requested, 100);
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let w = writer_with(1, 8192, append);
+            let t = w.commit(100);
+            assert!(t >= 100_000, "write + flush, got {t}");
+            let s = w.stats();
+            assert_eq!(s.commits, 1);
+            assert_eq!(s.flushes, 1);
+            assert_eq!(s.blocks_written, 1, "100 bytes pads to one block");
+            assert_eq!(s.bytes_requested, 100);
+        }
     }
 
     #[test]
     fn large_commit_writes_multiple_blocks() {
-        let w = writer(1, 4096);
-        w.commit(10_000);
-        assert_eq!(w.stats().blocks_written, 3, "ceil(10000/4096)");
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let w = writer_with(1, 4096, append);
+            w.commit(10_000);
+            assert_eq!(w.stats().blocks_written, 3, "ceil(10000/4096)");
+        }
     }
 
     #[test]
     fn concurrent_commits_group() {
-        let w = Arc::new(writer(1, 8192));
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let w = w.clone();
-            handles.push(std::thread::spawn(move || {
-                w.commit(64);
-            }));
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let w = Arc::new(writer_with(1, 8192, append));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let w = w.clone();
+                handles.push(std::thread::spawn(move || {
+                    w.commit(64);
+                }));
+            }
+            for h in handles {
+                h.join().expect("committer");
+            }
+            let s = w.stats();
+            assert_eq!(s.commits, 8);
+            assert!(s.flushes < 8, "{} flushes for 8 commits", s.flushes);
+            assert!(s.group_commits > 0);
         }
-        for h in handles {
-            h.join().expect("committer");
-        }
-        let s = w.stats();
-        assert_eq!(s.commits, 8);
-        assert!(s.flushes < 8, "{} flushes for 8 commits", s.flushes);
-        assert!(s.group_commits > 0);
     }
 
     #[test]
@@ -370,9 +555,11 @@ mod tests {
 
     #[test]
     fn zero_byte_commit_still_flushes_a_block() {
-        let w = writer(1, 8192);
-        w.commit(0);
-        assert_eq!(w.stats().blocks_written, 1);
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let w = writer_with(1, 8192, append);
+            w.commit(0);
+            assert_eq!(w.stats().blocks_written, 1);
+        }
     }
 
     #[test]
@@ -383,7 +570,7 @@ mod tests {
                 sets: 2,
                 block_size: 8192,
                 per_block_overhead: std::time::Duration::ZERO,
-                faults: None,
+                ..Default::default()
             },
             vec![fast_disk(1)],
             None,
@@ -392,23 +579,39 @@ mod tests {
 
     #[test]
     fn ack_before_flush_bug_leaves_bytes_pending() {
-        let w = WalWriter::new(
-            WalWriterConfig {
-                sets: 1,
-                block_size: 8192,
-                per_block_overhead: std::time::Duration::ZERO,
-                faults: Some(crate::WalFaultPlan {
-                    ack_before_flush: true,
+        for append in [AppendMode::Mutex, AppendMode::Lockfree] {
+            let w = WalWriter::new(
+                WalWriterConfig {
+                    sets: 1,
+                    block_size: 8192,
+                    per_block_overhead: std::time::Duration::ZERO,
+                    faults: Some(crate::WalFaultPlan {
+                        ack_before_flush: true,
+                        ..Default::default()
+                    }),
+                    append,
                     ..Default::default()
-                }),
-            },
-            vec![fast_disk(1)],
-            None,
-        );
-        let t = w.commit(100);
-        assert!(t < 25_000, "no flush on the commit path: {t} ns");
-        let s = w.stats();
-        assert_eq!(s.commits, 1);
-        assert_eq!(s.flushes, 0, "the acked bytes were never made durable");
+                },
+                vec![fast_disk(1)],
+                None,
+            );
+            let t = w.commit(100);
+            assert!(t < 25_000, "no flush on the commit path: {t} ns");
+            let s = w.stats();
+            assert_eq!(s.commits, 1);
+            assert_eq!(s.flushes, 0, "the acked bytes were never made durable");
+        }
+    }
+
+    #[test]
+    fn group_batch_histogram_counts_solo_commits() {
+        let w = writer(1, 8192);
+        for _ in 0..3 {
+            w.commit(64);
+        }
+        let h = w.group_commit_batch_histogram();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 3);
+        assert_eq!(w.reserve_histogram().count, 3);
     }
 }

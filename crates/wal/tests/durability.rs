@@ -93,7 +93,7 @@ fn pg_writer_group_commit_correctness() {
             sets: 1,
             block_size: 4096,
             per_block_overhead: Duration::ZERO,
-            faults: None,
+            ..Default::default()
         },
         vec![disk(3, 100_000)],
         None,
@@ -128,7 +128,7 @@ fn pg_parallel_sets_split_load() {
             sets: 2,
             block_size: 8192,
             per_block_overhead: Duration::ZERO,
-            faults: None,
+            ..Default::default()
         },
         vec![d0, d1],
         None,
