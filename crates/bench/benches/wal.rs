@@ -7,10 +7,10 @@ use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use tpd_common::dist::ServiceTime;
-use tpd_common::{DiskConfig, SimDisk};
+use tpd_common::{DiskConfig, DiskDevice, SimDisk};
 use tpd_wal::{FlushPolicy, RedoLog, RedoLogConfig, WalWriter, WalWriterConfig};
 
-fn instant_disk(seed: u64) -> Arc<SimDisk> {
+fn instant_disk(seed: u64) -> Arc<dyn DiskDevice> {
     Arc::new(SimDisk::new(DiskConfig {
         service: ServiceTime::Fixed(0),
         ns_per_byte: 0.0,

@@ -1,0 +1,181 @@
+//! The crash-point matrix binary: systematic kill-the-WAL-device testing
+//! of the file backend's recovery (see `tpd_harness::crashpoint`).
+//!
+//! ```text
+//! cargo run -p tpd-bench --bin crashmatrix -- --seeds 8 --points 16
+//! ```
+//!
+//! One summary line per (personality, writers, seed) group; on a failure
+//! the full case list is printed, the failing directories are kept, and
+//! the process exits 1.
+
+use std::path::PathBuf;
+
+use tpd_engine::Personality;
+use tpd_harness::{run_crash_matrix, CrashMatrixConfig};
+
+#[derive(Debug, Clone)]
+struct MatrixArgs {
+    /// Run seeds `0..seeds` (`--seeds N`).
+    seeds: u64,
+    /// Crash points per seed (`--points N`).
+    points: usize,
+    /// Transfers per case (`--txns N`).
+    txns: u64,
+    /// Restrict to one personality (`--personality mysql|pg`).
+    personality: Option<Personality>,
+    /// Restrict to one parallel-log count (`--writers K`).
+    writers: Option<usize>,
+    /// Root directory for case data (`--data-root DIR`).
+    data_root: Option<PathBuf>,
+}
+
+impl Default for MatrixArgs {
+    fn default() -> Self {
+        MatrixArgs {
+            seeds: 8,
+            points: 16,
+            txns: 24,
+            personality: None,
+            writers: None,
+            data_root: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: crashmatrix [--seeds N] [--points N] [--txns N] \
+[--personality mysql|pg] [--writers K] [--data-root DIR]";
+
+impl MatrixArgs {
+    fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Result<MatrixArgs, String> {
+        let mut args = MatrixArgs::default();
+        let mut it = items.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            let num = |name: &str, v: String| -> Result<u64, String> {
+                v.parse::<u64>().map_err(|e| format!("{name}: {e}"))
+            };
+            match flag.as_str() {
+                "--seeds" => args.seeds = num("--seeds", take("--seeds")?)?.max(1),
+                "--points" => args.points = num("--points", take("--points")?)?.max(2) as usize,
+                "--txns" => args.txns = num("--txns", take("--txns")?)?.max(2),
+                "--personality" => {
+                    args.personality = Some(match take("--personality")?.as_str() {
+                        "mysql" => Personality::Mysql,
+                        "pg" | "postgres" => Personality::Postgres,
+                        other => return Err(format!("unknown personality {other}")),
+                    })
+                }
+                "--writers" => {
+                    args.writers = Some(num("--writers", take("--writers")?)?.max(1) as usize)
+                }
+                "--data-root" => args.data_root = Some(PathBuf::from(take("--data-root")?)),
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+
+    fn config(&self) -> CrashMatrixConfig {
+        let mut cfg = CrashMatrixConfig {
+            seeds: (0..self.seeds).collect(),
+            points_per_seed: self.points,
+            txns: self.txns,
+            ..Default::default()
+        };
+        if let Some(p) = self.personality {
+            cfg.personalities = vec![p];
+        }
+        if let Some(w) = self.writers {
+            cfg.log_writers = vec![w];
+        }
+        if let Some(root) = &self.data_root {
+            cfg.data_root = root.clone();
+        }
+        cfg
+    }
+}
+
+fn main() {
+    let args = match MatrixArgs::parse_from(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = args.config();
+    let report = run_crash_matrix(&cfg);
+    // Group summary: one line per (personality, writers, seed).
+    let mut key = None;
+    let mut points = 0u64;
+    let mut failures = 0u64;
+    let flush = |key: Option<(Personality, usize, u64)>, points: u64, failures: u64| {
+        if let Some((p, w, s)) = key {
+            println!(
+                "{p:?}/w{w} seed {s:>3}  points {points:>3}  {}",
+                if failures == 0 {
+                    "OK".to_string()
+                } else {
+                    format!("FAIL ({failures})")
+                }
+            );
+        }
+    };
+    for c in &report.cases {
+        let k = (c.personality, c.writers, c.seed);
+        if key != Some(k) {
+            flush(key, points, failures);
+            key = Some(k);
+            points = 0;
+            failures = 0;
+        }
+        points += 1;
+        failures += u64::from(c.error.is_some());
+    }
+    flush(key, points, failures);
+    let total = report.cases.len();
+    let failed = report.cases.iter().filter(|c| c.error.is_some()).count();
+    println!("crash matrix: {total} cases, {failed} failures");
+    if !report.ok() {
+        eprint!("{}", report.render_failures());
+        eprintln!(
+            "failing case directories kept under {}",
+            cfg.data_root.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<MatrixArgs, String> {
+        MatrixArgs::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_cover_the_full_matrix() {
+        let cfg = parse(&[]).expect("empty").config();
+        assert_eq!(cfg.seeds.len(), 8);
+        assert_eq!(cfg.points_per_seed, 16);
+        assert_eq!(cfg.personalities.len(), 2);
+        assert_eq!(cfg.log_writers, vec![1, 2]);
+    }
+
+    #[test]
+    fn restriction_flags() {
+        let cfg = parse(&["--personality", "pg", "--writers", "2", "--seeds", "3"])
+            .expect("parse")
+            .config();
+        assert_eq!(cfg.personalities, vec![Personality::Postgres]);
+        assert_eq!(cfg.log_writers, vec![2]);
+        assert_eq!(cfg.seeds, vec![0, 1, 2]);
+        assert!(parse(&["--personality", "oracle"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

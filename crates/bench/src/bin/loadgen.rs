@@ -27,7 +27,7 @@ use tpd_server::{Conn, Outcome, WireTatp};
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT (default: in-process server)] \
 [--conns N] [--rate TPS (0 = max)] [--secs N | --duration N] [--subscribers N] \
 [--slots N] [--admission-cap N] [--deadline-ms N] [--seed N] \
-[--wal-append mutex|lockfree] [--log-writers K]";
+[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR]";
 
 #[derive(Default)]
 struct Tally {

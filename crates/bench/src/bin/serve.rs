@@ -11,7 +11,7 @@ use tpd_bench::netbench::{start_tatp_server, NetArgs};
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--subscribers N] [--slots N] \
 [--admission-cap N] [--deadline-ms N] [--max-conns N] [--secs N (0 = forever)] [--seed N] \
-[--wal-append mutex|lockfree] [--log-writers K]";
+[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR]";
 
 fn main() {
     let args = match NetArgs::parse_from(std::env::args().skip(1), USAGE) {

@@ -11,7 +11,10 @@
 //! written to `torture-seed-<S>.trace.txt`, and the process exits 1 —
 //! CI uploads the trace file as the failing artifact.
 
+use std::path::PathBuf;
+
 use tpd_common::dist::ServiceTime;
+use tpd_engine::DiskBackend;
 use tpd_harness::{run_torture, TortureConfig};
 use tpd_wal::{AppendMode, FlushPolicy};
 
@@ -47,6 +50,11 @@ struct TortureArgs {
     wal_append: AppendMode,
     /// Parallel redo logs (`--log-writers K`; lockfree append only).
     log_writers: usize,
+    /// WAL device: `sim` (default) or `file` (`--disk-backend file`).
+    disk_backend: DiskBackend,
+    /// Segment directory for `--disk-backend file` (`--data-dir DIR`).
+    /// Each seed gets its own fresh subdirectory; default is a temp dir.
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for TortureArgs {
@@ -66,6 +74,8 @@ impl Default for TortureArgs {
             rtt_ns: 0,
             wal_append: AppendMode::Lockfree,
             log_writers: 1,
+            disk_backend: DiskBackend::Sim,
+            data_dir: None,
         }
     }
 }
@@ -73,7 +83,8 @@ impl Default for TortureArgs {
 const USAGE: &str = "usage: torture [--seed S] [--seeds N] [--faults] [--txns N] \
 [--sessions N] [--crash-every N] [--policy eager|lazy-write|lazy-flush] \
 [--chaos-locks] [--chaos-ack] [--metrics] [--metrics-json] [--rtt NS] \
-[--wal-append mutex|lockfree] [--log-writers K]";
+[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] \
+[--data-dir DIR]";
 
 impl TortureArgs {
     fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Result<TortureArgs, String> {
@@ -116,6 +127,12 @@ impl TortureArgs {
                 "--log-writers" => {
                     args.log_writers = num("--log-writers", take("--log-writers")?)?.max(1) as usize
                 }
+                "--disk-backend" => {
+                    args.disk_backend = take("--disk-backend")?
+                        .parse::<DiskBackend>()
+                        .map_err(|e| format!("--disk-backend: {e}"))?
+                }
+                "--data-dir" => args.data_dir = Some(PathBuf::from(take("--data-dir")?)),
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -139,6 +156,15 @@ impl TortureArgs {
             }),
             wal_append: self.wal_append,
             log_writers: self.log_writers,
+            disk_backend: self.disk_backend,
+            // One fresh subdirectory per seed: the torture audit assumes
+            // the initial state is empty.
+            data_dir: (self.disk_backend == DiskBackend::File).then(|| {
+                self.data_dir
+                    .clone()
+                    .unwrap_or_else(std::env::temp_dir)
+                    .join(format!("tpd-torture-seed-{seed}"))
+            }),
             ..Default::default()
         }
     }
@@ -154,7 +180,12 @@ fn main() {
     };
     let mut failed = false;
     for seed in args.seed..args.seed + args.seeds {
-        let report = run_torture(&args.config(seed));
+        let cfg = args.config(seed);
+        if let Some(dir) = &cfg.data_dir {
+            // Stale segments from a previous run would make the audit lie.
+            std::fs::remove_dir_all(dir).ok();
+        }
+        let report = run_torture(&cfg);
         println!(
             "seed {seed:>6}  digest {:016x}  commits {:>5}  aborts {:>5}  crashes {:>2}  ops {:>6}  {}",
             report.digest,
@@ -205,6 +236,12 @@ fn main() {
             } else {
                 eprintln!("trace written to {path}");
             }
+            if let Some(dir) = &cfg.data_dir {
+                // Keep the segments as the failure artifact.
+                eprintln!("segment directory kept at {}", dir.display());
+            }
+        } else if let Some(dir) = &cfg.data_dir {
+            std::fs::remove_dir_all(dir).ok();
         }
     }
     if failed {
@@ -261,6 +298,25 @@ mod tests {
         assert_eq!(a.wal_append, AppendMode::Lockfree);
         assert_eq!(a.config(1).log_writers, 2);
         assert!(parse(&["--wal-append", "spinlock"]).is_err());
+    }
+
+    #[test]
+    fn disk_backend_flags() {
+        let a = parse(&[]).expect("empty");
+        assert_eq!(a.disk_backend, DiskBackend::Sim);
+        assert!(a.config(1).data_dir.is_none());
+        let a = parse(&["--disk-backend", "file", "--data-dir", "/tmp/tort"]).expect("parse");
+        assert_eq!(a.disk_backend, DiskBackend::File);
+        let cfg = a.config(7);
+        assert_eq!(cfg.disk_backend, DiskBackend::File);
+        assert_eq!(
+            cfg.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/tort/tpd-torture-seed-7"))
+        );
+        // File mode without --data-dir still lands each seed somewhere.
+        let a = parse(&["--disk-backend", "file"]).expect("parse");
+        assert!(a.config(1).data_dir.is_some());
+        assert!(parse(&["--disk-backend", "ramdisk"]).is_err());
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! `loadgen`): flag parsing and the engine/TATP/server bring-up both
 //! sides need. Kept in the library so the flag grammar is unit-tested.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use tpd_common::dist::ServiceTime;
 use tpd_common::DiskConfig;
-use tpd_engine::{AppendMode, Engine, EngineConfig, Personality, Policy};
+use tpd_engine::{AppendMode, DiskBackend, Engine, EngineConfig, Personality, Policy};
 use tpd_server::{spawn, AdmissionConfig, ServerConfig, ServerHandle, WireTatp};
 use tpd_workloads::Tatp;
 
@@ -41,6 +42,12 @@ pub struct NetArgs {
     pub wal_append: AppendMode,
     /// Parallel redo logs for the in-process engine (`--log-writers`).
     pub log_writers: usize,
+    /// WAL device: `sim` (default) or `file` (`--disk-backend file`).
+    /// File mode makes `serve` restartable: on startup the engine
+    /// recovers whatever the data dir holds.
+    pub disk_backend: DiskBackend,
+    /// Segment directory for `--disk-backend file` (`--data-dir DIR`).
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for NetArgs {
@@ -58,6 +65,8 @@ impl Default for NetArgs {
             seed: 42,
             wal_append: AppendMode::Lockfree,
             log_writers: 1,
+            disk_backend: DiskBackend::Sim,
+            data_dir: None,
         }
     }
 }
@@ -120,12 +129,23 @@ impl NetArgs {
                     args.log_writers =
                         (num(&raw("--log-writers")?, "--log-writers")? as usize).max(1)
                 }
+                "--disk-backend" => {
+                    args.disk_backend = raw("--disk-backend")?
+                        .parse::<DiskBackend>()
+                        .map_err(|e| format!("--disk-backend: {e}"))?
+                }
+                "--data-dir" => args.data_dir = Some(PathBuf::from(raw("--data-dir")?)),
                 "--help" | "-h" => return Err(usage.to_string()),
                 other => return Err(format!("unknown flag {other}\n{usage}")),
             }
         }
         if args.subscribers == 0 {
             return Err("--subscribers must be >= 1".to_string());
+        }
+        if args.disk_backend == DiskBackend::File && args.data_dir.is_none() {
+            // Restartability is the point of file mode, so the location
+            // must be explicit and stable across runs.
+            return Err("--disk-backend file requires --data-dir".to_string());
         }
         Ok(args)
     }
@@ -154,40 +174,84 @@ pub fn served_engine(seed: u64) -> Arc<Engine> {
 /// [`served_engine`] with the WAL append path and parallel-log count
 /// chosen by `--wal-append` / `--log-writers`.
 pub fn served_engine_with(seed: u64, wal_append: AppendMode, log_writers: usize) -> Arc<Engine> {
+    served_engine_cfg(seed, wal_append, log_writers, DiskBackend::Sim, None)
+}
+
+/// [`served_engine`] with the full device selection: WAL append path,
+/// parallel-log count, and the WAL backend (`--disk-backend` /
+/// `--data-dir`).
+pub fn served_engine_cfg(
+    seed: u64,
+    wal_append: AppendMode,
+    log_writers: usize,
+    disk_backend: DiskBackend,
+    data_dir: Option<&std::path::Path>,
+) -> Arc<Engine> {
     let disk = DiskConfig {
         service: ServiceTime::Fixed(20_000),
         ns_per_byte: 0.0,
         seed,
     };
-    Engine::new(
-        EngineConfig {
-            personality: Personality::Mysql,
-            data_disk: disk.clone(),
-            log_disks: vec![disk],
-            statement_rtt: None,
-            lock_timeout: Some(Duration::from_secs(5)),
-            lock_shards: 0,
-            seed,
-            ..EngineConfig::mysql(Policy::Fcfs)
-        }
-        .with_wal_append(wal_append)
-        .with_log_writers(if wal_append == AppendMode::Mutex {
-            1
-        } else {
-            log_writers
-        }),
-    )
+    let mut cfg = EngineConfig {
+        personality: Personality::Mysql,
+        data_disk: disk.clone(),
+        log_disks: vec![disk],
+        statement_rtt: None,
+        lock_timeout: Some(Duration::from_secs(5)),
+        lock_shards: 0,
+        seed,
+        ..EngineConfig::mysql(Policy::Fcfs)
+    }
+    .with_wal_append(wal_append)
+    .with_log_writers(if wal_append == AppendMode::Mutex {
+        1
+    } else {
+        log_writers
+    });
+    if disk_backend == DiskBackend::File {
+        cfg = cfg.with_file_backend(data_dir.expect("file backend requires a data dir"));
+    }
+    Engine::new(cfg)
 }
 
-/// Build the engine, install TATP, and start the server; returns the
-/// wire-side table map alongside. `addr` of `None` binds an ephemeral
-/// port.
+/// Build the engine, install (or, on a file-backend restart, recover)
+/// TATP, and start the server; returns the wire-side table map alongside.
+/// `addr` of `None` binds an ephemeral port.
 pub fn start_tatp_server(
     args: &NetArgs,
     addr: Option<&str>,
 ) -> std::io::Result<(Arc<Engine>, ServerHandle, WireTatp)> {
-    let engine = served_engine_with(args.seed, args.wal_append, args.log_writers);
-    let tatp = Tatp::install(&engine, args.subscribers);
+    let engine = served_engine_cfg(
+        args.seed,
+        args.wal_append,
+        args.log_writers,
+        args.disk_backend,
+        args.data_dir.as_deref(),
+    );
+    let tatp = if args.disk_backend == DiskBackend::File {
+        // Restart path: replay whatever the previous process persisted.
+        // A checkpoint means the schema already exists — installing again
+        // would create a second set of tables.
+        let recovery = engine.recover_from_disk();
+        let restart = recovery.as_ref().is_some_and(|r| r.restored_checkpoint);
+        if let Some(rec) = &recovery {
+            eprintln!(
+                "recovered data dir: checkpoint={} committed_txns={} torn_bytes_truncated={}",
+                rec.restored_checkpoint, rec.report.committed_txns, rec.torn_truncated
+            );
+        }
+        if restart {
+            Tatp::attach(&engine, args.subscribers).expect("checkpoint restored a non-TATP schema")
+        } else {
+            let tatp = Tatp::install(&engine, args.subscribers);
+            // Bootstrap checkpoint: schema operations are not WAL-logged,
+            // so recovery-after-kill needs this to recreate the tables.
+            engine.checkpoint()?;
+            tatp
+        }
+    } else {
+        Tatp::install(&engine, args.subscribers)
+    };
     let ids = tatp.table_ids();
     let wire = WireTatp {
         subscriber: ids[0].0,
@@ -275,6 +339,59 @@ mod tests {
         assert!(parse(&["--rate", "-1"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn disk_backend_flags() {
+        let a = parse(&[]).expect("empty");
+        assert_eq!(a.disk_backend, DiskBackend::Sim);
+        let a = parse(&["--disk-backend", "file", "--data-dir", "/tmp/d"]).expect("parse");
+        assert_eq!(a.disk_backend, DiskBackend::File);
+        assert_eq!(a.data_dir.as_deref(), Some(std::path::Path::new("/tmp/d")));
+        // File mode without a stable location is a config error.
+        assert!(parse(&["--disk-backend", "file"]).is_err());
+        assert!(parse(&["--disk-backend", "tape"]).is_err());
+    }
+
+    #[test]
+    fn file_backend_server_round_trips_a_restart() {
+        let dir = std::env::temp_dir().join(format!("tpd-netbench-file-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let args = parse(&[
+            "--subscribers",
+            "32",
+            "--slots",
+            "4",
+            "--disk-backend",
+            "file",
+            "--data-dir",
+            dir.to_str().expect("utf8 path"),
+        ])
+        .expect("parse");
+        // First boot installs and serves one UPD_LOCATION-style write.
+        {
+            let (engine, mut handle, wire) = start_tatp_server(&args, None).expect("spawn");
+            let sub = engine.catalog().table(tpd_engine::TableId(wire.subscriber));
+            assert_eq!(sub.get(3).expect("row")[3], 0);
+            let mut txn = engine.begin(0);
+            txn.update(tpd_engine::TableId(wire.subscriber), 3, |r| r[3] = 77)
+                .expect("update");
+            txn.commit().expect("commit");
+            handle.shutdown();
+        }
+        // Second boot recovers the write instead of reinstalling zeros.
+        {
+            let (engine, mut handle, wire) = start_tatp_server(&args, None).expect("respawn");
+            assert_eq!(
+                engine.catalog().len(),
+                4,
+                "restart must not re-create tables"
+            );
+            let sub = engine.catalog().table(tpd_engine::TableId(wire.subscriber));
+            assert_eq!(sub.get(3).expect("row")[3], 77, "committed write survived");
+            handle.shutdown();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Kill -9 end-to-end: a real `serve` process with `--disk-backend file`
+//! is SIGKILLed mid-burst, restarted on the same data dir, and the
+//! recovered state is reconciled against a client-side ledger of acked
+//! commits. This is the process-level counterpart of the in-process
+//! crash-point matrix (`tpd_harness::crashpoint`): no simulated crash
+//! gate, the kernel really tears the process down with dirty state.
+//!
+//! Gated behind `TPD_E2E=1` (CI's server-e2e job sets it) because it
+//! spawns real server processes and takes ~15s of wall clock.
+//!
+//! The durability contract under test:
+//!   * complete — every UpdateLocation the client saw `Committed` for
+//!     survives the kill: the recovered subscriber row carries that
+//!     value or a later attempted (in-doubt) one, never an earlier one.
+//!   * sound — a recovered value is either the initial 0 or one the
+//!     client actually sent; nothing is invented and nothing the server
+//!     reported `Aborted` resurfaces.
+//!   * clean — the restarted server passes its own shutdown audit
+//!     (zero leaked locks ⇒ exit status 0).
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tpd_server::wire_tatp::txn_type;
+use tpd_server::{Conn, Outcome, WireSpec, WireTatp};
+
+const SUBSCRIBERS: u64 = 64;
+const CLIENTS: u64 = 4;
+/// UpdateLocation payloads start here so they can never collide with the
+/// freshly-installed vlr_location of 0.
+const VAL_BASE: i64 = 10_000;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpd-kill9-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Reserve an ephemeral port by binding and immediately releasing it.
+fn free_addr() -> String {
+    let probe = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+    let addr = probe.local_addr().expect("probe addr").to_string();
+    drop(probe);
+    addr
+}
+
+fn spawn_serve(addr: &str, data_dir: &Path, secs: f64, log: &Path) -> Child {
+    let out = std::fs::File::create(log).expect("create serve log");
+    let err = out.try_clone().expect("clone log handle");
+    Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args([
+            "--addr",
+            addr,
+            "--subscribers",
+            &SUBSCRIBERS.to_string(),
+            "--slots",
+            "8",
+            "--secs",
+            &secs.to_string(),
+            "--disk-backend",
+            "file",
+            "--data-dir",
+            data_dir.to_str().expect("utf8 data dir"),
+        ])
+        .stdout(Stdio::from(out))
+        .stderr(Stdio::from(err))
+        .spawn()
+        .expect("spawn serve")
+}
+
+fn connect(addr: &str) -> Conn {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match Conn::connect(addr) {
+            Ok(c) => return c,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("serve never came up on {addr}: {e}"),
+        }
+    }
+}
+
+/// What one client thread learned about the subscribers it owns.
+#[derive(Default)]
+struct Ledger {
+    /// sid → latest value the server acked as Committed.
+    acked: HashMap<u64, i64>,
+    /// sid → every value whose commit was attempted and not known to
+    /// have failed (Committed acks plus the final in-doubt write).
+    attempted: HashMap<u64, Vec<i64>>,
+    commits: u64,
+}
+
+/// Closed-loop UpdateLocation burst over the client's own subscriber
+/// partition (sids ≡ client mod CLIENTS, so no cross-thread writes and
+/// per-sid values are strictly increasing). Runs until the connection
+/// dies under SIGKILL.
+fn burst(addr: &str, client: u64) -> Ledger {
+    let mut conn = connect(addr);
+    let wire = WireTatp::fresh_install(SUBSCRIBERS);
+    let mut ledger = Ledger::default();
+    let mut n: i64 = 0;
+    loop {
+        let s = client + CLIENTS * (n as u64 % (SUBSCRIBERS / CLIENTS));
+        let val = VAL_BASE + n * CLIENTS as i64 + client as i64;
+        n += 1;
+        let spec = WireSpec {
+            ty: txn_type::UPD_LOCATION,
+            s,
+            sf: 0,
+            val,
+        };
+        match wire.execute(&mut conn, &spec) {
+            Ok(Outcome::Committed) => {
+                ledger.acked.insert(s, val);
+                ledger.attempted.entry(s).or_default().push(val);
+                ledger.commits += 1;
+            }
+            // Shed/abort acks mean the server rolled the write back
+            // before dying; the value must never surface.
+            Ok(_) => {}
+            Err(_) => {
+                // In-doubt: the kill may have landed after the commit
+                // was durable but before the ack reached us.
+                ledger.attempted.entry(s).or_default().push(val);
+                return ledger;
+            }
+        }
+    }
+}
+
+#[test]
+fn kill9_mid_burst_loses_no_acked_commit() {
+    if std::env::var("TPD_E2E").as_deref() != Ok("1") {
+        eprintln!("kill9: skipped (set TPD_E2E=1 to run the process-level crash test)");
+        return;
+    }
+
+    let root = scratch("e2e");
+    let data_dir = root.join("data");
+    let first_log = root.join("serve-1.log");
+    let second_log = root.join("serve-2.log");
+
+    // Phase 1: fresh server, burst of acked writes, SIGKILL mid-burst.
+    let addr = free_addr();
+    let mut victim = spawn_serve(&addr, &data_dir, 0.0, &first_log);
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || burst(&addr, c))
+        })
+        .collect();
+    // Let the burst build up a few hundred acked commits, then pull the
+    // rug with a real SIGKILL — no atexit, no flush, no goodbye.
+    std::thread::sleep(Duration::from_millis(700));
+    let killed = Command::new("kill")
+        .args(["-9", &victim.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 failed to signal serve");
+    let status = victim.wait().expect("reap serve");
+    assert!(!status.success(), "serve should die from SIGKILL");
+
+    let mut acked: HashMap<u64, i64> = HashMap::new();
+    let mut attempted: HashMap<u64, Vec<i64>> = HashMap::new();
+    let mut total_commits = 0;
+    for c in clients {
+        let ledger = c.join().expect("client thread");
+        acked.extend(ledger.acked);
+        for (s, vals) in ledger.attempted {
+            attempted.entry(s).or_default().extend(vals);
+        }
+        total_commits += ledger.commits;
+    }
+    assert!(
+        total_commits >= 20,
+        "burst too small to be meaningful: {total_commits} acked commits"
+    );
+
+    // Phase 2: restart on the same data dir; the server must recover,
+    // serve reads, and later pass its own leaked-lock shutdown audit.
+    let addr2 = free_addr();
+    let mut revived = spawn_serve(&addr2, &data_dir, 10.0, &second_log);
+    let mut conn = connect(&addr2);
+    let wire = WireTatp::fresh_install(SUBSCRIBERS);
+    let mut losses = Vec::new();
+    for s in 0..SUBSCRIBERS {
+        conn.begin(txn_type::GET_SUBSCRIBER).expect("begin read");
+        let row = conn.read(wire.subscriber, s).expect("read subscriber");
+        conn.commit().expect("commit read");
+        let got = row[3];
+        let floor = acked.get(&s).copied();
+        let legitimate = got == 0 || attempted.get(&s).is_some_and(|vals| vals.contains(&got));
+        if !legitimate {
+            losses.push(format!("s={s}: recovered {got} was never attempted"));
+        }
+        if let Some(v) = floor {
+            // Values per sid are strictly increasing, so anything below
+            // the last ack means a durably-acked commit was lost.
+            if got < v {
+                losses.push(format!("s={s}: acked {v} but recovered {got}"));
+            }
+        }
+    }
+    drop(conn);
+    assert!(
+        losses.is_empty(),
+        "durability losses after kill -9 (data dir kept at {}):\n  {}",
+        data_dir.display(),
+        losses.join("\n  ")
+    );
+
+    // The restarted server logs its recovery and must exit clean — its
+    // shutdown path audits for leaked locks and exits 1 on any.
+    let status = revived.wait().expect("reap restarted serve");
+    let log = std::fs::read_to_string(&second_log).unwrap_or_default();
+    assert!(
+        log.contains("recovered data dir: checkpoint=true"),
+        "restarted serve did not report recovery; log:\n{log}"
+    );
+    assert!(
+        status.success(),
+        "restarted serve failed its shutdown audit; log:\n{log}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -27,7 +27,7 @@ pub mod stats;
 pub mod table;
 
 pub use clock::{now_nanos, Nanos, VirtualClock};
-pub use disk::{DiskConfig, DiskStats, SimDisk};
+pub use disk::{DiskConfig, DiskDevice, DiskStats, FileDisk, IoKind, SimDisk};
 pub use fault::FaultPlan;
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use stats::{lp_norm, pearson, percentile, Covariance, OnlineStats, SampleSummary};

@@ -66,6 +66,18 @@ impl TableInfo {
         self.next_key.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The next key [`TableInfo::allocate_key`] would hand out.
+    pub fn next_key_hint(&self) -> RowKey {
+        self.next_key.load(Ordering::Relaxed)
+    }
+
+    /// Raise the key allocator to at least `at_least` (checkpoint restore:
+    /// the allocator may sit past the highest stored key when inserts were
+    /// rolled back).
+    pub fn ensure_next_key(&self, at_least: RowKey) {
+        self.next_key.fetch_max(at_least, Ordering::Relaxed);
+    }
+
     /// Keys in `[lo, hi)`, up to `limit`.
     pub fn range_keys(&self, lo: RowKey, hi: RowKey, limit: usize) -> Vec<RowKey> {
         self.rows

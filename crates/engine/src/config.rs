@@ -1,6 +1,7 @@
 //! Engine configuration: personality, scheduling, storage, and logging
 //! knobs — every tuning parameter the paper sweeps has a field here.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use tpd_core::{Policy, VictimPolicy};
@@ -18,6 +19,30 @@ pub enum Personality {
     Mysql,
     /// Postgres-style: WALWriteLock commit path, predicate locks.
     Postgres,
+}
+
+/// Where the log physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskBackend {
+    /// Simulated devices with service-time models — deterministic under
+    /// the virtual clock, byte-identical digests across runs. The default.
+    #[default]
+    Sim,
+    /// Real files: CRC-framed append-only segments plus a checkpoint under
+    /// [`EngineConfig::data_dir`], with ARIES-style redo on reopen.
+    File,
+}
+
+impl std::str::FromStr for DiskBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(DiskBackend::Sim),
+            "file" => Ok(DiskBackend::File),
+            other => Err(format!("unknown disk backend: {other:?} (sim|file)")),
+        }
+    }
 }
 
 /// Full engine configuration.
@@ -54,6 +79,13 @@ pub struct EngineConfig {
     pub wal_group_commit: bool,
     /// Postgres WAL configuration (sets, block size).
     pub wal: WalWriterConfig,
+    /// Whether the WAL lives on simulated devices or real segment files.
+    pub disk_backend: DiskBackend,
+    /// Data directory for [`DiskBackend::File`] (segments + checkpoint).
+    /// Required when the backend is `File`; ignored for `Sim`.
+    pub data_dir: Option<PathBuf>,
+    /// Segment rotation size for [`DiskBackend::File`].
+    pub wal_rotate_bytes: u64,
     /// Data device model.
     pub data_disk: DiskConfig,
     /// Log device model(s); one per WAL set (Postgres) or the first one
@@ -123,6 +155,9 @@ impl Default for EngineConfig {
             log_writers: 1,
             wal_group_commit: true,
             wal: WalWriterConfig::default(),
+            disk_backend: DiskBackend::Sim,
+            data_dir: None,
+            wal_rotate_bytes: tpd_wal::FileWal::DEFAULT_ROTATE_BYTES,
             data_disk: DiskConfig {
                 service: ServiceTime::LogNormal {
                     median: 200_000,
@@ -252,6 +287,16 @@ impl EngineConfig {
     /// mode); flush via [`crate::Engine::wal_flush_now`].
     pub fn with_manual_wal_flush(mut self) -> Self {
         self.wal_manual_flush = true;
+        self
+    }
+
+    /// Put the WAL on real segment files under `dir` (see
+    /// [`DiskBackend::File`]). The engine recovers any existing log there
+    /// on construction; call [`crate::Engine::recover_from_disk`] to apply
+    /// what it found.
+    pub fn with_file_backend(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_backend = DiskBackend::File;
+        self.data_dir = Some(dir.into());
         self
     }
 }

@@ -10,19 +10,19 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tpd_common::clock::{cpu_work, now_nanos};
-use tpd_common::disk::SimDisk;
+use tpd_common::disk::{DiskDevice, FileDisk, SimDisk};
 use tpd_common::Nanos;
 use tpd_core::{LockError, LockManager, LockManagerConfig, LockMode, ObjectId, TxnToken};
 use tpd_metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 use tpd_profiler::{OwnedSpanGuard, OwnedTxnGuard, Profiler};
 use tpd_storage::{BufferPool, PoolProbes};
 use tpd_wal::{
-    committed_txns, LogRecord, MysqlWalProbes, PgWalProbes, RedoLog, RedoLogConfig, StampedRecord,
-    WalWriter,
+    committed_txns, CheckpointData, CheckpointTable, FileWal, LogRecord, Lsn, MysqlWalProbes,
+    PgWalProbes, RecoveredLog, RedoLog, RedoLogConfig, StampedRecord, WalWriter,
 };
 
 use crate::catalog::{Catalog, TableInfo};
-use crate::config::{EngineConfig, Personality};
+use crate::config::{DiskBackend, EngineConfig, Personality};
 use crate::probes::EngineProbes;
 use crate::types::{row_bytes, EngineError, Row, RowKey, TableId, TxnType};
 
@@ -42,6 +42,21 @@ pub struct AgeRemainingSample {
     pub age_ns: f64,
     /// Time from the blocking instant to commit, ns.
     pub remaining_ns: f64,
+}
+
+/// Outcome of [`Engine::recover_from_disk`]: the replay report plus the
+/// raw frames that replayed, for harnesses auditing exactly which
+/// transactions survived.
+#[derive(Debug)]
+pub struct DiskRecovery {
+    /// What the replay applied.
+    pub report: RecoveryReport,
+    /// The recovered frames above the checkpoint floor, seq-ordered.
+    pub records: Vec<StampedRecord>,
+    /// Whether a checkpoint was restored.
+    pub restored_checkpoint: bool,
+    /// Segment files truncated at a torn or corrupt frame.
+    pub torn_truncated: u64,
 }
 
 /// Outcome of replaying a durable log prefix.
@@ -83,6 +98,11 @@ pub struct Engine {
     locks: LockManager,
     pool: BufferPool,
     wal: WalBackend,
+    /// File-backed segment log (`disk_backend = file` only).
+    file_wal: Option<Arc<FileWal>>,
+    /// What [`FileWal::open`] recovered, held until
+    /// [`Engine::recover_from_disk`] consumes it.
+    recovered: Mutex<Option<RecoveredLog>>,
     profiler: Arc<Profiler>,
     probes: EngineProbes,
     next_txn: AtomicU64,
@@ -128,26 +148,54 @@ impl Engine {
                 page_io: probes.buf_page_io,
             }),
         );
+        // File backend: open (and recover) the segment log first, so its
+        // per-stripe devices can stand in for the simulated log disks.
+        let stripes = match config.personality {
+            Personality::Mysql => match config.wal_append {
+                tpd_wal::AppendMode::Mutex => 1,
+                tpd_wal::AppendMode::Lockfree => config.log_writers.max(1),
+            },
+            Personality::Postgres => config.wal.sets.max(1),
+        };
+        let (file_wal, recovered) = match config.disk_backend {
+            DiskBackend::Sim => (None, None),
+            DiskBackend::File => {
+                let dir = config
+                    .data_dir
+                    .as_ref()
+                    .expect("disk_backend = file requires a data_dir");
+                let (wal, rec) = FileWal::open(dir, stripes, config.wal_rotate_bytes)
+                    .expect("open file-backed wal");
+                (Some(wal), Some(rec))
+            }
+        };
         let wal = match config.personality {
             Personality::Mysql => {
                 // One device per parallel log writer (the mutex append
                 // path always runs one log). Extra devices are derived
                 // deterministically when the config lists too few.
-                let writers = match config.wal_append {
-                    tpd_wal::AppendMode::Mutex => 1,
-                    tpd_wal::AppendMode::Lockfree => config.log_writers.max(1),
+                let writers = stripes;
+                let disks: Vec<Arc<dyn DiskDevice>> = match &file_wal {
+                    Some(wal) => (0..writers)
+                        .map(|k| wal.stripe_disk(k) as Arc<dyn DiskDevice>)
+                        .collect(),
+                    None => {
+                        let mut disk_configs = config.log_disks.clone();
+                        while disk_configs.len() < writers {
+                            let mut d = disk_configs[0].clone();
+                            d.seed = d.seed.wrapping_add(disk_configs.len() as u64 * 7919);
+                            disk_configs.push(d);
+                        }
+                        disk_configs
+                            .into_iter()
+                            .take(writers)
+                            .map(|d| {
+                                Arc::new(SimDisk::with_faults(d, config.log_faults.clone()))
+                                    as Arc<dyn DiskDevice>
+                            })
+                            .collect()
+                    }
                 };
-                let mut disk_configs = config.log_disks.clone();
-                while disk_configs.len() < writers {
-                    let mut d = disk_configs[0].clone();
-                    d.seed = d.seed.wrapping_add(disk_configs.len() as u64 * 7919);
-                    disk_configs.push(d);
-                }
-                let disks = disk_configs
-                    .into_iter()
-                    .take(writers)
-                    .map(|d| Arc::new(SimDisk::with_faults(d, config.log_faults.clone())))
-                    .collect();
                 WalBackend::Mysql(RedoLog::with_disks(
                     RedoLogConfig {
                         policy: config.flush_policy,
@@ -157,6 +205,7 @@ impl Engine {
                         append: config.wal_append,
                         writers,
                         group_commit: config.wal_group_commit,
+                        sink: file_wal.clone(),
                     },
                     disks,
                     Some(MysqlWalProbes {
@@ -166,11 +215,28 @@ impl Engine {
                 ))
             }
             Personality::Postgres => {
-                let disks = config
-                    .log_disks
-                    .iter()
-                    .map(|d| Arc::new(SimDisk::with_faults(d.clone(), config.log_faults.clone())))
-                    .collect();
+                // The pg writer only counts bytes and flushes, so in file
+                // mode its sets get scratch files — never the
+                // frame-carrying segments, which the commit path writes
+                // through `FileWal::append_auto` instead.
+                let disks: Vec<Arc<dyn DiskDevice>> = match (&file_wal, &config.data_dir) {
+                    (Some(_), Some(dir)) => (0..config.log_disks.len().max(1))
+                        .map(|k| {
+                            Arc::new(
+                                FileDisk::create(dir.join(format!("pg-set-{k}.dat")))
+                                    .expect("create pg scratch log"),
+                            ) as Arc<dyn DiskDevice>
+                        })
+                        .collect(),
+                    _ => config
+                        .log_disks
+                        .iter()
+                        .map(|d| {
+                            Arc::new(SimDisk::with_faults(d.clone(), config.log_faults.clone()))
+                                as Arc<dyn DiskDevice>
+                        })
+                        .collect(),
+                };
                 let mut wal_config = config.wal.clone();
                 wal_config.faults = config.wal_faults.clone();
                 wal_config.append = config.wal_append;
@@ -197,6 +263,8 @@ impl Engine {
             locks,
             pool,
             wal,
+            file_wal,
+            recovered: Mutex::new(recovered),
             profiler,
             probes,
             next_txn: AtomicU64::new(1),
@@ -443,7 +511,13 @@ impl Engine {
                     key,
                     row: after,
                 } => {
-                    if committed.contains(txn) {
+                    // Schema operations are not logged: a record naming a
+                    // table the catalog does not have (log older than the
+                    // schema, or no bootstrap checkpoint) is skipped, not
+                    // a panic.
+                    if (*table as usize) >= self.catalog.len() {
+                        skipped += 1;
+                    } else if committed.contains(txn) {
                         self.catalog.table(TableId(*table)).put(*key, after.clone());
                         applied += 1;
                     } else {
@@ -460,6 +534,84 @@ impl Engine {
             records_applied: applied,
             records_skipped: skipped,
         }
+    }
+
+    /// The file-backed segment log, when `disk_backend = file` (crash-gate
+    /// control and frame accounting for the crash-point harness).
+    pub fn file_wal(&self) -> Option<&Arc<FileWal>> {
+        self.file_wal.as_ref()
+    }
+
+    /// Apply what the file-backed WAL recovered at open: restore the
+    /// checkpoint's table images (creating tables in id order when the
+    /// catalog does not have them yet), replay the log tail above the
+    /// floor, then write a fresh checkpoint so the next boot starts from a
+    /// clean floor — transaction ids restart at 1 every boot, so pruning
+    /// the replayed frames is what keeps ids from colliding across epochs.
+    ///
+    /// Returns `None` on the sim backend, or if already consumed. Calling
+    /// it again after recovery (or on a fresh directory) is a no-op, which
+    /// is what makes recovery idempotent at the API level; replay itself
+    /// is idempotent because redo carries full after-images.
+    pub fn recover_from_disk(&self) -> Option<DiskRecovery> {
+        self.file_wal.as_ref()?;
+        let rec = self.recovered.lock().take()?;
+        let restored_checkpoint = rec.checkpoint.is_some();
+        if let Some(ckpt) = &rec.checkpoint {
+            for ct in &ckpt.tables {
+                let table = if (ct.id as usize) < self.catalog.len() {
+                    self.catalog.table(TableId(ct.id))
+                } else {
+                    let id = self.catalog.create_table(&ct.name, ct.rows_per_page);
+                    assert_eq!(id.0, ct.id, "checkpoint tables are id-ordered");
+                    self.catalog.table(id)
+                };
+                for (key, row) in &ct.rows {
+                    table.put(*key, row.clone());
+                }
+                table.ensure_next_key(ct.next_key);
+            }
+        }
+        let report = self.recover_from(&rec.records);
+        self.checkpoint().expect("post-recovery checkpoint");
+        Some(DiskRecovery {
+            report,
+            records: rec.records,
+            restored_checkpoint,
+            torn_truncated: rec.torn_truncated,
+        })
+    }
+
+    /// Write a fuzzy checkpoint (file backend; no-op on sim): flush
+    /// pending redo so the floor covers every record reflected in the
+    /// tables, snapshot every table, atomically install `checkpoint.ckpt`,
+    /// and prune the covered segments. The caller must be write-quiescent
+    /// (no transactions in flight) — the checkpoint carries no undo.
+    pub fn checkpoint(&self) -> std::io::Result<()> {
+        let Some(wal) = &self.file_wal else {
+            return Ok(());
+        };
+        self.wal_flush_now();
+        let mut tables = Vec::with_capacity(self.catalog.len());
+        for i in 0..self.catalog.len() {
+            let t = self.catalog.table(TableId(i as u32));
+            let keys = t.range_keys(0, u64::MAX, usize::MAX);
+            let rows = keys
+                .into_iter()
+                .filter_map(|k| t.get(k).map(|row| (k, row)))
+                .collect();
+            tables.push(CheckpointTable {
+                id: t.id.0,
+                name: t.name.clone(),
+                rows_per_page: t.rows_per_page,
+                next_key: t.next_key_hint(),
+                rows,
+            });
+        }
+        wal.checkpoint(&CheckpointData {
+            next_seq: wal.next_seq(),
+            tables,
+        })
     }
 
     /// Begin a transaction of the given workload type.
@@ -785,7 +937,31 @@ impl Txn {
                         redo.commit(lsn);
                     }
                     WalBackend::Pg(w) => {
-                        w.commit(self.redo_bytes);
+                        // File mode: the pg writer models timing only, so
+                        // the typed frames go straight to the segment log
+                        // here, with an explicit durability barrier on the
+                        // stripe we wrote (the writer's internal set choice
+                        // flushes its own scratch device).
+                        if let Some(wal) = &e.file_wal {
+                            let mut records = std::mem::take(&mut self.redo_records);
+                            records.push(LogRecord::Commit {
+                                txn: self.token.id.0,
+                            });
+                            let stripe = (self.token.id.0 as usize) % wal.stripes();
+                            for record in records {
+                                wal.append_auto(
+                                    stripe,
+                                    &StampedRecord {
+                                        end: Lsn(0),
+                                        record,
+                                    },
+                                );
+                            }
+                            w.commit(self.redo_bytes);
+                            wal.sync(stripe);
+                        } else {
+                            w.commit(self.redo_bytes);
+                        }
                     }
                 }
             }

@@ -27,8 +27,8 @@ pub mod session;
 pub mod types;
 
 pub use catalog::{Catalog, TableInfo};
-pub use config::{EngineConfig, Personality};
-pub use engine::{AgeRemainingSample, Engine, EngineStats, RecoveryReport, Txn};
+pub use config::{DiskBackend, EngineConfig, Personality};
+pub use engine::{AgeRemainingSample, DiskRecovery, Engine, EngineStats, RecoveryReport, Txn};
 pub use probes::EngineProbes;
 pub use session::{Session, SessionError};
 pub use types::{EngineError, Row, RowKey, TableId, TxnType};

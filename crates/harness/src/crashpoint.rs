@@ -1,0 +1,431 @@
+//! The crash-point matrix: kill the WAL device at every frame boundary
+//! and prove recovery.
+//!
+//! A *crash point* is a frame index: the run proceeds normally until the
+//! file-backed WAL is about to persist that frame, at which point the
+//! device gate fires — the fatal frame is written only as a torn prefix
+//! (a seeded number of bytes) and every later append, fsync, and
+//! checkpoint silently does nothing, exactly as if the process had been
+//! killed mid-`write(2)`. The workload keeps running against the doomed
+//! engine, maintaining a client-side ledger: a commit is *acknowledged*
+//! only if `commit()` returned success **and** the device was still alive
+//! when it did — anything later is in-doubt, which is precisely the
+//! guarantee a client of a real database gets.
+//!
+//! A fresh engine then reopens the directory and recovery must be:
+//!
+//! * **complete** — every acknowledged commit is in the recovered state;
+//! * **sound** — the recovered state equals the bootstrap checkpoint plus
+//!   a whole-transaction subset of the attempted commits (balances
+//!   conserve, no partial transaction, nothing invented);
+//! * **idempotent** — recovering the same directory twice (two full
+//!   boot/restore/replay/checkpoint cycles) yields identical state.
+//!
+//! [`run_crash_matrix`] sweeps crash points systematically over the whole
+//! frame range (first burst frame and last frame always included), for
+//! every combination of seed × personality × parallel-log count.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tpd_common::clock::VirtualClock;
+use tpd_common::dist::ServiceTime;
+use tpd_common::DiskConfig;
+use tpd_engine::{Engine, EngineConfig, Personality, Policy, TableId};
+
+/// Crash-matrix parameters.
+#[derive(Debug, Clone)]
+pub struct CrashMatrixConfig {
+    /// Seeds: each varies the crash-point jitter and the torn-tail length.
+    pub seeds: Vec<u64>,
+    /// Crash points per (seed, personality, writers) combination, spread
+    /// over the full frame range.
+    pub points_per_seed: usize,
+    /// Personalities under test.
+    pub personalities: Vec<Personality>,
+    /// Parallel-log counts under test (MySQL `log_writers`, Postgres WAL
+    /// sets).
+    pub log_writers: Vec<usize>,
+    /// Transfer transactions per case.
+    pub txns: u64,
+    /// Root directory for per-case segment directories. Failing cases
+    /// keep their directory as the replay artifact.
+    pub data_root: PathBuf,
+}
+
+impl Default for CrashMatrixConfig {
+    fn default() -> Self {
+        CrashMatrixConfig {
+            seeds: (0..8).collect(),
+            points_per_seed: 16,
+            personalities: vec![Personality::Mysql, Personality::Postgres],
+            log_writers: vec![1, 2],
+            txns: 24,
+            data_root: std::env::temp_dir().join("tpd-crashmatrix"),
+        }
+    }
+}
+
+/// One cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct CrashCase {
+    /// Personality the case ran under.
+    pub personality: Personality,
+    /// Parallel-log count.
+    pub writers: usize,
+    /// Seed (jitter + torn-tail length).
+    pub seed: u64,
+    /// The frame index the device died on.
+    pub point: u64,
+    /// Torn-prefix length fed to the gate (modulo the fatal frame's size).
+    pub torn_bytes: u64,
+    /// Commits acknowledged before the device died.
+    pub acked: u64,
+    /// Committed transactions recovery found.
+    pub recovered: u64,
+    /// `None` = the case passed; otherwise which contract broke and how.
+    pub error: Option<String>,
+}
+
+/// What the matrix found.
+#[derive(Debug, Clone)]
+pub struct CrashMatrixReport {
+    /// Every case, in execution order.
+    pub cases: Vec<CrashCase>,
+}
+
+impl CrashMatrixReport {
+    /// Whether every case passed.
+    pub fn ok(&self) -> bool {
+        self.cases.iter().all(|c| c.error.is_none())
+    }
+
+    /// Human-readable failure list (empty string when everything passed).
+    pub fn render_failures(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for c in self.cases.iter().filter(|c| c.error.is_some()) {
+            let _ = writeln!(
+                out,
+                "{:?}/w{} seed {} point {} torn {}: {}",
+                c.personality,
+                c.writers,
+                c.seed,
+                c.point,
+                c.torn_bytes,
+                c.error.as_deref().unwrap_or(""),
+            );
+        }
+        out
+    }
+}
+
+fn engine_config(personality: Personality, writers: usize, seed: u64, dir: &Path) -> EngineConfig {
+    let quick = DiskConfig {
+        service: ServiceTime::Fixed(5_000),
+        ns_per_byte: 0.0,
+        seed: 31,
+    };
+    let mut cfg = match personality {
+        Personality::Mysql => EngineConfig::mysql(Policy::Fcfs)
+            .with_log_writers(writers)
+            .with_manual_wal_flush(),
+        Personality::Postgres => EngineConfig::postgres().with_parallel_logging(writers),
+    };
+    cfg.data_disk = quick;
+    cfg.seed = seed;
+    cfg.with_file_backend(dir.to_path_buf())
+}
+
+/// What one doomed (or probe) run produced.
+struct CaseRun {
+    /// Transfer serials whose commit acknowledgement implies durability.
+    acked: BTreeSet<u64>,
+    /// Frame count after bootstrap (first burst frame index).
+    frames_base: u64,
+    /// Frame count after the burst (probe runs only; the gate freezes it).
+    frames_end: u64,
+}
+
+/// Boot an engine on `dir`, install the transfer schema, checkpoint, then
+/// run `txns` transfers — optionally arming the crash gate first.
+fn run_case(
+    personality: Personality,
+    writers: usize,
+    seed: u64,
+    txns: u64,
+    dir: &Path,
+    crash: Option<(u64, u64)>,
+) -> CaseRun {
+    let engine = Engine::new(engine_config(personality, writers, seed, dir));
+    engine.recover_from_disk();
+    let accounts = engine.catalog().create_table("accounts", 16);
+    let journal = engine.catalog().create_table("journal", 16);
+    {
+        let mut setup = engine.begin(0);
+        setup.insert(accounts, vec![1000]).expect("a");
+        setup.insert(accounts, vec![1000]).expect("b");
+        setup.commit().expect("setup");
+    }
+    engine.checkpoint().expect("bootstrap checkpoint");
+    let wal = Arc::clone(engine.file_wal().expect("file backend"));
+    let frames_base = wal.frames_written();
+    if let Some((point, torn)) = crash {
+        wal.set_crash_after(point, torn);
+    }
+    let mut acked = BTreeSet::new();
+    for i in 0..txns {
+        let mut txn = engine.begin(0);
+        txn.update(accounts, 0, |r| r[0] -= 1).expect("debit");
+        txn.update(accounts, 1, |r| r[0] += 1).expect("credit");
+        txn.insert(journal, vec![i as i64]).expect("journal");
+        let ok = txn.commit().is_ok();
+        // The ledger rule: an acknowledgement only counts if the device
+        // was still alive when commit() returned.
+        if ok && !wal.crashed() {
+            acked.insert(i);
+        }
+    }
+    CaseRun {
+        acked,
+        frames_base,
+        frames_end: wal.frames_written(),
+    }
+}
+
+/// One table's dump: name, next-key hint, and every row.
+type TableDump = (String, u64, Vec<(u64, Vec<i64>)>);
+
+/// Observed post-recovery state: the journal's transfer serials plus the
+/// two balances, and the full table dump for the idempotence comparison.
+struct Recovered {
+    journal: BTreeSet<u64>,
+    balances: (i64, i64),
+    dump: Vec<TableDump>,
+    committed: u64,
+}
+
+fn recover_once(
+    personality: Personality,
+    writers: usize,
+    seed: u64,
+    dir: &Path,
+) -> Result<Recovered, String> {
+    let engine = Engine::new(engine_config(personality, writers, seed, dir));
+    let rec = engine
+        .recover_from_disk()
+        .ok_or("recover_from_disk returned None on the file backend")?;
+    if engine.catalog().len() < 2 {
+        return Err(format!(
+            "checkpoint restored {} tables, expected accounts + journal",
+            engine.catalog().len()
+        ));
+    }
+    let accounts = engine.catalog().table(TableId(0));
+    let journal = engine.catalog().table(TableId(1));
+    let a = accounts.get(0).ok_or("account row 0 missing")?[0];
+    let b = accounts.get(1).ok_or("account row 1 missing")?[0];
+    let journal_rows: BTreeSet<u64> = journal
+        .range_keys(0, u64::MAX, usize::MAX)
+        .into_iter()
+        .filter_map(|k| journal.get(k).map(|row| row[0] as u64))
+        .collect();
+    let dump = (0..engine.catalog().len())
+        .map(|i| {
+            let t = engine.catalog().table(TableId(i as u32));
+            let rows = t
+                .range_keys(0, u64::MAX, usize::MAX)
+                .into_iter()
+                .filter_map(|k| t.get(k).map(|row| (k, row)))
+                .collect();
+            (t.name.clone(), t.next_key_hint(), rows)
+        })
+        .collect();
+    Ok(Recovered {
+        journal: journal_rows,
+        balances: (a, b),
+        dump,
+        committed: rec.report.committed_txns,
+    })
+}
+
+/// The three recovery contracts for one crash point.
+fn audit(
+    acked: &BTreeSet<u64>,
+    txns: u64,
+    first: &Recovered,
+    second: &Recovered,
+) -> Result<(), String> {
+    // Complete: every acknowledged commit survived.
+    if let Some(lost) = acked.difference(&first.journal).next() {
+        return Err(format!(
+            "NOT COMPLETE: acked transfer {lost} missing after recovery \
+             (acked {}, recovered {})",
+            acked.len(),
+            first.journal.len()
+        ));
+    }
+    // Sound: whole transactions only, drawn from what was attempted.
+    if let Some(ghost) = first.journal.iter().find(|&&j| j >= txns) {
+        return Err(format!(
+            "NOT SOUND: journal row {ghost} was never attempted"
+        ));
+    }
+    let n = first.journal.len() as i64;
+    if first.balances != (1000 - n, 1000 + n) {
+        return Err(format!(
+            "NOT SOUND: {n} journal rows but balances {:?} (partial transaction recovered)",
+            first.balances
+        ));
+    }
+    // Idempotent: a second full recovery cycle observes identical state.
+    if first.dump != second.dump {
+        return Err(format!(
+            "NOT IDEMPOTENT: second recovery diverged \
+             (first committed {}, second committed {})",
+            first.committed, second.committed
+        ));
+    }
+    Ok(())
+}
+
+/// `n` crash points spread over `[lo, hi]`, endpoints always included,
+/// interior points evenly spaced with deterministic seed jitter.
+fn pick_points(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<u64> {
+    let mut points = BTreeSet::new();
+    points.insert(lo);
+    points.insert(hi);
+    let span = hi.saturating_sub(lo);
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for i in 1..n.saturating_sub(1) {
+        // Even spacing plus a jitter of up to one slot width.
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let slot = span * i as u64 / (n as u64 - 1);
+        let jitter = if span >= n as u64 {
+            x % (span / (n as u64 - 1)).max(1)
+        } else {
+            0
+        };
+        points.insert(lo + (slot + jitter).min(span));
+    }
+    points.into_iter().collect()
+}
+
+/// Run the full matrix: seeds × personalities × parallel-log counts ×
+/// crash points. Enables the virtual clock for the calling thread for the
+/// duration (panics if one is already active). Passing cases clean up
+/// their segment directories; failing cases keep them as artifacts.
+pub fn run_crash_matrix(cfg: &CrashMatrixConfig) -> CrashMatrixReport {
+    assert!(cfg.points_per_seed >= 2, "need at least the two endpoints");
+    assert!(cfg.txns >= 2);
+    let _clock = VirtualClock::enable(1);
+    let mut cases = Vec::new();
+    for &personality in &cfg.personalities {
+        for &writers in &cfg.log_writers {
+            // Probe: one uncrashed run fixes the frame range. The workload
+            // is deterministic, so the range holds for every seed.
+            let probe_dir = cfg
+                .data_root
+                .join(format!("probe-{personality:?}-w{writers}"));
+            std::fs::remove_dir_all(&probe_dir).ok();
+            let probe = run_case(personality, writers, 0, cfg.txns, &probe_dir, None);
+            std::fs::remove_dir_all(&probe_dir).ok();
+            assert!(
+                probe.frames_end > probe.frames_base,
+                "burst wrote no frames"
+            );
+            for &seed in &cfg.seeds {
+                let points = pick_points(
+                    cfg.points_per_seed,
+                    probe.frames_base,
+                    probe.frames_end - 1,
+                    seed,
+                );
+                for point in points {
+                    let torn_bytes = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(point) % 64;
+                    let dir = cfg
+                        .data_root
+                        .join(format!("case-{personality:?}-w{writers}-s{seed}-p{point}"));
+                    std::fs::remove_dir_all(&dir).ok();
+                    let run = run_case(
+                        personality,
+                        writers,
+                        seed,
+                        cfg.txns,
+                        &dir,
+                        Some((point, torn_bytes)),
+                    );
+                    let outcome =
+                        recover_once(personality, writers, seed, &dir).and_then(|first| {
+                            let second = recover_once(personality, writers, seed, &dir)?;
+                            audit(&run.acked, cfg.txns, &first, &second).map(|()| first)
+                        });
+                    let (recovered, error) = match outcome {
+                        Ok(first) => (first.journal.len() as u64, None),
+                        Err(e) => (0, Some(e)),
+                    };
+                    if error.is_none() {
+                        std::fs::remove_dir_all(&dir).ok();
+                    }
+                    cases.push(CrashCase {
+                        personality,
+                        writers,
+                        seed,
+                        point,
+                        torn_bytes,
+                        acked: run.acked.len() as u64,
+                        recovered,
+                        error,
+                    });
+                }
+            }
+        }
+    }
+    CrashMatrixReport { cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_points_includes_endpoints_and_stays_in_range() {
+        for seed in 0..10 {
+            let pts = pick_points(16, 7, 203, seed);
+            assert!(pts.contains(&7) && pts.contains(&203));
+            assert!(pts.iter().all(|&p| (7..=203).contains(&p)));
+            assert!(pts.len() >= 3, "jitter collapsed the spread: {pts:?}");
+            assert_eq!(pts, pick_points(16, 7, 203, seed), "deterministic");
+        }
+    }
+
+    #[test]
+    fn pick_points_handles_tiny_ranges() {
+        assert_eq!(pick_points(16, 5, 5, 1), vec![5]);
+        assert_eq!(pick_points(2, 3, 4, 9), vec![3, 4]);
+    }
+
+    #[test]
+    fn small_matrix_passes_and_kills_mid_burst() {
+        let cfg = CrashMatrixConfig {
+            seeds: vec![1, 2],
+            points_per_seed: 5,
+            personalities: vec![Personality::Mysql],
+            log_writers: vec![1],
+            txns: 10,
+            data_root: std::env::temp_dir()
+                .join(format!("tpd-crashmatrix-unit-{}", std::process::id())),
+        };
+        let report = run_crash_matrix(&cfg);
+        assert!(report.ok(), "{}", report.render_failures());
+        assert_eq!(report.cases.len(), 2 * 5);
+        // The gate actually interrupts the burst somewhere: early points
+        // must lose un-acked commits, the last point loses none.
+        assert!(report.cases.iter().any(|c| c.acked < 10));
+        assert!(report.cases.iter().any(|c| c.acked > 0));
+        std::fs::remove_dir_all(&cfg.data_root).ok();
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`torture`] — the seeded driver: statement-level interleaving across
 //!   logical sessions, periodic [`simulate_crash`] / [`recover_from`]
 //!   cycles, durability auditing of every acknowledged commit, and fault
-//!   injection (device stalls/spikes, torn WAL tails, commit-ack bugs).
+//!   injection (device stalls/spikes, torn WAL tails, commit-ack bugs);
+//! * [`crashpoint`] — the file-backend crash-point matrix: kill the WAL
+//!   device at every frame boundary and prove recovery is complete,
+//!   sound, and idempotent.
 //!
 //! The driver deliberately supports two *seeded bugs* —
 //! `skip_locking` and `ack_before_flush` — so the harness can prove its
@@ -27,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod crashpoint;
 pub mod history;
 pub mod torture;
 
 pub use checker::{check, minimized_trace, CheckerReport, CheckerViolation, EdgeKind, EdgeWitness};
+pub use crashpoint::{run_crash_matrix, CrashCase, CrashMatrixConfig, CrashMatrixReport};
 pub use history::{digest, encode_value, OpKind, OpRecord, INIT_TXN};
 pub use torture::{run_torture, TortureConfig, TortureReport, TortureViolation};

@@ -21,6 +21,7 @@
 //! verdict — a failing seed is a replayable artifact.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,7 +31,7 @@ use rand::{Rng, SeedableRng};
 use tpd_common::clock::VirtualClock;
 use tpd_common::dist::ServiceTime;
 use tpd_common::FaultPlan;
-use tpd_engine::{Engine, EngineConfig, Policy, TableId, Txn};
+use tpd_engine::{DiskBackend, Engine, EngineConfig, Policy, TableId, Txn};
 use tpd_metrics::MetricsSnapshot;
 use tpd_wal::{AppendMode, FlushPolicy, WalFaultPlan};
 use tpd_workloads::{install_torture_schema, TortureMix, TortureOp, TortureTxn};
@@ -75,6 +76,14 @@ pub struct TortureConfig {
     pub wal_append: AppendMode,
     /// Parallel redo logs (lockfree append only; MySQL personality).
     pub log_writers: usize,
+    /// WAL device: [`DiskBackend::Sim`] (default; crashes are simulated
+    /// via [`Engine::simulate_crash`]) or [`DiskBackend::File`] (real
+    /// segment files under `data_dir`; a crash abandons the engine and
+    /// recovery re-reads the segments, exactly like a process restart).
+    pub disk_backend: DiskBackend,
+    /// Segment directory for [`DiskBackend::File`]. Must start empty: the
+    /// driver's audit model assumes the initial state is all zeros.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for TortureConfig {
@@ -94,6 +103,8 @@ impl Default for TortureConfig {
             statement_rtt: None,
             wal_append: AppendMode::Lockfree,
             log_writers: 1,
+            disk_backend: DiskBackend::Sim,
+            data_dir: None,
         }
     }
 }
@@ -276,6 +287,13 @@ fn build_engine(cfg: &TortureConfig) -> (Arc<Engine>, Vec<TableId>) {
         torn_tail: cfg.faults,
         ack_before_flush: cfg.ack_before_flush,
     });
+    if cfg.disk_backend == DiskBackend::File {
+        let dir = cfg
+            .data_dir
+            .clone()
+            .expect("disk_backend = file requires a data_dir");
+        ec = ec.with_file_backend(dir);
+    }
     let engine = Engine::new(ec);
     let tables = install_torture_schema(&engine, &cfg.mix);
     (engine, tables)
@@ -284,6 +302,12 @@ fn build_engine(cfg: &TortureConfig) -> (Arc<Engine>, Vec<TableId>) {
 impl<'a> Driver<'a> {
     fn new(cfg: &'a TortureConfig) -> Self {
         let (engine, tables) = build_engine(cfg);
+        // File mode: consume whatever the (expected-empty) directory held,
+        // then write the bootstrap checkpoint — schema operations are not
+        // logged, so a reopen can only recreate tables from a checkpoint.
+        if cfg.disk_backend == DiskBackend::File {
+            engine.recover_from_disk();
+        }
         let mut checkpoint = BTreeMap::new();
         for t in 0..cfg.mix.tables {
             for k in 0..cfg.mix.keyspace {
@@ -413,7 +437,29 @@ impl<'a> Driver<'a> {
                 self.aborts += 1;
             }
         }
-        let snapshot = self.engine.simulate_crash();
+        // The durable log prefix and the recovered engine. Sim mode
+        // snapshots the redo buffer at the crash point and replays it into
+        // a fresh engine seeded with the epoch-start checkpoint; file mode
+        // abandons the old engine outright and re-reads the segment files,
+        // exactly as a restarted process would (the on-disk checkpoint
+        // stands in for the driver-side one).
+        let (engine, tables, snapshot) = if self.cfg.disk_backend == DiskBackend::File {
+            let (engine, tables) = build_engine(self.cfg);
+            let rec = engine
+                .recover_from_disk()
+                .expect("file backend recovers on reopen");
+            (engine, tables, rec.records)
+        } else {
+            let snapshot = self.engine.simulate_crash();
+            // Recover into a fresh engine seeded with the epoch-start
+            // checkpoint (the log only covers this epoch).
+            let (engine, tables) = build_engine(self.cfg);
+            for (&(t, k), &v) in &self.checkpoint {
+                engine.catalog().table(tables[t]).put(k, vec![v]);
+            }
+            engine.recover_from(&snapshot);
+            (engine, tables, snapshot)
+        };
         let recovered_ids: HashSet<u64> = tpd_wal::committed_txns(&snapshot);
 
         // Durability audit: every acknowledged-durable commit must be in
@@ -451,13 +497,6 @@ impl<'a> Driver<'a> {
             }
         }
 
-        // Recover into a fresh engine seeded with the epoch-start
-        // checkpoint (the log only covers this epoch).
-        let (engine, tables) = build_engine(self.cfg);
-        for (&(t, k), &v) in &self.checkpoint {
-            engine.catalog().table(tables[t]).put(k, vec![v]);
-        }
-        engine.recover_from(&snapshot);
         for (&(t, k), &v) in &expected {
             let found = engine.catalog().table(tables[t]).get(k).map(|row| row[0]);
             if found != Some(v) {

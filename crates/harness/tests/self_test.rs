@@ -2,11 +2,29 @@
 //! correct engine, and *loud* on the two seeded bugs.
 
 use tpd_common::dist::ServiceTime;
-use tpd_harness::{run_torture, CheckerViolation, TortureConfig, TortureReport, TortureViolation};
+use tpd_engine::DiskBackend;
+use tpd_harness::{
+    run_crash_matrix, run_torture, CheckerViolation, CrashMatrixConfig, TortureConfig,
+    TortureReport, TortureViolation,
+};
 use tpd_wal::FlushPolicy;
 
 fn run(cfg: &TortureConfig) -> TortureReport {
     run_torture(cfg)
+}
+
+/// A fresh segment directory for one file-backend run.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tpd-torture-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
 }
 
 #[test]
@@ -128,6 +146,37 @@ fn clean_engine_passes_with_faults_and_crashes() {
 }
 
 #[test]
+fn file_backend_torture_passes_with_crashes() {
+    // Same audits as sim mode, but every "crash" abandons the engine and
+    // recovery really re-reads the segment files. Both flush policies: the
+    // lazy arm proves unflushed commits neither survive nor trip the audit.
+    for (seed, policy, flush_every) in [
+        (11u64, FlushPolicy::Eager, 0u64),
+        (12, FlushPolicy::LazyWrite, 9),
+    ] {
+        let dir = scratch_dir("self");
+        let report = run(&TortureConfig {
+            seed,
+            txns: 200,
+            crash_every: 50,
+            flush_every,
+            flush_policy: policy,
+            disk_backend: DiskBackend::File,
+            data_dir: Some(dir.clone()),
+            ..Default::default()
+        });
+        assert!(
+            report.ok(),
+            "file backend, {policy:?}:\n{}",
+            report.render_failures()
+        );
+        assert!(report.crashes >= 2, "crashes exercised: {}", report.crashes);
+        assert!(report.commits > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
 fn lazy_flush_losses_are_not_violations() {
     // Lazy policies lose unflushed commits at a crash by design; only
     // commits covered by a flush claim durability, so the audit stays
@@ -237,6 +286,27 @@ fn checker_cycle_reports_offending_transactions() {
             report.render_failures()
         );
     }
+}
+
+/// Long crash-point soak: the full recovery matrix at several times the
+/// CI density — more seeds, denser kill points, longer bursts. Run with
+/// `TPD_SOAK=1 cargo test -p tpd-harness -- --ignored`.
+#[test]
+#[ignore = "long soak; enable with TPD_SOAK=1"]
+fn crash_matrix_soak() {
+    if std::env::var("TPD_SOAK").as_deref() != Ok("1") {
+        eprintln!("crash_matrix_soak: set TPD_SOAK=1 to run");
+        return;
+    }
+    let cfg = CrashMatrixConfig {
+        seeds: (0..16).collect(),
+        points_per_seed: 32,
+        txns: 40,
+        data_root: scratch_dir("crashmatrix-soak"),
+        ..Default::default()
+    };
+    let report = run_crash_matrix(&cfg);
+    assert!(report.ok(), "{}", report.render_failures());
 }
 
 /// Long soak: many seeds, faults on, lazy flush, frequent crashes. Run

@@ -38,7 +38,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use tpd_common::clock::now_nanos;
-use tpd_common::disk::SimDisk;
+use tpd_common::disk::DiskDevice;
 use tpd_metrics::{Histogram, HistogramSnapshot};
 use tpd_profiler::{FuncId, Profiler};
 
@@ -82,6 +82,13 @@ pub struct RedoLogConfig {
     /// false, a committer that loses the baton race spins for the baton
     /// and flushes itself (still correct, no batching).
     pub group_commit: bool,
+    /// File-backed log sink (`disk_backend = file`). When set, the write
+    /// path persists typed records as CRC-framed segments through the
+    /// [`crate::FileWal`] instead of byte-count device writes, and the
+    /// commit-path fsync routes through [`crate::FileWal::sync`] so the
+    /// crash-injection gate applies. The stripe devices should be the
+    /// wal's own [`tpd_common::FileDisk`]s so stats stay on one surface.
+    pub sink: Option<Arc<crate::FileWal>>,
 }
 
 impl Default for RedoLogConfig {
@@ -94,6 +101,7 @@ impl Default for RedoLogConfig {
             append: AppendMode::Lockfree,
             writers: 1,
             group_commit: true,
+            sink: None,
         }
     }
 }
@@ -134,13 +142,22 @@ struct BufferState {
     /// Typed records retained for crash/recovery simulation (all appended
     /// records; durability is judged against `flushed_lsn` at crash time).
     records: Vec<StampedRecord>,
+    /// How many of `records` the file sink has framed out (file backend
+    /// only; the record's index doubles as its global seq here, since the
+    /// mutex path serializes every append).
+    persisted: usize,
 }
 
 /// One parallel log: its device plus the lock-free stripe state.
 #[derive(Debug)]
 struct StripeLog {
-    disk: Arc<SimDisk>,
+    disk: Arc<dyn DiskDevice>,
     stripe: Stripe,
+    /// This log's stripe index (the file sink's chain id).
+    idx: usize,
+    /// Retained records already framed out to the file sink. Only read or
+    /// written under the stripe's flush baton.
+    persisted: AtomicU64,
 }
 
 /// The append-path implementation behind a [`RedoLog`].
@@ -148,7 +165,7 @@ struct StripeLog {
 enum Backend {
     /// Mutex-serialized buffer (paper-faithful pathology).
     Mutex {
-        disk: Arc<SimDisk>,
+        disk: Arc<dyn DiskDevice>,
         state: Mutex<BufferState>,
         /// Serializes device write+fsync so committers group-commit
         /// behind the current flusher.
@@ -201,7 +218,7 @@ impl RedoLog {
     /// flusher unless `manual_flush` is set.
     pub fn new(
         config: RedoLogConfig,
-        disk: Arc<SimDisk>,
+        disk: Arc<dyn DiskDevice>,
         probes: Option<MysqlWalProbes>,
     ) -> Arc<Self> {
         Self::with_disks(config, vec![disk], probes)
@@ -212,7 +229,7 @@ impl RedoLog {
     /// rejected); the lockfree path requires `disks.len() == writers`.
     pub fn with_disks(
         config: RedoLogConfig,
-        disks: Vec<Arc<SimDisk>>,
+        disks: Vec<Arc<dyn DiskDevice>>,
         probes: Option<MysqlWalProbes>,
     ) -> Arc<Self> {
         let writers = config.writers.max(1);
@@ -235,9 +252,12 @@ impl RedoLog {
                 Backend::Lockfree {
                     stripes: disks
                         .into_iter()
-                        .map(|disk| StripeLog {
+                        .enumerate()
+                        .map(|(idx, disk)| StripeLog {
                             disk,
                             stripe: Stripe::new(),
+                            idx,
+                            persisted: AtomicU64::new(0),
                         })
                         .collect(),
                 }
@@ -541,11 +561,50 @@ impl RedoLog {
         waited
     }
 
+    /// Under the state lock: take the records the file sink has not framed
+    /// out yet, paired with their index — the mutex path serializes every
+    /// append, so a record's position is its global seq. Empty in sim mode.
+    fn take_unpersisted(&self, st: &mut BufferState) -> Vec<(u64, StampedRecord)> {
+        if self.config.sink.is_none() {
+            return Vec::new();
+        }
+        let from = st.persisted;
+        st.persisted = st.records.len();
+        st.records[from..]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ((from + i) as u64, r.clone()))
+            .collect()
+    }
+
+    /// Device write for the mutex path: byte-count in sim mode, CRC frames
+    /// through the sink in file mode (zero fill would corrupt the stream).
+    fn write_mutex_bytes(
+        &self,
+        disk: &Arc<dyn DiskDevice>,
+        to_write: u64,
+        frames: &[(u64, StampedRecord)],
+    ) {
+        match &self.config.sink {
+            Some(sink) => {
+                for (seq, r) in frames {
+                    sink.append(0, *seq, r);
+                }
+            }
+            None => {
+                if to_write > 0 {
+                    disk.write(to_write);
+                }
+            }
+        }
+        self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
+    }
+
     /// Write buffered bytes up to at least `lsn` into the device cache.
     fn ensure_written(&self, lsn: Lsn) {
         match &self.backend {
             Backend::Mutex { state, disk, .. } => loop {
-                let to_write = {
+                let (to_write, frames) = {
                     let mut st = state.lock();
                     if st.written_lsn >= lsn.0 {
                         return;
@@ -553,11 +612,10 @@ impl RedoLog {
                     let n = st.unwritten;
                     st.written_lsn = st.next_lsn;
                     st.unwritten = 0;
-                    n
+                    (n, self.take_unpersisted(&mut st))
                 };
-                if to_write > 0 {
-                    disk.write(to_write);
-                    self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
+                if to_write > 0 || !frames.is_empty() {
+                    self.write_mutex_bytes(disk, to_write, &frames);
                 }
                 // Loop re-checks in case new bytes raced in below our lsn —
                 // cannot happen since lsn was assigned before, but stay safe.
@@ -701,16 +759,16 @@ impl RedoLog {
         let Backend::Mutex { disk, state, .. } = &self.backend else {
             unreachable!("mutex flush on lockfree backend");
         };
-        let (to_write, target_lsn) = {
+        let (to_write, target_lsn, frames) = {
             let mut st = state.lock();
             let n = st.unwritten;
             st.written_lsn = st.next_lsn;
             st.unwritten = 0;
-            (n, st.next_lsn)
+            let frames = self.take_unpersisted(&mut st);
+            (n, st.next_lsn, frames)
         };
-        if to_write > 0 {
-            disk.write(to_write);
-            self.bytes_written.fetch_add(to_write, Ordering::Relaxed);
+        if to_write > 0 || !frames.is_empty() {
+            self.write_mutex_bytes(disk, to_write, &frames);
         }
         {
             let st = state.lock();
@@ -719,9 +777,16 @@ impl RedoLog {
             }
         }
         self.batch_hist.record(to_write);
-        // The fsync: the paper's `fil_flush`.
+        // The fsync: the paper's `fil_flush` (crash-gated in file mode).
         let t0 = now_nanos();
-        disk.flush(0);
+        match &self.config.sink {
+            Some(sink) => {
+                sink.sync(0);
+            }
+            None => {
+                disk.flush(0);
+            }
+        }
         let dur = now_nanos() - t0;
         if let Some(p) = &self.probes {
             p.profiler.add_event(p.fil_flush, t0, dur);
@@ -746,7 +811,23 @@ impl RedoLog {
         let target = s.stripe.published();
         let written = s.stripe.written();
         if target > written {
-            s.disk.write(target - written);
+            if let Some(sink) = &self.config.sink {
+                // File backend: frame the newly-drained records out as
+                // CRC-framed segments (they land on this stripe's own
+                // FileDisk, so byte accounting stays on one surface). The
+                // byte-count write below would interleave zero fill with
+                // the frame stream, so it is skipped.
+                let from = s.persisted.load(Ordering::Relaxed) as usize;
+                let upto = s.stripe.with_records(|records| {
+                    for (seq, r) in &records[from..] {
+                        sink.append(s.idx, *seq, r);
+                    }
+                    records.len()
+                });
+                s.persisted.store(upto as u64, Ordering::Relaxed);
+            } else {
+                s.disk.write(target - written);
+            }
             self.bytes_written
                 .fetch_add(target - written, Ordering::Relaxed);
             s.stripe.set_written(target);
@@ -767,9 +848,17 @@ impl RedoLog {
             return;
         }
         self.batch_hist.record(target - s.stripe.flushed());
-        // The fsync: the paper's `fil_flush`.
+        // The fsync: the paper's `fil_flush`. The file sink's barrier is
+        // the same device flush, but gated so an injected crash drops it.
         let t0 = now_nanos();
-        s.disk.flush(0);
+        match &self.config.sink {
+            Some(sink) => {
+                sink.sync(s.idx);
+            }
+            None => {
+                s.disk.flush(0);
+            }
+        }
         let dur = now_nanos() - t0;
         if let Some(p) = &self.probes {
             p.profiler.add_event(p.fil_flush, t0, dur);
@@ -862,9 +951,9 @@ impl Drop for RedoLog {
 mod tests {
     use super::*;
     use tpd_common::dist::ServiceTime;
-    use tpd_common::DiskConfig;
+    use tpd_common::{DiskConfig, SimDisk};
 
-    fn fast_disk() -> Arc<SimDisk> {
+    fn fast_disk() -> Arc<dyn DiskDevice> {
         Arc::new(SimDisk::new(DiskConfig {
             service: ServiceTime::Fixed(50_000),
             ns_per_byte: 0.0,
@@ -872,7 +961,7 @@ mod tests {
         }))
     }
 
-    fn seeded_disk(seed: u64) -> Arc<SimDisk> {
+    fn seeded_disk(seed: u64) -> Arc<dyn DiskDevice> {
         Arc::new(SimDisk::new(DiskConfig {
             service: ServiceTime::Fixed(50_000),
             ns_per_byte: 0.0,

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use tpd_common::clock::now_nanos;
-use tpd_common::disk::SimDisk;
+use tpd_common::disk::DiskDevice;
 use tpd_metrics::{Histogram, HistogramSnapshot};
 use tpd_profiler::{FuncId, Profiler};
 
@@ -117,7 +117,7 @@ struct SetState {
 
 #[derive(Debug)]
 struct LogSet {
-    disk: Arc<SimDisk>,
+    disk: Arc<dyn DiskDevice>,
     /// The WALWriteLock for this set (mutex append path).
     write_lock: Mutex<()>,
     state: Mutex<SetState>,
@@ -153,7 +153,7 @@ impl WalWriter {
     /// Create a writer with one device per set.
     pub fn new(
         config: WalWriterConfig,
-        disks: Vec<Arc<SimDisk>>,
+        disks: Vec<Arc<dyn DiskDevice>>,
         probes: Option<PgWalProbes>,
     ) -> Self {
         assert!(config.sets >= 1, "need at least one log set");
@@ -456,9 +456,9 @@ impl WalWriter {
 mod tests {
     use super::*;
     use tpd_common::dist::ServiceTime;
-    use tpd_common::DiskConfig;
+    use tpd_common::{DiskConfig, SimDisk};
 
-    fn fast_disk(seed: u64) -> Arc<SimDisk> {
+    fn fast_disk(seed: u64) -> Arc<dyn DiskDevice> {
         Arc::new(SimDisk::new(DiskConfig {
             service: ServiceTime::Fixed(50_000),
             ns_per_byte: 0.0,

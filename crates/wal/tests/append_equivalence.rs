@@ -14,13 +14,13 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use tpd_common::dist::ServiceTime;
-use tpd_common::{DiskConfig, SimDisk};
+use tpd_common::{DiskConfig, DiskDevice, SimDisk};
 use tpd_wal::{
     committed_txns, durable_prefix, AppendMode, FlushPolicy, LogRecord, RedoLog, RedoLogConfig,
     RedoStats, StampedRecord, WalFaultPlan,
 };
 
-fn disk(seed: u64) -> Arc<SimDisk> {
+fn disk(seed: u64) -> Arc<dyn DiskDevice> {
     Arc::new(SimDisk::new(DiskConfig {
         service: ServiceTime::Fixed(500),
         ns_per_byte: 0.0,

@@ -68,6 +68,20 @@ impl Tatp {
         t
     }
 
+    /// Reattach to a schema a previous process installed (file-backend
+    /// restart: the checkpoint recreated the tables, so installing again
+    /// would double them up). Returns `None` if any table is missing.
+    pub fn attach(engine: &Arc<Engine>, subscribers: u64) -> Option<Self> {
+        let c = engine.catalog();
+        Some(Tatp {
+            subscribers,
+            subscriber: c.table_by_name("subscriber")?.id,
+            access_info: c.table_by_name("access_info")?.id,
+            special_facility: c.table_by_name("special_facility")?.id,
+            call_forwarding: c.table_by_name("call_forwarding")?.id,
+        })
+    }
+
     /// Number of installed subscribers.
     pub fn subscribers(&self) -> u64 {
         self.subscribers
