@@ -27,7 +27,11 @@ use tpd_server::{Conn, Outcome, WireTatp};
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT (default: in-process server)] \
 [--conns N] [--rate TPS (0 = max)] [--secs N | --duration N] [--subscribers N] \
 [--slots N] [--admission-cap N] [--deadline-ms N] [--seed N] \
-[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR]";
+[--server-mode threads|evented] [--workers N] [--idle-ms N] [--no-nodelay] \
+[--mux] [--txns N (per conn, --mux only)] \
+[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR]\n\
+--mux drives all connections from one multiplexed thread (use for multi-thousand-conn \
+ramps; --secs becomes a safety deadline, each conn runs --txns transactions)";
 
 #[derive(Default)]
 struct Tally {
@@ -90,13 +94,18 @@ fn drive(
 }
 
 fn main() {
-    let args = match NetArgs::parse_from(std::env::args().skip(1), USAGE) {
+    let mut args = match NetArgs::parse_from(std::env::args().skip(1), USAGE) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
         }
     };
+    // An in-process mux ramp exists to present `--conns` connections;
+    // a connection cap below that would just measure the cap.
+    if args.mux && args.addr.is_none() && args.max_conns < args.conns + 16 {
+        args.max_conns = args.conns + 16;
+    }
 
     // In-process server unless --addr points at a live one. Keeping the
     // handle gives the post-run leaked-lock check; against a remote
@@ -124,6 +133,11 @@ fn main() {
             (addr, WireTatp::fresh_install(args.subscribers))
         }
     };
+
+    if args.mux {
+        run_mux_mode(&args, addr, &wire, in_process);
+        return;
+    }
 
     let interval = if args.rate > 0.0 {
         Some(Duration::from_secs_f64(args.conns as f64 / args.rate))
@@ -231,6 +245,130 @@ fn main() {
         failed = true;
     }
     if metrics.counter("server.shed_total") < total.sheds {
+        eprintln!("loadgen: server shed counter below client-observed sheds");
+        failed = true;
+    }
+    if let Some((engine, mut handle, _)) = in_process {
+        handle.shutdown();
+        if handle.protocol_errors() > 0 {
+            eprintln!(
+                "loadgen: server counted {} protocol errors",
+                handle.protocol_errors()
+            );
+            failed = true;
+        }
+        let (granted, waiting) = engine.locks().outstanding();
+        println!("leaked locks: granted={granted} waiting={waiting}");
+        if (granted, waiting) != (0, 0) {
+            eprintln!("loadgen: lock-queue entries leaked");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The `--mux` path: every connection multiplexed onto one client
+/// thread via the poller — the only way a single machine can present
+/// thousands of concurrent connections without thousands of stacks.
+fn run_mux_mode(
+    args: &NetArgs,
+    addr: std::net::SocketAddr,
+    wire: &WireTatp,
+    in_process: Option<(
+        std::sync::Arc<tpd_engine::Engine>,
+        tpd_server::ServerHandle,
+        WireTatp,
+    )>,
+) {
+    // Client + server fd per conn when the server is in-process.
+    let needed = args.conns as u64 * 2 + 256;
+    match tpd_common::poll::raise_nofile_limit(needed) {
+        Ok(limit) if limit < needed => eprintln!(
+            "loadgen: nofile limit {limit} < {needed}; expect EMFILE (raise with ulimit -n)"
+        ),
+        Err(e) => eprintln!("loadgen: could not raise nofile limit: {e}"),
+        Ok(_) => {}
+    }
+
+    println!(
+        "loadgen: {} mux conns against {addr}, {} txns each",
+        args.conns, args.txns
+    );
+    let started = Instant::now();
+    let report = tpd_server::run_mux(
+        addr,
+        wire,
+        &tpd_server::MuxConfig {
+            conns: args.conns,
+            txns_per_conn: args.txns,
+            seed: args.seed,
+            nodelay: args.nodelay,
+            deadline: if args.secs > 0.0 {
+                Some(Duration::from_secs_f64(args.secs))
+            } else {
+                None
+            },
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("loadgen: mux run failed: {e}");
+        std::process::exit(1);
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let (p50, p99, p999) = report.latency_percentiles();
+    println!(
+        "issued={} commits={} aborts={} sheds(client)={} protocol_errors={} completed_conns={}/{}",
+        report.issued,
+        report.commits,
+        report.aborts,
+        report.sheds,
+        report.protocol_errors,
+        report.completed_conns,
+        args.conns
+    );
+    println!(
+        "throughput={:.0} commit/s  latency ms: p50={:.3} p99={:.3} p999={:.3}",
+        report.commits as f64 / elapsed,
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        p999 as f64 / 1e6,
+    );
+
+    let metrics = Conn::connect(addr)
+        .and_then(|mut c| {
+            c.metrics()
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: METRICS fetch failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "server: commits={} aborts={} shed_total={} conns_open={} reactor_wakeups={} accept_errs={}",
+        metrics.counter("txn.commits"),
+        metrics.counter("txn.aborts"),
+        metrics.counter("server.shed_total"),
+        metrics.counter("server.conns_open"),
+        metrics.counter("server.reactor_wakeups"),
+        metrics.counter("server.accept_err_total"),
+    );
+
+    let mut failed = report.protocol_errors > 0;
+    if report.commits + report.aborts + report.sheds != report.issued {
+        eprintln!("loadgen: accounting mismatch (issued != commits+aborts+sheds)");
+        failed = true;
+    }
+    if report.completed_conns < args.conns as u64 {
+        eprintln!(
+            "loadgen: {} connections did not finish their script before the deadline",
+            args.conns as u64 - report.completed_conns
+        );
+        failed = true;
+    }
+    if metrics.counter("server.shed_total") < report.sheds {
         eprintln!("loadgen: server shed counter below client-observed sheds");
         failed = true;
     }

@@ -11,6 +11,8 @@ use tpd_bench::netbench::{start_tatp_server, NetArgs};
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--subscribers N] [--slots N] \
 [--admission-cap N] [--deadline-ms N] [--max-conns N] [--secs N (0 = forever)] [--seed N] \
+[--server-mode threads|evented] [--workers N (evented; 0 = one per slot)] \
+[--idle-ms N] [--no-nodelay] \
 [--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR]";
 
 fn main() {
@@ -31,8 +33,9 @@ fn main() {
     };
     let adm = args.admission();
     println!(
-        "listening on {} (subscribers={}, tables={:?}, slots={}, queue_cap={}, deadline={:?}, max_conns={})",
+        "listening on {} (mode={}, subscribers={}, tables={:?}, slots={}, queue_cap={}, deadline={:?}, max_conns={})",
         handle.local_addr(),
+        args.mode,
         args.subscribers,
         [
             wire.subscriber,

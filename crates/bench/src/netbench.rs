@@ -9,7 +9,7 @@ use std::time::Duration;
 use tpd_common::dist::ServiceTime;
 use tpd_common::DiskConfig;
 use tpd_engine::{AppendMode, DiskBackend, Engine, EngineConfig, Personality, Policy};
-use tpd_server::{spawn, AdmissionConfig, ServerConfig, ServerHandle, WireTatp};
+use tpd_server::{spawn, AdmissionConfig, ServerConfig, ServerHandle, ServerMode, WireTatp};
 use tpd_workloads::Tatp;
 
 /// Flags shared by `serve` and `loadgen`. Each binary uses the subset
@@ -48,6 +48,22 @@ pub struct NetArgs {
     pub disk_backend: DiskBackend,
     /// Segment directory for `--disk-backend file` (`--data-dir DIR`).
     pub data_dir: Option<PathBuf>,
+    /// Concurrency model (`--server-mode threads|evented`).
+    pub mode: ServerMode,
+    /// Evented worker threads (`--workers`; 0 = one per admission slot).
+    pub workers: usize,
+    /// Per-connection idle deadline override (`--idle-ms`; server
+    /// default when absent).
+    pub idle: Option<Duration>,
+    /// `TCP_NODELAY` on server sockets; `--no-nodelay` clears it to
+    /// measure the Nagle/delayed-ACK tail.
+    pub nodelay: bool,
+    /// `loadgen`: drive all connections from one multiplexed thread
+    /// (`--mux`) instead of one OS thread per connection. Required for
+    /// multi-thousand-connection ramps.
+    pub mux: bool,
+    /// `loadgen --mux`: scripted transactions per connection (`--txns`).
+    pub txns: u64,
 }
 
 impl Default for NetArgs {
@@ -67,6 +83,12 @@ impl Default for NetArgs {
             log_writers: 1,
             disk_backend: DiskBackend::Sim,
             data_dir: None,
+            mode: ServerMode::Threads,
+            workers: 0,
+            idle: None,
+            nodelay: true,
+            mux: false,
+            txns: 50,
         }
     }
 }
@@ -135,6 +157,23 @@ impl NetArgs {
                         .map_err(|e| format!("--disk-backend: {e}"))?
                 }
                 "--data-dir" => args.data_dir = Some(PathBuf::from(raw("--data-dir")?)),
+                "--server-mode" => {
+                    args.mode = raw("--server-mode")?
+                        .parse::<ServerMode>()
+                        .map_err(|e| format!("--server-mode: {e}"))?
+                }
+                "--workers" => args.workers = num(&raw("--workers")?, "--workers")? as usize,
+                "--idle-ms" => {
+                    args.idle = Some(Duration::from_millis(num(&raw("--idle-ms")?, "--idle-ms")?))
+                }
+                "--no-nodelay" => args.nodelay = false,
+                "--mux" => args.mux = true,
+                "--txns" => {
+                    args.txns = num(&raw("--txns")?, "--txns")?;
+                    if args.txns == 0 {
+                        return Err("--txns must be >= 1".to_string());
+                    }
+                }
                 "--help" | "-h" => return Err(usage.to_string()),
                 other => return Err(format!("unknown flag {other}\n{usage}")),
             }
@@ -260,15 +299,19 @@ pub fn start_tatp_server(
         call_forwarding: ids[3].0,
         subscribers: args.subscribers,
     };
-    let handle = spawn(
-        engine.clone(),
-        ServerConfig {
-            addr: addr.unwrap_or("127.0.0.1:0").to_string(),
-            admission: args.admission(),
-            max_conns: args.max_conns,
-            ..ServerConfig::default()
-        },
-    )?;
+    let mut config = ServerConfig {
+        addr: addr.unwrap_or("127.0.0.1:0").to_string(),
+        mode: args.mode,
+        admission: args.admission(),
+        max_conns: args.max_conns,
+        workers: args.workers,
+        nodelay: args.nodelay,
+        ..ServerConfig::default()
+    };
+    if let Some(idle) = args.idle {
+        config.read_timeout = Some(idle);
+    }
+    let handle = spawn(engine.clone(), config)?;
     Ok((engine, handle, wire))
 }
 
@@ -339,6 +382,65 @@ mod tests {
         assert!(parse(&["--rate", "-1"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn evented_flags_apply() {
+        let a = parse(&[]).expect("empty");
+        assert_eq!(a.mode, ServerMode::Threads);
+        assert_eq!(a.workers, 0);
+        assert!(a.idle.is_none());
+        assert!(a.nodelay);
+        assert!(!a.mux);
+        assert_eq!(a.txns, 50);
+
+        let a = parse(&[
+            "--server-mode",
+            "evented",
+            "--workers",
+            "8",
+            "--idle-ms",
+            "250",
+            "--no-nodelay",
+            "--mux",
+            "--txns",
+            "12",
+        ])
+        .expect("parse");
+        assert_eq!(a.mode, ServerMode::Evented);
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.idle, Some(Duration::from_millis(250)));
+        assert!(!a.nodelay);
+        assert!(a.mux);
+        assert_eq!(a.txns, 12);
+
+        assert!(parse(&["--server-mode", "fibers"]).is_err());
+        assert!(parse(&["--txns", "0"]).is_err());
+    }
+
+    #[test]
+    fn evented_in_process_server_comes_up_and_serves() {
+        let args = parse(&[
+            "--subscribers",
+            "64",
+            "--slots",
+            "8",
+            "--server-mode",
+            "evented",
+        ])
+        .expect("parse");
+        let (engine, mut handle, wire) = start_tatp_server(&args, None).expect("spawn");
+        let mut conn = tpd_server::Conn::connect(handle.local_addr()).expect("connect");
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(2);
+        let spec = wire.sample(&mut rng);
+        let outcome = wire.execute(&mut conn, &spec).expect("no protocol errors");
+        assert!(matches!(
+            outcome,
+            tpd_server::Outcome::Committed | tpd_server::Outcome::Aborted
+        ));
+        drop(conn);
+        handle.shutdown();
+        assert_eq!(engine.locks().outstanding(), (0, 0));
     }
 
     #[test]

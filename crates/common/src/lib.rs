@@ -16,6 +16,9 @@
 //!   spikes) the harness injects into the simulated devices.
 //! * [`clock`] — monotonic nanosecond timestamps relative to process start,
 //!   switchable per-thread to a virtual clock for deterministic simulation.
+//! * [`poll`] — hermetic readiness multiplexing ([`poll::Poller`] over
+//!   `epoll`/`poll(2)`, a cross-thread [`poll::Waker`], and the socket
+//!   shims the event-driven server front end needs).
 //! * [`table`] — fixed-width ASCII table rendering for experiment output.
 
 pub mod clock;
@@ -23,6 +26,7 @@ pub mod disk;
 pub mod dist;
 pub mod fault;
 pub mod latency;
+pub mod poll;
 pub mod stats;
 pub mod table;
 
@@ -30,4 +34,5 @@ pub use clock::{now_nanos, Nanos, VirtualClock};
 pub use disk::{DiskConfig, DiskDevice, DiskStats, FileDisk, IoKind, SimDisk};
 pub use fault::FaultPlan;
 pub use latency::{LatencyRecorder, LatencySummary};
+pub use poll::{Interest, PollBackend, PollEvent, Poller, Token, Waker};
 pub use stats::{lp_norm, pearson, percentile, Covariance, OnlineStats, SampleSummary};

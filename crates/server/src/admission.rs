@@ -14,6 +14,22 @@
 //! happens to wake first. Queue wait time feeds the
 //! `server.admission_wait_ns` histogram; sheds count into
 //! `server.shed_total`.
+//!
+//! Two entry points share the one FIFO queue:
+//!
+//! * [`AdmissionController::admit`] — the thread-per-connection path:
+//!   blocks the calling thread (condvar) up to the deadline;
+//! * [`AdmissionController::try_admit_or_enqueue`] — the reactor path:
+//!   never blocks. Either the slot is granted immediately, the request is
+//!   shed, or a callback is parked in the queue and invoked **with the
+//!   permit** from whichever thread frees a slot (the reactor's callback
+//!   posts the permit back to its event loop). Queued tickets are
+//!   cancellable, which is how the reactor enforces deadlines and cleans
+//!   up after disconnected waiters.
+//!
+//! A freed slot is handed directly to the queue head — sync waiters are
+//! woken, async waiters have their callback fired — so FIFO order holds
+//! across a mix of both kinds.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -64,12 +80,56 @@ impl std::fmt::Display for Shed {
     }
 }
 
+/// Callback fired with the granted permit when an async waiter reaches
+/// the head of the queue and a slot frees.
+type GrantFn = Box<dyn FnOnce(Permit) + Send>;
+
+enum Waiter {
+    /// A blocked thread (condvar-woken); it grants itself on wake.
+    Sync { ticket: u64 },
+    /// A parked callback; the releasing thread grants it directly.
+    Async {
+        ticket: u64,
+        enqueued_at: Instant,
+        notify: GrantFn,
+    },
+}
+
+impl Waiter {
+    fn ticket(&self) -> u64 {
+        match self {
+            Waiter::Sync { ticket } | Waiter::Async { ticket, .. } => *ticket,
+        }
+    }
+}
+
+impl std::fmt::Debug for Waiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Waiter::Sync { ticket } => write!(f, "Sync({ticket})"),
+            Waiter::Async { ticket, .. } => write!(f, "Async({ticket})"),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct State {
     in_flight: usize,
-    /// Tickets of queued waiters, oldest first.
-    queue: VecDeque<u64>,
+    /// Queued waiters, oldest first.
+    queue: VecDeque<Waiter>,
     next_ticket: u64,
+}
+
+/// Outcome of the non-blocking admission attempt.
+#[derive(Debug)]
+pub enum AdmitAttempt {
+    /// A slot was free (and the queue empty): admitted immediately.
+    Admitted(Permit),
+    /// Parked in the FIFO queue; the callback will deliver the permit.
+    /// Cancel with [`AdmissionController::cancel`] to enforce a deadline.
+    Queued(u64),
+    /// Shed at the door (queue full or `slots == 0`).
+    Shed(Shed),
 }
 
 /// See the module docs.
@@ -114,6 +174,39 @@ impl AdmissionController {
         self.state.lock().queue.len()
     }
 
+    /// Pop every leading async waiter that can take a slot; returns the
+    /// grants to fire once the state lock is released (callbacks must
+    /// never run under it). If the remaining head is a sync waiter it is
+    /// condvar-woken by the caller's `notify_all`.
+    fn drain_async_heads(self: &Arc<Self>, state: &mut State) -> Vec<(GrantFn, Instant)> {
+        let mut grants = Vec::new();
+        while state.in_flight < self.config.slots
+            && matches!(state.queue.front(), Some(Waiter::Async { .. }))
+        {
+            let Some(Waiter::Async {
+                enqueued_at,
+                notify,
+                ..
+            }) = state.queue.pop_front()
+            else {
+                unreachable!("front checked to be Async");
+            };
+            state.in_flight += 1;
+            grants.push((notify, enqueued_at));
+        }
+        grants
+    }
+
+    /// Fire collected grants. Must be called with the state lock released.
+    fn fire(self: &Arc<Self>, grants: Vec<(GrantFn, Instant)>) {
+        for (notify, enqueued_at) in grants {
+            self.wait_ns.record(enqueued_at.elapsed().as_nanos() as u64);
+            notify(Permit {
+                controller: self.clone(),
+            });
+        }
+    }
+
     /// Try to admit one request, blocking in the FIFO queue up to the
     /// configured deadline. On success the returned [`Permit`] holds the
     /// slot until dropped.
@@ -140,16 +233,21 @@ impl AdmissionController {
         }
         let ticket = state.next_ticket;
         state.next_ticket += 1;
-        state.queue.push_back(ticket);
+        state.queue.push_back(Waiter::Sync { ticket });
         loop {
             // Strict FIFO: only the head may take a freed slot.
-            if state.queue.front() == Some(&ticket) && state.in_flight < self.config.slots {
+            if state.queue.front().map(Waiter::ticket) == Some(ticket)
+                && state.in_flight < self.config.slots
+            {
                 state.queue.pop_front();
                 state.in_flight += 1;
-                drop(state);
                 // The new head may also be admissible (several slots can
-                // free while multiple waiters queue).
+                // free while multiple waiters queue) — async heads are
+                // granted here, a sync head is condvar-woken.
+                let grants = self.drain_async_heads(&mut state);
+                drop(state);
                 self.freed.notify_all();
+                self.fire(grants);
                 self.wait_ns.record(enqueued_at.elapsed().as_nanos() as u64);
                 return Ok(Permit {
                     controller: self.clone(),
@@ -157,7 +255,7 @@ impl AdmissionController {
             }
             let elapsed = enqueued_at.elapsed();
             if elapsed >= self.config.queue_deadline {
-                state.queue.retain(|&t| t != ticket);
+                state.queue.retain(|w| w.ticket() != ticket);
                 drop(state);
                 // Our departure may unblock the waiter behind us.
                 self.freed.notify_all();
@@ -168,9 +266,68 @@ impl AdmissionController {
             self.freed.wait_for(&mut state, remaining);
         }
     }
+
+    /// Non-blocking admission for event-driven callers. Immediate permit
+    /// if a slot is free and nobody is queued ahead; otherwise either a
+    /// queued ticket (the `notify` callback later receives the permit
+    /// from the releasing thread) or an immediate shed. The caller owns
+    /// deadline enforcement via [`AdmissionController::cancel`].
+    pub fn try_admit_or_enqueue(self: &Arc<Self>, notify: GrantFn) -> AdmitAttempt {
+        let mut state = self.state.lock();
+        if self.config.slots == 0 {
+            drop(state);
+            self.shed_total.inc();
+            return AdmitAttempt::Shed(Shed::QueueFull);
+        }
+        if state.in_flight < self.config.slots && state.queue.is_empty() {
+            state.in_flight += 1;
+            drop(state);
+            self.wait_ns.record(0);
+            return AdmitAttempt::Admitted(Permit {
+                controller: self.clone(),
+            });
+        }
+        if state.queue.len() >= self.config.queue_cap {
+            drop(state);
+            self.shed_total.inc();
+            return AdmitAttempt::Shed(Shed::QueueFull);
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(Waiter::Async {
+            ticket,
+            enqueued_at: Instant::now(),
+            notify,
+        });
+        AdmitAttempt::Queued(ticket)
+    }
+
+    /// Withdraw a queued async ticket. Returns `true` if the waiter was
+    /// still queued (its callback will never fire); `false` means the
+    /// grant already happened (or is in flight) and the permit will
+    /// arrive through the callback — the caller must handle it.
+    ///
+    /// `count_shed` distinguishes a deadline expiry (a real shed, counted
+    /// in `server.shed_total`) from a disconnect cleanup (not a shed).
+    pub fn cancel(&self, ticket: u64, count_shed: bool) -> bool {
+        let mut state = self.state.lock();
+        let before = state.queue.len();
+        state.queue.retain(|w| w.ticket() != ticket);
+        let removed = state.queue.len() < before;
+        drop(state);
+        if removed {
+            if count_shed {
+                self.shed_total.inc();
+            }
+            // Head may have changed; re-evaluate sync waiters.
+            self.freed.notify_all();
+        }
+        removed
+    }
 }
 
-/// An admitted request's slot; freeing it (drop) wakes the queue.
+/// An admitted request's slot; freeing it (drop) hands the slot to the
+/// queue head — directly for async waiters, via wakeup for sync ones.
 #[derive(Debug)]
 pub struct Permit {
     controller: Arc<AdmissionController>,
@@ -178,10 +335,13 @@ pub struct Permit {
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        let mut state = self.controller.state.lock();
+        let controller = self.controller.clone();
+        let mut state = controller.state.lock();
         state.in_flight -= 1;
+        let grants = controller.drain_async_heads(&mut state);
         drop(state);
-        self.controller.freed.notify_all();
+        controller.freed.notify_all();
+        controller.fire(grants);
     }
 }
 
@@ -189,6 +349,7 @@ impl Drop for Permit {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
 
     fn controller(slots: usize, cap: usize, deadline: Duration) -> Arc<AdmissionController> {
         AdmissionController::new(
@@ -318,5 +479,140 @@ mod tests {
         drop(held);
         let _ = c.admit().expect("admitted");
         assert!(c.wait_ns.count() >= 2, "zero-wait admissions recorded");
+    }
+
+    // ---- async (reactor-path) admission ----
+
+    #[test]
+    fn async_admits_immediately_when_slot_free() {
+        let c = controller(2, 4, Duration::from_secs(1));
+        match c.try_admit_or_enqueue(Box::new(|_p| panic!("must not queue"))) {
+            AdmitAttempt::Admitted(p) => {
+                assert_eq!(c.in_flight(), 1);
+                drop(p);
+            }
+            other => panic!("expected immediate admit, got {other:?}"),
+        }
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn async_queues_then_receives_permit_on_release() {
+        let c = controller(1, 4, Duration::from_secs(1));
+        let held = c.admit().expect("occupy");
+        let (tx, rx) = mpsc::channel();
+        let ticket = match c.try_admit_or_enqueue(Box::new(move |p| {
+            tx.send(p).expect("deliver");
+        })) {
+            AdmitAttempt::Queued(t) => t,
+            other => panic!("expected queued, got {other:?}"),
+        };
+        assert_eq!(c.queued(), 1);
+        assert!(
+            rx.try_recv().is_err(),
+            "no grant while the slot is occupied"
+        );
+        drop(held); // releasing thread fires the callback synchronously
+        let permit = rx.recv_timeout(Duration::from_secs(2)).expect("granted");
+        assert_eq!(c.in_flight(), 1, "slot transferred, never idle");
+        assert!(!c.cancel(ticket, true), "granted ticket not cancellable");
+        drop(permit);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn async_sheds_at_the_door_when_queue_full() {
+        let c = controller(1, 1, Duration::from_secs(1));
+        let _held = c.admit().expect("occupy");
+        let _q = c.try_admit_or_enqueue(Box::new(|_p| ())); // fills the queue
+        match c.try_admit_or_enqueue(Box::new(|_p| panic!("shed, not queued"))) {
+            AdmitAttempt::Shed(Shed::QueueFull) => {}
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(c.shed_total.get(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_grant_and_counts_choice_of_shed() {
+        let c = controller(1, 4, Duration::from_secs(1));
+        let held = c.admit().expect("occupy");
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let t1 = match c.try_admit_or_enqueue(Box::new(move |p| {
+            f.fetch_add(1, Ordering::SeqCst);
+            drop(p);
+        })) {
+            AdmitAttempt::Queued(t) => t,
+            other => panic!("queued expected, got {other:?}"),
+        };
+        // Deadline-style cancel: counted as a shed.
+        assert!(c.cancel(t1, true));
+        assert_eq!(c.shed_total.get(), 1);
+        // Disconnect-style cancel: not counted.
+        let t2 = match c.try_admit_or_enqueue(Box::new(|_p| panic!("cancelled"))) {
+            AdmitAttempt::Queued(t) => t,
+            other => panic!("queued expected, got {other:?}"),
+        };
+        assert!(c.cancel(t2, false));
+        assert_eq!(c.shed_total.get(), 1, "disconnect cancel is not a shed");
+        drop(held);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            0,
+            "cancelled callbacks never fire"
+        );
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn mixed_sync_async_waiters_grant_in_fifo_order() {
+        let c = controller(1, 8, Duration::from_secs(5));
+        let held = c.admit().expect("occupy");
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        // Waiter 0: async.
+        let o = order.clone();
+        let (tx0, rx0) = mpsc::channel();
+        match c.try_admit_or_enqueue(Box::new(move |p| {
+            o.lock().push(0u64);
+            tx0.send(p).expect("deliver");
+        })) {
+            AdmitAttempt::Queued(_) => {}
+            other => panic!("queued expected, got {other:?}"),
+        }
+        // Waiter 1: a blocked thread.
+        let c1 = c.clone();
+        let o1 = order.clone();
+        let h = std::thread::spawn(move || {
+            let p = c1.admit().expect("sync waiter admitted");
+            o1.lock().push(1);
+            drop(p);
+        });
+        while c.queued() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Waiter 2: async again.
+        let o2 = order.clone();
+        let (tx2, rx2) = mpsc::channel();
+        match c.try_admit_or_enqueue(Box::new(move |p| {
+            o2.lock().push(2);
+            tx2.send(p).expect("deliver");
+        })) {
+            AdmitAttempt::Queued(_) => {}
+            other => panic!("queued expected, got {other:?}"),
+        }
+
+        drop(held);
+        // Grant 0 arrives via callback; dropping its permit admits 1;
+        // 1's drop grants 2.
+        let p0 = rx0.recv_timeout(Duration::from_secs(2)).expect("grant 0");
+        drop(p0);
+        h.join().expect("sync waiter");
+        let p2 = rx2.recv_timeout(Duration::from_secs(2)).expect("grant 2");
+        drop(p2);
+        assert_eq!(*order.lock(), vec![0, 1, 2], "strict FIFO across kinds");
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(c.queued(), 0);
     }
 }

@@ -104,6 +104,13 @@ impl Conn {
         self.reader.get_ref().set_read_timeout(t)
     }
 
+    /// Arm an abrupt close: after this, dropping the connection sends
+    /// RST (`SO_LINGER` zero) instead of a clean FIN. For exercising
+    /// the server's abrupt-disconnect paths.
+    pub fn arm_rst(&self) -> io::Result<()> {
+        tpd_common::poll::set_linger_rst(self.reader.get_ref())
+    }
+
     /// Send one request and read one reply.
     pub fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
         write_frame(&mut self.writer, request)?;

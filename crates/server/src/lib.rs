@@ -12,22 +12,32 @@
 //! * [`admission`] — the admission controller between accept and
 //!   execute: bounded execution slots, a FIFO/deadline queue with a
 //!   configurable cap, and typed `RETRY_LATER` load shedding;
-//! * [`server`] — the thread-per-connection TCP server translating
-//!   frames into [`tpd_engine::Session`] calls, with `server.*` metrics
+//! * [`server`] — the TCP server translating frames into
+//!   [`tpd_engine::Session`] calls, with `server.*` metrics
 //!   (`admission_wait_ns`, `shed_total`, `open_conns`, ...) wired into
-//!   the engine's snapshot;
+//!   the engine's snapshot. Two concurrency models behind one flag:
+//!   thread-per-connection (the baseline) and the evented [`reactor`];
+//! * [`reactor`] — the readiness-driven front end: one reactor thread
+//!   multiplexing nonblocking sockets, per-connection state machines,
+//!   and a bounded worker pool as the execution stage;
 //! * [`client`] — a blocking typed client;
+//! * [`muxclient`] — a multiplexed TATP driver: one thread driving
+//!   thousands of connections through the same poller, for
+//!   high-connection-count load generation;
 //! * [`wire_tatp`] — the TATP mix replayed over the wire for the
 //!   closed-loop load generator and the end-to-end suite.
 
 pub mod admission;
 pub mod client;
+pub mod muxclient;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod server;
 pub mod wire_tatp;
 
-pub use admission::{AdmissionConfig, AdmissionController, Permit, Shed};
+pub use admission::{AdmissionConfig, AdmissionController, AdmitAttempt, Permit, Shed};
 pub use client::{BeginOutcome, ClientError, Conn, MetricsReply};
+pub use muxclient::{run_mux, MuxConfig, MuxReport};
 pub use protocol::{ErrorCode, Frame, FrameReadError, HistSummary, WireError, VERSION};
-pub use server::{spawn, ServerConfig, ServerHandle};
+pub use server::{spawn, ServerConfig, ServerHandle, ServerMode};
 pub use wire_tatp::{Outcome, WireSpec, WireTatp};

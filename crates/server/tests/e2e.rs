@@ -15,7 +15,7 @@ use tpd_engine::{Engine, EngineConfig, Policy, Session, TableId};
 use tpd_server::wire_tatp::{txn_type, SF_PER_SUB};
 use tpd_server::{
     spawn, AdmissionConfig, BeginOutcome, Conn, ErrorCode, Frame, Outcome, ServerConfig,
-    ServerHandle, WireSpec, WireTatp,
+    ServerHandle, ServerMode, WireSpec, WireTatp,
 };
 use tpd_workloads::Tatp;
 
@@ -34,9 +34,9 @@ fn quick_engine(seed: u64) -> Arc<Engine> {
     })
 }
 
-fn start_server(
+fn start_server_cfg(
     subscribers: u64,
-    admission: AdmissionConfig,
+    config: ServerConfig,
 ) -> (Arc<Engine>, Tatp, ServerHandle, WireTatp) {
     let engine = quick_engine(0xE2E);
     let tatp = Tatp::install(&engine, subscribers);
@@ -48,15 +48,23 @@ fn start_server(
         call_forwarding: ids[3].0,
         subscribers,
     };
-    let handle = spawn(
-        engine.clone(),
+    let handle = spawn(engine.clone(), config).expect("bind ephemeral port");
+    (engine, tatp, handle, wire)
+}
+
+fn start_server_in(
+    mode: ServerMode,
+    subscribers: u64,
+    admission: AdmissionConfig,
+) -> (Arc<Engine>, Tatp, ServerHandle, WireTatp) {
+    start_server_cfg(
+        subscribers,
         ServerConfig {
+            mode,
             admission,
             ..ServerConfig::default()
         },
     )
-    .expect("bind ephemeral port");
-    (engine, tatp, handle, wire)
 }
 
 /// Replay one wire spec directly against an engine — the oracle's
@@ -142,6 +150,15 @@ fn table_rows(engine: &Arc<Engine>, id: u32) -> BTreeMap<u64, Vec<i64>> {
 /// client-side tally.
 #[test]
 fn concurrent_tatp_matches_replay_oracle_and_metrics() {
+    concurrent_tatp_matches_replay_oracle_and_metrics_in(ServerMode::Threads);
+}
+
+#[test]
+fn concurrent_tatp_matches_replay_oracle_and_metrics_evented() {
+    concurrent_tatp_matches_replay_oracle_and_metrics_in(ServerMode::Evented);
+}
+
+fn concurrent_tatp_matches_replay_oracle_and_metrics_in(mode: ServerMode) {
     const THREADS: u64 = 6;
     const SLICE: u64 = 8;
     const TXNS_PER_THREAD: u64 = 30;
@@ -152,7 +169,8 @@ fn concurrent_tatp_matches_replay_oracle_and_metrics() {
     const HOT: u64 = THREADS * SLICE;
     const HOT_VAL: i64 = 7;
 
-    let (engine, _tatp, handle, wire) = start_server(
+    let (engine, _tatp, handle, wire) = start_server_in(
+        mode,
         HOT + 1,
         AdmissionConfig {
             slots: 3,
@@ -304,7 +322,16 @@ fn concurrent_tatp_matches_replay_oracle_and_metrics() {
 /// drop/abort audit.
 #[test]
 fn killed_client_releases_locks_and_rolls_back() {
-    let (engine, _tatp, handle, wire) = start_server(16, AdmissionConfig::default());
+    killed_client_releases_locks_and_rolls_back_in(ServerMode::Threads);
+}
+
+#[test]
+fn killed_client_releases_locks_and_rolls_back_evented() {
+    killed_client_releases_locks_and_rolls_back_in(ServerMode::Evented);
+}
+
+fn killed_client_releases_locks_and_rolls_back_in(mode: ServerMode) {
+    let (engine, _tatp, handle, wire) = start_server_in(mode, 16, AdmissionConfig::default());
     let addr = handle.local_addr();
 
     let mut victim = Conn::connect(addr).expect("connect");
@@ -354,7 +381,17 @@ fn killed_client_releases_locks_and_rolls_back() {
 /// slot frees on COMMIT.
 #[test]
 fn admission_sheds_over_the_wire() {
-    let (_engine, _tatp, handle, _wire) = start_server(
+    admission_sheds_over_the_wire_in(ServerMode::Threads);
+}
+
+#[test]
+fn admission_sheds_over_the_wire_evented() {
+    admission_sheds_over_the_wire_in(ServerMode::Evented);
+}
+
+fn admission_sheds_over_the_wire_in(mode: ServerMode) {
+    let (_engine, _tatp, handle, _wire) = start_server_in(
+        mode,
         8,
         AdmissionConfig {
             slots: 1,
@@ -387,7 +424,16 @@ fn admission_sheds_over_the_wire() {
 /// crash — and the server must keep serving well-formed clients.
 #[test]
 fn malformed_corpus_never_kills_the_server() {
-    let (_engine, _tatp, handle, _wire) = start_server(8, AdmissionConfig::default());
+    malformed_corpus_never_kills_the_server_in(ServerMode::Threads);
+}
+
+#[test]
+fn malformed_corpus_never_kills_the_server_evented() {
+    malformed_corpus_never_kills_the_server_in(ServerMode::Evented);
+}
+
+fn malformed_corpus_never_kills_the_server_in(mode: ServerMode) {
+    let (_engine, _tatp, handle, _wire) = start_server_in(mode, 8, AdmissionConfig::default());
     let addr = handle.local_addr();
 
     // (name, raw bytes, server may keep the connection)
@@ -532,7 +578,16 @@ fn malformed_corpus_never_kills_the_server() {
 /// path open for version negotiation instead of silent misparses.
 #[test]
 fn future_version_is_rejected_not_misparsed() {
-    let (_engine, _tatp, handle, _wire) = start_server(8, AdmissionConfig::default());
+    future_version_is_rejected_not_misparsed_in(ServerMode::Threads);
+}
+
+#[test]
+fn future_version_is_rejected_not_misparsed_evented() {
+    future_version_is_rejected_not_misparsed_in(ServerMode::Evented);
+}
+
+fn future_version_is_rejected_not_misparsed_in(mode: ServerMode) {
+    let (_engine, _tatp, handle, _wire) = start_server_in(mode, 8, AdmissionConfig::default());
     let mut conn = Conn::connect(handle.local_addr()).expect("connect");
     let mut bytes = 2u32.to_le_bytes().to_vec();
     bytes.extend_from_slice(&[tpd_server::VERSION + 1, 0x05]);
@@ -547,4 +602,224 @@ fn future_version_is_rejected_not_misparsed() {
         }
         other => panic!("expected version error, got {other:?}"),
     }
+}
+
+/// Disconnect matrix: a client that vanishes mid-transaction — cleanly
+/// (FIN) or abruptly (RST) — must have its transaction rolled back, its
+/// locks drained, and its admission permit returned, in both server
+/// modes. With one slot and no queue, the next client's BEGIN only
+/// succeeds if the permit actually came back.
+fn disconnect_matrix(mode: ServerMode, rst: bool) {
+    let (engine, _tatp, handle, wire) = start_server_in(
+        mode,
+        8,
+        AdmissionConfig {
+            slots: 1,
+            queue_cap: 0,
+            queue_deadline: Duration::from_millis(100),
+        },
+    );
+    let addr = handle.local_addr();
+
+    let mut victim = Conn::connect(addr).expect("connect victim");
+    assert!(matches!(
+        victim.begin(0).expect("begin"),
+        BeginOutcome::Started { .. }
+    ));
+    let mut row = victim.read(wire.subscriber, 2).expect("read");
+    row[3] = 4242;
+    victim.update(wire.subscriber, 2, row).expect("update");
+    assert_ne!(engine.locks().outstanding(), (0, 0), "X lock held");
+    if rst {
+        victim.arm_rst().expect("arm RST");
+    }
+    drop(victim);
+
+    // Locks drain once the server notices the disconnect.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while engine.locks().outstanding() != (0, 0) {
+        assert!(
+            Instant::now() < deadline,
+            "{mode}/{}: lock-queue entries leaked: {}",
+            if rst { "rst" } else { "fin" },
+            engine.locks().debug_dump()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The single admission slot must come back: a fresh BEGIN admits.
+    let mut fresh = Conn::connect(addr).expect("connect fresh");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match fresh.begin(0).expect("begin fresh") {
+            BeginOutcome::Started { .. } => break,
+            BeginOutcome::Shed => {
+                assert!(Instant::now() < deadline, "admission permit leaked");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    let row = fresh.read(wire.subscriber, 2).expect("read");
+    assert_eq!(row[3], 0, "dead client's update rolled back");
+    fresh.commit().expect("commit");
+    assert_eq!(engine.locks().outstanding(), (0, 0));
+}
+
+#[test]
+fn fin_disconnect_releases_locks_and_permit_threads() {
+    disconnect_matrix(ServerMode::Threads, false);
+}
+
+#[test]
+fn fin_disconnect_releases_locks_and_permit_evented() {
+    disconnect_matrix(ServerMode::Evented, false);
+}
+
+#[test]
+fn rst_disconnect_releases_locks_and_permit_threads() {
+    disconnect_matrix(ServerMode::Threads, true);
+}
+
+#[test]
+fn rst_disconnect_releases_locks_and_permit_evented() {
+    disconnect_matrix(ServerMode::Evented, true);
+}
+
+/// The admission-permit leak fix: a slow-loris client (connects, opens a
+/// transaction, then sends nothing — no FIN, no RST) must hit the idle
+/// deadline, get force-disconnected with its session rolled back, and
+/// return its permit. Before the fix such a client pinned a slot (and
+/// its row locks) forever.
+fn slow_loris_reaped(mode: ServerMode) {
+    let (engine, _tatp, handle, wire) = start_server_cfg(
+        8,
+        ServerConfig {
+            mode,
+            admission: AdmissionConfig {
+                slots: 1,
+                queue_cap: 0,
+                queue_deadline: Duration::from_millis(100),
+            },
+            read_timeout: Some(Duration::from_millis(300)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let mut loris = Conn::connect(addr).expect("connect loris");
+    assert!(matches!(
+        loris.begin(0).expect("begin"),
+        BeginOutcome::Started { .. }
+    ));
+    let mut row = loris.read(wire.subscriber, 5).expect("read");
+    row[3] = 777;
+    loris.update(wire.subscriber, 5, row).expect("update");
+    assert_ne!(engine.locks().outstanding(), (0, 0), "X lock held");
+    // ... and then silence. The socket stays open; only the idle
+    // deadline can reclaim the slot.
+
+    let mut fresh = Conn::connect(addr).expect("connect fresh");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match fresh.begin(0).expect("begin fresh") {
+            BeginOutcome::Started { .. } => break,
+            BeginOutcome::Shed => {
+                assert!(
+                    Instant::now() < deadline,
+                    "idle deadline never reclaimed the permit"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    assert_eq!(
+        engine.locks().outstanding(),
+        (0, 0),
+        "loris locks drained with the permit"
+    );
+    let row = fresh.read(wire.subscriber, 5).expect("read");
+    assert_eq!(row[3], 0, "loris update rolled back");
+    fresh.commit().expect("commit");
+
+    if mode == ServerMode::Evented {
+        let m = fresh.metrics().expect("metrics");
+        assert!(
+            m.counter("server.idle_reaped_total") >= 1,
+            "reap was counted"
+        );
+    }
+    drop(loris); // kept alive until here: the server reaped it, not us
+}
+
+#[test]
+fn slow_loris_is_reaped_and_permit_returned_threads() {
+    slow_loris_reaped(ServerMode::Threads);
+}
+
+#[test]
+fn slow_loris_is_reaped_and_permit_returned_evented() {
+    slow_loris_reaped(ServerMode::Evented);
+}
+
+/// Accept-loop hardening: transient accept failures (EMFILE et al.,
+/// injected via the test hook) must be counted and backed off — never
+/// tear down the listener. The client connected below can only have been
+/// accepted after the fault budget drained, so serving it proves the
+/// loop survived every synthetic failure.
+fn accept_errors_survived(mode: ServerMode) {
+    let budget = Arc::new(std::sync::atomic::AtomicU64::new(5));
+    let (_engine, _tatp, handle, wire) = start_server_cfg(
+        8,
+        ServerConfig {
+            mode,
+            inject_accept_errors: Some(budget.clone()),
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut conn = Conn::connect(handle.local_addr()).expect("connect");
+    assert!(matches!(
+        conn.begin(0).expect("begin"),
+        BeginOutcome::Started { .. }
+    ));
+    conn.read(wire.subscriber, 1).expect("read");
+    conn.commit().expect("commit");
+
+    assert_eq!(budget.load(std::sync::atomic::Ordering::SeqCst), 0);
+    assert_eq!(handle.accept_errors(), 5, "every fault counted");
+    let m = conn.metrics().expect("metrics");
+    assert_eq!(m.counter("server.accept_err_total"), 5);
+}
+
+#[test]
+fn accept_errors_back_off_and_keep_serving_threads() {
+    accept_errors_survived(ServerMode::Threads);
+}
+
+#[test]
+fn accept_errors_back_off_and_keep_serving_evented() {
+    accept_errors_survived(ServerMode::Evented);
+}
+
+/// The reactor's own instruments ride the METRICS frame: wakeup count,
+/// open-connection gauge, and the write-stall histogram.
+#[test]
+fn reactor_instruments_are_exposed() {
+    let (_engine, _tatp, handle, wire) =
+        start_server_in(ServerMode::Evented, 8, AdmissionConfig::default());
+    let mut conn = Conn::connect(handle.local_addr()).expect("connect");
+    assert!(matches!(
+        conn.begin(0).expect("begin"),
+        BeginOutcome::Started { .. }
+    ));
+    conn.read(wire.subscriber, 1).expect("read");
+    conn.commit().expect("commit");
+
+    let m = conn.metrics().expect("metrics");
+    assert!(m.counter("server.reactor_wakeups") >= 1, "reactor woke up");
+    assert!(m.counter("server.conns_open") >= 1, "this conn is open");
+    assert!(
+        m.histograms.contains_key("server.write_stall_ns"),
+        "write-stall histogram registered"
+    );
 }
