@@ -29,7 +29,8 @@ const USAGE: &str = "usage: loadgen [--addr HOST:PORT (default: in-process serve
 [--slots N] [--admission-cap N] [--deadline-ms N] [--seed N] \
 [--server-mode threads|evented] [--workers N] [--idle-ms N] [--no-nodelay] \
 [--mux] [--txns N (per conn, --mux only)] \
-[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR]\n\
+[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR] \
+[--concurrency s2pl|mvcc]\n\
 --mux drives all connections from one multiplexed thread (use for multi-thousand-conn \
 ramps; --secs becomes a safety deadline, each conn runs --txns transactions)";
 
@@ -263,6 +264,11 @@ fn main() {
             eprintln!("loadgen: lock-queue entries leaked");
             failed = true;
         }
+        let pins = engine.active_snapshots();
+        if pins != 0 {
+            eprintln!("loadgen: {pins} snapshot pins leaked");
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);
@@ -385,6 +391,11 @@ fn run_mux_mode(
         println!("leaked locks: granted={granted} waiting={waiting}");
         if (granted, waiting) != (0, 0) {
             eprintln!("loadgen: lock-queue entries leaked");
+            failed = true;
+        }
+        let pins = engine.active_snapshots();
+        if pins != 0 {
+            eprintln!("loadgen: {pins} snapshot pins leaked");
             failed = true;
         }
     }

@@ -13,7 +13,8 @@ const USAGE: &str = "usage: serve [--addr HOST:PORT] [--subscribers N] [--slots 
 [--admission-cap N] [--deadline-ms N] [--max-conns N] [--secs N (0 = forever)] [--seed N] \
 [--server-mode threads|evented] [--workers N (evented; 0 = one per slot)] \
 [--idle-ms N] [--no-nodelay] \
-[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR]";
+[--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR] \
+[--concurrency s2pl|mvcc]";
 
 fn main() {
     let args = match NetArgs::parse_from(std::env::args().skip(1), USAGE) {
@@ -63,6 +64,11 @@ fn main() {
         let (granted, waiting) = engine.locks().outstanding();
         if (granted, waiting) != (0, 0) {
             eprintln!("serve: leaked locks at shutdown: granted={granted} waiting={waiting}");
+            std::process::exit(1);
+        }
+        let pins = engine.active_snapshots();
+        if pins != 0 {
+            eprintln!("serve: leaked snapshot pins at shutdown: {pins}");
             std::process::exit(1);
         }
     } else {

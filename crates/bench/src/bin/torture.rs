@@ -14,9 +14,10 @@
 use std::path::PathBuf;
 
 use tpd_common::dist::ServiceTime;
-use tpd_engine::DiskBackend;
+use tpd_engine::{Concurrency, DiskBackend};
 use tpd_harness::{run_torture, TortureConfig};
 use tpd_wal::{AppendMode, FlushPolicy};
+use tpd_workloads::TortureMix;
 
 #[derive(Debug, Clone)]
 struct TortureArgs {
@@ -55,6 +56,13 @@ struct TortureArgs {
     /// Segment directory for `--disk-backend file` (`--data-dir DIR`).
     /// Each seed gets its own fresh subdirectory; default is a temp dir.
     data_dir: Option<PathBuf>,
+    /// Concurrency control: `s2pl` (default) or `mvcc`
+    /// (`--concurrency MODE`).
+    concurrency: Concurrency,
+    /// Transaction shape mix: `default` or `read-heavy` (`--mix MIX`).
+    read_heavy: bool,
+    /// Seeded bug: mvcc reads ignore the snapshot (`--chaos-snapshots`).
+    chaos_snapshots: bool,
 }
 
 impl Default for TortureArgs {
@@ -76,6 +84,9 @@ impl Default for TortureArgs {
             log_writers: 1,
             disk_backend: DiskBackend::Sim,
             data_dir: None,
+            concurrency: Concurrency::S2pl,
+            read_heavy: false,
+            chaos_snapshots: false,
         }
     }
 }
@@ -84,7 +95,8 @@ const USAGE: &str = "usage: torture [--seed S] [--seeds N] [--faults] [--txns N]
 [--sessions N] [--crash-every N] [--policy eager|lazy-write|lazy-flush] \
 [--chaos-locks] [--chaos-ack] [--metrics] [--metrics-json] [--rtt NS] \
 [--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] \
-[--data-dir DIR]";
+[--data-dir DIR] [--concurrency s2pl|mvcc] [--mix default|read-heavy] \
+[--chaos-snapshots]";
 
 impl TortureArgs {
     fn parse_from<I: IntoIterator<Item = String>>(items: I) -> Result<TortureArgs, String> {
@@ -133,6 +145,19 @@ impl TortureArgs {
                         .map_err(|e| format!("--disk-backend: {e}"))?
                 }
                 "--data-dir" => args.data_dir = Some(PathBuf::from(take("--data-dir")?)),
+                "--concurrency" => {
+                    args.concurrency = take("--concurrency")?
+                        .parse::<Concurrency>()
+                        .map_err(|e| format!("--concurrency: {e}"))?
+                }
+                "--mix" => {
+                    args.read_heavy = match take("--mix")?.as_str() {
+                        "default" => false,
+                        "read-heavy" => true,
+                        other => return Err(format!("unknown mix {other} (default|read-heavy)")),
+                    }
+                }
+                "--chaos-snapshots" => args.chaos_snapshots = true,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -157,6 +182,13 @@ impl TortureArgs {
             wal_append: self.wal_append,
             log_writers: self.log_writers,
             disk_backend: self.disk_backend,
+            concurrency: self.concurrency,
+            chaos_snapshots: self.chaos_snapshots,
+            mix: if self.read_heavy {
+                TortureMix::read_heavy()
+            } else {
+                TortureMix::default()
+            },
             // One fresh subdirectory per seed: the torture audit assumes
             // the initial state is empty.
             data_dir: (self.disk_backend == DiskBackend::File).then(|| {
@@ -317,6 +349,29 @@ mod tests {
         let a = parse(&["--disk-backend", "file"]).expect("parse");
         assert!(a.config(1).data_dir.is_some());
         assert!(parse(&["--disk-backend", "ramdisk"]).is_err());
+    }
+
+    #[test]
+    fn concurrency_and_mix_flags() {
+        let a = parse(&[]).expect("empty");
+        assert_eq!(a.concurrency, Concurrency::S2pl);
+        assert!(!a.read_heavy && !a.chaos_snapshots);
+        let a = parse(&[
+            "--concurrency",
+            "mvcc",
+            "--mix",
+            "read-heavy",
+            "--chaos-snapshots",
+        ])
+        .expect("parse");
+        assert_eq!(a.concurrency, Concurrency::Mvcc);
+        assert!(a.read_heavy && a.chaos_snapshots);
+        let cfg = a.config(1);
+        assert_eq!(cfg.concurrency, Concurrency::Mvcc);
+        assert!(cfg.chaos_snapshots);
+        assert_eq!(cfg.mix.ycsb_read_slots, 8);
+        assert!(parse(&["--concurrency", "occ"]).is_err());
+        assert!(parse(&["--mix", "write-heavy"]).is_err());
     }
 
     #[test]

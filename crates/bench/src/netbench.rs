@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use tpd_common::dist::ServiceTime;
 use tpd_common::DiskConfig;
-use tpd_engine::{AppendMode, DiskBackend, Engine, EngineConfig, Personality, Policy};
+use tpd_engine::{AppendMode, Concurrency, DiskBackend, Engine, EngineConfig, Personality, Policy};
 use tpd_server::{spawn, AdmissionConfig, ServerConfig, ServerHandle, ServerMode, WireTatp};
 use tpd_workloads::Tatp;
 
@@ -48,6 +48,9 @@ pub struct NetArgs {
     pub disk_backend: DiskBackend,
     /// Segment directory for `--disk-backend file` (`--data-dir DIR`).
     pub data_dir: Option<PathBuf>,
+    /// Concurrency control for the in-process engine (`--concurrency
+    /// s2pl|mvcc`): snapshot reads bypass the lock manager under `mvcc`.
+    pub concurrency: Concurrency,
     /// Concurrency model (`--server-mode threads|evented`).
     pub mode: ServerMode,
     /// Evented worker threads (`--workers`; 0 = one per admission slot).
@@ -83,6 +86,7 @@ impl Default for NetArgs {
             log_writers: 1,
             disk_backend: DiskBackend::Sim,
             data_dir: None,
+            concurrency: Concurrency::S2pl,
             mode: ServerMode::Threads,
             workers: 0,
             idle: None,
@@ -157,6 +161,11 @@ impl NetArgs {
                         .map_err(|e| format!("--disk-backend: {e}"))?
                 }
                 "--data-dir" => args.data_dir = Some(PathBuf::from(raw("--data-dir")?)),
+                "--concurrency" => {
+                    args.concurrency = raw("--concurrency")?
+                        .parse::<Concurrency>()
+                        .map_err(|e| format!("--concurrency: {e}"))?
+                }
                 "--server-mode" => {
                     args.mode = raw("--server-mode")?
                         .parse::<ServerMode>()
@@ -213,18 +222,26 @@ pub fn served_engine(seed: u64) -> Arc<Engine> {
 /// [`served_engine`] with the WAL append path and parallel-log count
 /// chosen by `--wal-append` / `--log-writers`.
 pub fn served_engine_with(seed: u64, wal_append: AppendMode, log_writers: usize) -> Arc<Engine> {
-    served_engine_cfg(seed, wal_append, log_writers, DiskBackend::Sim, None)
+    served_engine_cfg(
+        seed,
+        wal_append,
+        log_writers,
+        DiskBackend::Sim,
+        None,
+        Concurrency::S2pl,
+    )
 }
 
 /// [`served_engine`] with the full device selection: WAL append path,
-/// parallel-log count, and the WAL backend (`--disk-backend` /
-/// `--data-dir`).
+/// parallel-log count, the WAL backend (`--disk-backend` / `--data-dir`),
+/// and the concurrency control mode (`--concurrency`).
 pub fn served_engine_cfg(
     seed: u64,
     wal_append: AppendMode,
     log_writers: usize,
     disk_backend: DiskBackend,
     data_dir: Option<&std::path::Path>,
+    concurrency: Concurrency,
 ) -> Arc<Engine> {
     let disk = DiskConfig {
         service: ServiceTime::Fixed(20_000),
@@ -246,7 +263,8 @@ pub fn served_engine_cfg(
         1
     } else {
         log_writers
-    });
+    })
+    .with_concurrency(concurrency);
     if disk_backend == DiskBackend::File {
         cfg = cfg.with_file_backend(data_dir.expect("file backend requires a data dir"));
     }
@@ -266,6 +284,7 @@ pub fn start_tatp_server(
         args.log_writers,
         args.disk_backend,
         args.data_dir.as_deref(),
+        args.concurrency,
     );
     let tatp = if args.disk_backend == DiskBackend::File {
         // Restart path: replay whatever the previous process persisted.
@@ -441,6 +460,44 @@ mod tests {
         drop(conn);
         handle.shutdown();
         assert_eq!(engine.locks().outstanding(), (0, 0));
+        assert_eq!(engine.active_snapshots(), 0);
+    }
+
+    #[test]
+    fn concurrency_flag_applies() {
+        let a = parse(&[]).expect("empty");
+        assert_eq!(a.concurrency, Concurrency::S2pl);
+        let a = parse(&["--concurrency", "mvcc"]).expect("parse");
+        assert_eq!(a.concurrency, Concurrency::Mvcc);
+        assert!(parse(&["--concurrency", "occ"]).is_err());
+    }
+
+    #[test]
+    fn mvcc_in_process_server_comes_up_and_serves() {
+        let args = parse(&[
+            "--subscribers",
+            "64",
+            "--slots",
+            "8",
+            "--concurrency",
+            "mvcc",
+        ])
+        .expect("parse");
+        let (engine, mut handle, wire) = start_tatp_server(&args, None).expect("spawn");
+        let mut conn = tpd_server::Conn::connect(handle.local_addr()).expect("connect");
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
+        for _ in 0..4 {
+            let spec = wire.sample(&mut rng);
+            let outcome = wire.execute(&mut conn, &spec).expect("no protocol errors");
+            assert!(matches!(
+                outcome,
+                tpd_server::Outcome::Committed | tpd_server::Outcome::Aborted
+            ));
+        }
+        drop(conn);
+        handle.shutdown();
+        assert_eq!(engine.locks().outstanding(), (0, 0));
+        assert_eq!(engine.active_snapshots(), 0, "server leaked snapshot pins");
     }
 
     #[test]
@@ -511,5 +568,6 @@ mod tests {
         drop(conn);
         handle.shutdown();
         assert_eq!(engine.locks().outstanding(), (0, 0));
+        assert_eq!(engine.active_snapshots(), 0);
     }
 }

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use tpd_common::dist::ServiceTime;
 use tpd_common::DiskConfig;
-use tpd_engine::{AppendMode, Engine, EngineConfig, Policy};
+use tpd_engine::{AppendMode, Concurrency, Engine, EngineConfig, Policy};
 use tpd_workloads::TpcC;
 
 /// The data-disk model shared by the engine experiments: heavy-tailed
@@ -62,6 +62,9 @@ pub fn mysql_inmemory(policy: Policy, seed: u64) -> EngineConfig {
     // Paper-faithful: the profiled systems serialized appends on the log
     // mutex; the lockfree path is the fix, not the reproduction.
     cfg.wal_append = AppendMode::Mutex;
+    // Likewise every read goes through lock_sys — the snapshot read path
+    // is the fix (DESIGN.md §13), not the system the paper profiled.
+    cfg.concurrency = Concurrency::S2pl;
     cfg.seed = seed;
     cfg
 }
@@ -87,6 +90,7 @@ pub fn mysql_pressured(policy: Policy, frames: usize, seed: u64) -> EngineConfig
     // Paper-faithful: the profiled systems serialized appends on the log
     // mutex; the lockfree path is the fix, not the reproduction.
     cfg.wal_append = AppendMode::Mutex;
+    cfg.concurrency = Concurrency::S2pl;
     cfg.seed = seed;
     cfg
 }
@@ -106,6 +110,7 @@ pub fn postgres(seed: u64) -> EngineConfig {
     // Paper-faithful: the profiled systems serialized appends on the log
     // mutex; the lockfree path is the fix, not the reproduction.
     cfg.wal_append = AppendMode::Mutex;
+    cfg.concurrency = Concurrency::S2pl;
     cfg.seed = seed;
     cfg
 }
@@ -185,8 +190,18 @@ mod tests {
             "paper presets pin the serialized append path"
         );
         assert_eq!(
-            Engine::new(postgres(9)).config().wal_append,
-            AppendMode::Mutex
+            e.config().concurrency,
+            Concurrency::S2pl,
+            "paper presets pin the all-locking read path"
+        );
+        let pg = Engine::new(postgres(9));
+        assert_eq!(pg.config().wal_append, AppendMode::Mutex);
+        assert_eq!(pg.config().concurrency, Concurrency::S2pl);
+        assert_eq!(
+            Engine::new(mysql_pressured(Policy::Fcfs, 64, 5))
+                .config()
+                .concurrency,
+            Concurrency::S2pl
         );
         let e2 = Engine::new(postgres(2));
         assert!(e2.pg_wal_stats().is_some());

@@ -6,6 +6,14 @@
 //! (`rows_per_page` per page), and each table's B-tree depth is derived
 //! from its size and the configured fanout, so index descents touch the
 //! right number of (pool-resident) index pages.
+//!
+//! Each record is a small version chain (newest first). Under strict 2PL
+//! the chain never grows past one entry and the legacy [`TableInfo::get`] /
+//! [`TableInfo::put`] surface behaves exactly as a plain map. Under the
+//! `mvcc` concurrency mode writers push tentative versions that the commit
+//! path stamps with a commit timestamp, and snapshot readers walk the
+//! chain for the newest version at or below their begin timestamp — see
+//! DESIGN.md §13 for the visibility rule and the GC low-water mark.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,6 +24,58 @@ use tpd_storage::PageId;
 
 use crate::types::{Row, RowKey, TableId};
 
+/// Stamp marking a version whose writer has not committed yet; larger than
+/// any real commit timestamp, so the uniform "newest stamp ≤ snapshot"
+/// walk skips it without a special case.
+const TENTATIVE: u64 = u64::MAX;
+
+/// One entry in a record's version chain.
+#[derive(Debug, Clone)]
+struct Version {
+    /// Commit timestamp, or [`TENTATIVE`] while the writer is in flight.
+    stamp: u64,
+    row: Row,
+}
+
+/// A record: its version chain, newest first. `versions[0]` is the current
+/// value (possibly tentative); older committed versions follow in
+/// descending stamp order.
+#[derive(Debug)]
+struct VersionedRow {
+    versions: Vec<Version>,
+    /// Transaction id holding the tentative `versions[0]`, or 0. The
+    /// record X lock makes at most one writer possible.
+    writer: u64,
+    /// The chain cap forced out history: readers whose snapshot predates
+    /// the oldest retained version get `SnapshotTooOld` instead of
+    /// silently missing the record.
+    capped: bool,
+}
+
+impl VersionedRow {
+    fn committed(row: Row, stamp: u64) -> Self {
+        VersionedRow {
+            versions: vec![Version { stamp, row }],
+            writer: 0,
+            capped: false,
+        }
+    }
+}
+
+/// Outcome of a snapshot read against one record's version chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionRead {
+    /// The visible version (the reader's own tentative write, or the
+    /// newest committed version at or below the snapshot).
+    Visible(Row),
+    /// No version is visible at this snapshot: the record was created
+    /// after the snapshot, or never existed.
+    NotVisible,
+    /// The chain was capped past this snapshot's horizon; the reader must
+    /// abort with `SnapshotTooOld`.
+    TooOld,
+}
+
 /// Static information about one table.
 #[derive(Debug)]
 pub struct TableInfo {
@@ -25,7 +85,7 @@ pub struct TableInfo {
     pub name: String,
     /// Rows stored per data page.
     pub rows_per_page: u64,
-    rows: RwLock<BTreeMap<RowKey, Row>>,
+    rows: RwLock<BTreeMap<RowKey, VersionedRow>>,
     next_key: AtomicU64,
 }
 
@@ -40,15 +100,23 @@ impl TableInfo {
         self.rows.read().is_empty()
     }
 
-    /// Read a committed row.
+    /// Read the current (newest) version of a row. Under 2PL the record
+    /// lock guarantees this is the committed value; mvcc writers holding
+    /// the X lock see their own tentative write here.
     pub fn get(&self, key: RowKey) -> Option<Row> {
-        self.rows.read().get(&key).cloned()
+        self.rows
+            .read()
+            .get(&key)
+            .map(|v| v.versions[0].row.clone())
     }
 
-    /// Install or replace a row value (caller must hold the record X lock).
+    /// Install or replace a row value in place as a single committed
+    /// version (caller must hold the record X lock). This is the 2PL write
+    /// path and the bootstrap/recovery/checkpoint-restore store; it never
+    /// grows a chain.
     pub fn put(&self, key: RowKey, row: Row) {
         let mut rows = self.rows.write();
-        rows.insert(key, row);
+        rows.insert(key, VersionedRow::committed(row, 0));
         // Keep the allocator ahead of explicit keys.
         let next = self.next_key.load(Ordering::Relaxed);
         if key >= next {
@@ -58,7 +126,132 @@ impl TableInfo {
 
     /// Remove a row (abort path for inserts).
     pub fn remove(&self, key: RowKey) -> Option<Row> {
-        self.rows.write().remove(&key)
+        self.rows
+            .write()
+            .remove(&key)
+            .map(|mut v| v.versions.swap_remove(0).row)
+    }
+
+    /// Install a tentative write for `txn` (mvcc write path; caller holds
+    /// the record X lock). The first write to a record pushes a new
+    /// tentative version in front of the committed chain; repeat writes by
+    /// the same transaction overwrite it in place. A missing record is
+    /// created with a single tentative version (insert path). Returns
+    /// whether this was the transaction's first write to the record — the
+    /// caller tracks first-writes for commit stamping and abort.
+    pub fn write_version(&self, key: RowKey, row: Row, txn: u64) -> bool {
+        let mut rows = self.rows.write();
+        match rows.get_mut(&key) {
+            Some(rec) => {
+                if rec.writer == txn {
+                    rec.versions[0].row = row;
+                    false
+                } else {
+                    debug_assert_eq!(rec.writer, 0, "two writers under one X lock");
+                    rec.versions.insert(
+                        0,
+                        Version {
+                            stamp: TENTATIVE,
+                            row,
+                        },
+                    );
+                    rec.writer = txn;
+                    true
+                }
+            }
+            None => {
+                let mut rec = VersionedRow::committed(row, TENTATIVE);
+                rec.writer = txn;
+                rows.insert(key, rec);
+                let next = self.next_key.load(Ordering::Relaxed);
+                if key >= next {
+                    self.next_key.store(key + 1, Ordering::Relaxed);
+                }
+                true
+            }
+        }
+    }
+
+    /// Commit `txn`'s tentative version of `key` at timestamp `ts`, then
+    /// garbage-collect the chain: every version newer than `floor` (the
+    /// oldest active snapshot) is kept, plus one at or below it; beyond
+    /// that, `cap` bounds the chain and marks it capped. Returns the chain
+    /// length after stamping (pre-GC) and how many versions GC reclaimed.
+    pub fn commit_version(
+        &self,
+        key: RowKey,
+        txn: u64,
+        ts: u64,
+        floor: u64,
+        cap: usize,
+    ) -> (usize, u64) {
+        let mut rows = self.rows.write();
+        let rec = rows.get_mut(&key).expect("committing a vanished record");
+        debug_assert_eq!(rec.writer, txn, "committing someone else's write");
+        rec.versions[0].stamp = ts;
+        rec.writer = 0;
+        let len = rec.versions.len();
+        // Keep everything a live snapshot could still need: all versions
+        // with stamp > floor, plus the first at or below floor.
+        let keep = rec
+            .versions
+            .iter()
+            .position(|v| v.stamp <= floor)
+            .map(|i| i + 1)
+            .unwrap_or(rec.versions.len());
+        rec.versions.truncate(keep);
+        if rec.versions.len() > cap.max(1) {
+            rec.versions.truncate(cap.max(1));
+            rec.capped = true;
+        }
+        (len, (len - rec.versions.len()) as u64)
+    }
+
+    /// Discard `txn`'s tentative version of `key` (mvcc abort path; caller
+    /// still holds the record X lock). A record whose only version was the
+    /// tentative one (an aborted insert) is removed entirely.
+    pub fn abort_version(&self, key: RowKey, txn: u64) {
+        let mut rows = self.rows.write();
+        if let Some(rec) = rows.get_mut(&key) {
+            if rec.writer != txn {
+                return;
+            }
+            rec.versions.remove(0);
+            rec.writer = 0;
+            if rec.versions.is_empty() {
+                rows.remove(&key);
+            }
+        }
+    }
+
+    /// Resolve `key` at `snapshot` for reader `txn` (mvcc read path — no
+    /// record lock taken). The reader's own tentative write is visible;
+    /// otherwise the newest committed version with stamp ≤ snapshot wins
+    /// (a tentative stamp is `u64::MAX`, so foreign in-flight writes are
+    /// skipped by the same comparison).
+    pub fn read_version(&self, key: RowKey, snapshot: u64, txn: u64) -> VersionRead {
+        let rows = self.rows.read();
+        let Some(rec) = rows.get(&key) else {
+            return VersionRead::NotVisible;
+        };
+        if rec.writer == txn {
+            return VersionRead::Visible(rec.versions[0].row.clone());
+        }
+        for v in &rec.versions {
+            if v.stamp <= snapshot {
+                return VersionRead::Visible(v.row.clone());
+            }
+        }
+        if rec.capped {
+            VersionRead::TooOld
+        } else {
+            VersionRead::NotVisible
+        }
+    }
+
+    /// Current chain length of `key` (diagnostics/tests).
+    pub fn chain_len(&self, key: RowKey) -> usize {
+        self.rows.read().get(&key).map_or(0, |v| v.versions.len())
     }
 
     /// Allocate the next row key for an insert.
@@ -226,6 +419,64 @@ mod tests {
         }
         // 64 pages at fanout 4: 4^1 < 64 <= 4^3 → depth 3.
         assert_eq!(t.index_depth(4), 3);
+    }
+
+    #[test]
+    fn version_chain_visibility_and_commit() {
+        let c = Catalog::new();
+        let t = c.table(c.create_table("t", 16));
+        t.put(1, vec![10]);
+        // Writer 7 installs a tentative version.
+        assert!(t.write_version(1, vec![11], 7));
+        assert!(!t.write_version(1, vec![12], 7), "repeat write in place");
+        assert_eq!(t.chain_len(1), 2);
+        // Own write visible; foreign snapshot sees the committed base.
+        assert_eq!(t.read_version(1, 0, 7), VersionRead::Visible(vec![12]));
+        assert_eq!(t.read_version(1, 5, 9), VersionRead::Visible(vec![10]));
+        // Commit at ts 3 with no snapshot older than 3 pinned: the chain
+        // collapses to the new version (floor-GC reclaims the base).
+        let (len, reclaimed) = t.commit_version(1, 7, 3, 3, 16);
+        assert_eq!((len, reclaimed), (2, 1));
+        assert_eq!(t.chain_len(1), 1);
+        assert_eq!(t.read_version(1, 3, 9), VersionRead::Visible(vec![12]));
+    }
+
+    #[test]
+    fn version_chain_floor_retention_and_abort() {
+        let c = Catalog::new();
+        let t = c.table(c.create_table("t", 16));
+        t.put(1, vec![0]);
+        // Three commits while a snapshot at ts 0 stays pinned (floor 0).
+        for ts in 1..=3u64 {
+            t.write_version(1, vec![ts as i64], ts);
+            t.commit_version(1, ts, ts, 0, 16);
+        }
+        assert_eq!(t.chain_len(1), 4, "floor retains history");
+        assert_eq!(t.read_version(1, 0, 99), VersionRead::Visible(vec![0]));
+        assert_eq!(t.read_version(1, 2, 99), VersionRead::Visible(vec![2]));
+        // Aborted write leaves the chain untouched.
+        t.write_version(1, vec![77], 50);
+        t.abort_version(1, 50);
+        assert_eq!(t.read_version(1, 3, 99), VersionRead::Visible(vec![3]));
+        // Aborted insert removes the record.
+        t.write_version(9, vec![9], 51);
+        t.abort_version(9, 51);
+        assert!(t.get(9).is_none());
+    }
+
+    #[test]
+    fn capped_chain_reports_too_old() {
+        let c = Catalog::new();
+        let t = c.table(c.create_table("t", 16));
+        t.put(1, vec![0]);
+        // Floor stuck at 0 but cap 2: history is force-dropped.
+        for ts in 1..=5u64 {
+            t.write_version(1, vec![ts as i64], ts);
+            t.commit_version(1, ts, ts, 0, 2);
+        }
+        assert_eq!(t.chain_len(1), 2);
+        assert_eq!(t.read_version(1, 0, 99), VersionRead::TooOld);
+        assert_eq!(t.read_version(1, 5, 99), VersionRead::Visible(vec![5]));
     }
 
     #[test]

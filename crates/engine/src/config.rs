@@ -45,6 +45,43 @@ impl std::str::FromStr for DiskBackend {
     }
 }
 
+/// Concurrency-control mode for the read path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concurrency {
+    /// Strict two-phase locking for everything — the paper-faithful mode:
+    /// reads take IS/S record locks and hold them to commit. The default.
+    #[default]
+    S2pl,
+    /// MVCC-lite: plain reads and scans resolve against a begin-timestamp
+    /// snapshot over per-record version chains and never touch the lock
+    /// manager. Writes (and `read_for_update`) keep strict 2PL, so
+    /// write-write conflicts behave exactly as under [`Concurrency::S2pl`];
+    /// new versions are stamped with the commit timestamp at commit. See
+    /// DESIGN.md §13.
+    Mvcc,
+}
+
+impl std::str::FromStr for Concurrency {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "s2pl" | "2pl" => Ok(Concurrency::S2pl),
+            "mvcc" => Ok(Concurrency::Mvcc),
+            other => Err(format!("unknown concurrency mode: {other:?} (s2pl|mvcc)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Concurrency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Concurrency::S2pl => "s2pl",
+            Concurrency::Mvcc => "mvcc",
+        })
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -129,6 +166,19 @@ pub struct EngineConfig {
     /// updates and dirty reads. Exists so the torture harness can prove
     /// its serializability checker catches real violations.
     pub skip_locking: bool,
+    /// Concurrency-control mode for the read path: strict 2PL (default,
+    /// paper-faithful) or snapshot reads over version chains (`mvcc`).
+    pub concurrency: Concurrency,
+    /// Maximum committed versions retained per record under
+    /// [`Concurrency::Mvcc`], beyond what the GC low-water mark would keep.
+    /// A chain forced below a live snapshot's horizon turns that reader's
+    /// next access into [`crate::EngineError::SnapshotTooOld`].
+    pub mvcc_chain_cap: usize,
+    /// Seeded bug: under [`Concurrency::Mvcc`], snapshot reads ignore the
+    /// visibility rule and return the newest version — including other
+    /// transactions' uncommitted writes. Dirty/non-repeatable reads the
+    /// torture checker must flag (the mvcc analogue of `skip_locking`).
+    pub broken_snapshots: bool,
 }
 
 impl Default for EngineConfig {
@@ -180,6 +230,9 @@ impl Default for EngineConfig {
             wal_faults: None,
             wal_manual_flush: false,
             skip_locking: false,
+            concurrency: Concurrency::S2pl,
+            mvcc_chain_cap: 16,
+            broken_snapshots: false,
         }
     }
 }
@@ -290,6 +343,12 @@ impl EngineConfig {
         self
     }
 
+    /// Select the concurrency-control mode (see [`Concurrency`]).
+    pub fn with_concurrency(mut self, mode: Concurrency) -> Self {
+        self.concurrency = mode;
+        self
+    }
+
     /// Put the WAL on real segment files under `dir` (see
     /// [`DiskBackend::File`]). The engine recovers any existing log there
     /// on construction; call [`crate::Engine::recover_from_disk`] to apply
@@ -332,5 +391,16 @@ mod tests {
         let c = EngineConfig::default();
         assert_eq!(c.personality, Personality::Mysql);
         assert_eq!(c.lock_policy, tpd_core::Policy::Fcfs);
+        assert_eq!(c.concurrency, Concurrency::S2pl);
+    }
+
+    #[test]
+    fn concurrency_parses_and_displays() {
+        assert_eq!("s2pl".parse::<Concurrency>(), Ok(Concurrency::S2pl));
+        assert_eq!("mvcc".parse::<Concurrency>(), Ok(Concurrency::Mvcc));
+        assert!("si".parse::<Concurrency>().is_err());
+        assert_eq!(Concurrency::Mvcc.to_string(), "mvcc");
+        let c = EngineConfig::default().with_concurrency(Concurrency::Mvcc);
+        assert_eq!(c.concurrency, Concurrency::Mvcc);
     }
 }

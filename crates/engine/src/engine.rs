@@ -1,7 +1,7 @@
 //! The engine proper: transactions, 2PL, WAL, and the instrumented
 //! execution paths.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -21,8 +21,8 @@ use tpd_wal::{
     PgWalProbes, RecoveredLog, RedoLog, RedoLogConfig, StampedRecord, WalWriter,
 };
 
-use crate::catalog::{Catalog, TableInfo};
-use crate::config::{DiskBackend, EngineConfig, Personality};
+use crate::catalog::{Catalog, TableInfo, VersionRead};
+use crate::config::{Concurrency, DiskBackend, EngineConfig, Personality};
 use crate::probes::EngineProbes;
 use crate::types::{row_bytes, EngineError, Row, RowKey, TableId, TxnType};
 
@@ -108,6 +108,18 @@ pub struct Engine {
     next_txn: AtomicU64,
     /// Postgres predicate locks: (table, key bucket) → holders.
     predicate: Mutex<HashMap<(TableId, u64), Vec<u64>>>,
+    /// MVCC commit timestamp: the publish point for stamped versions.
+    /// Readers snapshot it at BEGIN; committers bump it after stamping.
+    commit_ts: AtomicU64,
+    /// MVCC pinned snapshots: begin timestamp → pin count. The smallest
+    /// key is the GC low-water mark; the map doubles as the commit mutex
+    /// (timestamp allocation + stamping + publish run under its lock).
+    snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Version-chain length observed at each mvcc commit stamping.
+    mvcc_chain_len: Histogram,
+    mvcc_gc_reclaimed: AtomicU64,
+    mvcc_snapshot_reads: AtomicU64,
+    mvcc_too_old: AtomicU64,
     age_remaining: Mutex<Vec<AgeRemainingSample>>,
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -269,6 +281,12 @@ impl Engine {
             probes,
             next_txn: AtomicU64::new(1),
             predicate: Mutex::new(HashMap::new()),
+            commit_ts: AtomicU64::new(0),
+            snapshots: Mutex::new(BTreeMap::new()),
+            mvcc_chain_len: Histogram::new(),
+            mvcc_gc_reclaimed: AtomicU64::new(0),
+            mvcc_snapshot_reads: AtomicU64::new(0),
+            mvcc_too_old: AtomicU64::new(0),
             age_remaining: Mutex::new(Vec::new()),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -349,6 +367,20 @@ impl Engine {
         &self.registry
     }
 
+    /// Number of pinned begin-snapshots (mvcc mode; always 0 under s2pl).
+    /// The leak-check twin of [`tpd_core::LockManager::outstanding`]: a
+    /// nonzero value with no transaction in flight means some exit path
+    /// failed to unpin and version-chain GC is stuck at an old low-water
+    /// mark.
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.lock().values().sum()
+    }
+
+    /// The current mvcc commit timestamp (0 until the first mvcc commit).
+    pub fn commit_timestamp(&self) -> u64 {
+        self.commit_ts.load(Ordering::Acquire)
+    }
+
     /// Assemble one snapshot of every metric family the engine exposes:
     /// `lock.*` (acquires, waits, deadlocks, per-shard contention, wait
     /// latency), `pool.*` (hits, misses, evictions, LLU backlog depth),
@@ -415,6 +447,23 @@ impl Engine {
                 m.set_histogram("wal.reserve_ns", w.reserve_histogram());
                 m.set_histogram("wal.group_commit_batch", w.group_commit_batch_histogram());
             }
+        }
+
+        if self.config.concurrency == Concurrency::Mvcc {
+            m.set_counter(
+                "mvcc.snapshot_reads",
+                self.mvcc_snapshot_reads.load(Ordering::Relaxed),
+            );
+            m.set_counter(
+                "mvcc.gc_reclaimed_total",
+                self.mvcc_gc_reclaimed.load(Ordering::Relaxed),
+            );
+            m.set_counter(
+                "mvcc.snapshot_too_old_total",
+                self.mvcc_too_old.load(Ordering::Relaxed),
+            );
+            m.set_counter("mvcc.commit_ts", self.commit_ts.load(Ordering::Relaxed));
+            m.set_histogram("mvcc.version_chain_len", self.mvcc_chain_len.snapshot());
         }
 
         m.set_counter("txn.commits", self.commits.load(Ordering::Relaxed));
@@ -628,6 +677,19 @@ impl Engine {
                 .seed
                 .wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         );
+        // MVCC: pin a begin-timestamp snapshot. Taking `commit_ts` under
+        // the snapshots mutex orders BEGIN against the commit critical
+        // section, so a pinned snapshot S always has every version stamped
+        // ≤ S already published.
+        let snapshot = match self.config.concurrency {
+            Concurrency::S2pl => None,
+            Concurrency::Mvcc => {
+                let mut pins = self.snapshots.lock();
+                let ts = self.commit_ts.load(Ordering::Acquire);
+                *pins.entry(ts).or_insert(0) += 1;
+                Some(ts)
+            }
+        };
         Txn {
             _root_span: Some(root_span),
             _txn_guard: Some(txn_guard),
@@ -636,11 +698,24 @@ impl Engine {
             ty,
             rng,
             undo: Vec::new(),
+            snapshot,
+            writes: Vec::new(),
             predicate_buckets: Vec::new(),
             redo_bytes: 0,
             redo_records: Vec::new(),
             block_instants: Vec::new(),
             finished: false,
+        }
+    }
+
+    /// Drop one pin on snapshot `ts`, advancing the GC low-water mark.
+    fn unpin_snapshot(&self, ts: u64) {
+        let mut pins = self.snapshots.lock();
+        if let Some(n) = pins.get_mut(&ts) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&ts);
+            }
         }
     }
 }
@@ -672,6 +747,12 @@ pub struct Txn {
     /// Seeded from (engine seed, txn id); drives statement-RTT sampling.
     rng: SmallRng,
     undo: Vec<Undo>,
+    /// MVCC begin-timestamp snapshot (`None` under s2pl). Unpinned on
+    /// every exit path — commit, rollback, and drop.
+    snapshot: Option<u64>,
+    /// MVCC first-writes (table, key): the tentative versions to stamp at
+    /// commit or discard at rollback. Empty under s2pl (undo serves there).
+    writes: Vec<(TableId, RowKey)>,
     predicate_buckets: Vec<(TableId, u64)>,
     redo_bytes: u64,
     redo_records: Vec<LogRecord>,
@@ -787,12 +868,50 @@ impl Txn {
         e.pool.access(table.data_page(key), write);
     }
 
-    /// Read a row under a shared lock.
+    /// Resolve one key against the version chain at this transaction's
+    /// snapshot (mvcc read path — the lock manager is never consulted).
+    /// `TooOld` aborts the transaction: its snapshot fell off a capped
+    /// chain, so no consistent read is possible anymore.
+    fn snapshot_read(
+        &mut self,
+        table: TableId,
+        key: RowKey,
+        snapshot: u64,
+    ) -> Result<Option<Row>, EngineError> {
+        let e = self.engine.clone();
+        let t = e.catalog.table(table);
+        e.mvcc_snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        if e.config.broken_snapshots {
+            // Seeded bug (EngineConfig::broken_snapshots): read the newest
+            // version regardless of stamp or writer — dirty reads.
+            return Ok(t.get(key));
+        }
+        match t.read_version(key, snapshot, self.token.id.0) {
+            VersionRead::Visible(row) => Ok(Some(row)),
+            VersionRead::NotVisible => Ok(None),
+            VersionRead::TooOld => {
+                e.mvcc_too_old.fetch_add(1, Ordering::Relaxed);
+                self.rollback();
+                Err(EngineError::SnapshotTooOld)
+            }
+        }
+    }
+
+    /// Read a row: under a shared lock (s2pl), or lock-free against the
+    /// begin-timestamp snapshot (mvcc).
     pub fn read(&mut self, table: TableId, key: RowKey) -> Result<Row, EngineError> {
         self.check_active()?;
         self.statement_rtt();
         let e = self.engine.clone();
         let _span = e.profiler.probe(e.probes.row_search_for_mysql);
+        if let Some(snapshot) = self.snapshot {
+            let t = e.catalog.table(table);
+            self.index_descent(&t, key);
+            self.page_access(&t, key, false);
+            return self
+                .snapshot_read(table, key, snapshot)?
+                .ok_or(EngineError::RowNotFound { table, key });
+        }
         self.acquire(Self::table_lock_obj(table), LockMode::IS)?;
         let t = e.catalog.table(table);
         self.index_descent(&t, key);
@@ -831,12 +950,17 @@ impl Txn {
         self.index_descent(&t, key);
         self.acquire(Self::row_lock_obj(table, key), LockMode::X)?;
         self.page_access(&t, key, true);
+        // A current read: the X lock means no other writer is in flight,
+        // so `get` is the committed latest (or this txn's own write) in
+        // both modes — write-write conflicts keep 2PL semantics.
         let mut row = t.get(key).ok_or(EngineError::RowNotFound { table, key })?;
-        self.undo.push(Undo::Update {
-            table,
-            key,
-            old: row.clone(),
-        });
+        if self.snapshot.is_none() {
+            self.undo.push(Undo::Update {
+                table,
+                key,
+                old: row.clone(),
+            });
+        }
         mutate(&mut row);
         self.redo_bytes += row_bytes(&row) * e.config.redo_amplification;
         self.redo_records.push(LogRecord::Update {
@@ -845,7 +969,14 @@ impl Txn {
             key,
             after: row.clone(),
         });
-        t.put(key, row);
+        if self.snapshot.is_some() {
+            // Tentative version, stamped with the commit ts at commit.
+            if t.write_version(key, row, self.token.id.0) {
+                self.writes.push((table, key));
+            }
+        } else {
+            t.put(key, row);
+        }
         Ok(())
     }
 
@@ -867,7 +998,6 @@ impl Txn {
             cpu_work(e.config.work_per_index_level);
         }
         self.page_access(&t, key, true);
-        self.undo.push(Undo::Insert { table, key });
         self.redo_bytes += row_bytes(&row) * e.config.redo_amplification;
         self.redo_records.push(LogRecord::Insert {
             txn: self.token.id.0,
@@ -875,7 +1005,15 @@ impl Txn {
             key,
             row: row.clone(),
         });
-        t.put(key, row);
+        if self.snapshot.is_some() {
+            // Invisible to concurrent snapshots until stamped at commit.
+            if t.write_version(key, row, self.token.id.0) {
+                self.writes.push((table, key));
+            }
+        } else {
+            self.undo.push(Undo::Insert { table, key });
+            t.put(key, row);
+        }
         Ok(key)
     }
 
@@ -892,6 +1030,22 @@ impl Txn {
         self.statement_rtt();
         let e = self.engine.clone();
         let _span = e.profiler.probe(e.probes.row_search_for_mysql);
+        if let Some(snapshot) = self.snapshot {
+            // Snapshot scan: no table/record locks, and no predicate locks
+            // either — visibility replaces the phantom guard, since keys
+            // committed after the snapshot simply are not visible.
+            let t = e.catalog.table(table);
+            self.index_descent(&t, lo);
+            let keys = t.range_keys(lo, hi, limit);
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                self.page_access(&t, key, false);
+                if let Some(row) = self.snapshot_read(table, key, snapshot)? {
+                    out.push((key, row));
+                }
+            }
+            return Ok(out);
+        }
         self.acquire(Self::table_lock_obj(table), LockMode::IS)?;
         let t = e.catalog.table(table);
         self.index_descent(&t, lo);
@@ -968,6 +1122,32 @@ impl Txn {
             if e.config.personality == Personality::Postgres {
                 self.release_predicate_locks();
             }
+            // MVCC: stamp this transaction's tentative versions with the
+            // next commit timestamp and publish it — all under the
+            // snapshots mutex, so BEGIN never observes a timestamp whose
+            // stamps are still being written, and still holding the X
+            // locks, so no new writer can slip under an unstamped version.
+            if !self.writes.is_empty() {
+                let pins = e.snapshots.lock();
+                let ts = e.commit_ts.load(Ordering::Relaxed) + 1;
+                let floor = pins.keys().next().copied().unwrap_or(ts);
+                let cap = e.config.mvcc_chain_cap;
+                let mut reclaimed = 0u64;
+                for (table, key) in std::mem::take(&mut self.writes) {
+                    let t = e.catalog.table(table);
+                    let (len, r) = t.commit_version(key, self.token.id.0, ts, floor, cap);
+                    e.mvcc_chain_len.record(len as u64);
+                    reclaimed += r;
+                }
+                e.commit_ts.store(ts, Ordering::Release);
+                drop(pins);
+                if reclaimed > 0 {
+                    e.mvcc_gc_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(s) = self.snapshot.take() {
+            e.unpin_snapshot(s);
         }
         e.locks.release_all(self.token.id);
         let commit_time = now_nanos();
@@ -1029,6 +1209,15 @@ impl Txn {
                     e.catalog.table(table).remove(key);
                 }
             }
+        }
+        // MVCC: pop this transaction's tentative versions (the committed
+        // chain below them is untouched, so no undo images are needed),
+        // then unpin the snapshot so GC's low-water mark can advance.
+        for (table, key) in std::mem::take(&mut self.writes).into_iter().rev() {
+            e.catalog.table(table).abort_version(key, self.token.id.0);
+        }
+        if let Some(s) = self.snapshot.take() {
+            e.unpin_snapshot(s);
         }
         if e.config.personality == Personality::Postgres {
             let mut preds = e.predicate.lock();
@@ -1289,6 +1478,164 @@ mod tests {
             .find(|s| s.txn_type == 2)
             .expect("blocked txn sampled");
         assert!(s.remaining_ns > 0.0);
+    }
+
+    fn mvcc_config() -> EngineConfig {
+        EngineConfig {
+            concurrency: Concurrency::Mvcc,
+            ..fast_config()
+        }
+    }
+
+    #[test]
+    fn mvcc_snapshot_reads_bypass_locks_and_skip_writers() {
+        let e = Engine::new(mvcc_config());
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            for i in 0..10 {
+                setup.insert(t, vec![i, 0]).expect("insert");
+            }
+            setup.commit().expect("setup");
+        }
+        // Writer holds an X lock on key 5 across the reader's statements.
+        let mut w = e.begin(0);
+        w.update(t, 5, |r| r[1] = 99).expect("update");
+        let acquires_before = e.locks().stats().acquires;
+        let mut r = e.begin(0);
+        // Under s2pl this read would block on the X lock; here it returns
+        // the committed version immediately, without touching the manager.
+        assert_eq!(r.read(t, 5).expect("read"), vec![5, 0]);
+        assert_eq!(r.scan(t, 0, 10, 100).expect("scan").len(), 10);
+        assert_eq!(
+            e.locks().stats().acquires,
+            acquires_before,
+            "snapshot reads took no locks"
+        );
+        w.commit().expect("writer commit");
+        assert_eq!(
+            r.read(t, 5).expect("reread"),
+            vec![5, 0],
+            "repeatable read: commit after my begin stays invisible"
+        );
+        r.commit().expect("reader commit");
+        let mut r2 = e.begin(0);
+        assert_eq!(r2.read(t, 5).expect("read"), vec![5, 99], "fresh snapshot");
+        r2.commit().expect("commit");
+        assert_eq!(e.active_snapshots(), 0, "all snapshots unpinned");
+    }
+
+    #[test]
+    fn mvcc_insert_invisible_until_commit_and_to_older_snapshots() {
+        let e = Engine::new(mvcc_config());
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            for i in 0..3 {
+                setup.insert(t, vec![i]).expect("insert");
+            }
+            setup.commit().expect("setup");
+        }
+        let mut r = e.begin(0);
+        let mut w = e.begin(0);
+        let k = w.insert(t, vec![7]).expect("insert");
+        assert!(matches!(r.read(t, k), Err(EngineError::RowNotFound { .. })));
+        assert!(
+            r.scan(t, 0, k + 1, 100)
+                .expect("scan")
+                .iter()
+                .all(|(key, _)| *key != k),
+            "tentative insert filtered from scans"
+        );
+        w.commit().expect("writer commit");
+        assert!(
+            matches!(r.read(t, k), Err(EngineError::RowNotFound { .. })),
+            "committed insert still invisible to the older snapshot"
+        );
+        r.commit().expect("reader commit");
+        let mut r2 = e.begin(0);
+        assert_eq!(r2.read(t, k).expect("read"), vec![7]);
+        r2.commit().expect("commit");
+    }
+
+    #[test]
+    fn mvcc_rollback_restores_chain_and_unpins() {
+        let e = Engine::new(mvcc_config());
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            setup.insert(t, vec![0, 0]).expect("insert");
+            setup.commit().expect("setup");
+        }
+        let before = e.catalog.table(t).len();
+        {
+            let mut txn = e.begin(0);
+            txn.update(t, 0, |r| r[1] = 5).expect("update");
+            txn.insert(t, vec![9, 9]).expect("insert");
+            assert_eq!(e.active_snapshots(), 1);
+            // dropped: rollback
+        }
+        assert_eq!(e.active_snapshots(), 0, "rollback unpinned the snapshot");
+        assert_eq!(e.catalog.table(t).len(), before, "insert vanished");
+        assert_eq!(e.catalog.table(t).chain_len(0), 1, "tentative popped");
+        let mut check = e.begin(0);
+        assert_eq!(check.read(t, 0).expect("read"), vec![0, 0]);
+        check.commit().expect("commit");
+    }
+
+    #[test]
+    fn mvcc_chain_cap_forces_snapshot_too_old() {
+        let mut cfg = mvcc_config();
+        cfg.mvcc_chain_cap = 2;
+        let e = Engine::new(cfg);
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            setup.insert(t, vec![0, 0]).expect("insert");
+            setup.commit().expect("setup");
+        }
+        let mut old = e.begin(0); // pins the pre-update snapshot
+        for i in 0..5 {
+            let mut w = e.begin(0);
+            w.update(t, 0, |r| r[1] = i).expect("update");
+            w.commit().expect("commit");
+        }
+        let err = old
+            .read(t, 0)
+            .expect_err("snapshot fell off the capped chain");
+        assert_eq!(err, EngineError::SnapshotTooOld);
+        assert!(
+            matches!(old.read(t, 0), Err(EngineError::TxnFinished)),
+            "too-old rolled the transaction back"
+        );
+        drop(old);
+        assert_eq!(e.active_snapshots(), 0);
+        let snap = e.metrics_snapshot();
+        assert!(snap.counters.get("mvcc.gc_reclaimed_total").copied() > Some(0));
+        assert_eq!(snap.counters.get("mvcc.snapshot_too_old_total"), Some(&1));
+    }
+
+    #[test]
+    fn broken_snapshots_bug_exposes_dirty_reads() {
+        let mut cfg = mvcc_config();
+        cfg.broken_snapshots = true;
+        let e = Engine::new(cfg);
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            setup.insert(t, vec![0, 0]).expect("insert");
+            setup.commit().expect("setup");
+        }
+        let mut w = e.begin(0);
+        w.update(t, 0, |r| r[1] = 42).expect("update");
+        let mut r = e.begin(0);
+        assert_eq!(
+            r.read(t, 0).expect("read"),
+            vec![0, 42],
+            "seeded bug: uncommitted write is visible"
+        );
+        w.abort();
+        r.commit().expect("commit");
     }
 
     #[test]

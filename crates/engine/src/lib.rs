@@ -26,8 +26,8 @@ pub mod probes;
 pub mod session;
 pub mod types;
 
-pub use catalog::{Catalog, TableInfo};
-pub use config::{DiskBackend, EngineConfig, Personality};
+pub use catalog::{Catalog, TableInfo, VersionRead};
+pub use config::{Concurrency, DiskBackend, EngineConfig, Personality};
 pub use engine::{AgeRemainingSample, DiskRecovery, Engine, EngineStats, RecoveryReport, Txn};
 pub use probes::EngineProbes;
 pub use session::{Session, SessionError};

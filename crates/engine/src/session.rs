@@ -22,9 +22,10 @@ pub enum SessionError {
     NoActiveTxn,
     /// BEGIN arrived while a transaction was already open.
     TxnAlreadyActive,
-    /// The engine failed the operation. For [`EngineError::Deadlock`] and
-    /// [`EngineError::LockTimeout`] the transaction has already been
-    /// rolled back and the session is back in the idle state.
+    /// The engine failed the operation. For [`EngineError::Deadlock`],
+    /// [`EngineError::LockTimeout`], and [`EngineError::SnapshotTooOld`]
+    /// the transaction has already been rolled back and the session is
+    /// back in the idle state.
     Engine(EngineError),
 }
 
@@ -101,7 +102,12 @@ impl Session {
         let txn = self.txn.as_mut().ok_or(SessionError::NoActiveTxn)?;
         match op(txn) {
             Ok(v) => Ok(v),
-            Err(e @ (EngineError::Deadlock | EngineError::LockTimeout)) => {
+            Err(
+                e
+                @ (EngineError::Deadlock | EngineError::LockTimeout | EngineError::SnapshotTooOld),
+            ) => {
+                // The engine already rolled back (and, under mvcc, unpinned
+                // the snapshot); drop the dead Txn so the session is idle.
                 self.txn = None;
                 Err(SessionError::Engine(e))
             }
@@ -222,6 +228,7 @@ mod tests {
         }
         assert_eq!(e.locks().granted_count(obj), 0, "lock released on drop");
         assert_eq!(e.locks().outstanding(), (0, 0), "lock table fully clean");
+        assert_eq!(e.active_snapshots(), 0, "no pinned snapshots under s2pl");
         assert_eq!(e.stats().aborts, 1);
         let mut check = e.begin(0);
         assert_eq!(check.read(t, 5).expect("read"), vec![5, 0], "rolled back");
@@ -268,6 +275,55 @@ mod tests {
         }
         h.join().expect("worker");
         assert_eq!(e.locks().outstanding(), (0, 0), "no leaked entries");
+    }
+
+    #[test]
+    fn mvcc_session_exit_paths_unpin_snapshots() {
+        let quick = DiskConfig {
+            service: ServiceTime::Fixed(10_000),
+            ns_per_byte: 0.0,
+            seed: 11,
+        };
+        let e = Engine::new(EngineConfig {
+            data_disk: quick.clone(),
+            log_disks: vec![quick],
+            concurrency: crate::config::Concurrency::Mvcc,
+            ..EngineConfig::mysql(Policy::Fcfs)
+        });
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            for i in 0..8 {
+                setup.insert(t, vec![i, 0]).expect("insert");
+            }
+            setup.commit().expect("setup");
+        }
+        assert_eq!(e.active_snapshots(), 0);
+        // Commit path unpins.
+        let mut s = Session::new(e.clone());
+        s.begin(0).expect("begin");
+        assert_eq!(e.active_snapshots(), 1, "begin pins a snapshot");
+        s.update_row(t, 3, vec![3, 1]).expect("update");
+        s.commit().expect("commit");
+        assert_eq!(e.active_snapshots(), 0, "commit unpins");
+        // Abort path unpins.
+        s.begin(0).expect("begin");
+        s.update_row(t, 3, vec![3, 2]).expect("update");
+        s.abort().expect("abort");
+        assert_eq!(e.active_snapshots(), 0, "abort unpins");
+        // Drop mid-transaction (connection death) unpins — the GC
+        // low-water-mark leak this audit exists to catch.
+        {
+            let mut dead = Session::new(e.clone());
+            dead.begin(0).expect("begin");
+            dead.update_row(t, 3, vec![3, 9]).expect("update");
+        }
+        assert_eq!(e.active_snapshots(), 0, "session drop unpins");
+        assert_eq!(e.locks().outstanding(), (0, 0), "no leaked locks either");
+        let mut check = Session::new(e.clone());
+        check.begin(0).expect("begin");
+        assert_eq!(check.read(t, 3).expect("read"), vec![3, 1], "rolled back");
+        check.commit().expect("commit");
     }
 
     #[test]

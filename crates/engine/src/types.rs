@@ -33,6 +33,11 @@ pub enum EngineError {
     },
     /// Operation on a transaction that already ended.
     TxnFinished,
+    /// The transaction's snapshot fell behind version-chain GC (the chain
+    /// cap forced out a version this reader still needed); the engine has
+    /// already rolled it back. MVCC mode only. Retry with a fresh
+    /// transaction, which pins a current snapshot.
+    SnapshotTooOld,
 }
 
 impl std::fmt::Display for EngineError {
@@ -44,6 +49,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "row {key} not found in table {}", table.0)
             }
             EngineError::TxnFinished => f.write_str("transaction already finished"),
+            EngineError::SnapshotTooOld => f.write_str("snapshot too old; transaction rolled back"),
         }
     }
 }

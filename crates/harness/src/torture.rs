@@ -31,7 +31,7 @@ use rand::{Rng, SeedableRng};
 use tpd_common::clock::VirtualClock;
 use tpd_common::dist::ServiceTime;
 use tpd_common::FaultPlan;
-use tpd_engine::{DiskBackend, Engine, EngineConfig, Policy, TableId, Txn};
+use tpd_engine::{Concurrency, DiskBackend, Engine, EngineConfig, Policy, TableId, Txn};
 use tpd_metrics::MetricsSnapshot;
 use tpd_wal::{AppendMode, FlushPolicy, WalFaultPlan};
 use tpd_workloads::{install_torture_schema, TortureMix, TortureOp, TortureTxn};
@@ -61,9 +61,18 @@ pub struct TortureConfig {
     pub flush_policy: FlushPolicy,
     /// Transaction shape mix.
     pub mix: TortureMix,
+    /// Concurrency-control mode under test: strict 2PL (default) or
+    /// snapshot reads over version chains (`mvcc`). Both must pass the
+    /// same serializability checker.
+    pub concurrency: Concurrency,
     /// Seeded bug: skip all lock acquisition (the checker must catch the
     /// resulting anomalies).
     pub skip_locking: bool,
+    /// Seeded bug: mvcc snapshot reads ignore visibility and return the
+    /// newest (possibly uncommitted) version — the checker must catch the
+    /// dirty/non-repeatable reads. Only meaningful with
+    /// [`Concurrency::Mvcc`].
+    pub chaos_snapshots: bool,
     /// Seeded bug: acknowledge commits before the WAL flush completes (the
     /// durability audit must catch the loss after a crash).
     pub ack_before_flush: bool,
@@ -98,7 +107,9 @@ impl Default for TortureConfig {
             faults: false,
             flush_policy: FlushPolicy::Eager,
             mix: TortureMix::default(),
+            concurrency: Concurrency::S2pl,
             skip_locking: false,
+            chaos_snapshots: false,
             ack_before_flush: false,
             statement_rtt: None,
             wal_append: AppendMode::Lockfree,
@@ -272,7 +283,9 @@ fn build_engine(cfg: &TortureConfig) -> (Arc<Engine>, Vec<TableId>) {
     // thread; the driver flushes at seeded points instead.
     ec.wal_manual_flush = true;
     ec.seed = cfg.seed;
+    ec.concurrency = cfg.concurrency;
     ec.skip_locking = cfg.skip_locking;
+    ec.broken_snapshots = cfg.chaos_snapshots;
     ec.statement_rtt = cfg.statement_rtt.clone();
     ec = ec.with_wal_append(cfg.wal_append);
     if cfg.wal_append == AppendMode::Lockfree {
@@ -511,6 +524,14 @@ impl<'a> Driver<'a> {
         }
 
         self.check_epoch();
+        // Every in-flight session was killed above, so the retiring engine
+        // must hold no pinned snapshots (and no locks) — the GC low-water
+        // mark audit.
+        assert_eq!(
+            self.engine.active_snapshots(),
+            0,
+            "crash epoch leaked snapshot pins"
+        );
         // The crashed engine is about to be dropped; fold its metrics into
         // the whole-run view first.
         self.metrics.merge(&self.engine.metrics_snapshot());
@@ -647,6 +668,16 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         }
     }
     d.check_epoch();
+    assert_eq!(
+        d.engine.active_snapshots(),
+        0,
+        "run ended with leaked snapshot pins"
+    );
+    assert_eq!(
+        d.engine.locks().outstanding(),
+        (0, 0),
+        "run ended with leaked lock entries"
+    );
     d.metrics.merge(&d.engine.metrics_snapshot());
 
     TortureReport {

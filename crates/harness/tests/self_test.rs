@@ -2,12 +2,13 @@
 //! correct engine, and *loud* on the two seeded bugs.
 
 use tpd_common::dist::ServiceTime;
-use tpd_engine::DiskBackend;
+use tpd_engine::{Concurrency, DiskBackend};
 use tpd_harness::{
     run_crash_matrix, run_torture, CheckerViolation, CrashMatrixConfig, TortureConfig,
     TortureReport, TortureViolation,
 };
 use tpd_wal::FlushPolicy;
+use tpd_workloads::TortureMix;
 
 fn run(cfg: &TortureConfig) -> TortureReport {
     run_torture(cfg)
@@ -237,6 +238,130 @@ fn skip_locking_bug_is_caught_by_the_checker() {
 }
 
 #[test]
+fn single_session_mvcc_matches_s2pl_digest() {
+    // With one session there is no concurrency, so the two modes must
+    // produce the same committed history: the version chains are pure
+    // bookkeeping and every snapshot read sees the latest commit. The op
+    // digest (which covers every value read) must match bit-for-bit.
+    for seed in [9u64, 77] {
+        let base = TortureConfig {
+            seed,
+            txns: 200,
+            sessions: 1,
+            crash_every: 50,
+            faults: true,
+            ..Default::default()
+        };
+        let s2pl = run(&base);
+        let mvcc = run(&TortureConfig {
+            concurrency: Concurrency::Mvcc,
+            ..base.clone()
+        });
+        assert!(s2pl.ok(), "{}", s2pl.render_failures());
+        assert!(mvcc.ok(), "{}", mvcc.render_failures());
+        assert_eq!(
+            s2pl.digest, mvcc.digest,
+            "seed {seed}: single-session histories must be identical"
+        );
+        assert_eq!(s2pl.commits, mvcc.commits);
+        assert_eq!(s2pl.aborts, mvcc.aborts);
+    }
+}
+
+#[test]
+fn mvcc_torture_is_deterministic_and_clean() {
+    // Multi-session mvcc under faults and crashes: violation-free, and the
+    // doubled run reproduces both the digest and the full metrics JSON —
+    // the same witness the CI matrix diffs.
+    let cfg = TortureConfig {
+        seed: 0xBEEF,
+        txns: 250,
+        sessions: 6,
+        crash_every: 60,
+        faults: true,
+        concurrency: Concurrency::Mvcc,
+        ..Default::default()
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert!(a.ok(), "{}", a.render_failures());
+    assert_eq!(a.digest, b.digest, "mvcc runs must replay bit-for-bit");
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    assert!(
+        a.metrics.counters.get("mvcc.snapshot_reads").copied() > Some(0),
+        "snapshot read path exercised"
+    );
+}
+
+#[test]
+fn mvcc_all_read_mix_takes_zero_locks() {
+    // The point of the snapshot read path: a mix of nothing but single-row
+    // reads and scans acquires no locks at all under mvcc, while s2pl
+    // pays one shared lock per row touched.
+    let all_reads = TortureMix {
+        tatp_fraction: 0.0,
+        ycsb_read_slots: 8,
+        ycsb_update_slots: 0,
+        ..Default::default()
+    };
+    let base = TortureConfig {
+        seed: 31,
+        txns: 150,
+        sessions: 4,
+        crash_every: 0,
+        mix: all_reads,
+        ..Default::default()
+    };
+    let mvcc = run(&TortureConfig {
+        concurrency: Concurrency::Mvcc,
+        ..base.clone()
+    });
+    let s2pl = run(&base);
+    assert!(mvcc.ok(), "{}", mvcc.render_failures());
+    assert_eq!(
+        mvcc.metrics.counters.get("lock.acquires").copied(),
+        Some(0),
+        "mvcc reads must never touch the lock manager"
+    );
+    assert!(
+        s2pl.metrics.counters.get("lock.acquires").copied() > Some(0),
+        "s2pl control still locks"
+    );
+}
+
+#[test]
+fn chaos_snapshots_bug_is_caught_by_the_checker() {
+    // The seeded mvcc bug: snapshot reads return the newest version —
+    // including other transactions' uncommitted writes. Interleaved
+    // sessions on a tiny keyspace must produce dirty reads the
+    // serialization-graph checker flags.
+    let cfg = TortureConfig {
+        seed: 42,
+        txns: 250,
+        sessions: 6,
+        crash_every: 0,
+        abort_prob: 0.1,
+        concurrency: Concurrency::Mvcc,
+        chaos_snapshots: true,
+        ..Default::default()
+    };
+    let report = run(&cfg);
+    assert!(!report.ok(), "checker must catch the broken snapshot bug");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, TortureViolation::Serializability { .. })),
+        "expected serializability findings:\n{}",
+        report.render_failures()
+    );
+    // The verdict replays.
+    let again = run(&cfg);
+    assert_eq!(report.digest, again.digest);
+    assert_eq!(report.violations.len(), again.violations.len());
+}
+
+#[test]
 fn ack_before_flush_bug_is_caught_by_the_durability_audit() {
     // The seeded durability bug: commits acknowledged before the WAL
     // flush. A crash must reveal acknowledged-then-lost commits.
@@ -320,21 +445,24 @@ fn torture_soak() {
     }
     for seed in 0..25u64 {
         for policy in [FlushPolicy::Eager, FlushPolicy::LazyWrite] {
-            let report = run(&TortureConfig {
-                seed,
-                txns: 1_000,
-                sessions: 6,
-                crash_every: 80,
-                flush_every: 9,
-                flush_policy: policy,
-                faults: true,
-                ..Default::default()
-            });
-            assert!(
-                report.ok(),
-                "seed {seed} policy {policy:?}:\n{}",
-                report.render_failures()
-            );
+            for concurrency in [Concurrency::S2pl, Concurrency::Mvcc] {
+                let report = run(&TortureConfig {
+                    seed,
+                    txns: 1_000,
+                    sessions: 6,
+                    crash_every: 80,
+                    flush_every: 9,
+                    flush_policy: policy,
+                    faults: true,
+                    concurrency,
+                    ..Default::default()
+                });
+                assert!(
+                    report.ok(),
+                    "seed {seed} policy {policy:?} {concurrency}:\n{}",
+                    report.render_failures()
+                );
+            }
         }
     }
 }

@@ -443,7 +443,11 @@ fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
 pub(crate) fn engine_error_reply(e: EngineError) -> Frame {
     let (code, detail) = match e {
         EngineError::Deadlock => (ErrorCode::Deadlock, e.to_string()),
-        EngineError::LockTimeout => (ErrorCode::LockTimeout, e.to_string()),
+        // Snapshot-too-old behaves like a timeout on the wire: the engine
+        // rolled back; the client retries with a fresh transaction.
+        EngineError::LockTimeout | EngineError::SnapshotTooOld => {
+            (ErrorCode::LockTimeout, e.to_string())
+        }
         EngineError::RowNotFound { .. } => (ErrorCode::RowNotFound, e.to_string()),
         EngineError::TxnFinished => (ErrorCode::TxnState, e.to_string()),
     };
@@ -465,7 +469,9 @@ pub(crate) fn session_error_reply(e: SessionError) -> Frame {
 pub(crate) fn error_ended_txn(e: &SessionError) -> bool {
     matches!(
         e,
-        SessionError::Engine(EngineError::Deadlock | EngineError::LockTimeout)
+        SessionError::Engine(
+            EngineError::Deadlock | EngineError::LockTimeout | EngineError::SnapshotTooOld
+        )
     )
 }
 

@@ -282,8 +282,9 @@ fn concurrent_tatp_matches_replay_oracle_and_metrics_in(mode: ServerMode) {
         "each fsync acknowledged at least one commit"
     );
 
-    // No lock-queue entry outlived its transaction.
+    // No lock-queue entry or snapshot pin outlived its transaction.
     assert_eq!(engine.locks().outstanding(), (0, 0), "no leaked locks");
+    assert_eq!(engine.active_snapshots(), 0, "no leaked snapshot pins");
     assert_eq!(handle.protocol_errors(), 0);
 
     // Single-threaded replay oracle: same install, every committed spec
@@ -374,6 +375,7 @@ fn killed_client_releases_locks_and_rolls_back_in(mode: ServerMode) {
         .expect("row lock free for the next client");
     fresh.commit().expect("commit");
     assert_eq!(engine.locks().outstanding(), (0, 0));
+    assert_eq!(engine.active_snapshots(), 0, "no leaked snapshot pins");
 }
 
 /// Admission behaviour observed over the wire: with one slot and no
@@ -663,6 +665,7 @@ fn disconnect_matrix(mode: ServerMode, rst: bool) {
     assert_eq!(row[3], 0, "dead client's update rolled back");
     fresh.commit().expect("commit");
     assert_eq!(engine.locks().outstanding(), (0, 0));
+    assert_eq!(engine.active_snapshots(), 0, "no leaked snapshot pins");
 }
 
 #[test]
@@ -740,6 +743,7 @@ fn slow_loris_reaped(mode: ServerMode) {
     let row = fresh.read(wire.subscriber, 5).expect("read");
     assert_eq!(row[3], 0, "loris update rolled back");
     fresh.commit().expect("commit");
+    assert_eq!(engine.active_snapshots(), 0, "no leaked snapshot pins");
 
     if mode == ServerMode::Evented {
         let m = fresh.metrics().expect("metrics");

@@ -130,6 +130,7 @@ fn evented_sustains_thousands_of_connections() {
     // back (in_flight would show up as lock-queue leftovers or a
     // nonzero open-conn gauge once the probe closes).
     assert_eq!(engine.locks().outstanding(), (0, 0), "no leaked locks");
+    assert_eq!(engine.active_snapshots(), 0, "no leaked snapshot pins");
     assert_eq!(handle.protocol_errors(), 0, "server saw clean framing");
 
     // Permit accounting: with the population gone, a BEGIN must admit

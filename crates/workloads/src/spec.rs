@@ -48,7 +48,10 @@ pub fn execute_with_retries(
         attempts += 1;
         match workload.execute(engine, spec) {
             Ok(()) => return Ok(attempts),
-            Err(e @ (EngineError::Deadlock | EngineError::LockTimeout)) => {
+            Err(
+                e
+                @ (EngineError::Deadlock | EngineError::LockTimeout | EngineError::SnapshotTooOld),
+            ) => {
                 if attempts >= max_attempts {
                     return Err(e);
                 }

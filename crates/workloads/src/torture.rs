@@ -82,6 +82,14 @@ pub struct TortureMix {
     pub keyspace: u64,
     /// Number of tables (≥ 1).
     pub tables: usize,
+    /// Of 10 YCSB draws, how many are single-row reads. The YCSB draw is
+    /// `d ∈ [0, 10)`: read if `d < ycsb_read_slots`, update if
+    /// `d < ycsb_read_slots + ycsb_update_slots`, else scan — the defaults
+    /// (5/4) reproduce the original thresholds draw-for-draw, so default
+    /// digests are unchanged.
+    pub ycsb_read_slots: u8,
+    /// Of 10 YCSB draws, how many are single-row updates.
+    pub ycsb_update_slots: u8,
 }
 
 impl Default for TortureMix {
@@ -90,6 +98,8 @@ impl Default for TortureMix {
             tatp_fraction: 0.6,
             keyspace: 16,
             tables: 2,
+            ycsb_read_slots: 5,
+            ycsb_update_slots: 4,
         }
     }
 }
@@ -100,6 +110,20 @@ impl TortureMix {
         TortureMix {
             keyspace,
             ..Default::default()
+        }
+    }
+
+    /// YCSB-B-like read-heavy mix: mostly single-row reads and short
+    /// scans, a thin stream of TATP shapes to keep write-write conflicts
+    /// (and therefore checker edges) in play. This is the mix where a
+    /// lock-free read path should drive read-side lock waits to zero.
+    pub fn read_heavy() -> Self {
+        TortureMix {
+            tatp_fraction: 0.15,
+            keyspace: 16,
+            tables: 2,
+            ycsb_read_slots: 8,
+            ycsb_update_slots: 1,
         }
     }
 
@@ -154,25 +178,26 @@ impl TortureMix {
                 },
             }
         } else {
-            match rng.gen_range(0..10u8) {
-                0..=4 => TortureTxn {
+            let d = rng.gen_range(0..10u8);
+            if d < self.ycsb_read_slots {
+                TortureTxn {
                     label: "ycsb-read",
                     ops: vec![TortureOp::Read { table: t, key: k }],
-                },
-                5..=8 => TortureTxn {
+                }
+            } else if d < self.ycsb_read_slots + self.ycsb_update_slots {
+                TortureTxn {
                     label: "ycsb-update",
                     ops: vec![TortureOp::Update { table: t, key: k }],
-                },
-                _ => {
-                    let len = rng.gen_range(2u64..=4).min(self.keyspace);
-                    TortureTxn {
-                        label: "ycsb-scan",
-                        ops: vec![TortureOp::Scan {
-                            table: t,
-                            start: k.min(self.keyspace - len),
-                            len,
-                        }],
-                    }
+                }
+            } else {
+                let len = rng.gen_range(2u64..=4).min(self.keyspace);
+                TortureTxn {
+                    label: "ycsb-scan",
+                    ops: vec![TortureOp::Scan {
+                        table: t,
+                        start: k.min(self.keyspace - len),
+                        len,
+                    }],
                 }
             }
         }
@@ -222,6 +247,7 @@ mod tests {
             tatp_fraction: 0.5,
             keyspace: 8,
             tables: 3,
+            ..Default::default()
         };
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..2000 {
@@ -240,6 +266,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn read_heavy_mix_is_read_dominated_but_still_writes() {
+        let mix = TortureMix::read_heavy();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (mut reads, mut writes) = (0usize, 0usize);
+        for _ in 0..2000 {
+            for op in &mix.sample(&mut rng).ops {
+                match op {
+                    TortureOp::Read { .. } | TortureOp::Scan { .. } => reads += 1,
+                    TortureOp::Update { .. } | TortureOp::Insert { .. } => writes += 1,
+                    TortureOp::ReadForUpdate { .. } => {}
+                }
+            }
+        }
+        assert!(writes > 50, "writes still present: {writes}");
+        assert!(reads > writes * 3, "read-dominated: {reads} vs {writes}");
     }
 
     #[test]
