@@ -30,7 +30,8 @@ const USAGE: &str = "usage: loadgen [--addr HOST:PORT (default: in-process serve
 [--server-mode threads|evented] [--workers N] [--idle-ms N] [--no-nodelay] \
 [--mux] [--txns N (per conn, --mux only)] \
 [--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR] \
-[--concurrency s2pl|mvcc]\n\
+[--concurrency s2pl|mvcc] [--policy fcfs|vats|rs|cats|predictive] \
+[--admit-defer-hot] [--defer-max N]\n\
 --mux drives all connections from one multiplexed thread (use for multi-thousand-conn \
 ramps; --secs becomes a safety deadline, each conn runs --txns transactions)";
 

@@ -14,7 +14,8 @@ const USAGE: &str = "usage: serve [--addr HOST:PORT] [--subscribers N] [--slots 
 [--server-mode threads|evented] [--workers N (evented; 0 = one per slot)] \
 [--idle-ms N] [--no-nodelay] \
 [--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] [--data-dir DIR] \
-[--concurrency s2pl|mvcc]";
+[--concurrency s2pl|mvcc] [--policy fcfs|vats|rs|cats|predictive] \
+[--admit-defer-hot] [--defer-max N]";
 
 fn main() {
     let args = match NetArgs::parse_from(std::env::args().skip(1), USAGE) {

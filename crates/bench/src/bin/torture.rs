@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 
 use tpd_common::dist::ServiceTime;
-use tpd_engine::{Concurrency, DiskBackend};
+use tpd_engine::{Concurrency, DiskBackend, Policy};
 use tpd_harness::{run_torture, TortureConfig};
 use tpd_wal::{AppendMode, FlushPolicy};
 use tpd_workloads::TortureMix;
@@ -35,6 +35,10 @@ struct TortureArgs {
     crash_every: u64,
     /// Flush policy: `eager`, `lazy-write`, or `lazy-flush`.
     policy: FlushPolicy,
+    /// Lock scheduling policy: `fcfs`, `vats`, `rs`, `cats`, or
+    /// `predictive`. Shares the `--policy` flag with the flush policies —
+    /// the two name sets are disjoint, so each value routes to its knob.
+    lock_policy: Policy,
     /// Seeded bug: skip lock acquisition.
     chaos_locks: bool,
     /// Seeded bug: acknowledge commits before the flush.
@@ -75,6 +79,7 @@ impl Default for TortureArgs {
             sessions: 4,
             crash_every: 60,
             policy: FlushPolicy::Eager,
+            lock_policy: Policy::Fcfs,
             chaos_locks: false,
             chaos_ack: false,
             metrics: false,
@@ -92,7 +97,8 @@ impl Default for TortureArgs {
 }
 
 const USAGE: &str = "usage: torture [--seed S] [--seeds N] [--faults] [--txns N] \
-[--sessions N] [--crash-every N] [--policy eager|lazy-write|lazy-flush] \
+[--sessions N] [--crash-every N] \
+[--policy eager|lazy-write|lazy-flush|fcfs|vats|rs|cats|predictive] \
 [--chaos-locks] [--chaos-ack] [--metrics] [--metrics-json] [--rtt NS] \
 [--wal-append mutex|lockfree] [--log-writers K] [--disk-backend sim|file] \
 [--data-dir DIR] [--concurrency s2pl|mvcc] [--mix default|read-heavy] \
@@ -119,11 +125,21 @@ impl TortureArgs {
                 }
                 "--crash-every" => args.crash_every = num("--crash-every", take("--crash-every")?)?,
                 "--policy" => {
-                    args.policy = match take("--policy")?.as_str() {
-                        "eager" => FlushPolicy::Eager,
-                        "lazy-write" => FlushPolicy::LazyWrite,
-                        "lazy-flush" => FlushPolicy::LazyFlush,
-                        other => return Err(format!("unknown policy {other}")),
+                    // One flag, two disjoint name sets: flush policies
+                    // and lock scheduling policies route to their knob.
+                    let v = take("--policy")?;
+                    match v.as_str() {
+                        "eager" => args.policy = FlushPolicy::Eager,
+                        "lazy-write" => args.policy = FlushPolicy::LazyWrite,
+                        "lazy-flush" => args.policy = FlushPolicy::LazyFlush,
+                        other => {
+                            args.lock_policy = other.parse::<Policy>().map_err(|_| {
+                                format!(
+                                    "unknown policy {other} (flush: eager|lazy-write|lazy-flush; \
+                                     lock: fcfs|vats|rs|cats|predictive)"
+                                )
+                            })?
+                        }
                     }
                 }
                 "--chaos-locks" => args.chaos_locks = true,
@@ -173,6 +189,7 @@ impl TortureArgs {
             crash_every: self.crash_every,
             faults: self.faults,
             flush_policy: self.policy,
+            lock_policy: self.lock_policy,
             skip_locking: self.chaos_locks,
             ack_before_flush: self.chaos_ack,
             statement_rtt: (self.rtt_ns > 0).then_some(ServiceTime::LogNormal {
@@ -379,5 +396,22 @@ mod tests {
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--policy", "yolo"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn policy_flag_routes_flush_and_lock_names() {
+        let a = parse(&[]).expect("empty");
+        assert_eq!(a.policy, FlushPolicy::Eager);
+        assert_eq!(a.lock_policy, Policy::Fcfs);
+
+        // A lock-policy name leaves the flush policy alone and vice versa.
+        let a = parse(&["--policy", "predictive"]).expect("parse");
+        assert_eq!(a.policy, FlushPolicy::Eager);
+        assert_eq!(a.lock_policy, Policy::Predictive);
+        assert_eq!(a.config(1).lock_policy, Policy::Predictive);
+
+        let a = parse(&["--policy", "lazy-flush", "--policy", "vats"]).expect("parse");
+        assert_eq!(a.policy, FlushPolicy::LazyFlush);
+        assert_eq!(a.lock_policy, Policy::Vats);
     }
 }

@@ -67,6 +67,15 @@ pub struct NetArgs {
     pub mux: bool,
     /// `loadgen --mux`: scripted transactions per connection (`--txns`).
     pub txns: u64,
+    /// Lock scheduling policy for the in-process engine (`--policy
+    /// fcfs|vats|rs|cats|predictive`).
+    pub policy: Policy,
+    /// Defer predicted-hot BEGINs at the admission controller
+    /// (`--admit-defer-hot`); only meaningful with `--policy predictive`
+    /// (no other policy builds a predictor, so nothing classifies hot).
+    pub admit_defer_hot: bool,
+    /// Aging bound for the defer gate (`--defer-max`).
+    pub defer_max: u32,
 }
 
 impl Default for NetArgs {
@@ -93,6 +102,9 @@ impl Default for NetArgs {
             nodelay: true,
             mux: false,
             txns: 50,
+            policy: Policy::Fcfs,
+            admit_defer_hot: false,
+            defer_max: 4,
         }
     }
 }
@@ -183,6 +195,15 @@ impl NetArgs {
                         return Err("--txns must be >= 1".to_string());
                     }
                 }
+                "--policy" => {
+                    args.policy = raw("--policy")?
+                        .parse::<Policy>()
+                        .map_err(|e| format!("--policy: {e}"))?
+                }
+                "--admit-defer-hot" => args.admit_defer_hot = true,
+                "--defer-max" => {
+                    args.defer_max = num(&raw("--defer-max")?, "--defer-max")? as u32
+                }
                 "--help" | "-h" => return Err(usage.to_string()),
                 other => return Err(format!("unknown flag {other}\n{usage}")),
             }
@@ -204,6 +225,8 @@ impl NetArgs {
             slots: self.slots,
             queue_cap: self.admission_cap,
             queue_deadline: self.deadline,
+            defer_hot: self.admit_defer_hot,
+            defer_max: self.defer_max,
         }
     }
 }
@@ -229,12 +252,15 @@ pub fn served_engine_with(seed: u64, wal_append: AppendMode, log_writers: usize)
         DiskBackend::Sim,
         None,
         Concurrency::S2pl,
+        Policy::Fcfs,
     )
 }
 
 /// [`served_engine`] with the full device selection: WAL append path,
 /// parallel-log count, the WAL backend (`--disk-backend` / `--data-dir`),
-/// and the concurrency control mode (`--concurrency`).
+/// the concurrency control mode (`--concurrency`), and the lock
+/// scheduling policy (`--policy`).
+#[allow(clippy::too_many_arguments)]
 pub fn served_engine_cfg(
     seed: u64,
     wal_append: AppendMode,
@@ -242,6 +268,7 @@ pub fn served_engine_cfg(
     disk_backend: DiskBackend,
     data_dir: Option<&std::path::Path>,
     concurrency: Concurrency,
+    policy: Policy,
 ) -> Arc<Engine> {
     let disk = DiskConfig {
         service: ServiceTime::Fixed(20_000),
@@ -256,7 +283,7 @@ pub fn served_engine_cfg(
         lock_timeout: Some(Duration::from_secs(5)),
         lock_shards: 0,
         seed,
-        ..EngineConfig::mysql(Policy::Fcfs)
+        ..EngineConfig::mysql(policy)
     }
     .with_wal_append(wal_append)
     .with_log_writers(if wal_append == AppendMode::Mutex {
@@ -285,6 +312,7 @@ pub fn start_tatp_server(
         args.disk_backend,
         args.data_dir.as_deref(),
         args.concurrency,
+        args.policy,
     );
     let tatp = if args.disk_backend == DiskBackend::File {
         // Restart path: replay whatever the previous process persisted.
@@ -498,6 +526,64 @@ mod tests {
         handle.shutdown();
         assert_eq!(engine.locks().outstanding(), (0, 0));
         assert_eq!(engine.active_snapshots(), 0, "server leaked snapshot pins");
+    }
+
+    #[test]
+    fn policy_and_defer_flags_apply() {
+        let a = parse(&[]).expect("empty");
+        assert_eq!(a.policy, Policy::Fcfs);
+        assert!(!a.admit_defer_hot);
+        assert_eq!(a.defer_max, 4);
+        assert!(!a.admission().defer_hot, "defer off by default");
+
+        let a = parse(&[
+            "--policy",
+            "predictive",
+            "--admit-defer-hot",
+            "--defer-max",
+            "7",
+        ])
+        .expect("parse");
+        assert_eq!(a.policy, Policy::Predictive);
+        let adm = a.admission();
+        assert!(adm.defer_hot);
+        assert_eq!(adm.defer_max, 7);
+
+        assert_eq!(parse(&["--policy", "vats"]).expect("vats").policy, Policy::Vats);
+        assert!(parse(&["--policy", "lifo"]).is_err());
+    }
+
+    #[test]
+    fn predictive_in_process_server_comes_up_and_serves() {
+        let args = parse(&[
+            "--subscribers",
+            "64",
+            "--slots",
+            "8",
+            "--policy",
+            "predictive",
+            "--admit-defer-hot",
+        ])
+        .expect("parse");
+        let (engine, mut handle, wire) = start_tatp_server(&args, None).expect("spawn");
+        assert!(
+            engine.predictor().is_some(),
+            "--policy predictive builds the predictor"
+        );
+        let mut conn = tpd_server::Conn::connect(handle.local_addr()).expect("connect");
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(9);
+        for _ in 0..4 {
+            let spec = wire.sample(&mut rng);
+            let outcome = wire.execute(&mut conn, &spec).expect("no protocol errors");
+            assert!(matches!(
+                outcome,
+                tpd_server::Outcome::Committed | tpd_server::Outcome::Aborted
+            ));
+        }
+        drop(conn);
+        handle.shutdown();
+        assert_eq!(engine.locks().outstanding(), (0, 0));
+        assert_eq!(engine.active_snapshots(), 0);
     }
 
     #[test]

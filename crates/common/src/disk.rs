@@ -24,7 +24,7 @@ use std::fs::File;
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -266,6 +266,11 @@ pub struct FileDisk {
     flushes: AtomicU64,
     bytes: AtomicU64,
     busy_ns: AtomicU64,
+    /// Crash-injection: a killed device issues no further syscalls — in
+    /// particular the `fdatasync` of [`IoKind::Flush`] never happens, so
+    /// bytes already `pwrite`-landed sit unsynced exactly as after a
+    /// process death between `pwrite` and `fdatasync`.
+    killed: AtomicBool,
 }
 
 #[derive(Debug)]
@@ -309,7 +314,22 @@ impl FileDisk {
             flushes: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
+            killed: AtomicBool::new(false),
         }
+    }
+
+    /// Kill the device: every later request (including the `fdatasync`
+    /// behind [`IoKind::Flush`]) and [`FileDisk::append_raw`] silently
+    /// does nothing, as if the owning process died. Bytes written before
+    /// the kill stay in the file — the "landed but never synced" window
+    /// the crash matrix's after-write phase exercises.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`FileDisk::kill`] has fired.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
     }
 
     /// The path this device writes to.
@@ -330,6 +350,9 @@ impl FileDisk {
     /// Append a real payload (a WAL frame) and return the time spent.
     /// Counts as one write request of `buf.len()` bytes.
     pub fn append_raw(&self, buf: &[u8]) -> io::Result<Nanos> {
+        if self.killed.load(Ordering::Acquire) {
+            return Ok(0);
+        }
         let wall = std::time::Instant::now();
         {
             let mut st = self.state.lock();
@@ -363,6 +386,9 @@ impl FileDisk {
 
 impl DiskDevice for FileDisk {
     fn request(&self, kind: IoKind, bytes: u64) -> Nanos {
+        if self.killed.load(Ordering::Acquire) {
+            return 0;
+        }
         let wall = std::time::Instant::now();
         match kind {
             IoKind::Read => {

@@ -16,6 +16,9 @@
 //!   grant to the *eldest* transaction, batching in compatible requests in
 //!   eldest-first order;
 //! * [`Policy::Random`] — the RS strawman from Section 7.2.
+//! * [`Policy::Predictive`] — conflict-prediction scheduling: waiters are
+//!   ranked by a conflict footprint learned online by the integer-only
+//!   EWMA [`predictor`], degenerating to VATS when history is empty.
 //!
 //! It also contains [`des`], a discrete-event simulator of the single-queue
 //! scheduling model from Section 5.2, used to validate Theorem 1 (VATS has
@@ -26,6 +29,7 @@ pub mod des;
 pub mod manager;
 pub mod mode;
 pub mod policy;
+pub mod predictor;
 pub mod types;
 mod waitgraph;
 mod weights;
@@ -35,4 +39,5 @@ pub use manager::{
 };
 pub use mode::LockMode;
 pub use policy::{Policy, VictimPolicy};
+pub use predictor::{ConflictPredictor, PredictorConfig};
 pub use types::{ObjectId, TxnId, TxnToken};

@@ -481,14 +481,15 @@ impl LockManager {
                 key,
                 slot: slot.clone(),
             });
-            // CATS must publish the new request's contribution *before* the
-            // grant pass so the weight-ranked scan sees the post-insert
-            // queue, exactly as the from-scratch recompute did. The other
-            // policies don't read the graph or board during regrant, so
-            // they defer publishing to after the pass — an immediately
-            // granted request then never touches the graph at all.
-            let cats = self.config.policy == Policy::Cats;
-            if cats {
+            // The dynamically ranked policies (CATS, Predictive) must
+            // publish the new request's rank *before* the grant pass so
+            // the ranked scan sees the post-insert queue, exactly as a
+            // from-scratch recompute would. The other policies don't read
+            // the graph or rank snapshot during regrant, so they defer
+            // publishing to after the pass — an immediately granted
+            // request then never touches the graph at all.
+            let ranked = matches!(self.config.policy, Policy::Cats | Policy::Predictive);
+            if ranked {
                 self.sync_queue(&mut shard, obj);
             }
             self.regrant(&mut shard, obj);
@@ -496,7 +497,7 @@ impl LockManager {
                 self.immediate.fetch_add(1, Ordering::Relaxed);
                 return Ok(AcquireOutcome::Granted { waited: 0 });
             }
-            if !cats {
+            if !ranked {
                 // Still blocked: publish our edges (and our effect on the
                 // waiters we queued ahead of) before releasing the shard.
                 self.sync_queue(&mut shard, obj);
@@ -803,8 +804,11 @@ impl LockManager {
         }
         // The scan order the grant pass will replay: storage order, except
         // CATS re-ranks by maintained weight (upgrades first; ties by
-        // position). Captured HERE so the edges below and the next
-        // regrant() agree on who is ahead of whom — see LockQueue::rank.
+        // position) and Predictive by predicted conflict footprint
+        // (highest first; ties fall back to VATS eldest-first order, so a
+        // zero-history predictor degenerates to exactly VATS). Captured
+        // HERE so the edges below and the next regrant() agree on who is
+        // ahead of whom — see LockQueue::rank.
         let mut order: Vec<usize> = (0..queue.waiting.len()).collect();
         if cats {
             let weights: HashMap<TxnId, i64> = queue
@@ -816,6 +820,16 @@ impl LockManager {
                 let w = &queue.waiting[i];
                 let weight = weights.get(&w.txn.id).copied().unwrap_or(0);
                 (!w.upgrade, std::cmp::Reverse(weight), i)
+            });
+            queue.rank = order.iter().map(|&i| queue.waiting[i].txn.id).collect();
+        } else if self.config.policy == Policy::Predictive {
+            order.sort_by_key(|&i| {
+                let w = &queue.waiting[i];
+                (
+                    std::cmp::Reverse(w.txn.footprint),
+                    w.txn.birth,
+                    w.key.tiebreak,
+                )
             });
             queue.rank = order.iter().map(|&i| queue.waiting[i].txn.id).collect();
         }
@@ -854,14 +868,14 @@ impl LockManager {
         if queue.waiting.is_empty() {
             return;
         }
-        // CATS scans in the weight-ranked order captured at the last
-        // sync_queue (every regrant call site syncs first in the same
-        // critical section) — NOT a fresh sort over live weights. Using
-        // the captured snapshot keeps the grant rule and the published
-        // wait-for edges in agreement; the board lookups behind it replace
-        // the old whole-table rescan.
+        // CATS and Predictive scan in the ranked order captured at the
+        // last sync_queue (every regrant call site syncs first in the
+        // same critical section) — NOT a fresh sort over live
+        // weights/footprints. Using the captured snapshot keeps the grant
+        // rule and the published wait-for edges in agreement; the board
+        // lookups behind it replace the old whole-table rescan.
         let mut order: Vec<usize> = (0..queue.waiting.len()).collect();
-        if self.config.policy == Policy::Cats {
+        if matches!(self.config.policy, Policy::Cats | Policy::Predictive) {
             let pos: HashMap<TxnId, usize> = queue
                 .rank
                 .iter()

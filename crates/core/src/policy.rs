@@ -31,6 +31,16 @@ pub enum Policy {
     /// one-hop form; queue order falls back to arrival, and the weight
     /// ranking happens dynamically at grant time (see the lock manager).
     Cats,
+    /// Conflict-prediction scheduling (Zhang/Tomasic/Pavlo, arXiv
+    /// 2409.01675): each transaction carries a *predicted conflict
+    /// footprint* estimated at BEGIN from a per-key EWMA of recent
+    /// wait/abort events. The queue stores arrivals in order (like CATS);
+    /// the grant pass ranks waiters by footprint — highest predicted
+    /// footprint first, so hot transactions finish and release their
+    /// locks before cold ones pile up behind them — with VATS (eldest
+    /// first) as the tiebreak. With an all-zero footprint (no history,
+    /// learning disabled) the ranking degenerates to exactly VATS.
+    Predictive,
 }
 
 impl Policy {
@@ -41,6 +51,7 @@ impl Policy {
             Policy::Vats => "VATS",
             Policy::Random => "RS",
             Policy::Cats => "CATS",
+            Policy::Predictive => "PRED",
         }
     }
 
@@ -65,12 +76,30 @@ impl Policy {
                 primary: rand as u128,
                 tiebreak: seq,
             },
-            // CATS stores the queue in arrival order; the weight-based
-            // ranking is dynamic (recomputed at each grant pass).
-            Policy::Cats => PriorityKey {
+            // CATS and Predictive store the queue in arrival order; the
+            // weight/footprint ranking is dynamic (recomputed at each
+            // grant pass).
+            Policy::Cats | Policy::Predictive => PriorityKey {
                 primary: seq as u128,
                 tiebreak: seq,
             },
+        }
+    }
+}
+
+impl std::str::FromStr for Policy {
+    type Err = String;
+
+    /// Parse a CLI policy name (case-insensitive): `fcfs`, `vats`,
+    /// `rs`/`random`, `cats`, `predictive`/`pred`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(Policy::Fcfs),
+            "vats" => Ok(Policy::Vats),
+            "rs" | "random" => Ok(Policy::Random),
+            "cats" => Ok(Policy::Cats),
+            "predictive" | "pred" => Ok(Policy::Predictive),
+            other => Err(format!("unknown lock policy '{other}'")),
         }
     }
 }
@@ -176,6 +205,7 @@ mod tests {
         assert_eq!(Policy::Vats.name(), "VATS");
         assert_eq!(Policy::Random.name(), "RS");
         assert_eq!(Policy::Cats.name(), "CATS");
+        assert_eq!(Policy::Predictive.name(), "PRED");
     }
 
     #[test]
@@ -184,5 +214,30 @@ mod tests {
         let a = p.priority_key(&tok(1, 900), 0, 7);
         let b = p.priority_key(&tok(2, 100), 1, 3);
         assert!(a < b, "CATS stores by arrival; ranking is dynamic");
+    }
+
+    #[test]
+    fn predictive_queue_order_is_arrival() {
+        let p = Policy::Predictive;
+        let a = p.priority_key(&tok(1, 900), 0, 7);
+        let b = p.priority_key(&tok(2, 100), 1, 3);
+        assert!(a < b, "predictive stores by arrival; ranking is dynamic");
+    }
+
+    #[test]
+    fn policy_parses_from_cli_names() {
+        for (name, want) in [
+            ("fcfs", Policy::Fcfs),
+            ("FCFS", Policy::Fcfs),
+            ("vats", Policy::Vats),
+            ("rs", Policy::Random),
+            ("random", Policy::Random),
+            ("cats", Policy::Cats),
+            ("predictive", Policy::Predictive),
+            ("pred", Policy::Predictive),
+        ] {
+            assert_eq!(name.parse::<Policy>(), Ok(want), "{name}");
+        }
+        assert!("mystery".parse::<Policy>().is_err());
     }
 }

@@ -22,15 +22,28 @@ pub struct TxnToken {
     pub id: TxnId,
     /// Transaction start time (process-relative nanoseconds).
     pub birth: Nanos,
+    /// Predicted conflict footprint, estimated at BEGIN by the conflict
+    /// predictor. Zero for every policy except `Predictive`; under
+    /// `Predictive` the grant pass ranks waiters by this value (highest
+    /// first), falling back to VATS order when footprints tie.
+    pub footprint: u64,
 }
 
 impl TxnToken {
-    /// Construct a token.
+    /// Construct a token with no predicted footprint.
     pub fn new(id: u64, birth: Nanos) -> Self {
         TxnToken {
             id: TxnId(id),
             birth,
+            footprint: 0,
         }
+    }
+
+    /// Attach a predicted conflict footprint (the `Predictive` policy's
+    /// ranking input).
+    pub fn with_footprint(mut self, footprint: u64) -> Self {
+        self.footprint = footprint;
+        self
     }
 
     /// The transaction's age at time `now`.
@@ -72,6 +85,13 @@ mod tests {
         let t = TxnToken::new(1, 100);
         assert_eq!(t.age_at(150), 50);
         assert_eq!(t.age_at(50), 0, "age before birth saturates to zero");
+    }
+
+    #[test]
+    fn footprint_defaults_to_zero_and_builds() {
+        let t = TxnToken::new(1, 100);
+        assert_eq!(t.footprint, 0);
+        assert_eq!(t.with_footprint(42).footprint, 42);
     }
 
     #[test]

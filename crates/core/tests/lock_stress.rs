@@ -72,8 +72,12 @@ fn stress(policy: Policy, victim: VictimPolicy, seed: u64, shards: usize) {
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);
                 for _ in 0..txns_per_thread {
+                    // A small random conflict footprint so the predictive
+                    // policy's ranked queue actually re-orders waiters
+                    // (other policies ignore the field).
                     let txn =
-                        TxnToken::new(ids.fetch_add(1, Ordering::Relaxed), tpd_common::now_nanos());
+                        TxnToken::new(ids.fetch_add(1, Ordering::Relaxed), tpd_common::now_nanos())
+                            .with_footprint(rng.gen_range(0u64..4) << 16);
                     let mut held: HashMap<usize, LockMode> = HashMap::new();
                     let n_locks = rng.gen_range(1..5);
                     let mut ok = true;
@@ -179,6 +183,11 @@ fn stress_cats_youngest() {
     stress(Policy::Cats, VictimPolicy::Youngest, 0xF6, 1);
 }
 
+#[test]
+fn stress_predictive_youngest() {
+    stress(Policy::Predictive, VictimPolicy::Youngest, 0xA7, 1);
+}
+
 // The same churn over a partitioned lock table: multi-object transactions
 // now span shards, so deadlock cycles cross shard boundaries and must be
 // found via the shared wait-for graph.
@@ -204,6 +213,11 @@ fn stress_cats_sharded() {
 }
 
 #[test]
+fn stress_predictive_sharded() {
+    stress(Policy::Predictive, VictimPolicy::Youngest, 0x1A7, 4);
+}
+
+#[test]
 fn stress_vats_oldest_sharded() {
     stress(Policy::Vats, VictimPolicy::Oldest, 0x1D4, 8);
 }
@@ -218,7 +232,13 @@ fn lock_stress_soak_300_runs() {
         eprintln!("lock_stress_soak_300_runs: set TPD_SOAK=1 to run");
         return;
     }
-    let policies = [Policy::Fcfs, Policy::Vats, Policy::Cats, Policy::Random];
+    let policies = [
+        Policy::Fcfs,
+        Policy::Vats,
+        Policy::Cats,
+        Policy::Random,
+        Policy::Predictive,
+    ];
     let victims = [
         VictimPolicy::Youngest,
         VictimPolicy::Oldest,

@@ -179,6 +179,11 @@ pub struct EngineConfig {
     /// transactions' uncommitted writes. Dirty/non-repeatable reads the
     /// torture checker must flag (the mvcc analogue of `skip_locking`).
     pub broken_snapshots: bool,
+    /// Footprints at or above this (Q16 fixed point) classify a
+    /// transaction as *predicted hot* under [`Policy::Predictive`] — the
+    /// input to `sched.predicted_conflicts` and the admission
+    /// controller's defer-hot gate. Ignored by every other policy.
+    pub predict_hot_threshold: u64,
 }
 
 impl Default for EngineConfig {
@@ -233,6 +238,7 @@ impl Default for EngineConfig {
             concurrency: Concurrency::S2pl,
             mvcc_chain_cap: 16,
             broken_snapshots: false,
+            predict_hot_threshold: tpd_core::PredictorConfig::default().hot_threshold,
         }
     }
 }
@@ -392,6 +398,16 @@ mod tests {
         assert_eq!(c.personality, Personality::Mysql);
         assert_eq!(c.lock_policy, tpd_core::Policy::Fcfs);
         assert_eq!(c.concurrency, Concurrency::S2pl);
+    }
+
+    #[test]
+    fn predictive_policy_carries_the_hot_threshold() {
+        let c = EngineConfig::mysql(Policy::Predictive);
+        assert_eq!(c.lock_policy, Policy::Predictive);
+        assert_eq!(
+            c.predict_hot_threshold,
+            tpd_core::PredictorConfig::default().hot_threshold
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use rand::SeedableRng;
 use tpd_common::clock::{cpu_work, now_nanos};
 use tpd_common::disk::{DiskDevice, FileDisk, SimDisk};
 use tpd_common::Nanos;
-use tpd_core::{LockError, LockManager, LockManagerConfig, LockMode, ObjectId, TxnToken};
+use tpd_core::predictor::{WEIGHT_ABORT, WEIGHT_WAIT};
+use tpd_core::{
+    ConflictPredictor, LockError, LockManager, LockManagerConfig, LockMode, ObjectId, Policy,
+    PredictorConfig, TxnToken,
+};
 use tpd_metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 use tpd_profiler::{OwnedSpanGuard, OwnedTxnGuard, Profiler};
 use tpd_storage::{BufferPool, PoolProbes};
@@ -125,6 +129,17 @@ pub struct Engine {
     aborts: AtomicU64,
     deadlock_aborts: AtomicU64,
     timeout_aborts: AtomicU64,
+    /// Conflict predictor — present iff `lock_policy == Predictive`. Fed
+    /// from the lock-wait/deadlock/timeout events in [`Txn::acquire`];
+    /// consulted at BEGIN to stamp each [`TxnToken`]'s footprint.
+    predictor: Option<Arc<ConflictPredictor>>,
+    /// Transactions whose BEGIN-time footprint crossed the hot threshold.
+    sched_predicted_hot: AtomicU64,
+    /// Finished transactions whose hot/cold prediction matched whether
+    /// they actually conflicted (waited or aborted on a lock).
+    sched_prediction_hits: AtomicU64,
+    /// Finished transactions scored for prediction accuracy.
+    sched_prediction_total: AtomicU64,
     /// Per-[`TxnType`] end-to-end latency histograms (begin → commit and
     /// begin → rollback), indexed by type clamped to the last slot. Fixed
     /// arrays so the commit path records without locks or lookups.
@@ -292,6 +307,14 @@ impl Engine {
             aborts: AtomicU64::new(0),
             deadlock_aborts: AtomicU64::new(0),
             timeout_aborts: AtomicU64::new(0),
+            predictor: (config.lock_policy == Policy::Predictive).then(|| {
+                Arc::new(ConflictPredictor::new(PredictorConfig {
+                    hot_threshold: config.predict_hot_threshold,
+                }))
+            }),
+            sched_predicted_hot: AtomicU64::new(0),
+            sched_prediction_hits: AtomicU64::new(0),
+            sched_prediction_total: AtomicU64::new(0),
             commit_latency: std::array::from_fn(|_| Histogram::new()),
             abort_latency: std::array::from_fn(|_| Histogram::new()),
             registry: MetricsRegistry::new(),
@@ -464,6 +487,23 @@ impl Engine {
             );
             m.set_counter("mvcc.commit_ts", self.commit_ts.load(Ordering::Relaxed));
             m.set_histogram("mvcc.version_chain_len", self.mvcc_chain_len.snapshot());
+        }
+
+        if let Some(p) = &self.predictor {
+            let hits = self.sched_prediction_hits.load(Ordering::Relaxed);
+            let total = self.sched_prediction_total.load(Ordering::Relaxed);
+            m.set_counter(
+                "sched.predicted_conflicts",
+                self.sched_predicted_hot.load(Ordering::Relaxed),
+            );
+            m.set_counter("sched.prediction_hits", hits);
+            m.set_counter("sched.prediction_total", total);
+            // Integer percent so the snapshot stays byte-deterministic.
+            m.set_counter(
+                "sched.prediction_hit_rate",
+                if total > 0 { hits * 100 / total } else { 0 },
+            );
+            m.set_counter("sched.conflict_events", p.events());
         }
 
         m.set_counter("txn.commits", self.commits.load(Ordering::Relaxed));
@@ -665,8 +705,30 @@ impl Engine {
 
     /// Begin a transaction of the given workload type.
     pub fn begin(self: &Arc<Self>, ty: TxnType) -> Txn {
+        self.begin_with_keys(ty, &[])
+    }
+
+    /// Begin a transaction, declaring a hot-key sample: up to a handful
+    /// of `(table, row)` pairs the transaction expects to touch. Under
+    /// [`Policy::Predictive`] the conflict predictor folds their learned
+    /// conflict rates (plus the type's own rate) into the token's
+    /// footprint; under every other policy the sample is ignored.
+    pub fn begin_with_keys(self: &Arc<Self>, ty: TxnType, keys: &[(TableId, RowKey)]) -> Txn {
         let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
-        let token = TxnToken::new(id, now_nanos());
+        let mut token = TxnToken::new(id, now_nanos());
+        let mut predicted_hot = false;
+        if let Some(p) = &self.predictor {
+            let objs: Vec<ObjectId> = keys
+                .iter()
+                .map(|&(table, key)| Txn::row_lock_obj(table, key))
+                .collect();
+            let footprint = p.predict(ty, &objs);
+            token = token.with_footprint(footprint);
+            if p.is_hot(footprint) {
+                predicted_hot = true;
+                self.sched_predicted_hot.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let txn_guard = self.profiler.begin_txn_arc(ty);
         let root_span = self.profiler.probe_arc(self.probes.execute_transaction);
         // Per-txn RNG derived from (engine seed, txn id): statement timing
@@ -704,8 +766,17 @@ impl Engine {
             redo_bytes: 0,
             redo_records: Vec::new(),
             block_instants: Vec::new(),
+            predicted_hot,
+            conflicted: false,
             finished: false,
         }
+    }
+
+    /// The conflict predictor, present iff the lock policy is
+    /// [`Policy::Predictive`]. Servers use it to classify BEGINs as hot
+    /// for the admission controller's defer gate.
+    pub fn predictor(&self) -> Option<&Arc<ConflictPredictor>> {
+        self.predictor.as_ref()
     }
 
     /// Drop one pin on snapshot `ts`, advancing the GC low-water mark.
@@ -758,6 +829,13 @@ pub struct Txn {
     redo_records: Vec<LogRecord>,
     /// Instants at which this transaction blocked on a lock (Fig. 8).
     block_instants: Vec<Nanos>,
+    /// Whether the predictor classified this transaction as hot at BEGIN
+    /// (always false without a predictor).
+    predicted_hot: bool,
+    /// Whether the transaction actually conflicted: waited on a lock, or
+    /// aborted as a deadlock/timeout victim. Scored against
+    /// `predicted_hot` at commit/rollback for the prediction hit rate.
+    conflicted: bool,
     finished: bool,
 }
 
@@ -770,6 +848,17 @@ impl Txn {
     /// The transaction's birth timestamp (ns).
     pub fn birth(&self) -> Nanos {
         self.token.birth
+    }
+
+    /// The predicted conflict footprint stamped at BEGIN (Q16; zero
+    /// unless the lock policy is [`Policy::Predictive`]).
+    pub fn footprint(&self) -> u64 {
+        self.token.footprint
+    }
+
+    /// Whether the predictor classified this transaction as hot at BEGIN.
+    pub fn predicted_hot(&self) -> bool {
+        self.predicted_hot
     }
 
     fn check_active(&self) -> Result<(), EngineError> {
@@ -829,6 +918,10 @@ impl Txn {
                     if e.config.record_age_remaining {
                         self.block_instants.push(now - waited);
                     }
+                    if let Some(p) = &e.predictor {
+                        p.observe(self.ty, obj, WEIGHT_WAIT);
+                    }
+                    self.conflicted = true;
                 }
             }
             result
@@ -836,16 +929,27 @@ impl Txn {
         match result {
             Ok(_) => Ok(()),
             Err(LockError::Deadlock) => {
+                self.note_conflict_abort(obj);
                 self.engine.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
                 self.rollback();
                 Err(EngineError::Deadlock)
             }
             Err(LockError::Timeout) => {
+                self.note_conflict_abort(obj);
                 self.engine.timeout_aborts.fetch_add(1, Ordering::Relaxed);
                 self.rollback();
                 Err(EngineError::LockTimeout)
             }
         }
+    }
+
+    /// Feed a deadlock/timeout abort on `obj` to the conflict predictor
+    /// (the strongest conflict signal it learns from).
+    fn note_conflict_abort(&mut self, obj: ObjectId) {
+        if let Some(p) = &self.engine.predictor {
+            p.observe(self.ty, obj, WEIGHT_ABORT);
+        }
+        self.conflicted = true;
     }
 
     /// Walk the index to `key`: touches the internal index pages and burns
@@ -1164,8 +1268,22 @@ impl Txn {
         e.commits.fetch_add(1, Ordering::Relaxed);
         e.commit_latency[txn_type_slot(self.ty)]
             .record(commit_time.saturating_sub(self.token.birth));
+        self.score_prediction();
         self.finished = true;
         Ok(())
+    }
+
+    /// Score the BEGIN-time hot/cold prediction against what actually
+    /// happened (predictive policy only). Runs exactly once per
+    /// transaction: commit and rollback are mutually exclusive exits.
+    fn score_prediction(&self) {
+        let e = &self.engine;
+        if e.predictor.is_some() {
+            e.sched_prediction_total.fetch_add(1, Ordering::Relaxed);
+            if self.predicted_hot == self.conflicted {
+                e.sched_prediction_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Explicit rollback.
@@ -1234,6 +1352,7 @@ impl Txn {
         e.aborts.fetch_add(1, Ordering::Relaxed);
         e.abort_latency[txn_type_slot(self.ty)]
             .record(now_nanos().saturating_sub(self.token.birth));
+        self.score_prediction();
         self.finished = true;
     }
 }
@@ -1250,6 +1369,7 @@ impl Drop for Txn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use tpd_common::dist::ServiceTime;
     use tpd_common::DiskConfig;
     use tpd_core::Policy;
@@ -1665,5 +1785,81 @@ mod tests {
         ] {
             assert!(names.contains(expected), "missing {expected}: {names:?}");
         }
+    }
+
+    #[test]
+    fn predictor_absent_unless_policy_is_predictive() {
+        let (e, _) = engine_with_table();
+        assert!(e.predictor().is_none());
+        let snap = e.metrics_snapshot();
+        assert!(!snap.counters.contains_key("sched.predicted_conflicts"));
+        assert!(!snap.counters.contains_key("sched.prediction_hit_rate"));
+    }
+
+    #[test]
+    fn predictive_engine_learns_and_stamps_footprints() {
+        let cfg = EngineConfig {
+            lock_policy: Policy::Predictive,
+            ..fast_config()
+        };
+        let e = Engine::new(cfg);
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            for i in 0..8 {
+                setup.insert(t, vec![i, 0]).expect("insert");
+            }
+            setup.commit().expect("setup");
+        }
+        let p = e.predictor().expect("predictive policy has a predictor").clone();
+        assert_eq!(e.begin_with_keys(1, &[(t, 3)]).footprint(), 0, "no history yet");
+        // Teach the predictor that key 3 is hot, straight through its
+        // observation API (the engine feeds it the same way from waits).
+        for _ in 0..8 {
+            p.observe(1, Txn::row_lock_obj(t, 3), WEIGHT_ABORT);
+        }
+        let hot = e.begin_with_keys(1, &[(t, 3)]);
+        assert!(hot.footprint() > 0, "learned footprint stamped at BEGIN");
+        assert!(hot.predicted_hot());
+        drop(hot);
+        let snap = e.metrics_snapshot();
+        assert!(snap.counters["sched.predicted_conflicts"] >= 1);
+        assert!(snap.counters["sched.prediction_total"] >= 1);
+        assert_eq!(snap.counters["sched.conflict_events"], 8);
+        assert!(snap.counters["sched.prediction_hit_rate"] <= 100);
+    }
+
+    #[test]
+    fn predictive_engine_observes_real_lock_waits() {
+        let cfg = EngineConfig {
+            lock_policy: Policy::Predictive,
+            lock_timeout: Some(Duration::from_secs(5)),
+            ..fast_config()
+        };
+        let e = Engine::new(cfg);
+        let t = e.catalog().create_table("t", 16);
+        {
+            let mut setup = e.begin(0);
+            setup.insert(t, vec![0, 0]).expect("insert");
+            setup.commit().expect("setup");
+        }
+        let p = e.predictor().expect("predictor").clone();
+        // Writer holds the row; a second thread must wait on it.
+        let mut holder = e.begin(0);
+        holder.update(t, 0, |r| r[1] = 1).expect("hold X lock");
+        let e2 = e.clone();
+        let waiter = std::thread::spawn(move || {
+            let mut w = e2.begin(0);
+            w.update(t, 0, |r| r[1] = 2).expect("eventually granted");
+            w.commit().expect("commit");
+        });
+        while e.locks().outstanding().1 == 0 {
+            std::thread::yield_now();
+        }
+        holder.commit().expect("release");
+        waiter.join().expect("waiter thread");
+        assert!(p.events() >= 1, "the wait fed the predictor");
+        let snap = e.metrics_snapshot();
+        assert!(snap.counters["sched.conflict_events"] >= 1);
     }
 }

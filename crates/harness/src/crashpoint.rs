@@ -3,14 +3,18 @@
 //!
 //! A *crash point* is a frame index: the run proceeds normally until the
 //! file-backed WAL is about to persist that frame, at which point the
-//! device gate fires — the fatal frame is written only as a torn prefix
-//! (a seeded number of bytes) and every later append, fsync, and
-//! checkpoint silently does nothing, exactly as if the process had been
-//! killed mid-`write(2)`. The workload keeps running against the doomed
-//! engine, maintaining a client-side ledger: a commit is *acknowledged*
-//! only if `commit()` returned success **and** the device was still alive
-//! when it did — anything later is in-doubt, which is precisely the
-//! guarantee a client of a real database gets.
+//! device gate fires. Each point is exercised in both crash *phases*:
+//! [`CrashPhase::Torn`] writes the fatal frame only as a torn prefix (a
+//! seeded number of bytes — death mid-`pwrite`), while
+//! [`CrashPhase::AfterWrite`] lands the whole frame but steals its
+//! `fdatasync` (death between `pwrite` and the durability barrier). In
+//! both, every later append, fsync, and checkpoint silently does
+//! nothing, exactly as if the process had been killed there. The
+//! workload keeps running against the doomed engine, maintaining a
+//! client-side ledger: a commit is *acknowledged* only if `commit()`
+//! returned success **and** the device was still alive when it did —
+//! anything later is in-doubt, which is precisely the guarantee a
+//! client of a real database gets.
 //!
 //! A fresh engine then reopens the directory and recovery must be:
 //!
@@ -23,7 +27,7 @@
 //!
 //! [`run_crash_matrix`] sweeps crash points systematically over the whole
 //! frame range (first burst frame and last frame always included), for
-//! every combination of seed × personality × parallel-log count.
+//! every combination of seed × personality × parallel-log count × phase.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -33,6 +37,7 @@ use tpd_common::clock::VirtualClock;
 use tpd_common::dist::ServiceTime;
 use tpd_common::DiskConfig;
 use tpd_engine::{Engine, EngineConfig, Personality, Policy, TableId};
+use tpd_wal::CrashPhase;
 
 /// Crash-matrix parameters.
 #[derive(Debug, Clone)]
@@ -78,7 +83,10 @@ pub struct CrashCase {
     pub seed: u64,
     /// The frame index the device died on.
     pub point: u64,
-    /// Torn-prefix length fed to the gate (modulo the fatal frame's size).
+    /// Where in the fatal frame's append→sync sequence the death landed.
+    pub phase: CrashPhase,
+    /// Torn-prefix length fed to the gate (modulo the fatal frame's
+    /// size; unused under [`CrashPhase::AfterWrite`]).
     pub torn_bytes: u64,
     /// Commits acknowledged before the device died.
     pub acked: u64,
@@ -108,11 +116,12 @@ impl CrashMatrixReport {
         for c in self.cases.iter().filter(|c| c.error.is_some()) {
             let _ = writeln!(
                 out,
-                "{:?}/w{} seed {} point {} torn {}: {}",
+                "{:?}/w{} seed {} point {} {:?} torn {}: {}",
                 c.personality,
                 c.writers,
                 c.seed,
                 c.point,
+                c.phase,
                 c.torn_bytes,
                 c.error.as_deref().unwrap_or(""),
             );
@@ -156,7 +165,7 @@ fn run_case(
     seed: u64,
     txns: u64,
     dir: &Path,
-    crash: Option<(u64, u64)>,
+    crash: Option<(u64, u64, CrashPhase)>,
 ) -> CaseRun {
     let engine = Engine::new(engine_config(personality, writers, seed, dir));
     engine.recover_from_disk();
@@ -171,8 +180,8 @@ fn run_case(
     engine.checkpoint().expect("bootstrap checkpoint");
     let wal = Arc::clone(engine.file_wal().expect("file backend"));
     let frames_base = wal.frames_written();
-    if let Some((point, torn)) = crash {
-        wal.set_crash_after(point, torn);
+    if let Some((point, torn, phase)) = crash {
+        wal.set_crash_at(point, torn, phase);
     }
     let mut acked = BTreeSet::new();
     for i in 0..txns {
@@ -346,40 +355,43 @@ pub fn run_crash_matrix(cfg: &CrashMatrixConfig) -> CrashMatrixReport {
                 );
                 for point in points {
                     let torn_bytes = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(point) % 64;
-                    let dir = cfg
-                        .data_root
-                        .join(format!("case-{personality:?}-w{writers}-s{seed}-p{point}"));
-                    std::fs::remove_dir_all(&dir).ok();
-                    let run = run_case(
-                        personality,
-                        writers,
-                        seed,
-                        cfg.txns,
-                        &dir,
-                        Some((point, torn_bytes)),
-                    );
-                    let outcome =
-                        recover_once(personality, writers, seed, &dir).and_then(|first| {
-                            let second = recover_once(personality, writers, seed, &dir)?;
-                            audit(&run.acked, cfg.txns, &first, &second).map(|()| first)
-                        });
-                    let (recovered, error) = match outcome {
-                        Ok(first) => (first.journal.len() as u64, None),
-                        Err(e) => (0, Some(e)),
-                    };
-                    if error.is_none() {
+                    for phase in [CrashPhase::Torn, CrashPhase::AfterWrite] {
+                        let dir = cfg.data_root.join(format!(
+                            "case-{personality:?}-w{writers}-s{seed}-p{point}-{phase:?}"
+                        ));
                         std::fs::remove_dir_all(&dir).ok();
+                        let run = run_case(
+                            personality,
+                            writers,
+                            seed,
+                            cfg.txns,
+                            &dir,
+                            Some((point, torn_bytes, phase)),
+                        );
+                        let outcome =
+                            recover_once(personality, writers, seed, &dir).and_then(|first| {
+                                let second = recover_once(personality, writers, seed, &dir)?;
+                                audit(&run.acked, cfg.txns, &first, &second).map(|()| first)
+                            });
+                        let (recovered, error) = match outcome {
+                            Ok(first) => (first.journal.len() as u64, None),
+                            Err(e) => (0, Some(e)),
+                        };
+                        if error.is_none() {
+                            std::fs::remove_dir_all(&dir).ok();
+                        }
+                        cases.push(CrashCase {
+                            personality,
+                            writers,
+                            seed,
+                            point,
+                            phase,
+                            torn_bytes,
+                            acked: run.acked.len() as u64,
+                            recovered,
+                            error,
+                        });
                     }
-                    cases.push(CrashCase {
-                        personality,
-                        writers,
-                        seed,
-                        point,
-                        torn_bytes,
-                        acked: run.acked.len() as u64,
-                        recovered,
-                        error,
-                    });
                 }
             }
         }
@@ -421,7 +433,10 @@ mod tests {
         };
         let report = run_crash_matrix(&cfg);
         assert!(report.ok(), "{}", report.render_failures());
-        assert_eq!(report.cases.len(), 2 * 5);
+        assert_eq!(report.cases.len(), 2 * 5 * 2, "seeds × points × phases");
+        for phase in [CrashPhase::Torn, CrashPhase::AfterWrite] {
+            assert!(report.cases.iter().any(|c| c.phase == phase));
+        }
         // The gate actually interrupts the burst somewhere: early points
         // must lose un-acked commits, the last point loses none.
         assert!(report.cases.iter().any(|c| c.acked < 10));

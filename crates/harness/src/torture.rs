@@ -93,6 +93,10 @@ pub struct TortureConfig {
     /// Segment directory for [`DiskBackend::File`]. Must start empty: the
     /// driver's audit model assumes the initial state is all zeros.
     pub data_dir: Option<PathBuf>,
+    /// Lock scheduling policy under test. [`Policy::Predictive`] also
+    /// makes the driver declare each transaction's planned keys at BEGIN
+    /// so the conflict predictor has a footprint to score.
+    pub lock_policy: Policy,
 }
 
 impl Default for TortureConfig {
@@ -116,6 +120,7 @@ impl Default for TortureConfig {
             log_writers: 1,
             disk_backend: DiskBackend::Sim,
             data_dir: None,
+            lock_policy: Policy::Fcfs,
         }
     }
 }
@@ -269,7 +274,7 @@ struct Driver<'a> {
 }
 
 fn build_engine(cfg: &TortureConfig) -> (Arc<Engine>, Vec<TableId>) {
-    let mut ec = EngineConfig::mysql(Policy::Fcfs);
+    let mut ec = EngineConfig::mysql(cfg.lock_policy);
     // Conflicting lock requests fail immediately instead of blocking: the
     // driver is single-threaded, so a blocked session would deadlock the
     // scheduler — and try-lock conflicts are deterministic.
@@ -578,7 +583,21 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
         let s = rng.gen_range(0..cfg.sessions);
         if sessions[s].is_none() {
             let plan = cfg.mix.sample(&mut rng);
-            let txn = d.engine.begin(0);
+            // Declare the plan's point keys at BEGIN: under the
+            // predictive policy the conflict predictor folds their
+            // learned rates into the transaction's footprint; every
+            // other policy ignores the sample.
+            let declared: Vec<_> = plan
+                .ops
+                .iter()
+                .filter_map(|op| match *op {
+                    TortureOp::Read { table, key }
+                    | TortureOp::ReadForUpdate { table, key }
+                    | TortureOp::Update { table, key } => Some((d.tables[table], key)),
+                    TortureOp::Insert { .. } | TortureOp::Scan { .. } => None,
+                })
+                .collect();
+            let txn = d.engine.begin_with_keys(0, &declared);
             d.engine_of.insert(serial_next, txn.id());
             sessions[s] = Some(Session {
                 txn,

@@ -64,8 +64,8 @@ use crate::admission::AdmissionController;
 use crate::admission::{AdmitAttempt, Permit};
 use crate::protocol::{ErrorCode, Frame, WireError, MAX_FRAME_LEN};
 use crate::server::{
-    accept_with_faults, classify_accept_error, execute_txn_frame, metrics_reply, reject_over_limit,
-    session_error_reply, AcceptDisposition, Shared, ACCEPT_BACKOFF,
+    accept_with_faults, begin_is_hot, classify_accept_error, execute_txn_frame, metrics_reply,
+    reject_over_limit, session_error_reply, AcceptDisposition, Shared, ACCEPT_BACKOFF,
 };
 
 /// Token for the listening socket (`usize::MAX` is the poller's waker).
@@ -556,13 +556,13 @@ impl Reactor {
                 let gen = self.gens[idx];
                 let resumes = self.resumes.clone();
                 let waker = self.waker.clone();
-                let attempt = self
-                    .shared
-                    .admission
-                    .try_admit_or_enqueue(Box::new(move |permit| {
+                let attempt = self.shared.admission.try_admit_or_enqueue_hot(
+                    Box::new(move |permit| {
                         resumes.lock().push(Resume::Admitted { idx, gen, permit });
                         waker.wake();
-                    }));
+                    }),
+                    begin_is_hot(&self.shared, ty),
+                );
                 match attempt {
                     AdmitAttempt::Admitted(permit) => self.begin_txn(idx, permit, ty),
                     AdmitAttempt::Queued(ticket) => {

@@ -187,6 +187,7 @@ pub fn spawn(engine: Arc<Engine>, config: ServerConfig) -> io::Result<ServerHand
         config.admission.clone(),
         registry.counter("server.shed_total"),
         registry.histogram("server.admission_wait_ns"),
+        registry.counter("sched.deferred_total"),
     );
     let accept_errs = registry.counter("server.accept_err_total");
     let mode = config.mode;
@@ -565,7 +566,7 @@ fn handle_frame(frame: Frame, conn: &mut Conn, shared: &Arc<Shared>) -> Frame {
             if conn.session.in_txn() {
                 return session_error_reply(SessionError::TxnAlreadyActive);
             }
-            match shared.admission.admit() {
+            match shared.admission.admit_hot(begin_is_hot(shared, ty)) {
                 Ok(permit) => match conn.session.begin(ty) {
                     Ok(txn_id) => {
                         conn.permit = Some(permit);
@@ -602,6 +603,17 @@ fn handle_frame(frame: Frame, conn: &mut Conn, shared: &Arc<Shared>) -> Frame {
             }
         }
     }
+}
+
+/// Classify a BEGIN as predicted-hot for the admission defer gate. The
+/// wire protocol declares no key sample, so the classification is the
+/// transaction type's learned conflict rate alone; always cold when the
+/// engine runs a non-predictive policy.
+pub(crate) fn begin_is_hot(shared: &Shared, ty: tpd_engine::TxnType) -> bool {
+    shared
+        .engine
+        .predictor()
+        .is_some_and(|p| p.is_hot(p.predict(ty, &[])))
 }
 
 /// Run one statement; map the outcome and whether the txn ended.

@@ -176,6 +176,7 @@ fn concurrent_tatp_matches_replay_oracle_and_metrics_in(mode: ServerMode) {
             slots: 3,
             queue_cap: 4,
             queue_deadline: Duration::from_millis(200),
+            ..AdmissionConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -399,6 +400,7 @@ fn admission_sheds_over_the_wire_in(mode: ServerMode) {
             slots: 1,
             queue_cap: 0,
             queue_deadline: Duration::from_millis(100),
+            ..AdmissionConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -619,6 +621,7 @@ fn disconnect_matrix(mode: ServerMode, rst: bool) {
             slots: 1,
             queue_cap: 0,
             queue_deadline: Duration::from_millis(100),
+            ..AdmissionConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -702,6 +705,7 @@ fn slow_loris_reaped(mode: ServerMode) {
                 slots: 1,
                 queue_cap: 0,
                 queue_deadline: Duration::from_millis(100),
+                ..AdmissionConfig::default()
             },
             read_timeout: Some(Duration::from_millis(300)),
             ..ServerConfig::default()

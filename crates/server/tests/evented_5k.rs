@@ -69,6 +69,7 @@ fn evented_sustains_thousands_of_connections() {
                 slots: 64,
                 queue_cap: 256,
                 queue_deadline: Duration::from_millis(250),
+                ..AdmissionConfig::default()
             },
             max_conns: conns + 16,
             ..ServerConfig::default()

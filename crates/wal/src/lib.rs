@@ -27,7 +27,7 @@ pub use lockfree::AppendMode;
 pub use mysql::{FlushPolicy, MysqlWalProbes, RedoLog, RedoLogConfig, RedoStats};
 pub use pg::{PgWalProbes, WalWriter, WalWriterConfig, WalWriterStats};
 pub use record::{committed_txns, durable_prefix, LogRecord, StampedRecord};
-pub use segment::{CheckpointData, CheckpointTable, FileWal, RecoveredLog};
+pub use segment::{CheckpointData, CheckpointTable, CrashPhase, FileWal, RecoveredLog};
 
 /// A log sequence number (logical byte offset in the redo stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

@@ -460,7 +460,26 @@ pub struct FileWal {
     crash_after: AtomicU64,
     /// Bytes of the crashing frame to leave behind as a torn prefix.
     torn_bytes: AtomicU64,
+    /// `true` = [`CrashPhase::AfterWrite`], `false` = [`CrashPhase::Torn`].
+    crash_after_write: AtomicBool,
     crashed: AtomicBool,
+}
+
+/// Where in the fatal frame's append→sync sequence the injected crash
+/// lands. Every real crash is one of these two: either the `pwrite`
+/// itself was cut short, or it finished and the process died before the
+/// `fdatasync` made it durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// Death mid-`pwrite`: `torn_bytes % frame_len` bytes of the fatal
+    /// frame land (0 = a clean frame-boundary crash).
+    Torn,
+    /// Death between `pwrite` and `fdatasync`: the fatal frame is fully
+    /// written but never synced. Recovery may legitimately observe it —
+    /// an attempted-but-unacknowledged commit becoming durable is sound;
+    /// losing an *acknowledged* one is not, and the sync suppression is
+    /// exactly what the completeness audit must survive.
+    AfterWrite,
 }
 
 impl FileWal {
@@ -558,6 +577,7 @@ impl FileWal {
             frames: AtomicU64::new(0),
             crash_after: AtomicU64::new(u64::MAX),
             torn_bytes: AtomicU64::new(0),
+            crash_after_write: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
         });
         Ok((
@@ -607,13 +627,22 @@ impl FileWal {
         let frame = encode_frame(seq, rec);
         let n = self.frames.fetch_add(1, Ordering::SeqCst);
         if n >= self.crash_after.load(Ordering::SeqCst) {
-            // The first append past the gate leaves a torn prefix of its
-            // frame behind (0 bytes = a clean frame-boundary crash); every
-            // later append hits the `crashed` fast path above or here.
+            // The first append past the gate leaves its frame artifact
+            // behind — a torn prefix (`Torn`) or the whole frame minus
+            // its sync (`AfterWrite`) — then kills every stripe device;
+            // every later append hits the `crashed` fast path above or
+            // here, and every later flush is a dead device's no-op.
             if !self.crashed.swap(true, Ordering::SeqCst) {
-                let torn = (self.torn_bytes.load(Ordering::Relaxed) as usize) % frame.len();
-                if torn > 0 {
-                    let _ = self.disks[stripe].append_raw(&frame[..torn]);
+                if self.crash_after_write.load(Ordering::SeqCst) {
+                    let _ = self.disks[stripe].append_raw(&frame);
+                } else {
+                    let torn = (self.torn_bytes.load(Ordering::Relaxed) as usize) % frame.len();
+                    if torn > 0 {
+                        let _ = self.disks[stripe].append_raw(&frame[..torn]);
+                    }
+                }
+                for disk in &self.disks {
+                    disk.kill();
                 }
             }
             return 0;
@@ -659,9 +688,19 @@ impl FileWal {
 
     /// Arm the crash gate: the append of frame number `after` (0-based)
     /// stops the world, leaving `torn_bytes % frame_len` bytes of that
-    /// frame behind.
+    /// frame behind ([`CrashPhase::Torn`]).
     pub fn set_crash_after(&self, after: u64, torn_bytes: u64) {
+        self.set_crash_at(after, torn_bytes, CrashPhase::Torn);
+    }
+
+    /// [`FileWal::set_crash_after`] with an explicit phase. Under
+    /// [`CrashPhase::AfterWrite`] the fatal frame is written in full and
+    /// `torn_bytes` is ignored: the death lands between the frame's
+    /// `pwrite` and the `fdatasync` that would have made it durable.
+    pub fn set_crash_at(&self, after: u64, torn_bytes: u64, phase: CrashPhase) {
         self.torn_bytes.store(torn_bytes, Ordering::SeqCst);
+        self.crash_after_write
+            .store(phase == CrashPhase::AfterWrite, Ordering::SeqCst);
         self.crash_after.store(after, Ordering::SeqCst);
     }
 
@@ -873,6 +912,31 @@ mod tests {
         assert_eq!(rec.frames, 2, "only the pre-crash frames survive");
         assert_eq!(rec.torn_truncated, 1, "the torn prefix was cut off");
         assert!(crate::committed_txns(&rec.records).contains(&1));
+        assert!(!crate::committed_txns(&rec.records).contains(&2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn after_write_crash_lands_the_fatal_frame_but_drops_everything_later() {
+        let dir = temp_dir("crash-aw");
+        {
+            let (wal, _) = FileWal::open(&dir, 1, FileWal::DEFAULT_ROTATE_BYTES).expect("open");
+            wal.set_crash_at(2, 9, CrashPhase::AfterWrite);
+            wal.append(0, 0, &upd(1, 0, 1));
+            wal.append(0, 1, &commit(1));
+            assert!(!wal.crashed());
+            // Fatal frame: fully pwritten, never fdatasynced.
+            wal.append(0, 2, &upd(2, 0, 2));
+            assert!(wal.crashed());
+            wal.append(0, 3, &commit(2)); // dropped — the device is dead
+            wal.sync(0); // the sync the crash stole
+        }
+        let (_, rec) = FileWal::open(&dir, 1, FileWal::DEFAULT_ROTATE_BYTES).expect("reopen");
+        assert_eq!(rec.frames, 3, "the unsynced fatal frame is readable in full");
+        assert_eq!(rec.torn_truncated, 0, "no tear: the pwrite completed");
+        assert!(crate::committed_txns(&rec.records).contains(&1));
+        // Txn 2's update frame landed but its commit never did: recovery
+        // must still treat it as uncommitted.
         assert!(!crate::committed_txns(&rec.records).contains(&2));
         std::fs::remove_dir_all(&dir).ok();
     }
